@@ -1,0 +1,229 @@
+//! Shared list-scheduling machinery: cost tables, device timelines with
+//! insertion-based slot search, and the ready-list driver.
+
+use spmap_graph::{NodeId, TaskGraph};
+use spmap_model::{cost, DeviceId, Mapping, Platform};
+
+/// Per-(task, device) execution times and per-edge average transfer
+/// times, the inputs both HEFT and PEFT work from.  Public for use by
+/// [`crate::peft::optimistic_cost_table`] consumers and diagnostics.
+pub struct CostTables {
+    pub m: usize,
+    /// `exec[n * m + d]`.
+    pub exec: Vec<f64>,
+    /// Mean execution time per task over all devices.
+    pub mean_exec: Vec<f64>,
+    /// Mean transfer time per edge over all ordered device pairs with
+    /// distinct endpoints.
+    pub mean_comm: Vec<f64>,
+}
+
+impl CostTables {
+    pub fn new(g: &TaskGraph, p: &Platform) -> Self {
+        let m = p.device_count();
+        let n = g.node_count();
+        let mut exec = Vec::with_capacity(n * m);
+        let mut mean_exec = Vec::with_capacity(n);
+        for v in g.nodes() {
+            let mut sum = 0.0;
+            for d in p.device_ids() {
+                let t = cost::exec_time(p, d, g.task(v));
+                exec.push(t);
+                sum += t;
+            }
+            mean_exec.push(sum / m as f64);
+        }
+        let pairs = (m * m - m).max(1) as f64;
+        let mean_comm = g
+            .edge_ids()
+            .map(|e| {
+                let bytes = g.edge(e).bytes;
+                let mut sum = 0.0;
+                for a in p.device_ids() {
+                    for b in p.device_ids() {
+                        if a != b {
+                            sum += p.transfer_time(bytes, a, b);
+                        }
+                    }
+                }
+                sum / pairs
+            })
+            .collect();
+        Self {
+            m,
+            exec,
+            mean_exec,
+            mean_comm,
+        }
+    }
+
+    #[inline]
+    pub fn exec(&self, v: NodeId, d: DeviceId) -> f64 {
+        self.exec[v.index() * self.m + d.index()]
+    }
+}
+
+/// A sequential device timeline with insertion-based slot search.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Timeline {
+    /// Busy intervals sorted by start time.
+    slots: Vec<(f64, f64)>,
+}
+
+impl Timeline {
+    /// Earliest start ≥ `est` where a job of length `len` fits, using
+    /// insertion between existing busy intervals (the HEFT insertion
+    /// policy).
+    pub fn earliest_fit(&self, est: f64, len: f64) -> f64 {
+        let mut candidate = est;
+        for &(s, e) in &self.slots {
+            if candidate + len <= s {
+                return candidate;
+            }
+            candidate = candidate.max(e);
+        }
+        candidate
+    }
+
+    /// Reserve `[start, start + len)`.
+    pub fn insert(&mut self, start: f64, len: f64) {
+        let pos = self
+            .slots
+            .partition_point(|&(s, _)| s < start);
+        self.slots.insert(pos, (start, start + len));
+        debug_assert!(
+            self.slots.windows(2).all(|w| w[0].1 <= w[1].0 + 1e-12),
+            "overlapping reservations"
+        );
+    }
+}
+
+/// Outcome of a list-scheduling run.
+#[derive(Clone, Debug)]
+pub struct ListScheduleResult {
+    /// The produced task → device mapping.
+    pub mapping: Mapping,
+    /// The scheduler's *internal* makespan estimate (sequential-device
+    /// view, no streaming) — not the model-evaluated makespan.
+    pub internal_makespan: f64,
+    /// Order in which tasks were scheduled.
+    pub order: Vec<NodeId>,
+}
+
+/// Generic priority-driven list scheduler: repeatedly schedule the ready
+/// task with the highest `rank`, choosing the device that minimizes
+/// `EFT + tiebreak(v, d)` under insertion-based timelines, actual
+/// transfer costs, and the FPGA area budget.
+pub(crate) fn run_list_scheduler(
+    g: &TaskGraph,
+    p: &Platform,
+    ct: &CostTables,
+    rank: &[f64],
+    tiebreak: impl Fn(NodeId, DeviceId) -> f64,
+) -> ListScheduleResult {
+    let n = g.node_count();
+    let mut mapping = Mapping::all_default(g, p);
+    let mut timelines: Vec<Timeline> = vec![Timeline::default(); p.device_count()];
+    let mut area_left: Vec<f64> = p
+        .device_ids()
+        .map(|d| p.device(d).area_capacity())
+        .collect();
+    let mut aft = vec![0.0f64; n];
+    let mut indeg: Vec<usize> = (0..n).map(|i| g.in_degree(NodeId(i as u32))).collect();
+    let mut ready: Vec<NodeId> = g.nodes().filter(|&v| indeg[v.index()] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut makespan = 0.0f64;
+
+    while !ready.is_empty() {
+        // Highest rank first; ties by node id for determinism.
+        let (idx, _) = ready
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                rank[a.index()]
+                    .total_cmp(&rank[b.index()])
+                    .then(b.0.cmp(&a.0))
+            })
+            .expect("ready list non-empty");
+        let v = ready.swap_remove(idx);
+        order.push(v);
+
+        let mut best: Option<(DeviceId, f64, f64)> = None; // (device, start, score)
+        for d in p.device_ids() {
+            if p.is_fpga(d) && g.task(v).area > area_left[d.index()] + 1e-9 {
+                continue; // would not fit the FPGA anymore
+            }
+            let mut est = 0.0f64;
+            for &e in g.in_edges(v) {
+                let edge = g.edge(e);
+                let pd = mapping.device(edge.src);
+                let arrive = aft[edge.src.index()]
+                    + if pd == d {
+                        0.0
+                    } else {
+                        p.transfer_time(edge.bytes, pd, d)
+                    };
+                est = est.max(arrive);
+            }
+            let len = ct.exec(v, d);
+            let start = timelines[d.index()].earliest_fit(est, len);
+            let eft = start + len;
+            let score = eft + tiebreak(v, d);
+            if best.map_or(true, |(_, _, s)| score < s) {
+                best = Some((d, start, score));
+            }
+        }
+        let (d, start, _) =
+            best.expect("at least the default device is always available");
+        let len = ct.exec(v, d);
+        timelines[d.index()].insert(start, len);
+        if p.is_fpga(d) {
+            area_left[d.index()] -= g.task(v).area;
+        }
+        mapping.set(v, d);
+        aft[v.index()] = start + len;
+        makespan = makespan.max(aft[v.index()]);
+
+        for s in g.successors(v) {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "graph must be acyclic");
+    ListScheduleResult {
+        mapping,
+        internal_makespan: makespan,
+        order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_inserts_into_gaps() {
+        let mut t = Timeline::default();
+        t.insert(0.0, 2.0);
+        t.insert(5.0, 2.0);
+        // Gap [2, 5): a job of length 3 fits at 2.
+        assert_eq!(t.earliest_fit(0.0, 3.0), 2.0);
+        // A job of length 4 does not fit the gap; goes after the last slot.
+        assert_eq!(t.earliest_fit(0.0, 4.0), 7.0);
+        // EST inside the gap.
+        assert_eq!(t.earliest_fit(2.5, 0.5), 2.5);
+        // EST inside a busy slot pushes to the end of it.
+        assert_eq!(t.earliest_fit(1.0, 1.0), 2.0);
+    }
+
+    #[test]
+    fn timeline_keeps_sorted() {
+        let mut t = Timeline::default();
+        t.insert(4.0, 1.0);
+        t.insert(0.0, 1.0);
+        t.insert(2.0, 1.0);
+        assert_eq!(t.earliest_fit(0.0, 1.0), 1.0);
+    }
+}

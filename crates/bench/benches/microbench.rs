@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks backing the paper's cost claims:
+//!
+//! * the model evaluation is linear time (§III-A: "full-scale model-based
+//!   evaluation, which can be computed in linear time"),
+//! * the decomposition forest is linear time (§III-C),
+//! * HEFT/PEFT run in microseconds (§IV-B: "below 10 µs"),
+//! * the decomposition mappers and one GA generation, end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use spmap_baselines::{heft, peft};
+use spmap_core::{decomposition_map, MapperConfig};
+use spmap_decomp::{decompose_forest, CutPolicy};
+use spmap_ga::{nsga2_map, GaConfig};
+use spmap_graph::gen::{random_sp_graph, SpGenConfig};
+use spmap_graph::{augment, ops, AugmentConfig, TaskGraph};
+use spmap_model::{Evaluator, Mapping, Platform};
+
+fn graph_of(n: usize) -> TaskGraph {
+    let mut g = random_sp_graph(&SpGenConfig::new(n, 42));
+    augment(&mut g, &AugmentConfig::default(), 42);
+    g
+}
+
+fn bench_evaluator(c: &mut Criterion) {
+    let platform = Platform::reference();
+    let mut group = c.benchmark_group("evaluator_makespan");
+    group.sample_size(30);
+    for n in [50usize, 200, 800] {
+        let g = graph_of(n);
+        let mut ev = Evaluator::new(&g, &platform);
+        let mapping = Mapping::all_default(&g, &platform);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| ev.makespan_bfs(&mapping).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decomposition_forest");
+    group.sample_size(20);
+    for n in [50usize, 200, 800] {
+        let g = graph_of(n);
+        let norm = ops::normalize_terminals(&g);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| decompose_forest(&norm.graph, norm.source, norm.sink, CutPolicy::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_list_schedulers(c: &mut Criterion) {
+    let platform = Platform::reference();
+    let g = graph_of(100);
+    let mut group = c.benchmark_group("list_schedulers_100_tasks");
+    group.sample_size(30);
+    group.bench_function("heft", |b| b.iter(|| heft(&g, &platform)));
+    group.bench_function("peft", |b| b.iter(|| peft(&g, &platform)));
+    group.finish();
+}
+
+fn bench_mappers(c: &mut Criterion) {
+    let platform = Platform::reference();
+    let g = graph_of(30);
+    let mut group = c.benchmark_group("decomposition_mapper_30_tasks");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("single_node", MapperConfig::single_node()),
+        ("series_parallel", MapperConfig::series_parallel()),
+        ("sn_first_fit", MapperConfig::sn_first_fit()),
+        ("sp_first_fit", MapperConfig::sp_first_fit()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| decomposition_map(&g, &platform, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ga(c: &mut Criterion) {
+    let platform = Platform::reference();
+    let g = graph_of(30);
+    let mut group = c.benchmark_group("nsga2_30_tasks");
+    group.sample_size(10);
+    group.bench_function("10_generations", |b| {
+        b.iter(|| {
+            nsga2_map(
+                &g,
+                &platform,
+                &GaConfig {
+                    population: 30,
+                    generations: 10,
+                    seed: 1,
+                    ..GaConfig::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_evaluator,
+    bench_decomposition,
+    bench_list_schedulers,
+    bench_mappers,
+    bench_ga
+);
+criterion_main!(benches);

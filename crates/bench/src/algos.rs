@@ -1,0 +1,174 @@
+//! Uniform wrappers over every mapping algorithm in the workspace.
+
+use std::time::{Duration, Instant};
+
+use spmap_baselines::{heft, peft};
+use spmap_core::{decomposition_map, MapperConfig};
+use spmap_ga::{nsga2_map, GaConfig};
+use spmap_graph::TaskGraph;
+use spmap_milp::{solve_wgdp_device, solve_wgdp_time, solve_zhou_liu, SolveOptions};
+use spmap_model::{relative_improvement, Evaluator, Mapping, Platform};
+
+/// Number of random schedules in the paper's reporting metric (§IV-A).
+pub const REPORT_SCHEDULES: usize = 100;
+
+/// Every algorithm of the paper's evaluation, with its knobs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Algo {
+    /// Heterogeneous Earliest Finish Time (paper ref. 6).
+    Heft,
+    /// Predict Earliest Finish Time (paper ref. 8).
+    Peft,
+    /// Single-node decomposition, exhaustive search (§III-B).
+    SingleNode,
+    /// Series-parallel decomposition, exhaustive search (§III-C).
+    SeriesParallel,
+    /// Single-node decomposition with FirstFit (§III-D).
+    SnFirstFit,
+    /// Series-parallel decomposition with FirstFit (§III-D).
+    SpFirstFit,
+    /// Single-objective NSGA-II (paper ref. 14).
+    Nsga2 {
+        /// Generation budget (paper default 500).
+        generations: usize,
+    },
+    /// Device-based MILP (paper ref. 5).
+    WgdpDevice {
+        /// Wall-clock budget in milliseconds.
+        time_limit_ms: u64,
+    },
+    /// Time-based MILP with streaming awareness (paper ref. 5).
+    WgdpTime {
+        /// Wall-clock budget in milliseconds.
+        time_limit_ms: u64,
+    },
+    /// Slot-based MILP (paper ref. 2).
+    ZhouLiu {
+        /// Wall-clock budget in milliseconds.
+        time_limit_ms: u64,
+    },
+}
+
+impl Algo {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::Heft => "HEFT",
+            Algo::Peft => "PEFT",
+            Algo::SingleNode => "SingleNode",
+            Algo::SeriesParallel => "SeriesParallel",
+            Algo::SnFirstFit => "SNFirstFit",
+            Algo::SpFirstFit => "SPFirstFit",
+            Algo::Nsga2 { .. } => "NSGAII",
+            Algo::WgdpDevice { .. } => "WGDP_Device",
+            Algo::WgdpTime { .. } => "WGDP_Time",
+            Algo::ZhouLiu { .. } => "ZhouLiu",
+        }
+    }
+}
+
+/// Outcome of one (algorithm, graph) cell.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOutcome {
+    /// Relative improvement over the pure CPU mapping (truncated at 0),
+    /// measured with the paper's min-over-schedules metric.
+    pub improvement: f64,
+    /// Reported makespan of the produced mapping.
+    pub makespan: f64,
+    /// Reported makespan of the all-CPU mapping.
+    pub cpu_only: f64,
+    /// Wall-clock execution time of the mapping algorithm itself.
+    pub exec_time: Duration,
+}
+
+/// Run `algo` on `graph`/`platform`, timing the algorithm and evaluating
+/// the produced mapping with the paper's reporting metric.
+pub fn run_algo(algo: &Algo, graph: &TaskGraph, platform: &Platform, seed: u64) -> RunOutcome {
+    let start = Instant::now();
+    let mapping: Mapping = match algo {
+        Algo::Heft => heft(graph, platform).mapping,
+        Algo::Peft => peft(graph, platform).mapping,
+        Algo::SingleNode => decomposition_map(graph, platform, &MapperConfig::single_node()).mapping,
+        Algo::SeriesParallel => {
+            decomposition_map(graph, platform, &MapperConfig::series_parallel()).mapping
+        }
+        Algo::SnFirstFit => decomposition_map(graph, platform, &MapperConfig::sn_first_fit()).mapping,
+        Algo::SpFirstFit => decomposition_map(graph, platform, &MapperConfig::sp_first_fit()).mapping,
+        Algo::Nsga2 { generations } => {
+            nsga2_map(graph, platform, &GaConfig::with_generations(*generations, seed)).mapping
+        }
+        Algo::WgdpDevice { time_limit_ms } => {
+            solve_wgdp_device(graph, platform, &milp_opts(*time_limit_ms)).mapping
+        }
+        Algo::WgdpTime { time_limit_ms } => {
+            solve_wgdp_time(graph, platform, &milp_opts(*time_limit_ms)).mapping
+        }
+        Algo::ZhouLiu { time_limit_ms } => {
+            solve_zhou_liu(graph, platform, &milp_opts(*time_limit_ms)).mapping
+        }
+    };
+    let exec_time = start.elapsed();
+
+    let mut ev = Evaluator::new(graph, platform);
+    let cpu_only = ev
+        .report_makespan(&Mapping::all_default(graph, platform), REPORT_SCHEDULES, seed)
+        .expect("default mapping feasible");
+    let makespan = ev
+        .report_makespan(&mapping, REPORT_SCHEDULES, seed)
+        .unwrap_or(cpu_only);
+    RunOutcome {
+        improvement: relative_improvement(cpu_only, makespan.min(cpu_only)),
+        makespan: makespan.min(cpu_only),
+        cpu_only,
+        exec_time,
+    }
+}
+
+fn milp_opts(time_limit_ms: u64) -> SolveOptions {
+    SolveOptions {
+        time_limit: Duration::from_millis(time_limit_ms),
+        ..SolveOptions::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmap_graph::gen::{random_sp_graph, SpGenConfig};
+    use spmap_graph::{augment, AugmentConfig};
+
+    #[test]
+    fn all_algos_run_on_a_small_graph() {
+        let mut g = random_sp_graph(&SpGenConfig::new(10, 1));
+        augment(&mut g, &AugmentConfig::default(), 1);
+        let p = Platform::reference();
+        for algo in [
+            Algo::Heft,
+            Algo::Peft,
+            Algo::SingleNode,
+            Algo::SeriesParallel,
+            Algo::SnFirstFit,
+            Algo::SpFirstFit,
+            Algo::Nsga2 { generations: 10 },
+            Algo::WgdpDevice { time_limit_ms: 2000 },
+            Algo::WgdpTime { time_limit_ms: 2000 },
+            Algo::ZhouLiu { time_limit_ms: 2000 },
+        ] {
+            let out = run_algo(&algo, &g, &p, 7);
+            assert!(
+                out.improvement >= 0.0 && out.improvement < 1.0,
+                "{}: improvement {}",
+                algo.name(),
+                out.improvement
+            );
+            assert!(out.makespan <= out.cpu_only * (1.0 + 1e-9), "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Algo::SpFirstFit.name(), "SPFirstFit");
+        assert_eq!(Algo::Nsga2 { generations: 1 }.name(), "NSGAII");
+        assert_eq!(Algo::WgdpTime { time_limit_ms: 1 }.name(), "WGDP_Time");
+    }
+}

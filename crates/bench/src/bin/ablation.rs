@@ -1,0 +1,88 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! 1. **γ-threshold sweep** — the paper (§IV-B) finds that "using a
+//!    γ-threshold heuristic with γ > 1 does not provide a significant
+//!    benefit in comparison with the FirstFit variant"; this ablation
+//!    sweeps γ ∈ {1, 1.5, 2, 4, ∞(basic)} and reports quality and
+//!    evaluation counts.
+//! 2. **Cut-policy sweep** — Alg. 1 leaves the conflict cut open
+//!    ("choose any"); the paper's Fig. 2 discussion hints that cutting
+//!    small subtrees keeps better decompositions.  This ablation maps
+//!    almost-SP graphs under all four [`CutPolicy`] variants.
+
+use spmap_bench::cli::Opts;
+use spmap_bench::report::{mean, pct, Table};
+use spmap_bench::workload::{almost_sp_workload, sp_workload};
+use spmap_core::{decomposition_map, MapperConfig, SearchHeuristic, SubgraphStrategy};
+use spmap_decomp::CutPolicy;
+use spmap_model::Platform;
+
+fn main() {
+    let opts = Opts::parse();
+    let replicates = opts.replicates(8, 3, 20);
+    let platform = Platform::reference();
+
+    // ---- Ablation 1: γ sweep on random SP graphs ----
+    let tasks = if opts.quick { 40 } else { 100 };
+    let graphs = sp_workload(opts.seed ^ 0xab1, tasks, replicates);
+    let variants: Vec<(String, SearchHeuristic)> = vec![
+        ("FirstFit (γ=1)".into(), SearchHeuristic::GammaThreshold { gamma: 1.0 }),
+        ("γ=1.5".into(), SearchHeuristic::GammaThreshold { gamma: 1.5 }),
+        ("γ=2".into(), SearchHeuristic::GammaThreshold { gamma: 2.0 }),
+        ("γ=4".into(), SearchHeuristic::GammaThreshold { gamma: 4.0 }),
+        ("basic (exhaustive)".into(), SearchHeuristic::Exhaustive),
+    ];
+    let mut t = Table::new(&["variant", "improvement", "evaluations"]);
+    let mut csv = Table::new(&["variant", "improvement", "evaluations"]);
+    for (name, heuristic) in &variants {
+        let cfg = MapperConfig {
+            heuristic: *heuristic,
+            ..MapperConfig::series_parallel()
+        };
+        let runs: Vec<_> = spmap_par::par_map(&graphs, |_, g| {
+            let r = decomposition_map(g, &platform, &cfg);
+            (r.relative_improvement(), r.evaluations as f64)
+        });
+        let improvement = mean(runs.iter().map(|r| r.0));
+        let evals = mean(runs.iter().map(|r| r.1));
+        t.row(vec![name.clone(), pct(improvement), format!("{evals:.0}")]);
+        csv.row(vec![name.clone(), format!("{improvement:.6}"), format!("{evals:.0}")]);
+    }
+    println!("\nAblation 1 — γ-threshold sweep (SeriesParallel mapper, {tasks}-task SP graphs, {replicates} graphs)");
+    t.print();
+    let p = csv.write_csv("ablation_gamma.csv");
+    println!("CSV: {}\n", p.display());
+
+    // ---- Ablation 2: cut policy on almost-SP graphs ----
+    let extra = 40;
+    let graphs = almost_sp_workload(opts.seed ^ 0xab2, tasks, extra, replicates);
+    let policies = [
+        ("SmallestSubtree", CutPolicy::SmallestSubtree),
+        ("LargestSubtree", CutPolicy::LargestSubtree),
+        ("FirstActive", CutPolicy::FirstActive),
+        ("Random", CutPolicy::Random { seed: 9 }),
+    ];
+    let mut t = Table::new(&["cut policy", "improvement", "subgraphs"]);
+    let mut csv = Table::new(&["cut_policy", "improvement", "subgraphs"]);
+    for (name, policy) in policies {
+        let cfg = MapperConfig {
+            strategy: SubgraphStrategy::SeriesParallel { cut_policy: policy },
+            heuristic: SearchHeuristic::first_fit(),
+            iteration_cap: None,
+        };
+        let runs: Vec<_> = spmap_par::par_map(&graphs, |_, g| {
+            let r = decomposition_map(g, &platform, &cfg);
+            (r.relative_improvement(), r.subgraph_count as f64)
+        });
+        let improvement = mean(runs.iter().map(|r| r.0));
+        let subs = mean(runs.iter().map(|r| r.1));
+        t.row(vec![name.into(), pct(improvement), format!("{subs:.0}")]);
+        csv.row(vec![name.into(), format!("{improvement:.6}"), format!("{subs:.0}")]);
+    }
+    println!(
+        "Ablation 2 — Alg. 1 cut policy (SPFirstFit, {tasks}-task graphs + {extra} conflicting edges, {replicates} graphs)"
+    );
+    t.print();
+    let p = csv.write_csv("ablation_cut_policy.csv");
+    println!("CSV: {}", p.display());
+}

@@ -1,0 +1,49 @@
+//! Fig. 4 — HEFT/PEFT vs. decomposition mapping (basic and FirstFit) on
+//! random SP graphs of 5–200 tasks.
+//!
+//! Expected shape (paper): HEFT/PEFT quality decays with graph size
+//! while decomposition stays flat; SeriesParallel ≈ +5 % over
+//! SingleNode; FirstFit ≈ basic quality at a fraction of the time; the
+//! SP variant becomes *faster* than single-node beyond ~50–75 tasks.
+
+use spmap_bench::cli::Opts;
+use spmap_bench::sweep::{report, run_sweep, Point};
+use spmap_bench::workload::{cell_seed, sp_workload};
+use spmap_bench::Algo;
+use spmap_model::Platform;
+
+fn main() {
+    let opts = Opts::parse();
+    let replicates = opts.replicates(10, 3, 30);
+    let step = opts.step.unwrap_or(if opts.quick { 50 } else { 5 });
+    let max = if opts.quick { 105 } else { 200 };
+    let sizes: Vec<usize> = (5..=max).step_by(step).collect();
+    let algos = [
+        Algo::Heft,
+        Algo::Peft,
+        Algo::SingleNode,
+        Algo::SeriesParallel,
+        Algo::SnFirstFit,
+        Algo::SpFirstFit,
+    ];
+    let points: Vec<Point> = sizes
+        .iter()
+        .map(|&n| Point {
+            label: n.to_string(),
+            graphs: sp_workload(opts.seed ^ 4, n, replicates),
+            seed: cell_seed(opts.seed ^ 4, n, 777),
+        })
+        .collect();
+    let result = run_sweep(&points, &algos, &Platform::reference(), |_, _| false);
+    report(
+        "fig4",
+        "tasks",
+        &points,
+        &algos,
+        &result,
+        (
+            "Fig. 4a (random SP graphs, list schedulers vs decomposition)",
+            "Fig. 4b",
+        ),
+    );
+}

@@ -1,0 +1,42 @@
+//! Fig. 5 — NSGA-II vs. FirstFit decomposition mapping on random SP
+//! graphs of 5–100 tasks.
+//!
+//! Expected shape (paper): the GA reliably avoids local minima (high
+//! improvement at every size, often above SingleNode, frequently below
+//! SeriesParallel) but is ~30× slower at n = 100.
+
+use spmap_bench::cli::Opts;
+use spmap_bench::sweep::{report, run_sweep, Point};
+use spmap_bench::workload::{cell_seed, sp_workload};
+use spmap_bench::Algo;
+use spmap_model::Platform;
+
+fn main() {
+    let opts = Opts::parse();
+    let replicates = opts.replicates(10, 3, 30);
+    let step = opts.step.unwrap_or(if opts.quick { 25 } else { 5 });
+    let sizes: Vec<usize> = (5..=100).step_by(step).collect();
+    let generations = if opts.quick { 100 } else { 500 };
+    let algos = [
+        Algo::SnFirstFit,
+        Algo::SpFirstFit,
+        Algo::Nsga2 { generations },
+    ];
+    let points: Vec<Point> = sizes
+        .iter()
+        .map(|&n| Point {
+            label: n.to_string(),
+            graphs: sp_workload(opts.seed ^ 5, n, replicates),
+            seed: cell_seed(opts.seed ^ 5, n, 777),
+        })
+        .collect();
+    let result = run_sweep(&points, &algos, &Platform::reference(), |_, _| false);
+    report(
+        "fig5",
+        "tasks",
+        &points,
+        &algos,
+        &result,
+        ("Fig. 5a (NSGA-II vs FirstFit decomposition)", "Fig. 5b"),
+    );
+}

@@ -1,0 +1,72 @@
+//! Fig. 6 — execution time / quality trade-off of NSGA-II over its
+//! generation budget, on random SP graphs with 200 nodes.
+//!
+//! Expected shape (paper): quality saturates around ~200 generations;
+//! even at the saturation point the GA remains 5–10× slower than the
+//! decomposition heuristics (shown as reference rows).
+
+use spmap_bench::cli::Opts;
+use spmap_bench::report::{dur, pct, Table};
+use spmap_bench::sweep::{run_sweep, Point};
+use spmap_bench::workload::{cell_seed, sp_workload};
+use spmap_bench::Algo;
+use spmap_model::Platform;
+use std::time::Duration;
+
+fn main() {
+    let opts = Opts::parse();
+    let replicates = opts.replicates(10, 3, 30);
+    let tasks = if opts.quick { 60 } else { 200 };
+    let step = opts.step.unwrap_or(50);
+    let gens: Vec<usize> = (step..=500).step_by(step).collect();
+
+    // One shared workload (the x-axis is the generation budget).
+    let graphs = sp_workload(opts.seed ^ 6, tasks, replicates);
+    let mut algos: Vec<Algo> = gens
+        .iter()
+        .map(|&g| Algo::Nsga2 { generations: g })
+        .collect();
+    algos.push(Algo::SnFirstFit);
+    algos.push(Algo::SpFirstFit);
+    let points = vec![Point {
+        label: tasks.to_string(),
+        graphs,
+        seed: cell_seed(opts.seed ^ 6, tasks, 777),
+    }];
+    let result = run_sweep(&points, &algos, &Platform::reference(), |_, _| false);
+
+    let mut t = Table::new(&["generations", "rel. improvement", "exec time"]);
+    let mut csv = Table::new(&["generations", "improvement", "exec_seconds"]);
+    for (ai, &g) in gens.iter().enumerate() {
+        let imp = result.improvement[0][ai].unwrap();
+        let ex = result.exec_seconds[0][ai].unwrap();
+        t.row(vec![g.to_string(), pct(imp), dur(Duration::from_secs_f64(ex))]);
+        csv.row(vec![
+            g.to_string(),
+            format!("{imp:.6}"),
+            format!("{ex:.6}"),
+        ]);
+    }
+    for (k, name) in ["SNFirstFit", "SPFirstFit"].iter().enumerate() {
+        let ai = gens.len() + k;
+        let imp = result.improvement[0][ai].unwrap();
+        let ex = result.exec_seconds[0][ai].unwrap();
+        t.row(vec![
+            (*name).to_string(),
+            pct(imp),
+            dur(Duration::from_secs_f64(ex)),
+        ]);
+        csv.row(vec![
+            (*name).to_string(),
+            format!("{imp:.6}"),
+            format!("{ex:.6}"),
+        ]);
+    }
+    println!(
+        "\nFig. 6 — NSGA-II generations trade-off on {}-node random SP graphs ({} graphs)",
+        tasks, replicates
+    );
+    t.print();
+    let p = csv.write_csv("fig6_generations.csv");
+    println!("\nCSV: {}", p.display());
+}

@@ -1,0 +1,52 @@
+//! Fig. 7 — almost-series-parallel sensitivity: 100-node graphs with an
+//! increasing number of conflicting extra edges (0–200).
+//!
+//! Expected shape (paper): quality decreases slightly for everyone; the
+//! series-parallel strategy converges towards the single-node strategy
+//! as decomposition trees fragment; the GA stays close to both; the SP
+//! execution time grows (~30 % above single-node at +200 edges).
+
+use spmap_bench::cli::Opts;
+use spmap_bench::sweep::{report, run_sweep, Point};
+use spmap_bench::workload::{almost_sp_workload, cell_seed};
+use spmap_bench::Algo;
+use spmap_model::Platform;
+
+fn main() {
+    let opts = Opts::parse();
+    let replicates = opts.replicates(10, 3, 30);
+    let tasks = 100;
+    let step = opts.step.unwrap_or(if opts.quick { 100 } else { 20 });
+    let mut extras: Vec<usize> = (0..=200).step_by(step).collect();
+    if extras.first() != Some(&0) {
+        extras.insert(0, 0);
+    }
+    let generations = if opts.quick { 100 } else { 500 };
+    let algos = [
+        Algo::Heft,
+        Algo::Peft,
+        Algo::Nsga2 { generations },
+        Algo::SnFirstFit,
+        Algo::SpFirstFit,
+    ];
+    let points: Vec<Point> = extras
+        .iter()
+        .map(|&k| Point {
+            label: k.to_string(),
+            graphs: almost_sp_workload(opts.seed ^ 7, tasks, k, replicates),
+            seed: cell_seed(opts.seed ^ 7, tasks + (k << 10), 777),
+        })
+        .collect();
+    let result = run_sweep(&points, &algos, &Platform::reference(), |_, _| false);
+    report(
+        "fig7",
+        "extra_edges",
+        &points,
+        &algos,
+        &result,
+        (
+            "Fig. 7a (100-node almost-SP graphs, varying conflicting edges)",
+            "Fig. 7b",
+        ),
+    );
+}

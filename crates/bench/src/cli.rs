@@ -1,0 +1,110 @@
+//! Tiny argument parsing shared by the experiment binaries.
+//!
+//! Supported flags (each binary documents its own defaults):
+//!
+//! * `--graphs <n>` — replicates per data point (paper: 30),
+//! * `--step <n>` — task-count step of the sweep,
+//! * `--full` — paper-scale settings (more replicates, larger limits),
+//! * `--quick` — smoke-test settings (fewer replicates, smaller sweeps),
+//! * `--seed <n>` — base experiment seed.
+
+/// Parsed common options.
+#[derive(Clone, Copy, Debug)]
+pub struct Opts {
+    /// Replicates per data point.
+    pub graphs: Option<usize>,
+    /// Sweep step override.
+    pub step: Option<usize>,
+    /// Paper-scale run.
+    pub full: bool,
+    /// Smoke-test run.
+    pub quick: bool,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Opts {
+    /// Parse `std::env::args`, ignoring unknown flags with a warning.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+        let mut opts = Opts {
+            graphs: None,
+            step: None,
+            full: false,
+            quick: false,
+            seed: 2025,
+        };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--graphs" => {
+                    opts.graphs = it.next().and_then(|v| v.parse().ok());
+                }
+                "--step" => {
+                    opts.step = it.next().and_then(|v| v.parse().ok());
+                }
+                "--seed" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                        opts.seed = v;
+                    }
+                }
+                "--full" => opts.full = true,
+                "--quick" => opts.quick = true,
+                other => eprintln!("warning: ignoring unknown flag {other}"),
+            }
+        }
+        opts
+    }
+
+    /// Replicates per point given a default and the quick/full presets.
+    pub fn replicates(&self, default: usize, quick: usize, full: usize) -> usize {
+        if let Some(g) = self.graphs {
+            return g;
+        }
+        if self.quick {
+            quick
+        } else if self.full {
+            full
+        } else {
+            default
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Opts {
+        Opts::from_iter(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]);
+        assert_eq!(o.graphs, None);
+        assert!(!o.full && !o.quick);
+        assert_eq!(o.seed, 2025);
+        assert_eq!(o.replicates(10, 3, 30), 10);
+    }
+
+    #[test]
+    fn flags() {
+        let o = parse(&["--graphs", "7", "--seed", "9", "--full", "--step", "10"]);
+        assert_eq!(o.graphs, Some(7));
+        assert_eq!(o.seed, 9);
+        assert!(o.full);
+        assert_eq!(o.step, Some(10));
+        assert_eq!(o.replicates(10, 3, 30), 7, "--graphs wins over presets");
+    }
+
+    #[test]
+    fn presets() {
+        assert_eq!(parse(&["--quick"]).replicates(10, 3, 30), 3);
+        assert_eq!(parse(&["--full"]).replicates(10, 3, 30), 30);
+    }
+}

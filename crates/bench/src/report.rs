@@ -1,0 +1,162 @@
+//! Aligned table printing and CSV output for the experiment binaries.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Directory for CSV outputs (`SPMAP_RESULTS` env var or `./results`).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("SPMAP_RESULTS").unwrap_or_else(|_| "results".to_string());
+    let path = PathBuf::from(dir);
+    fs::create_dir_all(&path).expect("create results directory");
+    path
+}
+
+/// A simple string table with aligned console rendering.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a data row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = width[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &width));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Write as CSV into the results directory; returns the path.
+    pub fn write_csv(&self, name: &str) -> PathBuf {
+        let path = results_dir().join(name);
+        let mut s = String::new();
+        s.push_str(&self.headers.join(","));
+        s.push('\n');
+        for row in &self.rows {
+            s.push_str(&row.join(","));
+            s.push('\n');
+        }
+        fs::write(&path, s).expect("write CSV");
+        path
+    }
+}
+
+/// Format a fraction as a percent string (paper style, e.g. `17.3%`).
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Format a duration compactly (µs/ms/s).
+pub fn dur(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.0}us")
+    } else if us < 1e6 {
+        format!("{:.1}ms", us / 1e3)
+    } else {
+        format!("{:.2}s", us / 1e6)
+    }
+}
+
+/// Mean of an iterator of f64 (0 for empty input).
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for v in values {
+        sum += v;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["n", "HEFT", "SPFirstFit"]);
+        t.row(vec!["5".into(), "1.0%".into(), "2.0%".into()]);
+        t.row(vec!["100".into(), "10.5%".into(), "20.25%".into()]);
+        let r = t.render();
+        assert!(r.contains("HEFT"));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.1234), "12.3%");
+        assert_eq!(dur(Duration::from_micros(42)), "42us");
+        assert_eq!(dur(Duration::from_millis(5)), "5.0ms");
+        assert_eq!(dur(Duration::from_secs(2)), "2.00s");
+        assert_eq!(mean([1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean([]), 0.0);
+    }
+
+    #[test]
+    fn csv_written() {
+        std::env::set_var("SPMAP_RESULTS", std::env::temp_dir().join("spmap-test-results"));
+        let mut t = Table::new(&["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let path = t.write_csv("unit-test.csv");
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "x,y\n1,2\n");
+    }
+}

@@ -1,0 +1,200 @@
+//! Shared sweep driver: run every (point, replicate, algorithm) cell in
+//! parallel, aggregate means, and emit paper-style tables + CSV.
+
+use std::time::Duration;
+
+use spmap_graph::TaskGraph;
+use spmap_model::Platform;
+
+use crate::report::{dur, mean, pct, Table};
+use crate::{run_algo, Algo};
+
+/// One sweep point: an x-axis label and its replicate graphs.
+pub struct Point {
+    /// x-axis label (e.g. the task count).
+    pub label: String,
+    /// Replicate graphs for this point.
+    pub graphs: Vec<TaskGraph>,
+    /// Base seed for this point's cells.
+    pub seed: u64,
+}
+
+/// Aggregated sweep results: `improvement[point][algo]` and
+/// `exec_seconds[point][algo]` (`None` where skipped).
+pub struct SweepResult {
+    /// Mean relative improvement per cell group.
+    pub improvement: Vec<Vec<Option<f64>>>,
+    /// Mean execution seconds per cell group.
+    pub exec_seconds: Vec<Vec<Option<f64>>>,
+    /// Sum of execution seconds per cell group (Table I style).
+    pub exec_sum_seconds: Vec<Vec<Option<f64>>>,
+}
+
+/// Run the sweep.  `skip(point_idx, algo_idx)` excludes cells (e.g.
+/// ZhouLiu beyond its size cap).
+pub fn run_sweep(
+    points: &[Point],
+    algos: &[Algo],
+    platform: &Platform,
+    skip: impl Fn(usize, usize) -> bool,
+) -> SweepResult {
+    let mut cells: Vec<(usize, usize, usize)> = Vec::new();
+    for (pi, point) in points.iter().enumerate() {
+        for r in 0..point.graphs.len() {
+            for ai in 0..algos.len() {
+                if !skip(pi, ai) {
+                    cells.push((pi, r, ai));
+                }
+            }
+        }
+    }
+    eprintln!(
+        "sweep: {} points x {} algos, {} cells on {} threads",
+        points.len(),
+        algos.len(),
+        cells.len(),
+        spmap_par::num_threads()
+    );
+    let outcomes = spmap_par::par_map(&cells, |_, &(pi, r, ai)| {
+        run_algo(
+            &algos[ai],
+            &points[pi].graphs[r],
+            platform,
+            points[pi].seed.wrapping_add(r as u64),
+        )
+    });
+
+    let mut improvement = vec![vec![None; algos.len()]; points.len()];
+    let mut exec_seconds = vec![vec![None; algos.len()]; points.len()];
+    let mut exec_sum_seconds = vec![vec![None; algos.len()]; points.len()];
+    for (pi, _) in points.iter().enumerate() {
+        for ai in 0..algos.len() {
+            let group: Vec<_> = cells
+                .iter()
+                .zip(&outcomes)
+                .filter(|((p, _, a), _)| *p == pi && *a == ai)
+                .map(|(_, o)| o)
+                .collect();
+            if group.is_empty() {
+                continue;
+            }
+            improvement[pi][ai] = Some(mean(group.iter().map(|o| o.improvement)));
+            exec_seconds[pi][ai] =
+                Some(mean(group.iter().map(|o| o.exec_time.as_secs_f64())));
+            exec_sum_seconds[pi][ai] =
+                Some(group.iter().map(|o| o.exec_time.as_secs_f64()).sum());
+        }
+    }
+    SweepResult {
+        improvement,
+        exec_seconds,
+        exec_sum_seconds,
+    }
+}
+
+/// Print the two paper-style tables (improvement %, execution time) and
+/// write `<prefix>_improvement.csv` / `<prefix>_exec_time.csv`.
+pub fn report(
+    prefix: &str,
+    x_name: &str,
+    points: &[Point],
+    algos: &[Algo],
+    result: &SweepResult,
+    titles: (&str, &str),
+) {
+    let mut headers = vec![x_name.to_string()];
+    headers.extend(algos.iter().map(|a| a.name().to_string()));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+
+    let mut imp = Table::new(&headers_ref);
+    let mut time = Table::new(&headers_ref);
+    let mut imp_csv = Table::new(&headers_ref);
+    let mut time_csv = Table::new(&headers_ref);
+    for (pi, point) in points.iter().enumerate() {
+        let mut rows = [
+            vec![point.label.clone()],
+            vec![point.label.clone()],
+            vec![point.label.clone()],
+            vec![point.label.clone()],
+        ];
+        for ai in 0..algos.len() {
+            match result.improvement[pi][ai] {
+                Some(v) => {
+                    rows[0].push(pct(v));
+                    rows[2].push(format!("{v:.6}"));
+                }
+                None => {
+                    rows[0].push("-".into());
+                    rows[2].push(String::new());
+                }
+            }
+            match result.exec_seconds[pi][ai] {
+                Some(v) => {
+                    rows[1].push(dur(Duration::from_secs_f64(v)));
+                    rows[3].push(format!("{v:.6}"));
+                }
+                None => {
+                    rows[1].push("-".into());
+                    rows[3].push(String::new());
+                }
+            }
+        }
+        let [a, b, c, d] = rows;
+        imp.row(a);
+        time.row(b);
+        imp_csv.row(c);
+        time_csv.row(d);
+    }
+    println!("\n{} — average positive relative improvement", titles.0);
+    imp.print();
+    println!("\n{} — average execution time", titles.1);
+    time.print();
+    let p1 = imp_csv.write_csv(&format!("{prefix}_improvement.csv"));
+    let p2 = time_csv.write_csv(&format!("{prefix}_exec_time.csv"));
+    println!("\nCSV: {} , {}", p1.display(), p2.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::sp_workload;
+
+    #[test]
+    fn tiny_sweep_runs() {
+        let points = vec![
+            Point {
+                label: "5".into(),
+                graphs: sp_workload(99, 5, 2),
+                seed: 1,
+            },
+            Point {
+                label: "8".into(),
+                graphs: sp_workload(99, 8, 2),
+                seed: 2,
+            },
+        ];
+        let algos = [Algo::Heft, Algo::SnFirstFit];
+        let r = run_sweep(&points, &algos, &Platform::reference(), |_, _| false);
+        assert_eq!(r.improvement.len(), 2);
+        for pi in 0..2 {
+            for ai in 0..2 {
+                let v = r.improvement[pi][ai].unwrap();
+                assert!((0.0..1.0).contains(&v));
+                assert!(r.exec_seconds[pi][ai].unwrap() >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn skip_leaves_none() {
+        let points = vec![Point {
+            label: "5".into(),
+            graphs: sp_workload(98, 5, 1),
+            seed: 1,
+        }];
+        let algos = [Algo::Heft, Algo::Peft];
+        let r = run_sweep(&points, &algos, &Platform::reference(), |_, ai| ai == 1);
+        assert!(r.improvement[0][0].is_some());
+        assert!(r.improvement[0][1].is_none());
+    }
+}

@@ -1,0 +1,35 @@
+//! # spmap-core — decomposition-based task mapping
+//!
+//! The paper's primary contribution (§III): a greedy mapping loop that
+//!
+//! 1. starts from the all-CPU default mapping,
+//! 2. evaluates, with the *full model-based evaluator*, every candidate
+//!    operation "map subgraph S to device d" from a linear-size subgraph
+//!    set,
+//! 3. applies the operation with the highest makespan improvement,
+//! 4. repeats until no operation improves the makespan.
+//!
+//! Subgraph sets come from `spmap-decomp`: every single node (§III-B,
+//! [`SubgraphStrategy::SingleNode`]) or the series-parallel decomposition
+//! operations (§III-C, [`SubgraphStrategy::SeriesParallel`]).
+//!
+//! Search variants (§III-D):
+//!
+//! * [`SearchHeuristic::Exhaustive`] — re-evaluate every operation in
+//!   every iteration (the "basic" variant of the paper's figures),
+//! * [`SearchHeuristic::GammaThreshold`] — order operations by their
+//!   *expected* improvement (from the previous evaluation) in a priority
+//!   queue and, once an actual improvement `Δ` is found, only look ahead
+//!   at operations whose expectation exceeds `Δ/γ`.  `γ = 1` is the
+//!   paper's **FirstFit** mapping.
+//!
+//! Because the evaluator is deterministic and every applied operation
+//! strictly improves the makespan, the algorithm terminates; an iteration
+//! cap of `n` bounds degenerate cases (§III-A).
+
+pub mod mapper;
+pub mod threshold;
+
+pub use mapper::{
+    decomposition_map, MapperConfig, MapperResult, SearchHeuristic, SubgraphStrategy,
+};

@@ -1,0 +1,461 @@
+//! The decomposition mapping loop (paper §III-A/B/C).
+
+use spmap_decomp::{series_parallel_subgraphs, single_node_subgraphs, CutPolicy};
+use spmap_graph::{NodeId, TaskGraph};
+use spmap_model::{DeviceId, Evaluator, Mapping, Platform};
+
+use crate::threshold::gamma_threshold_search;
+
+/// Which candidate subgraph set to use (paper §III-B vs. §III-C).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SubgraphStrategy {
+    /// Every task alone.
+    SingleNode,
+    /// Single nodes plus the operations of the series-parallel
+    /// decomposition forest.
+    SeriesParallel {
+        /// Conflict-cut policy for non-series-parallel graphs.
+        cut_policy: CutPolicy,
+    },
+}
+
+/// How to search the operation space in each iteration (paper §III-D).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SearchHeuristic {
+    /// Re-evaluate every operation every iteration (the basic variant).
+    Exhaustive,
+    /// Priority-queue look-ahead pruned by expected improvements; `γ = 1`
+    /// is the FirstFit heuristic.
+    GammaThreshold {
+        /// Look-ahead divisor (≥ 1).
+        gamma: f64,
+    },
+}
+
+impl SearchHeuristic {
+    /// The paper's FirstFit heuristic (`γ = 1`).
+    pub fn first_fit() -> Self {
+        SearchHeuristic::GammaThreshold { gamma: 1.0 }
+    }
+}
+
+/// Full mapper configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MapperConfig {
+    /// Candidate subgraph set.
+    pub strategy: SubgraphStrategy,
+    /// Per-iteration search heuristic.
+    pub heuristic: SearchHeuristic,
+    /// Maximum number of improvement iterations; `None` uses the paper's
+    /// suggested cap of `n` (the task count).
+    pub iteration_cap: Option<usize>,
+}
+
+impl MapperConfig {
+    /// `SingleNode` with exhaustive search (paper's "SingleNode").
+    pub fn single_node() -> Self {
+        Self {
+            strategy: SubgraphStrategy::SingleNode,
+            heuristic: SearchHeuristic::Exhaustive,
+            iteration_cap: None,
+        }
+    }
+
+    /// `SeriesParallel` with exhaustive search (paper's "SeriesParallel").
+    pub fn series_parallel() -> Self {
+        Self {
+            strategy: SubgraphStrategy::SeriesParallel {
+                cut_policy: CutPolicy::default(),
+            },
+            heuristic: SearchHeuristic::Exhaustive,
+            iteration_cap: None,
+        }
+    }
+
+    /// Paper's "SNFirstFit".
+    pub fn sn_first_fit() -> Self {
+        Self {
+            heuristic: SearchHeuristic::first_fit(),
+            ..Self::single_node()
+        }
+    }
+
+    /// Paper's "SPFirstFit".
+    pub fn sp_first_fit() -> Self {
+        Self {
+            heuristic: SearchHeuristic::first_fit(),
+            ..Self::series_parallel()
+        }
+    }
+}
+
+/// Result of a decomposition-mapping run.
+#[derive(Clone, Debug)]
+pub struct MapperResult {
+    /// The final mapping.
+    pub mapping: Mapping,
+    /// Makespan of the final mapping under the breadth-first schedule.
+    pub makespan: f64,
+    /// Makespan of the all-CPU default mapping (the improvement baseline).
+    pub cpu_only_makespan: f64,
+    /// Number of applied improvement iterations.
+    pub iterations: usize,
+    /// Number of full model evaluations performed.
+    pub evaluations: u64,
+    /// Size of the candidate subgraph set.
+    pub subgraph_count: usize,
+    /// Makespan after each applied iteration (strictly decreasing).
+    pub history: Vec<f64>,
+}
+
+impl MapperResult {
+    /// Relative improvement over the pure-CPU mapping (≥ 0 by design).
+    pub fn relative_improvement(&self) -> f64 {
+        spmap_model::relative_improvement(self.cpu_only_makespan, self.makespan)
+    }
+}
+
+/// Relative improvement threshold below which a candidate is not
+/// considered an improvement (guards against float noise cycles).
+pub(crate) const REL_EPS: f64 = 1e-9;
+
+/// Shared state of one mapping run.
+pub(crate) struct Ctx<'g> {
+    pub evaluator: Evaluator<'g>,
+    pub subgraphs: Vec<Vec<NodeId>>,
+    pub devices: Vec<DeviceId>,
+    pub mapping: Mapping,
+    /// Current (best) makespan.
+    pub cur: f64,
+    undo: Vec<(NodeId, DeviceId)>,
+}
+
+/// An operation index: `subgraph * device_count + device`.
+pub(crate) type OpId = usize;
+
+impl<'g> Ctx<'g> {
+    pub(crate) fn op_count(&self) -> usize {
+        self.subgraphs.len() * self.devices.len()
+    }
+
+    /// Apply `op` to the working mapping, recording undo info.  Returns
+    /// `false` (and records nothing) if the operation is a no-op.
+    fn apply(&mut self, op: OpId) -> bool {
+        let m = self.devices.len();
+        let d = self.devices[op % m];
+        let sub = &self.subgraphs[op / m];
+        self.undo.clear();
+        for &v in sub {
+            let old = self.mapping.device(v);
+            if old != d {
+                self.undo.push((v, old));
+                self.mapping.set(v, d);
+            }
+        }
+        !self.undo.is_empty()
+    }
+
+    fn revert(&mut self) {
+        for &(v, d) in self.undo.iter().rev() {
+            self.mapping.set(v, d);
+        }
+        self.undo.clear();
+    }
+
+    /// Evaluate the improvement of `op` against the current makespan and
+    /// revert.  Returns `NEG_INFINITY` for no-ops and infeasible mappings.
+    pub(crate) fn probe(&mut self, op: OpId) -> f64 {
+        if !self.apply(op) {
+            return f64::NEG_INFINITY;
+        }
+        let delta = match self.evaluator.makespan_bfs(&self.mapping) {
+            Some(ms) => self.cur - ms,
+            None => f64::NEG_INFINITY,
+        };
+        self.revert();
+        delta
+    }
+
+    /// Apply `op` permanently and update the current makespan.
+    pub(crate) fn commit(&mut self, op: OpId) {
+        let changed = self.apply(op);
+        debug_assert!(changed, "committing a no-op");
+        self.undo.clear();
+        self.cur = self
+            .evaluator
+            .makespan_bfs(&self.mapping)
+            .expect("committed operations are feasible");
+    }
+
+    /// `true` if `delta` is a real improvement on the current makespan.
+    pub(crate) fn improves(&self, delta: f64) -> bool {
+        delta > self.cur * REL_EPS
+    }
+
+}
+
+/// Run decomposition-based mapping (paper §III) on `graph` over
+/// `platform`.
+pub fn decomposition_map(
+    graph: &TaskGraph,
+    platform: &Platform,
+    cfg: &MapperConfig,
+) -> MapperResult {
+    let subgraphs: Vec<Vec<NodeId>> = match cfg.strategy {
+        SubgraphStrategy::SingleNode => single_node_subgraphs(graph)
+            .subgraphs()
+            .to_vec(),
+        SubgraphStrategy::SeriesParallel { cut_policy } => {
+            series_parallel_subgraphs(graph, cut_policy)
+                .subgraphs()
+                .to_vec()
+        }
+    };
+    let mut ctx = Ctx {
+        evaluator: Evaluator::new(graph, platform),
+        subgraphs,
+        devices: platform.device_ids().collect(),
+        mapping: Mapping::all_default(graph, platform),
+        cur: 0.0,
+        undo: Vec::with_capacity(graph.node_count()),
+    };
+    ctx.cur = ctx
+        .evaluator
+        .makespan_bfs(&ctx.mapping)
+        .expect("default mapping is feasible");
+    let cpu_only = ctx.cur;
+    let cap = cfg.iteration_cap.unwrap_or(graph.node_count().max(1));
+
+    let (iterations, history) = match cfg.heuristic {
+        SearchHeuristic::Exhaustive => exhaustive_search(&mut ctx, cap),
+        SearchHeuristic::GammaThreshold { gamma } => {
+            assert!(gamma >= 1.0, "gamma must be >= 1");
+            gamma_threshold_search(&mut ctx, cap, gamma)
+        }
+    };
+
+    let subgraph_count = ctx.subgraphs.len();
+    MapperResult {
+        makespan: ctx.cur,
+        cpu_only_makespan: cpu_only,
+        iterations,
+        evaluations: ctx.evaluator.stats().evaluations,
+        subgraph_count,
+        history,
+        mapping: ctx.mapping,
+    }
+}
+
+/// The basic variant: evaluate every operation in every iteration and
+/// commit the best one (paper §III-A steps 2–4).
+fn exhaustive_search(ctx: &mut Ctx<'_>, cap: usize) -> (usize, Vec<f64>) {
+    let mut history = Vec::new();
+    let mut iterations = 0;
+    while iterations < cap {
+        let mut best: Option<(OpId, f64)> = None;
+        for op in 0..ctx.op_count() {
+            let delta = ctx.probe(op);
+            if ctx.improves(delta) && best.map_or(true, |(_, b)| delta > b) {
+                best = Some((op, delta));
+            }
+        }
+        match best {
+            Some((op, _)) => {
+                ctx.commit(op);
+                history.push(ctx.cur);
+                iterations += 1;
+            }
+            None => break,
+        }
+    }
+    (iterations, history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmap_graph::gen::{chain, fork_join, random_sp_graph, SpGenConfig};
+    use spmap_graph::{augment, AugmentConfig, Task};
+    use spmap_model::relative_improvement;
+
+    const CPU: DeviceId = DeviceId(0);
+    const GPU: DeviceId = DeviceId(1);
+    const FPGA: DeviceId = DeviceId(2);
+
+    /// A chain whose interior profits from FPGA streaming but where a
+    /// *single* task offload loses to the transfer cost: the scenario of
+    /// paper §III-B's local-minimum discussion.
+    fn streaming_chain() -> TaskGraph {
+        let mut g = chain(6, 1e9);
+        for v in 0..6 {
+            let t = g.task_mut(NodeId(v));
+            *t = Task {
+                name: format!("t{v}"),
+                complexity: 20.0,
+                data_points: 1.25e8,
+                parallelizability: 0.0,
+                streamability: 7.0,
+                area: 120.0,
+                ..Task::default()
+            };
+        }
+        g
+    }
+
+    #[test]
+    fn single_node_gets_stuck_in_local_minimum() {
+        let g = streaming_chain();
+        let p = Platform::reference();
+        let r = decomposition_map(&g, &p, &MapperConfig::single_node());
+        // Every single-task move costs more in transfers than it saves.
+        assert_eq!(r.iterations, 0, "single-node must find no improvement");
+        assert_eq!(r.relative_improvement(), 0.0);
+        assert_eq!(r.makespan, r.cpu_only_makespan);
+    }
+
+    #[test]
+    fn series_parallel_escapes_via_chain_move() {
+        let g = streaming_chain();
+        let p = Platform::reference();
+        let r = decomposition_map(&g, &p, &MapperConfig::series_parallel());
+        assert!(
+            r.relative_improvement() > 0.25,
+            "chain offload must be a large win, got {}",
+            r.relative_improvement()
+        );
+        // The interior of the chain moved to the FPGA.  (The endpoints may
+        // follow in later single-node iterations: once the interior
+        // streams, joining the stream is free transfer-wise.)
+        for v in 1..5 {
+            assert_eq!(r.mapping.device(NodeId(v)), FPGA, "task {v}");
+        }
+        let _ = CPU;
+    }
+
+    #[test]
+    fn gpu_wins_perfectly_parallel_independent_tasks() {
+        let mut g = fork_join(4, 1e6);
+        for v in 0..6 {
+            let t = g.task_mut(NodeId(v));
+            t.complexity = 20.0;
+            t.data_points = 1.25e8;
+            t.parallelizability = 1.0;
+            t.streamability = 1.0;
+            t.area = 160.0;
+        }
+        let p = Platform::reference();
+        let r = decomposition_map(&g, &p, &MapperConfig::single_node());
+        assert!(r.relative_improvement() > 0.1);
+        // At least one middle task lands on the GPU.
+        let on_gpu = (1..5).filter(|&v| r.mapping.device(NodeId(v)) == GPU).count();
+        assert!(on_gpu >= 1, "expected GPU offload, mapping: {:?}", r.mapping);
+    }
+
+    #[test]
+    fn never_worse_than_cpu_only_and_always_feasible() {
+        let p = Platform::reference();
+        for seed in 0..8 {
+            let mut g = random_sp_graph(&SpGenConfig::new(30, seed));
+            augment(&mut g, &AugmentConfig::default(), seed);
+            for cfg in [
+                MapperConfig::single_node(),
+                MapperConfig::series_parallel(),
+                MapperConfig::sn_first_fit(),
+                MapperConfig::sp_first_fit(),
+            ] {
+                let r = decomposition_map(&g, &p, &cfg);
+                assert!(
+                    r.makespan <= r.cpu_only_makespan * (1.0 + 1e-9),
+                    "worse than baseline (seed {seed}, {cfg:?})"
+                );
+                assert!(r.mapping.is_area_feasible(&g, &p));
+                // History strictly decreasing.
+                let mut prev = r.cpu_only_makespan;
+                for &h in &r.history {
+                    assert!(h < prev, "history not decreasing");
+                    prev = h;
+                }
+                assert_eq!(r.history.len(), r.iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn first_fit_matches_exhaustive_quality_with_fewer_evals() {
+        let p = Platform::reference();
+        let mut worse = 0;
+        let mut eval_savings = 0i64;
+        for seed in 20..28 {
+            let mut g = random_sp_graph(&SpGenConfig::new(40, seed));
+            augment(&mut g, &AugmentConfig::default(), seed);
+            let ex = decomposition_map(&g, &p, &MapperConfig::series_parallel());
+            let ff = decomposition_map(&g, &p, &MapperConfig::sp_first_fit());
+            let ex_imp = relative_improvement(ex.cpu_only_makespan, ex.makespan);
+            let ff_imp = relative_improvement(ff.cpu_only_makespan, ff.makespan);
+            if ff_imp < ex_imp - 0.05 {
+                worse += 1;
+            }
+            eval_savings += ex.evaluations as i64 - ff.evaluations as i64;
+        }
+        assert!(worse <= 2, "FirstFit quality collapsed on {worse}/8 graphs");
+        assert!(
+            eval_savings > 0,
+            "FirstFit must save evaluations overall (saved {eval_savings})"
+        );
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let mut g = random_sp_graph(&SpGenConfig::new(40, 2));
+        augment(&mut g, &AugmentConfig::default(), 2);
+        let p = Platform::reference();
+        let cfg = MapperConfig {
+            iteration_cap: Some(2),
+            ..MapperConfig::single_node()
+        };
+        let r = decomposition_map(&g, &p, &cfg);
+        assert!(r.iterations <= 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut g = random_sp_graph(&SpGenConfig::new(35, 6));
+        augment(&mut g, &AugmentConfig::default(), 6);
+        let p = Platform::reference();
+        for cfg in [MapperConfig::series_parallel(), MapperConfig::sp_first_fit()] {
+            let a = decomposition_map(&g, &p, &cfg);
+            let b = decomposition_map(&g, &p, &cfg);
+            assert_eq!(a.mapping, b.mapping);
+            assert_eq!(a.makespan, b.makespan);
+            assert_eq!(a.evaluations, b.evaluations);
+        }
+    }
+
+    #[test]
+    fn cpu_only_platform_yields_no_ops() {
+        let mut g = random_sp_graph(&SpGenConfig::new(20, 1));
+        augment(&mut g, &AugmentConfig::default(), 1);
+        let p = Platform::cpu_only();
+        let r = decomposition_map(&g, &p, &MapperConfig::series_parallel());
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.mapping, Mapping::all_default(&g, &p));
+    }
+
+    #[test]
+    fn gamma_above_one_explores_at_least_first_fit() {
+        let mut g = random_sp_graph(&SpGenConfig::new(40, 9));
+        augment(&mut g, &AugmentConfig::default(), 9);
+        let p = Platform::reference();
+        let ff = decomposition_map(&g, &p, &MapperConfig::sp_first_fit());
+        let gamma2 = decomposition_map(
+            &g,
+            &p,
+            &MapperConfig {
+                heuristic: SearchHeuristic::GammaThreshold { gamma: 2.0 },
+                ..MapperConfig::series_parallel()
+            },
+        );
+        assert!(gamma2.evaluations >= ff.evaluations);
+        assert!(gamma2.makespan <= ff.makespan * (1.0 + 1e-6) || gamma2.makespan <= ff.makespan);
+    }
+}

@@ -1,0 +1,124 @@
+//! γ-threshold search (paper §III-D).
+//!
+//! After the first full sweep, every operation carries an *expected*
+//! improvement — the improvement it showed when last evaluated.  Each
+//! iteration pops operations from a max-priority queue ordered by
+//! expectation; once an actual improvement `Δ` has been found, only
+//! operations whose expectation exceeds `Δ/γ` are still evaluated
+//! ("look-ahead").  Re-evaluated operations update their expectation.
+//! The iteration commits the best improvement found; if a complete pass
+//! over the queue finds none, the algorithm terminates — and because an
+//! exhausted pass re-evaluates *every* operation against the final
+//! mapping, this naturally realizes the paper's "in the last iteration,
+//! we recompute every possible mapping".
+//!
+//! `γ = 1` is the **FirstFit** variant: the first found improvement is
+//! committed unless an operation with a *higher* expectation is still
+//! pending (i.e. the found improvement was "significantly smaller than
+//! the previously expected improvement").
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::mapper::{Ctx, OpId};
+
+/// Max-heap key wrapping an `f64` expectation with total order.
+#[derive(Clone, Copy, PartialEq)]
+struct Key(f64);
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Run the γ-threshold search; returns `(iterations, history)`.
+///
+/// Expectations start at `+∞`, so the first iteration degenerates to a
+/// full sweep exactly as the paper describes ("we assign an expected
+/// makespan improvement to each mapping operation after the first
+/// iteration").
+pub(crate) fn gamma_threshold_search(
+    ctx: &mut Ctx<'_>,
+    cap: usize,
+    gamma: f64,
+) -> (usize, Vec<f64>) {
+    let op_count = ctx.op_count();
+    let mut expected = vec![f64::INFINITY; op_count];
+    let mut evaluated = vec![false; op_count];
+    let mut history = Vec::new();
+    let mut iterations = 0;
+
+    while iterations < cap {
+        // Rebuild the priority queue from current expectations.  Stale
+        // entries are impossible this way, and the rebuild is O(K), far
+        // below the cost of even a single model evaluation.
+        let mut heap: BinaryHeap<(Key, OpId)> = (0..op_count)
+            .map(|op| (Key(expected[op]), op))
+            .collect();
+        evaluated.iter_mut().for_each(|e| *e = false);
+        let mut found: Option<(OpId, f64)> = None;
+
+        while let Some((Key(exp), op)) = heap.pop() {
+            if evaluated[op] {
+                continue;
+            }
+            if let Some((_, delta)) = found {
+                // Look-ahead bound: only operations whose expected
+                // improvement exceeds Δ/γ are still worth evaluating.
+                if exp <= delta / gamma {
+                    break;
+                }
+            }
+            evaluated[op] = true;
+            let delta = ctx.probe(op);
+            expected[op] = delta;
+            if ctx.improves(delta) && found.map_or(true, |(_, best)| delta > best) {
+                found = Some((op, delta));
+            }
+        }
+
+        match found {
+            Some((op, _)) => {
+                ctx.commit(op);
+                history.push(ctx.cur);
+                iterations += 1;
+            }
+            None => break,
+        }
+    }
+    (iterations, history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Key;
+
+    #[test]
+    fn key_orders_like_f64_with_infinities() {
+        let mut keys = vec![Key(1.0), Key(f64::NEG_INFINITY), Key(f64::INFINITY), Key(0.5)];
+        keys.sort();
+        let vals: Vec<f64> = keys.iter().map(|k| k.0).collect();
+        assert_eq!(vals, vec![f64::NEG_INFINITY, 0.5, 1.0, f64::INFINITY]);
+    }
+
+    #[test]
+    fn heap_pops_max_first() {
+        use std::collections::BinaryHeap;
+        let mut h = BinaryHeap::new();
+        h.push((Key(0.2), 0usize));
+        h.push((Key(f64::INFINITY), 1));
+        h.push((Key(-1.0), 2));
+        assert_eq!(h.pop().unwrap().1, 1);
+        assert_eq!(h.pop().unwrap().1, 0);
+        assert_eq!(h.pop().unwrap().1, 2);
+    }
+}

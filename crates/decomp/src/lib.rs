@@ -1,0 +1,28 @@
+//! # spmap-decomp — series-parallel decomposition machinery
+//!
+//! The paper's algorithmic core:
+//!
+//! * [`sptree`] — arena-allocated series-parallel decomposition trees and
+//!   forests ([`SpForest`]), with structural validation and pretty
+//!   printing (paper Fig. 1),
+//! * [`reduce`] — the classic reduction-based recognizer for two-terminal
+//!   series-parallel DAGs (series and parallel reductions down to a single
+//!   edge); used as an independent oracle to cross-validate the forest
+//!   algorithm,
+//! * [`forest`] — **Algorithm 1 of the paper**: growing a forest of
+//!   series-parallel decomposition trees over an *arbitrary* DAG, cutting
+//!   conflicting subtrees from stuck wavefronts (paper Fig. 2), with a
+//!   configurable [`CutPolicy`],
+//! * [`subgraphs`] — the candidate subgraph sets driving decomposition
+//!   mapping (§III-B/C): all single nodes, plus the interiors of series
+//!   operations and the spans of parallel operations.
+
+pub mod forest;
+pub mod reduce;
+pub mod sptree;
+pub mod subgraphs;
+
+pub use forest::{decompose_forest, CutPolicy, ForestResult};
+pub use reduce::is_two_terminal_sp;
+pub use sptree::{SpForest, SpNode, SpOp, SpTreeId};
+pub use subgraphs::{series_parallel_subgraphs, single_node_subgraphs, SubgraphSet};

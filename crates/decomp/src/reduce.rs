@@ -1,0 +1,237 @@
+//! Reduction-based recognition of two-terminal series-parallel DAGs.
+//!
+//! The classic characterization (Valdes/Tarjan/Lawler; paper ref. 21):
+//! a two-terminal DAG is series-parallel iff it can be reduced to a single
+//! edge by repeatedly applying
+//!
+//! * **series reductions** — replace a path `u → v → w` through an interior
+//!   node `v` with `in(v) = out(v) = 1` by the edge `u → w`, and
+//! * **parallel reductions** — merge duplicate edges `u → w`.
+//!
+//! This module is an *independent oracle*: `spmap-decomp`'s forest
+//! algorithm (Alg. 1 of the paper) must report a single decomposition tree
+//! exactly when this recognizer accepts, which the test suites of both
+//! modules cross-check on thousands of random graphs.
+
+use std::collections::HashMap;
+
+use spmap_graph::{ops, NodeId, TaskGraph};
+
+#[derive(Clone, Copy)]
+struct E {
+    src: u32,
+    dst: u32,
+    alive: bool,
+}
+
+/// `true` iff `g` is a two-terminal series-parallel DAG (exactly one
+/// source, one sink, and reducible to a single edge).  Graphs with
+/// multiple sources or sinks are rejected; normalize first if needed.
+pub fn is_two_terminal_sp(g: &TaskGraph) -> bool {
+    let srcs = ops::sources(g);
+    let snks = ops::sinks(g);
+    if srcs.len() != 1 || snks.len() != 1 {
+        return false;
+    }
+    let (s, t) = (srcs[0], snks[0]);
+    if g.edge_count() == 0 {
+        return false;
+    }
+
+    let n = g.node_count();
+    let mut edges: Vec<E> = Vec::with_capacity(g.edge_count() * 2);
+    let mut out_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut in_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut outdeg = vec![0u32; n];
+    let mut indeg = vec![0u32; n];
+    let mut pair: HashMap<(u32, u32), usize> = HashMap::new();
+    let mut live = 0usize;
+
+    // Insert an edge, performing an immediate parallel reduction if the
+    // ordered pair already exists.
+    let add_edge = |u: u32,
+                        v: u32,
+                        edges: &mut Vec<E>,
+                        out_adj: &mut [Vec<usize>],
+                        in_adj: &mut [Vec<usize>],
+                        outdeg: &mut [u32],
+                        indeg: &mut [u32],
+                        pair: &mut HashMap<(u32, u32), usize>,
+                        live: &mut usize| {
+        if let Some(&i) = pair.get(&(u, v)) {
+            if edges[i].alive {
+                return; // parallel reduction: merged away
+            }
+        }
+        let idx = edges.len();
+        edges.push(E {
+            src: u,
+            dst: v,
+            alive: true,
+        });
+        pair.insert((u, v), idx);
+        out_adj[u as usize].push(idx);
+        in_adj[v as usize].push(idx);
+        outdeg[u as usize] += 1;
+        indeg[v as usize] += 1;
+        *live += 1;
+    };
+
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        add_edge(
+            edge.src.0, edge.dst.0, &mut edges, &mut out_adj, &mut in_adj, &mut outdeg,
+            &mut indeg, &mut pair, &mut live,
+        );
+    }
+
+    // Worklist of nodes to try a series reduction on.
+    let mut work: Vec<u32> = (0..n as u32).filter(|&v| v != s.0 && v != t.0).collect();
+    while let Some(v) = work.pop() {
+        let vi = v as usize;
+        if indeg[vi] != 1 || outdeg[vi] != 1 {
+            continue;
+        }
+        // Locate the unique live in/out edges (compact stale entries).
+        in_adj[vi].retain(|&i| edges[i].alive);
+        out_adj[vi].retain(|&i| edges[i].alive);
+        debug_assert_eq!(in_adj[vi].len(), 1);
+        debug_assert_eq!(out_adj[vi].len(), 1);
+        let e_in = in_adj[vi][0];
+        let e_out = out_adj[vi][0];
+        let u = edges[e_in].src;
+        let w = edges[e_out].dst;
+        debug_assert_ne!(u, w, "DAG reductions cannot create self loops");
+        // Kill both edges.
+        for (idx, endpoint_out, endpoint_in) in [(e_in, u, v), (e_out, v, w)] {
+            edges[idx].alive = false;
+            if pair.get(&(edges[idx].src, edges[idx].dst)) == Some(&idx) {
+                pair.remove(&(edges[idx].src, edges[idx].dst));
+            }
+            outdeg[endpoint_out as usize] -= 1;
+            indeg[endpoint_in as usize] -= 1;
+            live -= 1;
+        }
+        // Add the bypass edge (u, w) — with parallel merge on collision.
+        let before = live;
+        add_edge(
+            u, w, &mut edges, &mut out_adj, &mut in_adj, &mut outdeg, &mut indeg, &mut pair,
+            &mut live,
+        );
+        let _merged = live == before;
+        // Degrees at u and w changed (or a parallel pair vanished): retry.
+        if u != s.0 && u != t.0 {
+            work.push(u);
+        }
+        if w != s.0 && w != t.0 {
+            work.push(w);
+        }
+    }
+
+    live == 1
+        && edges
+            .iter()
+            .any(|e| e.alive && e.src == s.0 && e.dst == t.0)
+}
+
+/// Convenience: normalize terminals first, then test (accepts multi-source
+/// / multi-sink graphs whose normalized form is series-parallel).
+pub fn is_sp_after_normalization(g: &TaskGraph) -> bool {
+    let norm = ops::normalize_terminals(g);
+    is_two_terminal_sp(&norm.graph)
+}
+
+#[allow(dead_code)]
+fn _id_use(_: NodeId) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmap_graph::gen::{
+        chain, diamond, fig1_graph, fig2_graph, fork_join, layered_random, random_sp_graph,
+        LayeredConfig, SpGenConfig,
+    };
+    use spmap_graph::{GraphBuilder, NodeId};
+
+    #[test]
+    fn accepts_chain_and_diamond() {
+        assert!(is_two_terminal_sp(&chain(2, 1.0)));
+        assert!(is_two_terminal_sp(&chain(10, 1.0)));
+        assert!(is_two_terminal_sp(&diamond(1.0)));
+        assert!(is_two_terminal_sp(&fork_join(5, 1.0)));
+    }
+
+    #[test]
+    fn accepts_fig1_rejects_fig2() {
+        assert!(is_two_terminal_sp(&fig1_graph(1.0)));
+        assert!(
+            !is_two_terminal_sp(&fig2_graph(1.0)),
+            "fig2 contains the conflicting edge 1-4"
+        );
+    }
+
+    #[test]
+    fn rejects_n_graph() {
+        // The canonical forbidden structure: 0->2, 0->3, 1->3 plus a
+        // common source/sink wrapper is non-SP.  Build the classic
+        // "N" inside a two-terminal graph.
+        let mut b = GraphBuilder::new();
+        b.add_default_tasks(4);
+        // 0 -> 1 -> 3, 0 -> 2 -> 3, 1 -> 2 (the N edge)
+        for (u, v) in [(0, 1), (1, 3), (0, 2), (2, 3), (1, 2)] {
+            b.add_edge(NodeId(u), NodeId(v), 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        assert!(!is_two_terminal_sp(&g));
+    }
+
+    #[test]
+    fn accepts_all_generated_sp_graphs() {
+        for seed in 0..30 {
+            for nodes in [2, 3, 5, 10, 40, 120] {
+                let g = random_sp_graph(&SpGenConfig::new(nodes, seed));
+                assert!(
+                    is_two_terminal_sp(&g),
+                    "generated SP graph rejected (nodes={nodes}, seed={seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_multi_terminal_graphs() {
+        let mut b = GraphBuilder::new();
+        b.add_default_tasks(3);
+        b.add_edge(NodeId(0), NodeId(2), 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        let g = b.build().unwrap();
+        assert!(!is_two_terminal_sp(&g), "two sources");
+        assert!(
+            is_sp_after_normalization(&g),
+            "but SP once a virtual source is added"
+        );
+    }
+
+    #[test]
+    fn layered_graphs_mostly_rejected() {
+        // Dense layered graphs are essentially never series-parallel.
+        let g = layered_random(&LayeredConfig {
+            layers: 5,
+            width: 5,
+            density: 0.5,
+            seed: 3,
+            edge_bytes: 1.0,
+        });
+        assert!(!is_sp_after_normalization(&g));
+    }
+
+    #[test]
+    fn multigraph_parallel_edges_reduce() {
+        let mut b = GraphBuilder::new();
+        b.add_default_tasks(2);
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let g = b.build().unwrap();
+        assert!(is_two_terminal_sp(&g));
+    }
+}

@@ -1,0 +1,246 @@
+//! Candidate subgraph sets for decomposition mapping (paper §III-B/C).
+//!
+//! * [`single_node_subgraphs`] — every task alone (§III-B), the minimal
+//!   linear-size set that can still reach any mapping.
+//! * [`series_parallel_subgraphs`] — §III-C: all single nodes, plus
+//!   * for each **series** operation of the decomposition forest, the
+//!     nodes of the operation *except* its start and end node (they may
+//!     have edges to siblings), and
+//!   * for each **parallel** operation, the nodes of the operation
+//!     *including* start and end node (they act as the single
+//!     input/output of the subgraph).
+//!
+//! General DAGs are normalized to two terminals first; virtual terminal
+//! nodes never appear in the produced subgraphs.  Subgraphs are
+//! deduplicated (sorted node lists), so for the paper's Fig. 1 graph the
+//! set is exactly
+//! `{{0},{1},{2},{3},{4},{5},{1,2,3},{0,1,2,3,4,5}}`.
+
+use std::collections::HashSet;
+
+use spmap_graph::{ops, NodeId, TaskGraph};
+
+use crate::forest::{decompose_forest, CutPolicy};
+use crate::sptree::SpOp;
+
+/// A set of candidate subgraphs; each is a sorted, deduplicated node list.
+#[derive(Clone, Debug)]
+pub struct SubgraphSet {
+    subgraphs: Vec<Vec<NodeId>>,
+}
+
+impl SubgraphSet {
+    /// The subgraphs (sorted node lists).
+    pub fn subgraphs(&self) -> &[Vec<NodeId>] {
+        &self.subgraphs
+    }
+
+    /// Number of candidate subgraphs.
+    pub fn len(&self) -> usize {
+        self.subgraphs.len()
+    }
+
+    /// `true` if no subgraphs are present.
+    pub fn is_empty(&self) -> bool {
+        self.subgraphs.is_empty()
+    }
+
+    /// Iterate over subgraph node lists.
+    pub fn iter(&self) -> impl Iterator<Item = &Vec<NodeId>> {
+        self.subgraphs.iter()
+    }
+
+    fn from_raw(raw: Vec<Vec<NodeId>>) -> Self {
+        let mut seen: HashSet<Vec<NodeId>> = HashSet::with_capacity(raw.len());
+        let mut subgraphs = Vec::with_capacity(raw.len());
+        for mut s in raw {
+            s.sort_unstable();
+            s.dedup();
+            if s.is_empty() {
+                continue;
+            }
+            if seen.insert(s.clone()) {
+                subgraphs.push(s);
+            }
+        }
+        Self { subgraphs }
+    }
+}
+
+/// The single-node subgraph set (§III-B): one subgraph per task.
+pub fn single_node_subgraphs(g: &TaskGraph) -> SubgraphSet {
+    SubgraphSet {
+        subgraphs: g.nodes().map(|v| vec![v]).collect(),
+    }
+}
+
+/// The series-parallel subgraph set (§III-C) built from the decomposition
+/// forest of `g` (normalized to two terminals internally; `policy` governs
+/// conflict cuts on non-SP graphs).
+pub fn series_parallel_subgraphs(g: &TaskGraph, policy: CutPolicy) -> SubgraphSet {
+    let n_real = g.node_count();
+    if g.edge_count() == 0 {
+        return single_node_subgraphs(g);
+    }
+    let norm = ops::normalize_terminals(g);
+    let result = decompose_forest(&norm.graph, norm.source, norm.sink, policy);
+    let forest = &result.forest;
+
+    // Step 1: all single nodes.
+    let mut raw: Vec<Vec<NodeId>> = g.nodes().map(|v| vec![v]).collect();
+
+    // Steps 3 & 4: one subgraph per inner operation.
+    for t in forest.iter_tree_nodes() {
+        let node = forest.node(t);
+        match node.op {
+            SpOp::Leaf(_) => {}
+            SpOp::Series => {
+                let mut nodes = forest.collect_nodes(t, &norm.graph);
+                nodes.retain(|&v| v != node.source && v != node.sink && v.index() < n_real);
+                raw.push(nodes);
+            }
+            SpOp::Parallel => {
+                let mut nodes = forest.collect_nodes(t, &norm.graph);
+                nodes.retain(|&v| v.index() < n_real);
+                raw.push(nodes);
+            }
+        }
+    }
+    SubgraphSet::from_raw(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmap_graph::gen::{
+        almost_sp_graph, chain, fig1_graph, fork_join, random_sp_graph, SpGenConfig,
+    };
+
+    fn as_sets(s: &SubgraphSet) -> Vec<Vec<u32>> {
+        let mut v: Vec<Vec<u32>> = s
+            .iter()
+            .map(|sg| sg.iter().map(|n| n.0).collect())
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn single_node_set() {
+        let g = chain(4, 1.0);
+        let s = single_node_subgraphs(&g);
+        assert_eq!(s.len(), 4);
+        assert_eq!(as_sets(&s), vec![vec![0], vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn fig1_matches_paper_subgraph_set() {
+        // Paper §III-C: S = {{0},{1},{2},{3},{4},{5},{1,2,3},{0,1,2,3,4,5}}.
+        let g = fig1_graph(1.0);
+        let s = series_parallel_subgraphs(&g, CutPolicy::default());
+        let expect: Vec<Vec<u32>> = vec![
+            vec![0],
+            vec![0, 1, 2, 3, 4, 5],
+            vec![1],
+            vec![1, 2, 3],
+            vec![2],
+            vec![3],
+            vec![4],
+            vec![5],
+        ];
+        assert_eq!(as_sets(&s), expect);
+    }
+
+    #[test]
+    fn chain_interior() {
+        // Chain 0-1-2-3-4: series operation interior = {1,2,3}; plus the
+        // single nodes.
+        let g = chain(5, 1.0);
+        let s = series_parallel_subgraphs(&g, CutPolicy::default());
+        let sets = as_sets(&s);
+        assert!(sets.contains(&vec![1, 2, 3]));
+        assert_eq!(s.len(), 6); // 5 singletons + 1 interior
+    }
+
+    #[test]
+    fn fork_join_span() {
+        // Parallel operation spans the whole graph (incl. terminals).
+        let g = fork_join(3, 1.0);
+        let s = series_parallel_subgraphs(&g, CutPolicy::default());
+        let sets = as_sets(&s);
+        assert!(sets.contains(&vec![0, 1, 2, 3, 4]));
+        // 5 singletons + whole-graph span; the 2-edge series branches have
+        // single-node interiors that dedup into the singletons.
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn sp_set_is_linear_in_graph_size() {
+        for seed in 0..10 {
+            let g = random_sp_graph(&SpGenConfig::new(120, seed));
+            let s = series_parallel_subgraphs(&g, CutPolicy::default());
+            // |S| <= singletons + one per inner tree node <= n + 2|E|.
+            assert!(
+                s.len() <= g.node_count() + 2 * g.edge_count(),
+                "|S| = {} too large",
+                s.len()
+            );
+            // And at least the singletons are present.
+            assert!(s.len() >= g.node_count());
+        }
+    }
+
+    #[test]
+    fn subgraphs_exclude_virtual_terminals() {
+        // Multi-sink graph: normalization adds a virtual sink that must
+        // not leak into any subgraph.
+        let mut b = spmap_graph::GraphBuilder::new();
+        b.add_default_tasks(3);
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 1.0).unwrap();
+        let g = b.build().unwrap();
+        let s = series_parallel_subgraphs(&g, CutPolicy::default());
+        for sg in s.iter() {
+            for &v in sg {
+                assert!(v.index() < 3, "virtual node {v} leaked");
+            }
+        }
+    }
+
+    #[test]
+    fn conflicting_edges_force_cuts_but_sets_stay_linear() {
+        // Paper §IV-C: extra edges make the graph non-SP; the forest
+        // fragments (more cuts), yet the subgraph set stays linear in the
+        // graph size.  (With the SmallestSubtree policy the cuts remove
+        // single conflicting edges, so large operations survive — the
+        // "arguably better decomposition" of the paper's Fig. 2 remark.)
+        use crate::forest::decompose_forest;
+        use spmap_graph::ops::normalize_terminals;
+        let cfg = SpGenConfig::new(40, 4);
+        let cuts_for = |k: usize| {
+            let g = almost_sp_graph(&cfg, k);
+            let norm = normalize_terminals(&g);
+            decompose_forest(&norm.graph, norm.source, norm.sink, CutPolicy::default()).cuts
+        };
+        assert_eq!(cuts_for(0), 0, "pure SP graph needs no cuts");
+        let c50 = cuts_for(50);
+        let c200 = cuts_for(200);
+        assert!(c50 >= 10, "50 extra edges force many cuts (got {c50})");
+        assert!(c200 > c50, "denser graphs need more cuts ({c200} vs {c50})");
+        // Subgraph set stays linear.
+        let g = almost_sp_graph(&cfg, 200);
+        let s = series_parallel_subgraphs(&g, CutPolicy::default());
+        assert!(s.len() <= g.node_count() + 2 * g.edge_count());
+    }
+
+    #[test]
+    fn edgeless_graph_yields_singletons() {
+        let mut b = spmap_graph::GraphBuilder::new();
+        b.add_default_tasks(3);
+        let g = b.build().unwrap();
+        let s = series_parallel_subgraphs(&g, CutPolicy::default());
+        assert_eq!(s.len(), 3);
+    }
+
+    use spmap_graph::NodeId;
+}

@@ -1,0 +1,362 @@
+//! # spmap-ga — single-objective NSGA-II task mapping
+//!
+//! The metaheuristic baseline of the paper's evaluation (§IV-A):
+//! a single-objective variant of NSGA-II (Deb et al.; paper ref. 14)
+//! with the paper's parameterization:
+//!
+//! * population of 100 individuals,
+//! * single-point crossover with 90 % crossover rate on a genome ordered
+//!   by a topological sort of the tasks,
+//! * per-gene mutation rate `1/n`,
+//! * a repair function restoring FPGA area feasibility after variation,
+//! * 500 generations by default,
+//! * fitness = the same model-based makespan evaluation the decomposition
+//!   mappers use (the paper stresses this for fairness).
+//!
+//! In a single-objective setting NSGA-II's non-dominated sorting
+//! degenerates to sorting by fitness, and crowding distance is
+//! meaningless; survivor selection is therefore the (µ + λ) elitist
+//! truncation of the combined parent/offspring population — which is
+//! exactly what NSGA-II does when every front is a singleton chain.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use spmap_graph::{ops, NodeId, TaskGraph};
+use spmap_model::{DeviceId, Evaluator, Mapping, Platform};
+
+/// NSGA-II parameters (defaults = the paper's §IV-A values).
+#[derive(Clone, Debug)]
+pub struct GaConfig {
+    /// Population size (paper: 100).
+    pub population: usize,
+    /// Number of generations (paper: 500 unless stated otherwise).
+    pub generations: usize,
+    /// Single-point crossover probability (paper: 0.9).
+    pub crossover_rate: f64,
+    /// Per-gene mutation probability; `None` = `1/n` (paper).
+    pub mutation_rate: Option<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        Self {
+            population: 100,
+            generations: 500,
+            crossover_rate: 0.9,
+            mutation_rate: None,
+            seed: 0,
+        }
+    }
+}
+
+impl GaConfig {
+    /// Paper defaults with a specific generation count and seed.
+    pub fn with_generations(generations: usize, seed: u64) -> Self {
+        Self {
+            generations,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of a GA run.
+#[derive(Clone, Debug)]
+pub struct GaResult {
+    /// Best mapping found.
+    pub mapping: Mapping,
+    /// Its makespan under the breadth-first schedule.
+    pub makespan: f64,
+    /// Makespan of the all-CPU default mapping.
+    pub cpu_only_makespan: f64,
+    /// Total number of model evaluations.
+    pub evaluations: u64,
+    /// Best fitness after each generation (non-increasing).
+    pub best_per_generation: Vec<f64>,
+}
+
+impl GaResult {
+    /// Relative improvement over the pure-CPU mapping, truncated at zero.
+    pub fn relative_improvement(&self) -> f64 {
+        spmap_model::relative_improvement(self.cpu_only_makespan, self.makespan)
+    }
+}
+
+struct Individual {
+    genome: Vec<u8>,
+    fitness: f64,
+}
+
+/// Run the single-objective NSGA-II mapper.
+pub fn nsga2_map(graph: &TaskGraph, platform: &Platform, cfg: &GaConfig) -> GaResult {
+    assert!(cfg.population >= 2, "population must be >= 2");
+    assert!(
+        platform.device_count() <= u8::MAX as usize,
+        "genome encodes devices as u8"
+    );
+    let n = graph.node_count();
+    let m = platform.device_count() as u8;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut evaluator = Evaluator::new(graph, platform);
+    let mutation_rate = cfg.mutation_rate.unwrap_or(1.0 / n.max(1) as f64);
+
+    // Genome position i corresponds to task topo[i]: crossover points cut
+    // the genome into a topological prefix and suffix, giving crossover a
+    // locality meaning on the DAG (paper: "topologically sorted genome").
+    let topo: Vec<NodeId> = ops::topo_order(graph).expect("task graphs are DAGs");
+    let default_gene = platform.default_device().0 as u8;
+
+    let decode = |genome: &[u8]| -> Mapping {
+        let mut mapping = Mapping::uniform(n, platform.default_device());
+        for (i, &gene) in genome.iter().enumerate() {
+            mapping.set(topo[i], DeviceId(gene as u32));
+        }
+        mapping
+    };
+
+    // Repair: evict tasks from over-full FPGAs, largest area first, until
+    // the budget holds.  Deterministic, so equal seeds give equal runs.
+    let repair = |genome: &mut [u8]| {
+        for d in platform.device_ids() {
+            if !platform.is_fpga(d) {
+                continue;
+            }
+            let cap = platform.device(d).area_capacity();
+            let mut used: f64 = genome
+                .iter()
+                .enumerate()
+                .filter(|&(_, &gene)| gene as u32 == d.0)
+                .map(|(i, _)| graph.task(topo[i]).area)
+                .sum();
+            while used > cap + 1e-9 {
+                let (worst, area) = genome
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &gene)| gene as u32 == d.0)
+                    .map(|(i, _)| (i, graph.task(topo[i]).area))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("over-full device has at least one task");
+                genome[worst] = default_gene;
+                used -= area;
+            }
+        }
+    };
+
+    let fitness_of = |genome: &[u8], ev: &mut Evaluator<'_>| -> f64 {
+        ev.makespan_bfs(&decode(genome))
+            .expect("repaired genomes are area-feasible")
+    };
+
+    // Initial population: the pure-CPU individual plus random genomes.
+    let mut pop: Vec<Individual> = Vec::with_capacity(cfg.population);
+    {
+        let genome = vec![default_gene; n];
+        let fitness = fitness_of(&genome, &mut evaluator);
+        pop.push(Individual { genome, fitness });
+    }
+    let cpu_only_makespan = pop[0].fitness;
+    while pop.len() < cfg.population {
+        let mut genome: Vec<u8> = (0..n).map(|_| rng.gen_range(0..m)).collect();
+        repair(&mut genome);
+        let fitness = fitness_of(&genome, &mut evaluator);
+        pop.push(Individual { genome, fitness });
+    }
+    pop.sort_by(|a, b| a.fitness.total_cmp(&b.fitness));
+
+    let mut best_per_generation = Vec::with_capacity(cfg.generations);
+    for _ in 0..cfg.generations {
+        // Variation: binary tournaments, single-point crossover, mutation.
+        let mut offspring: Vec<Individual> = Vec::with_capacity(cfg.population);
+        while offspring.len() < cfg.population {
+            let pa = tournament(&pop, &mut rng);
+            let pb = tournament(&pop, &mut rng);
+            let (mut ca, mut cb) = if n >= 2 && rng.gen_bool(cfg.crossover_rate) {
+                let cut = rng.gen_range(1..n);
+                let mut ca = pop[pa].genome.clone();
+                let mut cb = pop[pb].genome.clone();
+                for i in cut..n {
+                    std::mem::swap(&mut ca[i], &mut cb[i]);
+                }
+                (ca, cb)
+            } else {
+                (pop[pa].genome.clone(), pop[pb].genome.clone())
+            };
+            for child in [&mut ca, &mut cb] {
+                for gene in child.iter_mut() {
+                    if rng.gen_bool(mutation_rate) {
+                        *gene = rng.gen_range(0..m);
+                    }
+                }
+                repair(child);
+            }
+            for genome in [ca, cb] {
+                if offspring.len() < cfg.population {
+                    let fitness = fitness_of(&genome, &mut evaluator);
+                    offspring.push(Individual { genome, fitness });
+                }
+            }
+        }
+        // (µ + λ) elitist truncation — single-objective NSGA-II survivor
+        // selection.
+        pop.append(&mut offspring);
+        pop.sort_by(|a, b| a.fitness.total_cmp(&b.fitness));
+        pop.truncate(cfg.population);
+        best_per_generation.push(pop[0].fitness);
+    }
+
+    let best = &pop[0];
+    GaResult {
+        mapping: decode(&best.genome),
+        makespan: best.fitness,
+        cpu_only_makespan,
+        evaluations: evaluator.stats().evaluations,
+        best_per_generation,
+    }
+}
+
+fn tournament(pop: &[Individual], rng: &mut StdRng) -> usize {
+    let a = rng.gen_range(0..pop.len());
+    let b = rng.gen_range(0..pop.len());
+    if pop[a].fitness <= pop[b].fitness {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmap_graph::gen::{chain, random_sp_graph, SpGenConfig};
+    use spmap_graph::{augment, AugmentConfig, Task};
+
+    fn small_cfg(seed: u64) -> GaConfig {
+        GaConfig {
+            population: 24,
+            generations: 30,
+            seed,
+            ..GaConfig::default()
+        }
+    }
+
+    #[test]
+    fn never_worse_than_cpu_only() {
+        let p = Platform::reference();
+        for seed in 0..4 {
+            let mut g = random_sp_graph(&SpGenConfig::new(25, seed));
+            augment(&mut g, &AugmentConfig::default(), seed);
+            let r = nsga2_map(&g, &p, &small_cfg(seed));
+            assert!(r.makespan <= r.cpu_only_makespan * (1.0 + 1e-9));
+            assert!(r.mapping.is_area_feasible(&g, &p));
+        }
+    }
+
+    #[test]
+    fn finds_improvements_on_augmented_graphs() {
+        let p = Platform::reference();
+        let mut g = random_sp_graph(&SpGenConfig::new(30, 11));
+        augment(&mut g, &AugmentConfig::default(), 11);
+        let r = nsga2_map(&g, &p, &small_cfg(1));
+        assert!(
+            r.relative_improvement() > 0.02,
+            "GA should find some improvement, got {}",
+            r.relative_improvement()
+        );
+    }
+
+    #[test]
+    fn best_fitness_is_monotone() {
+        let p = Platform::reference();
+        let mut g = random_sp_graph(&SpGenConfig::new(20, 5));
+        augment(&mut g, &AugmentConfig::default(), 5);
+        let r = nsga2_map(&g, &p, &small_cfg(2));
+        let mut prev = f64::INFINITY;
+        for &b in &r.best_per_generation {
+            assert!(b <= prev + 1e-12, "elitism violated");
+            prev = b;
+        }
+        assert_eq!(r.best_per_generation.len(), 30);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = Platform::reference();
+        let mut g = random_sp_graph(&SpGenConfig::new(20, 8));
+        augment(&mut g, &AugmentConfig::default(), 8);
+        let a = nsga2_map(&g, &p, &small_cfg(7));
+        let b = nsga2_map(&g, &p, &small_cfg(7));
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.makespan, b.makespan);
+        let c = nsga2_map(&g, &p, &small_cfg(8));
+        // Different seeds explore differently (makespans may coincide, but
+        // almost never across the full generation history).
+        assert!(
+            a.best_per_generation != c.best_per_generation || a.mapping == c.mapping
+        );
+    }
+
+    #[test]
+    fn repair_handles_oversized_tasks() {
+        // All tasks love the FPGA but only a few fit: repaired genomes
+        // must stay feasible throughout.
+        let mut g = chain(10, 1e6);
+        for v in 0..10 {
+            *g.task_mut(NodeId(v)) = Task {
+                name: format!("t{v}"),
+                complexity: 20.0,
+                data_points: 1.25e8,
+                parallelizability: 0.0,
+                streamability: 16.0,
+                area: 1000.0, // only 2 of 10 fit in 2400
+                ..Task::default()
+            };
+        }
+        let p = Platform::reference();
+        let r = nsga2_map(&g, &p, &small_cfg(3));
+        assert!(r.mapping.is_area_feasible(&g, &p));
+        assert!(r.mapping.count_on(DeviceId(2)) <= 2);
+    }
+
+    #[test]
+    fn evaluation_budget_matches_generations() {
+        let p = Platform::reference();
+        let mut g = random_sp_graph(&SpGenConfig::new(15, 2));
+        augment(&mut g, &AugmentConfig::default(), 2);
+        let cfg = small_cfg(4);
+        let r = nsga2_map(&g, &p, &cfg);
+        // Initial population + offspring per generation.
+        let expect = (cfg.population * (cfg.generations + 1)) as u64;
+        assert_eq!(r.evaluations, expect);
+    }
+
+    #[test]
+    fn more_generations_never_hurt() {
+        let p = Platform::reference();
+        let mut g = random_sp_graph(&SpGenConfig::new(25, 9));
+        augment(&mut g, &AugmentConfig::default(), 9);
+        let short = nsga2_map(
+            &g,
+            &p,
+            &GaConfig {
+                population: 24,
+                generations: 5,
+                seed: 5,
+                ..GaConfig::default()
+            },
+        );
+        let long = nsga2_map(
+            &g,
+            &p,
+            &GaConfig {
+                population: 24,
+                generations: 60,
+                seed: 5,
+                ..GaConfig::default()
+            },
+        );
+        assert!(long.makespan <= short.makespan + 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+//! Attribute augmentation (paper §IV-B).
+//!
+//! Random graphs come out of the generators with neutral attributes; this
+//! module assigns the paper's distributions:
+//!
+//! * complexity ~ LogNormal(µ = 2, σ = 0.5) — operations per data point,
+//! * streamability ~ LogNormal(µ = 2, σ = 0.5) — FPGA pipelining factor,
+//! * parallelizability — perfect (1.0) with probability 0.5, otherwise
+//!   uniform in `[0, 1]` (Amdahl's law makes imperfect values decay fast),
+//! * area ∝ complexity (FPGA area limitation),
+//! * constant data flow of 100 MB between tasks, from which the number of
+//!   data points per task is derived.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dag::TaskGraph;
+use crate::dist::lognormal;
+
+/// Parameters of the augmentation scheme.  [`AugmentConfig::default`]
+/// reproduces the paper's §IV-B values.
+#[derive(Clone, Debug)]
+pub struct AugmentConfig {
+    /// µ of the complexity lognormal.
+    pub complexity_mu: f64,
+    /// σ of the complexity lognormal.
+    pub complexity_sigma: f64,
+    /// µ of the streamability lognormal.
+    pub streamability_mu: f64,
+    /// σ of the streamability lognormal.
+    pub streamability_sigma: f64,
+    /// Probability that a task is perfectly parallelizable.
+    pub perfect_parallel_prob: f64,
+    /// FPGA area units per unit of complexity.
+    pub area_per_complexity: f64,
+    /// Data volume placed on every edge, in bytes (paper: 100 MB).
+    pub edge_bytes: f64,
+    /// Bytes per data point used to derive `data_points` from the data
+    /// flow (one `f64` per point).
+    pub bytes_per_point: f64,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        Self {
+            complexity_mu: 2.0,
+            complexity_sigma: 0.5,
+            streamability_mu: 2.0,
+            streamability_sigma: 0.5,
+            perfect_parallel_prob: 0.5,
+            area_per_complexity: 8.0,
+            edge_bytes: 100e6,
+            bytes_per_point: 8.0,
+        }
+    }
+}
+
+/// Apply the augmentation scheme to every task and edge of `g`, seeded by
+/// `seed`.  Deterministic: equal `(graph, cfg, seed)` triples produce equal
+/// attributes.
+pub fn augment(g: &mut TaskGraph, cfg: &AugmentConfig, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = cfg.edge_bytes / cfg.bytes_per_point;
+    for v in 0..g.node_count() {
+        let t = g.task_mut(crate::dag::NodeId(v as u32));
+        t.complexity = lognormal(&mut rng, cfg.complexity_mu, cfg.complexity_sigma);
+        t.streamability = lognormal(&mut rng, cfg.streamability_mu, cfg.streamability_sigma);
+        t.parallelizability = if rng.gen_bool(cfg.perfect_parallel_prob) {
+            1.0
+        } else {
+            rng.gen::<f64>()
+        };
+        t.area = cfg.area_per_complexity * t.complexity;
+        t.data_points = points;
+    }
+    for e in 0..g.edge_count() {
+        *g.edge_bytes_mut(crate::dag::EdgeId(e as u32)) = cfg.edge_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{random_sp_graph, SpGenConfig};
+
+    #[test]
+    fn augment_is_deterministic() {
+        let mut a = random_sp_graph(&SpGenConfig::new(30, 1));
+        let mut b = random_sp_graph(&SpGenConfig::new(30, 1));
+        augment(&mut a, &AugmentConfig::default(), 99);
+        augment(&mut b, &AugmentConfig::default(), 99);
+        for (ta, tb) in a.tasks().iter().zip(b.tasks()) {
+            assert_eq!(ta.complexity, tb.complexity);
+            assert_eq!(ta.parallelizability, tb.parallelizability);
+        }
+    }
+
+    #[test]
+    fn augment_ranges() {
+        let mut g = random_sp_graph(&SpGenConfig::new(200, 2));
+        augment(&mut g, &AugmentConfig::default(), 5);
+        let mut perfect = 0;
+        for t in g.tasks() {
+            assert!(t.complexity > 0.0);
+            assert!(t.streamability > 0.0);
+            assert!((0.0..=1.0).contains(&t.parallelizability));
+            assert!((t.area - 8.0 * t.complexity).abs() < 1e-12);
+            assert_eq!(t.data_points, 100e6 / 8.0);
+            if t.parallelizability == 1.0 {
+                perfect += 1;
+            }
+        }
+        // ~50 % perfectly parallelizable.
+        assert!((60..=140).contains(&perfect), "perfect={perfect}");
+    }
+
+    #[test]
+    fn augment_sets_edge_bytes() {
+        let mut g = random_sp_graph(&SpGenConfig::new(20, 3));
+        let cfg = AugmentConfig {
+            edge_bytes: 42.0,
+            ..AugmentConfig::default()
+        };
+        augment(&mut g, &cfg, 0);
+        for e in g.edge_ids() {
+            assert_eq!(g.edge(e).bytes, 42.0);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = random_sp_graph(&SpGenConfig::new(30, 1));
+        let mut b = random_sp_graph(&SpGenConfig::new(30, 1));
+        augment(&mut a, &AugmentConfig::default(), 1);
+        augment(&mut b, &AugmentConfig::default(), 2);
+        let same = a
+            .tasks()
+            .iter()
+            .zip(b.tasks())
+            .all(|(x, y)| x.complexity == y.complexity);
+        assert!(!same);
+    }
+}

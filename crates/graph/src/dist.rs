@@ -1,0 +1,79 @@
+//! Minimal distribution sampling on top of `rand`.
+//!
+//! The paper draws task complexity and streamability from a lognormal
+//! distribution (µ = 2, σ = 0.5 — 90 % of values in [3, 17], median ≈ 7.4).
+//! Implementing Box-Muller here keeps the dependency set to the approved
+//! crates (no `rand_distr`).
+
+use rand::Rng;
+
+/// One standard-normal sample via the Box-Muller transform.
+pub fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so that ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// One sample from `Normal(mu, sigma)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    mu + sigma * std_normal(rng)
+}
+
+/// One sample from `LogNormal(mu, sigma)` (parameters of the underlying
+/// normal, matching the paper's "lognormal distribution with µ = 2 and
+/// σ = 0.5").
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn std_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| std_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_matches_paper_quantiles() {
+        // Paper §IV-B: with µ=2, σ=0.5, 90 % of values lie in [3, 17] and the
+        // median is about 7.4.
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| lognormal(&mut rng, 2.0, 0.5)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        assert!((median - 7.389).abs() < 0.15, "median {median}");
+        let q05 = samples[n / 20];
+        let q95 = samples[n - n / 20];
+        assert!((2.9..3.5).contains(&q05), "q05 {q05}");
+        assert!((15.5..18.0).contains(&q95), "q95 {q95}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(lognormal(&mut rng, 0.0, 2.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.03, "mean {mean}");
+    }
+}

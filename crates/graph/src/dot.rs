@@ -1,0 +1,55 @@
+//! Graphviz DOT export, used by examples and for debugging decompositions.
+
+use crate::dag::TaskGraph;
+
+/// Render the graph in Graphviz DOT syntax.  Node labels include the task
+/// name (falling back to the node id) and the complexity.
+pub fn to_dot(g: &TaskGraph) -> String {
+    use std::fmt::Write;
+    let mut s = String::with_capacity(64 * (g.node_count() + g.edge_count()));
+    s.push_str("digraph taskgraph {\n  rankdir=TB;\n  node [shape=box];\n");
+    for v in g.nodes() {
+        let t = g.task(v);
+        let label = if t.name.is_empty() {
+            format!("{v}")
+        } else {
+            t.name.clone()
+        };
+        writeln!(
+            s,
+            "  {} [label=\"{}\\nc={:.1} p={:.2} s={:.1}\"];",
+            v.0, label, t.complexity, t.parallelizability, t.streamability
+        )
+        .unwrap();
+    }
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        writeln!(
+            s,
+            "  {} -> {} [label=\"{:.0}MB\"];",
+            edge.src.0,
+            edge.dst.0,
+            edge.bytes / 1e6
+        )
+        .unwrap();
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::diamond;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = diamond(1e6);
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("0 -> 1"));
+        assert!(dot.contains("2 -> 3"));
+        assert!(dot.contains("1MB"));
+        assert_eq!(dot.matches(" -> ").count(), 4);
+    }
+}

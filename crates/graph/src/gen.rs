@@ -1,0 +1,374 @@
+//! Seeded graph generators.
+//!
+//! * [`random_sp_graph`] — the paper's §IV-B generator: grow a DAG from a
+//!   single directed edge by random series/parallel operations (ratio 1:2),
+//!   then merge redundant parallel edges.
+//! * [`almost_sp_graph`] — the paper's §IV-C generator: a series-parallel
+//!   graph plus `k` extra edges directed along a random topological order.
+//! * Deterministic fixtures used throughout the workspace: [`chain`],
+//!   [`fork_join`], [`diamond`], and the paper's [`fig1_graph`] /
+//!   [`fig2_graph`].
+//! * [`layered_random`] — a non-SP layered DAG for stress tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dag::{GraphBuilder, NodeId, TaskGraph};
+
+/// Configuration for [`random_sp_graph`] / [`almost_sp_graph`].
+#[derive(Clone, Debug)]
+pub struct SpGenConfig {
+    /// Total number of task nodes to generate (≥ 2, including the two
+    /// terminals).
+    pub nodes: usize,
+    /// Relative weight of series operations (paper: 1).
+    pub series_weight: u32,
+    /// Relative weight of parallel operations (paper: 2).
+    pub parallel_weight: u32,
+    /// RNG seed; equal seeds give identical graphs.
+    pub seed: u64,
+    /// Data volume placed on every edge (paper: 100 MB; attributes are
+    /// usually overwritten later by [`crate::augment::augment`]).
+    pub edge_bytes: f64,
+}
+
+impl SpGenConfig {
+    /// Paper defaults with the given node count and seed.
+    pub fn new(nodes: usize, seed: u64) -> Self {
+        Self {
+            nodes,
+            series_weight: 1,
+            parallel_weight: 2,
+            seed,
+            edge_bytes: 100e6,
+        }
+    }
+}
+
+/// Generate a random two-terminal series-parallel DAG (paper §IV-B).
+///
+/// Starts from a single directed edge and repeatedly applies a series
+/// operation (insert a node on a random edge) or a parallel operation
+/// (duplicate a random edge) until the requested node count is reached;
+/// duplicate edges are then merged.  The result always has exactly one
+/// source and one sink and is series-parallel by construction.
+pub fn random_sp_graph(cfg: &SpGenConfig) -> TaskGraph {
+    assert!(cfg.nodes >= 2, "a series-parallel graph needs >= 2 nodes");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Edges as endpoint pairs over node ids 0..node_count.
+    let mut edges: Vec<(u32, u32)> = vec![(0, 1)];
+    let mut node_count: u32 = 2;
+    let total_weight = cfg.series_weight + cfg.parallel_weight;
+    assert!(total_weight > 0, "series/parallel weights must not both be 0");
+    while (node_count as usize) < cfg.nodes {
+        let i = rng.gen_range(0..edges.len());
+        if rng.gen_range(0..total_weight) < cfg.series_weight {
+            // Series: split edge (u, v) into (u, w), (w, v).
+            let (u, v) = edges[i];
+            let w = node_count;
+            node_count += 1;
+            edges[i] = (u, w);
+            edges.push((w, v));
+        } else {
+            // Parallel: duplicate edge (u, v).
+            edges.push(edges[i]);
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(node_count as usize, edges.len());
+    b.add_default_tasks(node_count as usize);
+    for (u, v) in edges {
+        b.add_edge(NodeId(u), NodeId(v), cfg.edge_bytes)
+            .expect("generator produces valid endpoints");
+    }
+    b.merge_parallel_edges();
+    // Merged duplicates summed their bytes; reset to the configured volume
+    // (the paper models a *constant* data flow between connected tasks).
+    let mut g = b.build().expect("series-parallel construction is acyclic");
+    for e in 0..g.edge_count() {
+        *g.edge_bytes_mut(crate::dag::EdgeId(e as u32)) = cfg.edge_bytes;
+    }
+    g
+}
+
+/// Generate an *almost* series-parallel DAG (paper §IV-C): a random SP
+/// graph with `extra_edges` additional edges, each directed according to a
+/// random topological order of the SP graph.  Duplicate edges are skipped,
+/// so fewer than `extra_edges` may be inserted on tiny graphs.
+pub fn almost_sp_graph(cfg: &SpGenConfig, extra_edges: usize) -> TaskGraph {
+    let g = random_sp_graph(cfg);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
+    let order = random_topo_order(&g, &mut rng);
+    let mut pos = vec![0usize; g.node_count()];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v.index()] = i;
+    }
+    let n = g.node_count();
+    let mut b = g.into_builder();
+    let mut added = 0;
+    let mut attempts = 0;
+    let max_attempts = extra_edges.saturating_mul(50) + 100;
+    while added < extra_edges && attempts < max_attempts {
+        attempts += 1;
+        let a = rng.gen_range(0..n);
+        let c = rng.gen_range(0..n);
+        if a == c {
+            continue;
+        }
+        let (u, v) = if pos[a] < pos[c] { (a, c) } else { (c, a) };
+        let (u, v) = (NodeId(u as u32), NodeId(v as u32));
+        if b.has_edge(u, v) {
+            continue;
+        }
+        b.add_edge(u, v, cfg.edge_bytes).expect("endpoints valid");
+        added += 1;
+    }
+    b.build().expect("edges follow a topological order, so acyclic")
+}
+
+/// A uniformly seeded random topological order: repeatedly pick a random
+/// ready node.  Also used by the evaluator's random schedules.
+pub fn random_topo_order<R: Rng + ?Sized>(g: &TaskGraph, rng: &mut R) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut indeg: Vec<usize> = (0..n).map(|i| g.in_degree(NodeId(i as u32))).collect();
+    let mut ready: Vec<NodeId> = g.nodes().filter(|&v| indeg[v.index()] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while !ready.is_empty() {
+        let i = rng.gen_range(0..ready.len());
+        let v = ready.swap_remove(i);
+        order.push(v);
+        for s in g.successors(v) {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n);
+    order
+}
+
+/// A simple path `0 -> 1 -> … -> k-1` with `bytes` on every edge.
+pub fn chain(k: usize, bytes: f64) -> TaskGraph {
+    assert!(k >= 1);
+    let mut b = GraphBuilder::with_capacity(k, k.saturating_sub(1));
+    b.add_default_tasks(k);
+    for i in 1..k {
+        b.add_edge(NodeId(i as u32 - 1), NodeId(i as u32), bytes)
+            .unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// A fork-join: source `0`, `width` middle nodes, sink `width + 1`.
+pub fn fork_join(width: usize, bytes: f64) -> TaskGraph {
+    let mut b = GraphBuilder::with_capacity(width + 2, 2 * width);
+    b.add_default_tasks(width + 2);
+    let sink = NodeId(width as u32 + 1);
+    for i in 0..width {
+        let mid = NodeId(i as u32 + 1);
+        b.add_edge(NodeId(0), mid, bytes).unwrap();
+        b.add_edge(mid, sink, bytes).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// The four-node diamond `0 -> {1, 2} -> 3`.
+pub fn diamond(bytes: f64) -> TaskGraph {
+    let mut b = GraphBuilder::new();
+    b.add_default_tasks(4);
+    b.add_edge(NodeId(0), NodeId(1), bytes).unwrap();
+    b.add_edge(NodeId(0), NodeId(2), bytes).unwrap();
+    b.add_edge(NodeId(1), NodeId(3), bytes).unwrap();
+    b.add_edge(NodeId(2), NodeId(3), bytes).unwrap();
+    b.build().unwrap()
+}
+
+/// The series-parallel graph of the paper's Fig. 1: nodes `0..=5` with
+/// edges 0-1, 1-2, 2-3, 1-3, 3-5, 0-4, 4-5.
+pub fn fig1_graph(bytes: f64) -> TaskGraph {
+    let mut b = GraphBuilder::new();
+    b.add_default_tasks(6);
+    for (u, v) in [(0, 1), (1, 2), (2, 3), (1, 3), (3, 5), (0, 4), (4, 5)] {
+        b.add_edge(NodeId(u), NodeId(v), bytes).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// The non-series-parallel graph of the paper's Fig. 2: Fig. 1 plus the
+/// conflicting edge 1-4.
+pub fn fig2_graph(bytes: f64) -> TaskGraph {
+    let mut b = fig1_graph(bytes).into_builder();
+    b.add_edge(NodeId(1), NodeId(4), bytes).unwrap();
+    b.build().unwrap()
+}
+
+/// Configuration for [`layered_random`].
+#[derive(Clone, Debug)]
+pub struct LayeredConfig {
+    /// Number of layers.
+    pub layers: usize,
+    /// Nodes per layer.
+    pub width: usize,
+    /// Probability of an edge between consecutive-layer node pairs.
+    pub density: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Data volume per edge.
+    pub edge_bytes: f64,
+}
+
+/// A layered random DAG (generally *not* series-parallel): `layers × width`
+/// nodes with random edges between consecutive layers.  Every node is
+/// guaranteed at least one incoming edge (except layer 0) and one outgoing
+/// edge (except the last layer), keeping the graph weakly connected.
+pub fn layered_random(cfg: &LayeredConfig) -> TaskGraph {
+    assert!(cfg.layers >= 1 && cfg.width >= 1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.layers * cfg.width;
+    let mut b = GraphBuilder::with_capacity(n, n * 2);
+    b.add_default_tasks(n);
+    let id = |layer: usize, i: usize| NodeId((layer * cfg.width + i) as u32);
+    for layer in 1..cfg.layers {
+        for i in 0..cfg.width {
+            let mut has_in = false;
+            for j in 0..cfg.width {
+                if rng.gen_bool(cfg.density) {
+                    b.add_edge(id(layer - 1, j), id(layer, i), cfg.edge_bytes)
+                        .unwrap();
+                    has_in = true;
+                }
+            }
+            if !has_in {
+                let j = rng.gen_range(0..cfg.width);
+                b.add_edge(id(layer - 1, j), id(layer, i), cfg.edge_bytes)
+                    .unwrap();
+            }
+        }
+        // Ensure every node of the previous layer has an outgoing edge.
+        for j in 0..cfg.width {
+            if !(0..cfg.width).any(|i| b.has_edge(id(layer - 1, j), id(layer, i))) {
+                let i = rng.gen_range(0..cfg.width);
+                b.add_edge(id(layer - 1, j), id(layer, i), cfg.edge_bytes)
+                    .unwrap();
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn sp_graph_has_requested_size_and_two_terminals() {
+        for nodes in [2, 3, 5, 20, 100] {
+            let g = random_sp_graph(&SpGenConfig::new(nodes, 7));
+            assert_eq!(g.node_count(), nodes);
+            assert_eq!(ops::sources(&g).len(), 1, "nodes={nodes}");
+            assert_eq!(ops::sinks(&g).len(), 1, "nodes={nodes}");
+            assert!(ops::is_weakly_connected(&g));
+            assert!(ops::topo_order(&g).is_some());
+        }
+    }
+
+    #[test]
+    fn sp_graph_has_no_parallel_duplicate_edges() {
+        let g = random_sp_graph(&SpGenConfig::new(60, 11));
+        let mut pairs = std::collections::HashSet::new();
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            assert!(pairs.insert((edge.src, edge.dst)), "duplicate edge");
+        }
+    }
+
+    #[test]
+    fn sp_graph_is_deterministic_per_seed() {
+        let a = random_sp_graph(&SpGenConfig::new(40, 5));
+        let b = random_sp_graph(&SpGenConfig::new(40, 5));
+        let c = random_sp_graph(&SpGenConfig::new(40, 6));
+        let sig = |g: &TaskGraph| {
+            g.edge_ids()
+                .map(|e| (g.edge(e).src.0, g.edge(e).dst.0))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sig(&a), sig(&b));
+        assert_ne!(sig(&a), sig(&c));
+    }
+
+    #[test]
+    fn sp_graph_edge_count_is_linear() {
+        // Series-parallel graphs are planar: |E| <= 2|V| - 3 after merging
+        // duplicates.
+        for seed in 0..10 {
+            let g = random_sp_graph(&SpGenConfig::new(80, seed));
+            assert!(g.edge_count() <= 2 * g.node_count() - 3);
+        }
+    }
+
+    #[test]
+    fn almost_sp_adds_requested_edges() {
+        let cfg = SpGenConfig::new(50, 3);
+        let base = random_sp_graph(&cfg);
+        let aug = almost_sp_graph(&cfg, 30);
+        assert_eq!(aug.node_count(), base.node_count());
+        assert_eq!(aug.edge_count(), base.edge_count() + 30);
+        assert!(ops::topo_order(&aug).is_some(), "must stay acyclic");
+    }
+
+    #[test]
+    fn almost_sp_zero_extra_equals_base() {
+        let cfg = SpGenConfig::new(30, 9);
+        let base = random_sp_graph(&cfg);
+        let aug = almost_sp_graph(&cfg, 0);
+        assert_eq!(aug.edge_count(), base.edge_count());
+    }
+
+    #[test]
+    fn random_topo_order_is_topological() {
+        let g = random_sp_graph(&SpGenConfig::new(40, 1));
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..5 {
+            let order = random_topo_order(&g, &mut rng);
+            assert_eq!(order.len(), g.node_count());
+            let mut pos = vec![0; g.node_count()];
+            for (i, &v) in order.iter().enumerate() {
+                pos[v.index()] = i;
+            }
+            for e in g.edge_ids() {
+                let edge = g.edge(e);
+                assert!(pos[edge.src.index()] < pos[edge.dst.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn fixtures_shapes() {
+        let c = chain(5, 1.0);
+        assert_eq!((c.node_count(), c.edge_count()), (5, 4));
+        let f = fork_join(3, 1.0);
+        assert_eq!((f.node_count(), f.edge_count()), (5, 6));
+        let d = diamond(1.0);
+        assert_eq!((d.node_count(), d.edge_count()), (4, 4));
+        let f1 = fig1_graph(1.0);
+        assert_eq!((f1.node_count(), f1.edge_count()), (6, 7));
+        let f2 = fig2_graph(1.0);
+        assert_eq!((f2.node_count(), f2.edge_count()), (6, 8));
+        assert!(f2.has_edge(NodeId(1), NodeId(4)));
+    }
+
+    #[test]
+    fn layered_random_is_connected_dag() {
+        let g = layered_random(&LayeredConfig {
+            layers: 6,
+            width: 4,
+            density: 0.3,
+            seed: 13,
+            edge_bytes: 1.0,
+        });
+        assert_eq!(g.node_count(), 24);
+        assert!(ops::topo_order(&g).is_some());
+        assert!(ops::is_weakly_connected(&g));
+    }
+}

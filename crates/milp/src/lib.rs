@@ -1,0 +1,31 @@
+//! # spmap-milp — MILP solver substrate and the paper's MILP baselines
+//!
+//! The paper solves three mixed-integer linear programs with Gurobi; this
+//! workspace has no proprietary solver, so the crate provides the full
+//! stack from scratch (substitution documented in DESIGN.md §4):
+//!
+//! * [`model`] — a small modelling API: variables (continuous/binary with
+//!   bounds), linear constraints, minimization objective.
+//! * [`simplex`] — a dense two-phase primal simplex for the LP
+//!   relaxations (Dantzig pricing with a Bland anti-cycling fallback).
+//! * [`branch`] — depth-first branch & bound on fractional binaries with
+//!   most-fractional branching, nearest-first diving, wall-clock time
+//!   limit and incumbent/bound reporting.
+//! * [`formulations`] — the three baselines of the paper's §IV-A:
+//!   * **ZhouLiu** — slot-based total ordering per device (ref. 2),
+//!   * **WGDP-Device** — pure load balancing, no dependencies (ref. 5),
+//!   * **WGDP-Time** — start-time based ordering with FPGA streaming
+//!     awareness (ref. 5).
+//!
+//! All formulations start branch & bound from the all-CPU incumbent, so a
+//! time-limited solve can never return something worse than the pure CPU
+//! mapping (mirroring the paper's truncated-improvement reporting).
+
+pub mod branch;
+pub mod formulations;
+pub mod model;
+pub mod simplex;
+
+pub use branch::{solve_milp, MilpResult, MilpStatus, SolveOptions};
+pub use formulations::{solve_wgdp_device, solve_wgdp_time, solve_zhou_liu, MilpMapping};
+pub use model::{Model, Sense, VarId, VarKind};

@@ -1,0 +1,183 @@
+//! Minimal MILP modelling API.
+
+/// Handle to a model variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct VarId(pub usize);
+
+/// Variable domain kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VarKind {
+    /// Real-valued within its bounds.
+    Continuous,
+    /// Integer in `{0, 1}` (bounds are forced to `[0, 1]`).
+    Binary,
+}
+
+/// Constraint sense.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Sense {
+    /// `≤ rhs`
+    Le,
+    /// `≥ rhs`
+    Ge,
+    /// `= rhs`
+    Eq,
+}
+
+pub(crate) struct Var {
+    pub kind: VarKind,
+    pub lb: f64,
+    pub ub: f64,
+    pub obj: f64,
+}
+
+pub(crate) struct Constraint {
+    pub terms: Vec<(usize, f64)>,
+    pub sense: Sense,
+    pub rhs: f64,
+}
+
+/// A minimization MILP: variables with bounds, linear constraints.
+#[derive(Default)]
+pub struct Model {
+    pub(crate) vars: Vec<Var>,
+    pub(crate) cons: Vec<Constraint>,
+}
+
+impl Model {
+    /// Empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a continuous variable with bounds `[lb, ub]` (`ub` may be
+    /// `f64::INFINITY`) and objective coefficient `obj`.
+    pub fn add_continuous(&mut self, lb: f64, ub: f64, obj: f64) -> VarId {
+        assert!(lb.is_finite(), "lower bounds must be finite");
+        assert!(ub >= lb, "empty domain");
+        let id = VarId(self.vars.len());
+        self.vars.push(Var {
+            kind: VarKind::Continuous,
+            lb,
+            ub,
+            obj,
+        });
+        id
+    }
+
+    /// Add a binary variable with objective coefficient `obj`.
+    pub fn add_binary(&mut self, obj: f64) -> VarId {
+        let id = VarId(self.vars.len());
+        self.vars.push(Var {
+            kind: VarKind::Binary,
+            lb: 0.0,
+            ub: 1.0,
+            obj,
+        });
+        id
+    }
+
+    /// Add the constraint `Σ coef · var  sense  rhs`.  Duplicate variable
+    /// entries are accumulated.
+    pub fn add_constraint(&mut self, terms: &[(VarId, f64)], sense: Sense, rhs: f64) {
+        let mut compact: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
+        for &(v, c) in terms {
+            debug_assert!(v.0 < self.vars.len(), "unknown variable");
+            if c == 0.0 {
+                continue;
+            }
+            if let Some(slot) = compact.iter_mut().find(|(i, _)| *i == v.0) {
+                slot.1 += c;
+            } else {
+                compact.push((v.0, c));
+            }
+        }
+        self.cons.push(Constraint {
+            terms: compact,
+            sense,
+            rhs,
+        });
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn con_count(&self) -> usize {
+        self.cons.len()
+    }
+
+    /// Indices of all binary variables.
+    pub fn binaries(&self) -> Vec<usize> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind == VarKind::Binary)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Objective value of an assignment (no feasibility check).
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.vars
+            .iter()
+            .zip(x)
+            .map(|(v, &xi)| v.obj * xi)
+            .sum()
+    }
+
+    /// Maximum constraint violation of an assignment (0 = feasible).
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        let mut worst = 0.0f64;
+        for (i, v) in self.vars.iter().enumerate() {
+            worst = worst.max(v.lb - x[i]).max(x[i] - v.ub);
+        }
+        for c in &self.cons {
+            let lhs: f64 = c.terms.iter().map(|&(i, coef)| coef * x[i]).sum();
+            let viol = match c.sense {
+                Sense::Le => lhs - c.rhs,
+                Sense::Ge => c.rhs - lhs,
+                Sense::Eq => (lhs - c.rhs).abs(),
+            };
+            worst = worst.max(viol);
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_model() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 10.0, 1.0);
+        let y = m.add_binary(-2.0);
+        m.add_constraint(&[(x, 1.0), (y, 3.0)], Sense::Le, 5.0);
+        assert_eq!(m.var_count(), 2);
+        assert_eq!(m.con_count(), 1);
+        assert_eq!(m.binaries(), vec![1]);
+        assert_eq!(m.objective_value(&[2.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn duplicate_terms_accumulate() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 1.0, 0.0);
+        m.add_constraint(&[(x, 1.0), (x, 2.0)], Sense::Eq, 3.0);
+        assert_eq!(m.cons[0].terms, vec![(0, 3.0)]);
+    }
+
+    #[test]
+    fn violation_measure() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 1.0, 0.0);
+        m.add_constraint(&[(x, 1.0)], Sense::Ge, 0.5);
+        assert_eq!(m.max_violation(&[0.75]), 0.0);
+        assert!((m.max_violation(&[0.25]) - 0.25).abs() < 1e-12);
+        assert!((m.max_violation(&[1.5]) - 0.5).abs() < 1e-12);
+    }
+}

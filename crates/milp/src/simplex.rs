@@ -1,0 +1,537 @@
+//! Dense two-phase primal simplex for LP relaxations.
+//!
+//! Scope: the LPs arising from the paper's MILP baselines are dense-ish,
+//! have a few hundred to a few thousand rows, and are re-solved many
+//! times inside branch & bound with changed variable bounds.  A dense
+//! tableau with Dantzig pricing (Bland fallback for anti-cycling) is the
+//! simplest implementation that is fast enough at this scale; fixed
+//! variables (lb = ub, the common case for branched binaries) are folded
+//! into the right-hand side so dived subproblems shrink.
+
+use crate::model::{Model, Sense};
+
+/// LP solve status.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LpStatus {
+    /// Proven optimal.
+    Optimal,
+    /// No feasible point.
+    Infeasible,
+    /// Objective unbounded below.
+    Unbounded,
+    /// Pivot limit hit; `x` holds the last (feasible) iterate.
+    IterLimit,
+}
+
+/// LP solve result.
+#[derive(Clone, Debug)]
+pub struct LpResult {
+    /// Status of the solve.
+    pub status: LpStatus,
+    /// Objective value of `x` (meaningful for `Optimal` / `IterLimit`).
+    pub objective: f64,
+    /// Primal values in *original* variable space.
+    pub x: Vec<f64>,
+}
+
+const PIVOT_TOL: f64 = 1e-9;
+const FEAS_TOL: f64 = 1e-7;
+
+/// Solve the LP relaxation of `model` under per-variable `bounds`
+/// overrides (same length as the model's variables).
+pub fn solve_relaxation(model: &Model, bounds: &[(f64, f64)]) -> LpResult {
+    solve_relaxation_deadline(model, bounds, None)
+}
+
+/// Like [`solve_relaxation`], but abandon pivoting (→ `IterLimit`) once
+/// `deadline` passes — large tableaus must not overshoot a caller's
+/// wall-clock budget by a whole LP solve.
+pub fn solve_relaxation_deadline(
+    model: &Model,
+    bounds: &[(f64, f64)],
+    deadline: Option<std::time::Instant>,
+) -> LpResult {
+    debug_assert_eq!(bounds.len(), model.var_count());
+    let nv = model.var_count();
+
+    // Column layout: skip fixed variables (lb == ub).
+    let mut col_of: Vec<Option<usize>> = Vec::with_capacity(nv);
+    let mut shift = Vec::with_capacity(nv); // value added back: lb (or the fixed value)
+    let mut ncols = 0usize;
+    for &(lb, ub) in bounds {
+        debug_assert!(lb.is_finite() && ub >= lb - 1e-12);
+        shift.push(lb);
+        if ub - lb > 1e-12 {
+            col_of.push(Some(ncols));
+            ncols += 1;
+        } else {
+            col_of.push(None);
+        }
+    }
+
+    // Assemble rows: model constraints plus finite upper-bound rows.
+    struct Row {
+        terms: Vec<(usize, f64)>, // (column, coef)
+        sense: Sense,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(model.con_count() + ncols);
+    for c in &model.cons {
+        let mut rhs = c.rhs;
+        let mut terms = Vec::with_capacity(c.terms.len());
+        for &(v, coef) in &c.terms {
+            rhs -= coef * shift[v];
+            if let Some(col) = col_of[v] {
+                terms.push((col, coef));
+            }
+        }
+        rows.push(Row {
+            terms,
+            sense: c.sense,
+            rhs,
+        });
+    }
+    for (v, &(lb, ub)) in bounds.iter().enumerate() {
+        if let Some(col) = col_of[v] {
+            if ub.is_finite() {
+                rows.push(Row {
+                    terms: vec![(col, 1.0)],
+                    sense: Sense::Le,
+                    rhs: ub - lb,
+                });
+            }
+        }
+    }
+
+    // Quick infeasibility check on empty rows (all variables fixed).
+    for r in &rows {
+        if r.terms.is_empty() {
+            let bad = match r.sense {
+                Sense::Le => 0.0 > r.rhs + FEAS_TOL,
+                Sense::Ge => 0.0 < r.rhs - FEAS_TOL,
+                Sense::Eq => r.rhs.abs() > FEAS_TOL,
+            };
+            if bad {
+                return LpResult {
+                    status: LpStatus::Infeasible,
+                    objective: f64::INFINITY,
+                    x: shift,
+                };
+            }
+        }
+    }
+    rows.retain(|r| !r.terms.is_empty());
+
+    let m = rows.len();
+    // Count slacks and artificials to size the tableau.
+    let mut n_slack = 0usize;
+    let mut n_art = 0usize;
+    for r in &rows {
+        let rhs_neg = r.rhs < 0.0;
+        let sense = effective_sense(r.sense, rhs_neg);
+        match sense {
+            Sense::Le => n_slack += 1,
+            Sense::Ge => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            Sense::Eq => n_art += 1,
+        }
+    }
+    let width = ncols + n_slack + n_art + 1; // + rhs
+    let art_start = ncols + n_slack;
+    let mut t = vec![0.0f64; m * width];
+    let mut basis = vec![usize::MAX; m];
+    {
+        let mut slack_idx = ncols;
+        let mut art_idx = art_start;
+        for (i, r) in rows.iter().enumerate() {
+            let row = &mut t[i * width..(i + 1) * width];
+            let flip = if r.rhs < 0.0 { -1.0 } else { 1.0 };
+            for &(c, coef) in &r.terms {
+                row[c] += flip * coef;
+            }
+            row[width - 1] = flip * r.rhs;
+            match effective_sense(r.sense, flip < 0.0) {
+                Sense::Le => {
+                    row[slack_idx] = 1.0;
+                    basis[i] = slack_idx;
+                    slack_idx += 1;
+                }
+                Sense::Ge => {
+                    row[slack_idx] = -1.0;
+                    slack_idx += 1;
+                    row[art_idx] = 1.0;
+                    basis[i] = art_idx;
+                    art_idx += 1;
+                }
+                Sense::Eq => {
+                    row[art_idx] = 1.0;
+                    basis[i] = art_idx;
+                    art_idx += 1;
+                }
+            }
+        }
+    }
+
+    let iter_limit = 200 + 40 * (m + ncols);
+
+    // ---- Phase 1: minimize the sum of artificials ----
+    if n_art > 0 {
+        let mut obj = vec![0.0f64; width];
+        for c in art_start..width - 1 {
+            obj[c] = 1.0;
+        }
+        // Price out the basic artificials.
+        for (i, &b) in basis.iter().enumerate() {
+            if b >= art_start {
+                let row = t[i * width..(i + 1) * width].to_vec();
+                for (o, r) in obj.iter_mut().zip(&row) {
+                    *o -= r;
+                }
+            }
+        }
+        let status = pivot_loop(&mut t, &mut obj, &mut basis, m, width, usize::MAX, iter_limit, deadline);
+        let phase1_obj = -obj[width - 1];
+        if status != LpStatus::Optimal || phase1_obj > FEAS_TOL {
+            return LpResult {
+                status: if status == LpStatus::IterLimit {
+                    LpStatus::IterLimit
+                } else {
+                    LpStatus::Infeasible
+                },
+                objective: f64::INFINITY,
+                x: shift,
+            };
+        }
+        // Drive remaining basic artificials out of the basis where possible.
+        for i in 0..m {
+            if basis[i] >= art_start {
+                let row_start = i * width;
+                if let Some(c) = (0..art_start)
+                    .find(|&c| t[row_start + c].abs() > PIVOT_TOL)
+                {
+                    pivot(&mut t, &mut obj, m, width, i, c);
+                    basis[i] = c;
+                }
+                // Otherwise the row is redundant (all structural coefs 0);
+                // its rhs is ~0 and it stays harmless.
+            }
+        }
+    }
+
+    // ---- Phase 2: original objective over shifted variables ----
+    let mut obj = vec![0.0f64; width];
+    for (v, var) in model.vars.iter().enumerate() {
+        if let Some(c) = col_of[v] {
+            obj[c] = var.obj;
+        }
+    }
+    // Artificials must not re-enter: give them a prohibitive cost.
+    for c in art_start..width - 1 {
+        obj[c] = 1e30;
+    }
+    for (i, &b) in basis.iter().enumerate() {
+        if obj[b] != 0.0 {
+            let coef = obj[b];
+            let row = t[i * width..(i + 1) * width].to_vec();
+            for (o, r) in obj.iter_mut().zip(&row) {
+                *o -= coef * r;
+            }
+        }
+    }
+    let status = pivot_loop(&mut t, &mut obj, &mut basis, m, width, art_start, iter_limit, deadline);
+
+    // Extract the solution.
+    let mut x_shifted = vec![0.0f64; ncols];
+    for (i, &b) in basis.iter().enumerate() {
+        if b < ncols {
+            x_shifted[b] = t[i * width + width - 1];
+        }
+    }
+    let mut x = shift;
+    for (v, col) in col_of.iter().enumerate() {
+        if let Some(c) = *col {
+            x[v] += x_shifted[c].max(0.0);
+        }
+    }
+    let objective = model
+        .vars
+        .iter()
+        .zip(&x)
+        .map(|(var, &xi)| var.obj * xi)
+        .sum();
+    LpResult {
+        status: match status {
+            LpStatus::Optimal => LpStatus::Optimal,
+            s => s,
+        },
+        objective,
+        x,
+    }
+}
+
+#[inline]
+fn effective_sense(s: Sense, flipped: bool) -> Sense {
+    if !flipped {
+        return s;
+    }
+    match s {
+        Sense::Le => Sense::Ge,
+        Sense::Ge => Sense::Le,
+        Sense::Eq => Sense::Eq,
+    }
+}
+
+/// Dantzig pricing with Bland fallback after a stall; returns the status.
+#[allow(clippy::too_many_arguments)]
+fn pivot_loop(
+    t: &mut [f64],
+    obj: &mut [f64],
+    basis: &mut [usize],
+    m: usize,
+    width: usize,
+    forbidden_from: usize,
+    iter_limit: usize,
+    deadline: Option<std::time::Instant>,
+) -> LpStatus {
+    let ncols_all = width - 1;
+    let mut last_obj = f64::INFINITY;
+    let mut stall = 0usize;
+    for iter in 0..iter_limit {
+        if iter % 64 == 0 {
+            if let Some(d) = deadline {
+                if std::time::Instant::now() > d {
+                    return LpStatus::IterLimit;
+                }
+            }
+        }
+        let use_bland = stall > 64;
+        // Entering column.
+        let mut enter = usize::MAX;
+        let mut best = -PIVOT_TOL;
+        for c in 0..ncols_all {
+            if c >= forbidden_from && obj[c] > 1e29 {
+                continue;
+            }
+            let rc = obj[c];
+            if use_bland {
+                if rc < -PIVOT_TOL {
+                    enter = c;
+                    break;
+                }
+            } else if rc < best {
+                best = rc;
+                enter = c;
+            }
+        }
+        if enter == usize::MAX {
+            return LpStatus::Optimal;
+        }
+        // Ratio test.
+        let mut leave = usize::MAX;
+        let mut best_ratio = f64::INFINITY;
+        for r in 0..m {
+            let a = t[r * width + enter];
+            if a > PIVOT_TOL {
+                let ratio = t[r * width + width - 1] / a;
+                if ratio < best_ratio - 1e-12
+                    || (ratio < best_ratio + 1e-12
+                        && (leave == usize::MAX || basis[r] < basis[leave]))
+                {
+                    best_ratio = ratio;
+                    leave = r;
+                }
+            }
+        }
+        if leave == usize::MAX {
+            return LpStatus::Unbounded;
+        }
+        pivot(t, obj, m, width, leave, enter);
+        basis[leave] = enter;
+        let cur = -obj[width - 1];
+        if cur < last_obj - 1e-12 {
+            stall = 0;
+            last_obj = cur;
+        } else {
+            stall += 1;
+        }
+    }
+    LpStatus::IterLimit
+}
+
+/// Gauss-Jordan pivot on (row, col), including the objective row.
+fn pivot(t: &mut [f64], obj: &mut [f64], m: usize, width: usize, row: usize, col: usize) {
+    let piv = t[row * width + col];
+    debug_assert!(piv.abs() > PIVOT_TOL * 0.1, "tiny pivot {piv}");
+    let inv = 1.0 / piv;
+    {
+        let r = &mut t[row * width..(row + 1) * width];
+        for v in r.iter_mut() {
+            *v *= inv;
+        }
+        r[col] = 1.0; // exact
+    }
+    // Split borrows: copy the pivot row once, then eliminate.
+    let prow = t[row * width..(row + 1) * width].to_vec();
+    for r in 0..m {
+        if r == row {
+            continue;
+        }
+        let factor = t[r * width + col];
+        if factor.abs() <= 1e-13 {
+            continue;
+        }
+        let dst = &mut t[r * width..(r + 1) * width];
+        for (d, p) in dst.iter_mut().zip(&prow) {
+            *d -= factor * p;
+        }
+        dst[col] = 0.0;
+    }
+    let factor = obj[col];
+    if factor.abs() > 1e-13 {
+        for (o, p) in obj.iter_mut().zip(&prow) {
+            *o -= factor * p;
+        }
+        obj[col] = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    fn free_bounds(m: &Model) -> Vec<(f64, f64)> {
+        m.vars.iter().map(|v| (v.lb, v.ub)).collect()
+    }
+
+    #[test]
+    fn classic_max_lp() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 → (2, 6), 36.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, f64::INFINITY, -3.0);
+        let y = m.add_continuous(0.0, f64::INFINITY, -5.0);
+        m.add_constraint(&[(x, 1.0)], Sense::Le, 4.0);
+        m.add_constraint(&[(y, 2.0)], Sense::Le, 12.0);
+        m.add_constraint(&[(x, 3.0), (y, 2.0)], Sense::Le, 18.0);
+        let r = solve_relaxation(&m, &free_bounds(&m));
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective + 36.0).abs() < 1e-6, "obj {}", r.objective);
+        assert!((r.x[0] - 2.0).abs() < 1e-6);
+        assert!((r.x[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_and_ge() {
+        // min x + 2y s.t. x + y = 1, y >= 0.25 → x = 0.75, y = 0.25.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, f64::INFINITY, 1.0);
+        let y = m.add_continuous(0.0, f64::INFINITY, 2.0);
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], Sense::Eq, 1.0);
+        m.add_constraint(&[(y, 1.0)], Sense::Ge, 0.25);
+        let r = solve_relaxation(&m, &free_bounds(&m));
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 1.0, 1.0);
+        m.add_constraint(&[(x, 1.0)], Sense::Ge, 2.0);
+        let r = solve_relaxation(&m, &free_bounds(&m));
+        assert_eq!(r.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, f64::INFINITY, -1.0);
+        let y = m.add_continuous(0.0, f64::INFINITY, 0.0);
+        m.add_constraint(&[(x, 1.0), (y, -1.0)], Sense::Le, 1.0);
+        let r = solve_relaxation(&m, &free_bounds(&m));
+        assert_eq!(r.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn upper_bounds_respected() {
+        // min -x with x in [0, 3].
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 3.0, -1.0);
+        m.add_constraint(&[(x, 1.0)], Sense::Ge, 0.0);
+        let r = solve_relaxation(&m, &free_bounds(&m));
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.x[0] - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn fixed_variables_fold_into_rhs() {
+        // x fixed to 2 by bounds; min y s.t. y >= 5 - x → y = 3.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 10.0, 0.0);
+        let y = m.add_continuous(0.0, f64::INFINITY, 1.0);
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], Sense::Ge, 5.0);
+        let r = solve_relaxation(&m, &[(2.0, 2.0), (0.0, f64::INFINITY)]);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.x[0] - 2.0).abs() < 1e-12);
+        assert!((r.x[1] - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn fixed_infeasibility_detected() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 1.0, 0.0);
+        m.add_constraint(&[(x, 1.0)], Sense::Ge, 0.9);
+        let r = solve_relaxation(&m, &[(0.0, 0.0)]);
+        assert_eq!(r.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn negative_rhs_rows() {
+        // min x s.t. -x <= -2  (i.e. x >= 2), x <= 5.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 5.0, 1.0);
+        m.add_constraint(&[(x, -1.0)], Sense::Le, -2.0);
+        let r = solve_relaxation(&m, &free_bounds(&m));
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.x[0] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Multiple redundant constraints intersecting at the optimum.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, f64::INFINITY, -1.0);
+        let y = m.add_continuous(0.0, f64::INFINITY, -1.0);
+        for k in 1..=6 {
+            m.add_constraint(&[(x, k as f64), (y, k as f64)], Sense::Le, 2.0 * k as f64);
+        }
+        let r = solve_relaxation(&m, &free_bounds(&m));
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective + 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn assignment_lp_relaxation_is_integral() {
+        // 2 tasks × 2 machines with costs; the LP relaxation of an
+        // assignment problem has an integral optimum.
+        let mut m = Model::new();
+        let cost = [[1.0, 3.0], [4.0, 1.5]];
+        let mut v = Vec::new();
+        for t in 0..2 {
+            for d in 0..2 {
+                v.push(m.add_continuous(0.0, 1.0, cost[t][d]));
+            }
+        }
+        for t in 0..2 {
+            m.add_constraint(&[(v[2 * t], 1.0), (v[2 * t + 1], 1.0)], Sense::Eq, 1.0);
+        }
+        let r = solve_relaxation(&m, &free_bounds(&m));
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective - 2.5).abs() < 1e-6);
+        for xi in &r.x {
+            assert!(xi.abs() < 1e-7 || (xi - 1.0).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Per-task execution-time and per-edge transfer-time cost functions.
+//!
+//! These implement the device formulas of DESIGN.md §6.2.  They are pure
+//! and cheap; the evaluator pre-tabulates [`exec_time`] per (task, device)
+//! pair once per graph.
+
+use spmap_graph::Task;
+
+use crate::platform::{DeviceSpec, Platform};
+use crate::DeviceId;
+
+/// Amdahl's-law speedup of a task with parallelizable fraction `p` on `k`
+/// cores: `1 / ((1 - p) + p / k)`.
+#[inline]
+pub fn amdahl(p: f64, k: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p), "parallelizability {p}");
+    debug_assert!(k >= 1.0);
+    1.0 / ((1.0 - p) + p / k)
+}
+
+/// Execution time of `task` on device `d` of `platform`, in seconds.
+///
+/// * CPU: `ops / (core_throughput · amdahl(p, cores))`
+/// * GPU: heterogeneous Amdahl —
+///   `launch + (1−p)·ops / serial_throughput + p·ops / (cores · core_throughput · η)`:
+///   the serial fraction runs on the GPU's slow scalar path, so the
+///   cliff for imperfectly parallelizable tasks is steep,
+/// * FPGA: `ops / (base_throughput · clamp(s, 1, s_max))` — streamability
+///   acts as the pipelining factor; parallelizability is irrelevant on a
+///   spatial datapath.
+pub fn exec_time(platform: &Platform, d: DeviceId, task: &Task) -> f64 {
+    let ops = task.ops();
+    if ops <= 0.0 {
+        return 0.0;
+    }
+    match platform.device(d).spec {
+        DeviceSpec::Cpu {
+            cores,
+            core_throughput,
+        } => ops / (core_throughput * amdahl(task.parallelizability, cores)),
+        DeviceSpec::Gpu {
+            cores,
+            core_throughput,
+            dispatch_efficiency,
+            launch_latency,
+            serial_throughput,
+        } => {
+            let p = task.parallelizability;
+            launch_latency
+                + (1.0 - p) * ops / serial_throughput
+                + p * ops / (cores * core_throughput * dispatch_efficiency)
+        }
+        DeviceSpec::Fpga {
+            base_throughput,
+            max_streamability,
+            ..
+        } => {
+            let s = task.streamability.clamp(1.0, max_streamability);
+            ops / (base_throughput * s)
+        }
+    }
+}
+
+/// FPGA area demand of a task (0 on non-FPGA devices).
+#[inline]
+pub fn area_demand(platform: &Platform, d: DeviceId, task: &Task) -> f64 {
+    if platform.is_fpga(d) {
+        task.area
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+
+    fn task(p: f64, s: f64) -> Task {
+        Task {
+            complexity: 8.0,
+            data_points: 1e7,
+            parallelizability: p,
+            streamability: s,
+            area: 64.0,
+            ..Task::default()
+        }
+    }
+
+    #[test]
+    fn amdahl_limits() {
+        assert_eq!(amdahl(0.0, 16.0), 1.0);
+        assert!((amdahl(1.0, 16.0) - 16.0).abs() < 1e-12);
+        // p = 0.5 on infinite cores tends to 2.
+        assert!((amdahl(0.5, 1e12) - 2.0).abs() < 1e-6);
+        // Monotone in p.
+        assert!(amdahl(0.7, 16.0) > amdahl(0.5, 16.0));
+    }
+
+    #[test]
+    fn cpu_time_scales_with_parallelizability() {
+        let p = Platform::reference();
+        let serial = exec_time(&p, DeviceId(0), &task(0.0, 1.0));
+        let parallel = exec_time(&p, DeviceId(0), &task(1.0, 1.0));
+        assert!((serial / parallel - 16.0).abs() < 1e-9);
+        // 8e7 ops at 0.3 Gop/s serial.
+        assert!((serial - 8e7 / 0.3e9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_cliff() {
+        let p = Platform::reference();
+        let gpu = DeviceId(1);
+        let cpu = DeviceId(0);
+        // Perfectly parallel work flies on the GPU...
+        assert!(exec_time(&p, gpu, &task(1.0, 1.0)) < exec_time(&p, cpu, &task(1.0, 1.0)));
+        // ...but serial work is far slower than the CPU.
+        assert!(exec_time(&p, gpu, &task(0.0, 1.0)) > 15.0 * exec_time(&p, cpu, &task(0.0, 1.0)));
+        // The cliff is steep: even p = 0.95 is clearly worse than the CPU.
+        assert!(exec_time(&p, gpu, &task(0.95, 1.0)) > exec_time(&p, cpu, &task(0.95, 1.0)));
+    }
+
+    #[test]
+    fn gpu_launch_latency_floor() {
+        let p = Platform::reference();
+        let tiny = Task {
+            complexity: 1e-6,
+            data_points: 1.0,
+            parallelizability: 1.0,
+            ..Task::default()
+        };
+        let t = exec_time(&p, DeviceId(1), &tiny);
+        assert!(t >= 10e-6);
+    }
+
+    #[test]
+    fn fpga_time_scales_with_streamability() {
+        let p = Platform::reference();
+        let f = DeviceId(2);
+        let slow = exec_time(&p, f, &task(0.0, 1.0));
+        let fast = exec_time(&p, f, &task(0.0, 4.0));
+        assert!((slow / fast - 4.0).abs() < 1e-9);
+        // Streamability below 1 is clamped up to 1.
+        assert_eq!(exec_time(&p, f, &task(0.0, 0.25)), slow);
+        // And clamped above max_streamability (7).
+        let capped = exec_time(&p, f, &task(0.0, 1000.0));
+        assert!((slow / capped - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fpga_ignores_parallelizability() {
+        let p = Platform::reference();
+        let f = DeviceId(2);
+        assert_eq!(
+            exec_time(&p, f, &task(0.0, 4.0)),
+            exec_time(&p, f, &task(1.0, 4.0))
+        );
+    }
+
+    #[test]
+    fn fpga_calibration_single_task_never_wins() {
+        // Calibration property (§III-B local minima): no single task is
+        // faster on the FPGA than on the CPU — even fully streamable
+        // serial tasks pay ~2x.  Only *pipelined chains* amortize the
+        // fabric's low clock, which is exactly the synergy the
+        // series-parallel subgraph set exposes.
+        let p = Platform::reference();
+        for s in [1.0, 7.4, 32.0] {
+            let t = task(0.0, s);
+            assert!(
+                exec_time(&p, DeviceId(2), &t) > exec_time(&p, DeviceId(0), &t),
+                "s = {s}"
+            );
+        }
+        let parallel = task(1.0, 7.4);
+        assert!(exec_time(&p, DeviceId(0), &parallel) < exec_time(&p, DeviceId(2), &parallel));
+    }
+
+    #[test]
+    fn zero_ops_is_free_everywhere() {
+        let p = Platform::reference();
+        let empty = Task {
+            complexity: 0.0,
+            data_points: 0.0,
+            ..Task::default()
+        };
+        for d in p.device_ids() {
+            assert_eq!(exec_time(&p, d, &empty), 0.0);
+        }
+    }
+
+    #[test]
+    fn area_demand_only_on_fpga() {
+        let p = Platform::reference();
+        let t = task(0.5, 2.0);
+        assert_eq!(area_demand(&p, DeviceId(0), &t), 0.0);
+        assert_eq!(area_demand(&p, DeviceId(2), &t), 64.0);
+    }
+}

@@ -1,0 +1,588 @@
+//! The model-based makespan evaluator.
+//!
+//! A deterministic list-schedule simulation in the spirit of the paper's
+//! ref. 5: given a task graph, a platform, a mapping and a priority
+//! order, it computes start/finish times for every task and thus the
+//! makespan, in `O((V + E) log V)` with no allocations after construction.
+//!
+//! Semantics (DESIGN.md §6):
+//!
+//! * CPU/GPU devices execute their mapped tasks sequentially; a popped
+//!   task starts at `max(device_free, data_ready)`.
+//! * Cross-device edges pay `latency + bytes / bandwidth` **and occupy
+//!   the directed link while in flight** (transfers between the same
+//!   device pair serialize — the DMA channel is a resource).  Same-device
+//!   edges are free.
+//! * FPGA→FPGA edges *stream*: the consumer may start after the producer's
+//!   pipeline-fill time `φ·exec(u)` instead of after its completion, but
+//!   can never finish earlier than `finish(u) + φ·exec(v)`.
+//! * The FPGA is a *dataflow* device: a task that is the designated
+//!   streaming successor of its producer is a pipeline continuation and
+//!   starts as soon as its data streams in (concurrently with its
+//!   producer); every producer extends its pipeline through **one**
+//!   successor (a pipeline is a chain, not a broadcast tree).  All other
+//!   FPGA tasks are pipeline heads and queue on the device like on any
+//!   other accelerator, so independent tasks and fan-out branches
+//!   serialize — concurrency comes from chain pipelining, not from free
+//!   spatial co-tenancy.  Streamed data is buffered, so non-designated
+//!   consumers still see the early streamed data-ready times.  The area
+//!   budget bounds what can be resident at all (violations make the
+//!   mapping infeasible → `None`).
+//!
+//! The paper's reporting metric (§IV-A) — the minimum makespan over a
+//! breadth-first schedule and `k` random schedules — is
+//! [`Evaluator::report_makespan`]; the optimizers' inner loop uses the
+//! breadth-first schedule only ([`Evaluator::makespan_bfs`]).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use spmap_graph::{NodeId, TaskGraph};
+
+use crate::cost::exec_time;
+use crate::mapping::Mapping;
+use crate::platform::Platform;
+use crate::schedule::{priority_ranks, SchedulePolicy};
+use crate::DeviceId;
+
+/// Counters accumulated over an evaluator's lifetime.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EvalStats {
+    /// Number of complete makespan evaluations performed.
+    pub evaluations: u64,
+}
+
+/// Detailed simulation result for inspection (examples, Gantt output).
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// Start time per task.
+    pub start: Vec<f64>,
+    /// Finish time per task.
+    pub finish: Vec<f64>,
+    /// Maximum finish time.
+    pub makespan: f64,
+}
+
+/// Reusable makespan evaluator for one `(graph, platform)` pair.
+pub struct Evaluator<'g> {
+    graph: &'g TaskGraph,
+    platform: &'g Platform,
+    /// Execution-time table, node-major: `exec[n * m + d]`.
+    exec: Vec<f64>,
+    bfs_ranks: Vec<u32>,
+    // --- reusable scratch ---
+    indeg: Vec<u32>,
+    data_ready: Vec<f64>,
+    start: Vec<f64>,
+    finish: Vec<f64>,
+    device_free: Vec<f64>,
+    /// `link_free[from * m + to]` — next time the directed link is idle.
+    link_free: Vec<f64>,
+    stream_input: Vec<bool>,
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    stats: EvalStats,
+}
+
+impl<'g> Evaluator<'g> {
+    /// Build an evaluator, pre-tabulating all `(task, device)` execution
+    /// times and the breadth-first priority ranks.
+    pub fn new(graph: &'g TaskGraph, platform: &'g Platform) -> Self {
+        let n = graph.node_count();
+        let m = platform.device_count();
+        let mut exec = Vec::with_capacity(n * m);
+        for v in graph.nodes() {
+            for d in platform.device_ids() {
+                exec.push(exec_time(platform, d, graph.task(v)));
+            }
+        }
+        Self {
+            graph,
+            platform,
+            exec,
+            bfs_ranks: priority_ranks(graph, SchedulePolicy::Bfs),
+            indeg: vec![0; n],
+            data_ready: vec![0.0; n],
+            start: vec![0.0; n],
+            finish: vec![0.0; n],
+            device_free: vec![0.0; m],
+            link_free: vec![0.0; m * m],
+            stream_input: vec![false; n],
+            heap: BinaryHeap::with_capacity(n),
+            stats: EvalStats::default(),
+        }
+    }
+
+    /// The graph this evaluator simulates.
+    pub fn graph(&self) -> &TaskGraph {
+        self.graph
+    }
+
+    /// The platform this evaluator simulates.
+    pub fn platform(&self) -> &Platform {
+        self.platform
+    }
+
+    /// Tabulated execution time of task `n` on device `d`.
+    #[inline]
+    pub fn exec_time(&self, n: NodeId, d: DeviceId) -> f64 {
+        self.exec[n.index() * self.platform.device_count() + d.index()]
+    }
+
+    /// Lifetime evaluation counters.
+    pub fn stats(&self) -> EvalStats {
+        self.stats
+    }
+
+    /// Makespan under an explicit priority-rank vector, or `None` if the
+    /// mapping violates an FPGA area budget.
+    pub fn makespan_with_ranks(&mut self, mapping: &Mapping, ranks: &[u32]) -> Option<f64> {
+        debug_assert_eq!(mapping.len(), self.graph.node_count());
+        debug_assert_eq!(ranks.len(), self.graph.node_count());
+        self.stats.evaluations += 1;
+        if !self.area_feasible(mapping) {
+            return None;
+        }
+        let g = self.graph;
+        let m = self.platform.device_count();
+        // Reset scratch.
+        for v in g.nodes() {
+            self.indeg[v.index()] = g.in_degree(v) as u32;
+            self.data_ready[v.index()] = 0.0;
+            self.finish[v.index()] = 0.0;
+            self.start[v.index()] = 0.0;
+            self.stream_input[v.index()] = false;
+        }
+        self.device_free.iter_mut().for_each(|t| *t = 0.0);
+        self.link_free.iter_mut().for_each(|t| *t = 0.0);
+        self.heap.clear();
+        for v in g.nodes() {
+            if self.indeg[v.index()] == 0 {
+                self.heap.push(Reverse((ranks[v.index()], v.0)));
+            }
+        }
+        let mut makespan: f64 = 0.0;
+        let mut scheduled = 0usize;
+        while let Some(Reverse((_, vi))) = self.heap.pop() {
+            let v = NodeId(vi);
+            scheduled += 1;
+            let d = mapping.device(v);
+            let ev = self.exec[v.index() * m + d.index()];
+            let spatial = self.platform.is_fpga(d);
+            let start = if spatial {
+                if self.stream_input[v.index()] {
+                    // Pipeline continuation: runs concurrently with its
+                    // producers; the pipeline occupies the device until
+                    // its last stage drains.
+                    self.data_ready[v.index()]
+                } else {
+                    // Pipeline head: queues like on any other device.
+                    self.device_free[d.index()].max(self.data_ready[v.index()])
+                }
+            } else {
+                let s = self.device_free[d.index()].max(self.data_ready[v.index()]);
+                self.device_free[d.index()] = s + ev;
+                s
+            };
+            let fin = start + ev;
+            if spatial {
+                let free = &mut self.device_free[d.index()];
+                *free = free.max(fin);
+            }
+            self.start[v.index()] = start;
+            self.finish[v.index()] = fin;
+            makespan = makespan.max(fin);
+            let fill = self.platform.fill_fraction(d);
+            // A pipeline extends through one successor only: grant the
+            // queue-skip to the first same-FPGA out-edge.
+            let mut stream_granted = false;
+            for &e in g.out_edges(v) {
+                let edge = g.edge(e);
+                let w = edge.dst;
+                let dw = mapping.device(w);
+                let ready = if dw == d {
+                    if spatial {
+                        // Streaming: the consumer's data arrives after the
+                        // pipeline fill, but it cannot finish before the
+                        // producer (+ its own fill tail).
+                        if !stream_granted {
+                            self.stream_input[w.index()] = true;
+                            stream_granted = true;
+                        }
+                        let ew = self.exec[w.index() * m + dw.index()];
+                        (start + fill * ev).max(fin - (1.0 - fill) * ew)
+                    } else {
+                        fin
+                    }
+                } else {
+                    // The transfer occupies the directed link: it starts
+                    // when both the data and the link are available.
+                    let tr = self.platform.transfer_time(edge.bytes, d, dw);
+                    let link = &mut self.link_free[d.index() * m + dw.index()];
+                    let t_start = fin.max(*link);
+                    *link = t_start + tr;
+                    t_start + tr
+                };
+                if ready > self.data_ready[w.index()] {
+                    self.data_ready[w.index()] = ready;
+                }
+                self.indeg[w.index()] -= 1;
+                if self.indeg[w.index()] == 0 {
+                    self.heap.push(Reverse((ranks[w.index()], w.0)));
+                }
+            }
+        }
+        debug_assert_eq!(scheduled, g.node_count(), "graph must be acyclic");
+        Some(makespan)
+    }
+
+    /// Makespan under the deterministic breadth-first schedule — the
+    /// optimizers' inner-loop cost function.
+    pub fn makespan_bfs(&mut self, mapping: &Mapping) -> Option<f64> {
+        // Temporarily move the ranks out to satisfy the borrow checker
+        // without cloning per call.
+        let ranks = std::mem::take(&mut self.bfs_ranks);
+        let result = self.makespan_with_ranks(mapping, &ranks);
+        self.bfs_ranks = ranks;
+        result
+    }
+
+    /// Makespan under an arbitrary policy.
+    pub fn makespan(&mut self, mapping: &Mapping, policy: SchedulePolicy) -> Option<f64> {
+        match policy {
+            SchedulePolicy::Bfs => self.makespan_bfs(mapping),
+            _ => {
+                let ranks = priority_ranks(self.graph, policy);
+                self.makespan_with_ranks(mapping, &ranks)
+            }
+        }
+    }
+
+    /// The paper's reporting metric (§IV-A): the minimum makespan over the
+    /// breadth-first schedule and `random_schedules` seeded random
+    /// topological schedules.
+    pub fn report_makespan(
+        &mut self,
+        mapping: &Mapping,
+        random_schedules: usize,
+        seed: u64,
+    ) -> Option<f64> {
+        let mut best = self.makespan_bfs(mapping)?;
+        for i in 0..random_schedules {
+            let ranks = priority_ranks(
+                self.graph,
+                SchedulePolicy::RandomTopo {
+                    seed: seed.wrapping_add(i as u64),
+                },
+            );
+            if let Some(ms) = self.makespan_with_ranks(mapping, &ranks) {
+                best = best.min(ms);
+            }
+        }
+        Some(best)
+    }
+
+    /// Full start/finish detail under a policy (allocates; not for the hot
+    /// loop).
+    pub fn simulate(&mut self, mapping: &Mapping, policy: SchedulePolicy) -> Option<Schedule> {
+        let makespan = self.makespan(mapping, policy)?;
+        Some(Schedule {
+            start: self.start.clone(),
+            finish: self.finish.clone(),
+            makespan,
+        })
+    }
+
+    /// Makespan of the all-default (pure CPU) mapping — the baseline of
+    /// every relative improvement.
+    pub fn cpu_only_makespan(&mut self) -> f64 {
+        let mapping = Mapping::all_default(self.graph, self.platform);
+        self.makespan_bfs(&mapping)
+            .expect("the default mapping uses no FPGA area")
+    }
+
+    fn area_feasible(&self, mapping: &Mapping) -> bool {
+        let m = self.platform.device_count();
+        // Cheap common case: no FPGA in the platform.
+        if !(0..m).any(|d| self.platform.is_fpga(DeviceId(d as u32))) {
+            return true;
+        }
+        let mut used = [0.0f64; 8];
+        debug_assert!(m <= 8, "platforms larger than 8 devices need a Vec here");
+        for v in self.graph.nodes() {
+            let d = mapping.device(v);
+            if self.platform.is_fpga(d) {
+                used[d.index()] += self.graph.task(v).area;
+            }
+        }
+        (0..m).all(|d| {
+            let id = DeviceId(d as u32);
+            !self.platform.is_fpga(id)
+                || used[d] <= self.platform.device(id).area_capacity() + 1e-9
+        })
+    }
+}
+
+/// The paper's improvement measure: relative makespan improvement over the
+/// pure-CPU baseline, truncated at zero ("we count deteriorations as zero
+/// improvements").
+#[inline]
+pub fn relative_improvement(cpu_only: f64, mapped: f64) -> f64 {
+    if cpu_only <= 0.0 {
+        return 0.0;
+    }
+    ((cpu_only - mapped) / cpu_only).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmap_graph::gen::{chain, diamond, fork_join, random_sp_graph, SpGenConfig};
+    use spmap_graph::{augment, ops, AugmentConfig};
+
+    const CPU: DeviceId = DeviceId(0);
+    const GPU: DeviceId = DeviceId(1);
+    const FPGA: DeviceId = DeviceId(2);
+
+    fn ref_platform() -> Platform {
+        Platform::reference()
+    }
+
+    fn set_attrs(g: &mut TaskGraph, p: f64, s: f64) {
+        for v in 0..g.node_count() {
+            let t = g.task_mut(NodeId(v as u32));
+            t.complexity = 8.0;
+            t.data_points = 1e7;
+            t.parallelizability = p;
+            t.streamability = s;
+            t.area = 64.0;
+        }
+    }
+
+    #[test]
+    fn cpu_chain_is_sum_of_exec_times() {
+        let mut g = chain(5, 100e6);
+        set_attrs(&mut g, 0.0, 1.0);
+        let p = ref_platform();
+        let mut ev = Evaluator::new(&g, &p);
+        let m = Mapping::all_default(&g, &p);
+        let ms = ev.makespan_bfs(&m).unwrap();
+        let each = 8e7 / 0.3e9;
+        assert!((ms - 5.0 * each).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_device_makespan_is_total_work() {
+        // With one device there is never idle time on a connected DAG.
+        let mut g = diamond(100e6);
+        set_attrs(&mut g, 0.0, 1.0);
+        let p = ref_platform();
+        let mut ev = Evaluator::new(&g, &p);
+        let ms = ev.cpu_only_makespan();
+        let total: f64 = g.nodes().map(|v| ev.exec_time(v, CPU)).sum();
+        assert!((ms - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_device_edge_pays_transfer() {
+        let mut g = chain(2, 100e6);
+        set_attrs(&mut g, 1.0, 1.0);
+        let p = ref_platform();
+        let mut ev = Evaluator::new(&g, &p);
+        let mut m = Mapping::all_default(&g, &p);
+        m.set(NodeId(1), GPU);
+        let ms = ev.makespan_bfs(&m).unwrap();
+        let expect = ev.exec_time(NodeId(0), CPU)
+            + p.transfer_time(100e6, CPU, GPU)
+            + ev.exec_time(NodeId(1), GPU);
+        assert!((ms - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offloading_independent_work_reduces_makespan() {
+        let mut g = fork_join(4, 100e6);
+        set_attrs(&mut g, 1.0, 1.0);
+        let p = ref_platform();
+        let mut ev = Evaluator::new(&g, &p);
+        let base = ev.cpu_only_makespan();
+        let mut m = Mapping::all_default(&g, &p);
+        // Two of the four middle tasks to the GPU.
+        m.set(NodeId(1), GPU);
+        m.set(NodeId(2), GPU);
+        let ms = ev.makespan_bfs(&m).unwrap();
+        assert!(ms < base, "offload {ms} < cpu-only {base}");
+    }
+
+    #[test]
+    fn fpga_serializes_independent_tasks() {
+        // Four independent middle tasks on the FPGA are all pipeline
+        // heads: they queue, exactly like on a temporal device
+        // (concurrency on the FPGA comes from streaming chains only).
+        let mut g = fork_join(4, 100e6);
+        set_attrs(&mut g, 0.0, 8.0);
+        let p = ref_platform();
+        let mut ev = Evaluator::new(&g, &p);
+        let mut m = Mapping::all_default(&g, &p);
+        for i in 1..=4 {
+            m.set(NodeId(i), FPGA);
+        }
+        let ms = ev.makespan_bfs(&m).unwrap();
+        let mid_time = ev.exec_time(NodeId(1), FPGA);
+        let tr = p.transfer_time(100e6, CPU, FPGA);
+        // Source + transfer + four serialized mids + transfer + sink.
+        let expect = ev.exec_time(NodeId(0), CPU) + tr + 4.0 * mid_time + tr
+            + ev.exec_time(NodeId(5), CPU);
+        assert!(
+            (ms - expect).abs() < 1e-9,
+            "serialized makespan {ms} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn fpga_pipeline_does_not_block_chain_members() {
+        // A streaming chain on the FPGA plus one independent FPGA task:
+        // the chain pipelines; the independent task queues behind the
+        // pipeline head it was scheduled after.
+        let mut g = spmap_graph::GraphBuilder::new();
+        let a = g.add_task(spmap_graph::Task::default());
+        let b = g.add_task(spmap_graph::Task::default());
+        let c = g.add_task(spmap_graph::Task::default());
+        g.add_edge(a, b, 100e6).unwrap();
+        let mut g = g.build().unwrap();
+        set_attrs(&mut g, 0.0, 8.0);
+        let p = ref_platform();
+        let mut ev = Evaluator::new(&g, &p);
+        let m = Mapping::uniform(3, FPGA);
+        let sched = ev.simulate(&m, SchedulePolicy::Bfs).unwrap();
+        let exec = ev.exec_time(NodeId(0), FPGA);
+        // b streams behind a (starts at fill), c is an independent head.
+        assert!((sched.start[b.index()] - 0.05 * exec).abs() < 1e-9);
+        // c queues after one of the heads, not in parallel with both.
+        assert!(sched.start[c.index()] >= exec - 1e-9 || sched.start[a.index()] >= exec - 1e-9);
+        let _ = sched;
+    }
+
+    #[test]
+    fn fpga_streaming_overlaps_chains() {
+        let mut g = chain(6, 100e6);
+        set_attrs(&mut g, 0.0, 8.0);
+        let p = ref_platform();
+        let mut ev = Evaluator::new(&g, &p);
+        let m = Mapping::uniform(6, FPGA);
+        let ms = ev.makespan_bfs(&m).unwrap();
+        let each = ev.exec_time(NodeId(0), FPGA);
+        // Pipelined: first task + 5 fill increments, not 6 full tasks.
+        let expect = each + 5.0 * 0.05 * each;
+        assert!((ms - expect).abs() < 1e-9, "streamed {ms} vs {expect}");
+        assert!(ms < 2.0 * each, "must be far below the serial sum");
+    }
+
+    #[test]
+    fn streaming_consumer_never_finishes_before_producer() {
+        let mut g = chain(2, 100e6);
+        set_attrs(&mut g, 0.0, 8.0);
+        // Make the consumer much cheaper than the producer.
+        g.task_mut(NodeId(1)).complexity = 0.1;
+        let p = ref_platform();
+        let mut ev = Evaluator::new(&g, &p);
+        let m = Mapping::uniform(2, FPGA);
+        let sched = ev.simulate(&m, SchedulePolicy::Bfs).unwrap();
+        assert!(
+            sched.finish[1] >= sched.finish[0],
+            "consumer finish {} producer finish {}",
+            sched.finish[1],
+            sched.finish[0]
+        );
+    }
+
+    #[test]
+    fn area_violation_is_infeasible() {
+        let mut g = chain(4, 100e6);
+        set_attrs(&mut g, 0.0, 8.0);
+        for v in 0..4 {
+            g.task_mut(NodeId(v)).area = 700.0;
+        }
+        let p = ref_platform();
+        let mut ev = Evaluator::new(&g, &p);
+        let m = Mapping::uniform(4, FPGA);
+        assert_eq!(ev.makespan_bfs(&m), None, "2800 > 1200 area");
+        let m2 = Mapping::uniform(4, CPU);
+        assert!(ev.makespan_bfs(&m2).is_some());
+    }
+
+    #[test]
+    fn makespan_never_below_critical_path() {
+        let mut g = random_sp_graph(&SpGenConfig::new(60, 3));
+        augment(&mut g, &AugmentConfig::default(), 3);
+        let p = ref_platform();
+        let mut ev = Evaluator::new(&g, &p);
+        for trial in 0..20u64 {
+            // Random-ish mapping over the three devices; FPGA may exceed
+            // area (then makespan is None, which is fine).
+            let mapping = Mapping::from_vec(
+                (0..g.node_count())
+                    .map(|i| DeviceId(((i as u64 * 7 + trial * 13) % 3) as u32))
+                    .collect(),
+            );
+            let Some(ms) = ev.makespan_bfs(&mapping) else {
+                continue;
+            };
+            // Lower bound: critical path of mapped exec times (edges >= 0),
+            // discounted by the max streaming overlap factor to stay a
+            // valid bound in the presence of FPGA pipelining.
+            let lb = ops::critical_path(&g, |v| 0.05 * ev.exec_time(v, mapping.device(v)), |_| 0.0);
+            assert!(ms + 1e-9 >= lb, "makespan {ms} < bound {lb}");
+        }
+    }
+
+    #[test]
+    fn report_makespan_is_min_over_schedules() {
+        let mut g = random_sp_graph(&SpGenConfig::new(40, 8));
+        augment(&mut g, &AugmentConfig::default(), 8);
+        let p = ref_platform();
+        let mut ev = Evaluator::new(&g, &p);
+        let mapping = Mapping::from_vec(
+            (0..g.node_count())
+                .map(|i| DeviceId((i % 2) as u32))
+                .collect(),
+        );
+        let bfs = ev.makespan_bfs(&mapping).unwrap();
+        let report = ev.report_makespan(&mapping, 20, 99).unwrap();
+        assert!(report <= bfs + 1e-12);
+        // Deterministic.
+        assert_eq!(report, ev.report_makespan(&mapping, 20, 99).unwrap());
+    }
+
+    #[test]
+    fn relative_improvement_truncates() {
+        assert_eq!(relative_improvement(10.0, 5.0), 0.5);
+        assert_eq!(relative_improvement(10.0, 12.0), 0.0);
+        assert_eq!(relative_improvement(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn eval_stats_count() {
+        let g = chain(3, 1.0);
+        let p = ref_platform();
+        let mut ev = Evaluator::new(&g, &p);
+        let m = Mapping::all_default(&g, &p);
+        ev.makespan_bfs(&m);
+        ev.makespan_bfs(&m);
+        assert_eq!(ev.stats().evaluations, 2);
+    }
+
+    #[test]
+    fn gpu_queue_serializes() {
+        // Two independent tasks on the GPU must serialize.
+        let mut g = fork_join(2, 100e6);
+        set_attrs(&mut g, 1.0, 1.0);
+        let p = ref_platform();
+        let mut ev = Evaluator::new(&g, &p);
+        let mut m = Mapping::all_default(&g, &p);
+        m.set(NodeId(1), GPU);
+        m.set(NodeId(2), GPU);
+        let sched = ev.simulate(&m, SchedulePolicy::Bfs).unwrap();
+        let (s1, f1) = (sched.start[1], sched.finish[1]);
+        let (s2, f2) = (sched.start[2], sched.finish[2]);
+        assert!(f1 <= s2 || f2 <= s1, "GPU tasks overlap: [{s1},{f1}] [{s2},{f2}]");
+    }
+}

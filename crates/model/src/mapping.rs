@@ -1,0 +1,132 @@
+//! Task → device assignments.
+
+use spmap_graph::{NodeId, TaskGraph};
+
+use crate::platform::Platform;
+use crate::DeviceId;
+
+/// A complete task mapping: one device per task node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mapping {
+    devices: Vec<DeviceId>,
+}
+
+impl Mapping {
+    /// Every task on device `d`.
+    pub fn uniform(task_count: usize, d: DeviceId) -> Self {
+        Self {
+            devices: vec![d; task_count],
+        }
+    }
+
+    /// Every task on the platform's default device (the paper's step 1).
+    pub fn all_default(graph: &TaskGraph, platform: &Platform) -> Self {
+        Self::uniform(graph.node_count(), platform.default_device())
+    }
+
+    /// Build from an explicit per-task device vector.
+    pub fn from_vec(devices: Vec<DeviceId>) -> Self {
+        Self { devices }
+    }
+
+    /// Number of mapped tasks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// `true` when there are no tasks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Device of task `n`.
+    #[inline]
+    pub fn device(&self, n: NodeId) -> DeviceId {
+        self.devices[n.index()]
+    }
+
+    /// Assign task `n` to device `d`.
+    #[inline]
+    pub fn set(&mut self, n: NodeId, d: DeviceId) {
+        self.devices[n.index()] = d;
+    }
+
+    /// The raw assignment slice (index = node id).
+    #[inline]
+    pub fn as_slice(&self) -> &[DeviceId] {
+        &self.devices
+    }
+
+    /// Number of tasks mapped to `d`.
+    pub fn count_on(&self, d: DeviceId) -> usize {
+        self.devices.iter().filter(|&&x| x == d).count()
+    }
+
+    /// Total FPGA area consumed on device `d` (0 if `d` is not an FPGA).
+    pub fn area_on(&self, graph: &TaskGraph, platform: &Platform, d: DeviceId) -> f64 {
+        if !platform.is_fpga(d) {
+            return 0.0;
+        }
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|&(_, &x)| x == d)
+            .map(|(i, _)| graph.task(NodeId(i as u32)).area)
+            .sum()
+    }
+
+    /// `true` if every FPGA's area budget is respected.
+    pub fn is_area_feasible(&self, graph: &TaskGraph, platform: &Platform) -> bool {
+        platform
+            .device_ids()
+            .filter(|&d| platform.is_fpga(d))
+            .all(|d| self.area_on(graph, platform, d) <= platform.device(d).area_capacity() + 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmap_graph::gen::diamond;
+
+    #[test]
+    fn uniform_and_set() {
+        let mut m = Mapping::uniform(4, DeviceId(0));
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.count_on(DeviceId(0)), 4);
+        m.set(NodeId(2), DeviceId(1));
+        assert_eq!(m.device(NodeId(2)), DeviceId(1));
+        assert_eq!(m.count_on(DeviceId(0)), 3);
+        assert_eq!(m.count_on(DeviceId(1)), 1);
+    }
+
+    #[test]
+    fn all_default_uses_platform_default() {
+        let g = diamond(1.0);
+        let p = Platform::reference();
+        let m = Mapping::all_default(&g, &p);
+        assert_eq!(m.count_on(p.default_device()), 4);
+    }
+
+    #[test]
+    fn area_accounting() {
+        let mut g = diamond(1.0);
+        let p = Platform::reference();
+        for v in 0..4 {
+            g.task_mut(NodeId(v)).area = 900.0;
+        }
+        let mut m = Mapping::all_default(&g, &p);
+        assert_eq!(m.area_on(&g, &p, DeviceId(2)), 0.0);
+        assert!(m.is_area_feasible(&g, &p));
+        m.set(NodeId(0), DeviceId(2));
+        m.set(NodeId(1), DeviceId(2));
+        assert_eq!(m.area_on(&g, &p, DeviceId(2)), 1800.0);
+        assert!(m.is_area_feasible(&g, &p), "1800 <= 2400");
+        m.set(NodeId(2), DeviceId(2));
+        assert!(!m.is_area_feasible(&g, &p), "2700 > 2400");
+        // Area on a non-FPGA device is always 0 / feasible.
+        assert_eq!(m.area_on(&g, &p, DeviceId(0)), 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Tests for platforms beyond the paper's reference triple: multiple
+//! GPUs/FPGAs, asymmetric links.  The evaluator, mapper inputs and area
+//! accounting must generalize — the paper's principle is explicitly
+//! platform-agnostic ("regardless of the complexity of the scenario").
+
+#[cfg(test)]
+mod tests {
+    use crate::eval::Evaluator;
+    use crate::mapping::Mapping;
+    use crate::platform::{Device, DeviceSpec, Link, Platform};
+    use crate::DeviceId;
+    use spmap_graph::gen::{chain, fork_join};
+    use spmap_graph::NodeId;
+
+    /// CPU + two GPUs + two FPGAs with distinct parameters.
+    fn big_platform() -> Platform {
+        let cpu = Device {
+            name: "cpu".into(),
+            spec: DeviceSpec::Cpu {
+                cores: 16.0,
+                core_throughput: 0.3e9,
+            },
+        };
+        let gpu = |name: &str, eff: f64| Device {
+            name: name.into(),
+            spec: DeviceSpec::Gpu {
+                cores: 2048.0,
+                core_throughput: 0.08e9,
+                dispatch_efficiency: eff,
+                launch_latency: 10e-6,
+                serial_throughput: 0.015e9,
+            },
+        };
+        let fpga = |name: &str, area: f64| Device {
+            name: name.into(),
+            spec: DeviceSpec::Fpga {
+                base_throughput: 0.02e9,
+                max_streamability: 7.0,
+                area_capacity: area,
+                fill_fraction: 0.05,
+            },
+        };
+        let mut p = Platform::new(
+            vec![
+                cpu,
+                gpu("gpu0", 0.35),
+                gpu("gpu1", 0.20),
+                fpga("fpga0", 500.0),
+                fpga("fpga1", 900.0),
+            ],
+            DeviceId(0),
+        );
+        p.set_link(
+            DeviceId(0),
+            DeviceId(1),
+            Link {
+                bandwidth: 12e9,
+                latency: 20e-6,
+            },
+        );
+        p.set_link(
+            DeviceId(0),
+            DeviceId(2),
+            Link {
+                bandwidth: 6e9,
+                latency: 20e-6,
+            },
+        );
+        p
+    }
+
+    fn set_attrs(g: &mut spmap_graph::TaskGraph, p: f64, s: f64, area: f64) {
+        for v in 0..g.node_count() {
+            let t = g.task_mut(NodeId(v as u32));
+            t.complexity = 8.0;
+            t.data_points = 1e7;
+            t.parallelizability = p;
+            t.streamability = s;
+            t.area = area;
+        }
+    }
+
+    #[test]
+    fn per_fpga_area_budgets_are_independent() {
+        let mut g = fork_join(4, 1e6);
+        set_attrs(&mut g, 0.0, 6.0, 400.0);
+        let p = big_platform();
+        let mut ev = Evaluator::new(&g, &p);
+        // 2 tasks (800) on fpga1 (900): feasible; on fpga0 (500): not.
+        let mut m = Mapping::all_default(&g, &p);
+        m.set(NodeId(1), DeviceId(4));
+        m.set(NodeId(2), DeviceId(4));
+        assert!(ev.makespan_bfs(&m).is_some(), "fits fpga1");
+        let mut m2 = Mapping::all_default(&g, &p);
+        m2.set(NodeId(1), DeviceId(3));
+        m2.set(NodeId(2), DeviceId(3));
+        assert!(ev.makespan_bfs(&m2).is_none(), "overflows fpga0");
+        // One on each: feasible.
+        let mut m3 = Mapping::all_default(&g, &p);
+        m3.set(NodeId(1), DeviceId(3));
+        m3.set(NodeId(2), DeviceId(4));
+        assert!(ev.makespan_bfs(&m3).is_some());
+    }
+
+    #[test]
+    fn two_gpus_double_absorption() {
+        // Two independent perfectly-parallel tasks: splitting them across
+        // two GPUs beats queueing both on one.
+        let mut g = fork_join(2, 1e6);
+        set_attrs(&mut g, 1.0, 1.0, 10.0);
+        let p = big_platform();
+        let mut ev = Evaluator::new(&g, &p);
+        let mut both_one = Mapping::all_default(&g, &p);
+        both_one.set(NodeId(1), DeviceId(1));
+        both_one.set(NodeId(2), DeviceId(1));
+        let mut split = Mapping::all_default(&g, &p);
+        split.set(NodeId(1), DeviceId(1));
+        split.set(NodeId(2), DeviceId(2));
+        let ms_one = ev.makespan_bfs(&both_one).unwrap();
+        let ms_split = ev.makespan_bfs(&split).unwrap();
+        assert!(ms_split <= ms_one + 1e-12);
+    }
+
+    #[test]
+    fn streaming_is_per_fpga_not_cross_fpga() {
+        let mut g = chain(2, 100e6);
+        set_attrs(&mut g, 0.0, 6.0, 100.0);
+        let p = big_platform();
+        let mut ev = Evaluator::new(&g, &p);
+        // Same FPGA: streams (consumer starts before producer finishes).
+        let same = Mapping::from_vec(vec![DeviceId(3), DeviceId(3)]);
+        let s1 = ev.simulate(&same, crate::schedule::SchedulePolicy::Bfs).unwrap();
+        assert!(s1.start[1] < s1.finish[0], "must stream");
+        // Different FPGAs: a real transfer, no streaming.
+        let cross = Mapping::from_vec(vec![DeviceId(3), DeviceId(4)]);
+        let s2 = ev.simulate(&cross, crate::schedule::SchedulePolicy::Bfs).unwrap();
+        assert!(s2.start[1] >= s2.finish[0], "cross-FPGA must not stream");
+    }
+
+    #[test]
+    fn mapper_stack_works_on_the_big_platform() {
+        // End-to-end sanity on 5 devices through the public evaluator
+        // path used by the mappers.
+        let mut g = fork_join(6, 100e6);
+        set_attrs(&mut g, 0.5, 5.0, 60.0);
+        let p = big_platform();
+        let mut ev = Evaluator::new(&g, &p);
+        let cpu_only = ev.cpu_only_makespan();
+        assert!(cpu_only > 0.0);
+        for d in p.device_ids() {
+            let mut m = Mapping::all_default(&g, &p);
+            m.set(NodeId(1), d);
+            let ms = ev.makespan_bfs(&m).expect("single move always feasible");
+            assert!(ms.is_finite());
+        }
+    }
+}

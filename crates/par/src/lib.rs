@@ -1,0 +1,126 @@
+//! # spmap-par — parallel map for experiment sweeps
+//!
+//! The experiment harness evaluates hundreds of independent
+//! (graph, algorithm) cells; this crate provides a small self-balancing
+//! parallel map on top of `crossbeam`'s scoped threads (no global thread
+//! pool, no extra dependencies).  Work items are claimed through a shared
+//! atomic counter, so long-running items (e.g. a MILP solve) do not stall
+//! the remaining workers.
+//!
+//! Measurement note: per-item *execution times* reported by the harness
+//! are measured inside the item closure, so wall-clock parallelism of the
+//! sweep does not distort per-algorithm timing (beyond the usual
+//! multi-core interference, which also affected the paper's C++ harness).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use: `SPMAP_THREADS` if set, otherwise the
+/// machine's available parallelism.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("SPMAP_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Apply `f` to every item, in parallel, preserving input order in the
+/// result.  `f` receives `(index, &item)`.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut parts: Vec<Vec<(usize, R)>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let next = &next;
+            let f = &f;
+            handles.push(scope.spawn(move |_| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            parts.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("scope panicked");
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for part in parts {
+        for (i, r) in part {
+            debug_assert!(out[i].is_none());
+            out[i] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("every index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |_, &x| x * 2);
+        assert_eq!(out.len(), 1000);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = vec!["a", "b", "c"];
+        let out = par_map(&items, |i, &s| format!("{i}{s}"));
+        assert_eq!(out, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn unbalanced_work_completes() {
+        // One expensive item must not serialize the rest.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, |_, &x| {
+            if x == 0 {
+                // Busy-work instead of sleeping to keep the test fast.
+                (0..200_000u64).fold(0, |a, b| a ^ b.wrapping_mul(x + 1))
+            } else {
+                x
+            }
+        });
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[5], 5);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -1,0 +1,367 @@
+//! The nine workflow-family recipes.
+//!
+//! Each generator targets a requested task count, derives its width
+//! parameters from it, and labels tasks with their real pipeline stage
+//! names.  Complexities (operations per data point) and data volumes are
+//! family-specific magnitudes: compute-rich families (blast, epigenomics,
+//! montage's mAdd tail, soykb) can be accelerated; transfer-dominated
+//! families (bwa, seismology) cannot — matching the paper's findings.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use spmap_graph::{NodeId, TaskGraph};
+
+use crate::{builder, typed_task, MB};
+
+/// montage: `w` projections → 2w diff-fit lattice → concat/model →
+/// `w` backgrounds → imgtbl → mAdd → mShrink → mJPEG.  The mosaic tail
+/// (mAdd/mShrink) carries most of the work — the paper's explanation for
+/// PEFT doing well here.
+pub fn montage(tasks: usize, seed: u64) -> TaskGraph {
+    let w = ((tasks.saturating_sub(6)) / 4).max(2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = builder();
+    let projects: Vec<NodeId> = (0..w)
+        .map(|_| b.add_task(typed_task(&mut rng, "mProjectPP", 6.0, 120.0)))
+        .collect();
+    let concat = b.add_task(typed_task(&mut rng, "mConcatFit", 2.0, 40.0));
+    let mut diffs = Vec::with_capacity(2 * w);
+    for i in 0..w {
+        for stride in [1usize, 2] {
+            let d = b.add_task(typed_task(&mut rng, "mDiffFit", 3.0, 30.0));
+            b.add_edge(projects[i], d, 120.0 * MB).unwrap();
+            b.add_edge(projects[(i + stride) % w], d, 120.0 * MB).unwrap();
+            b.add_edge(d, concat, 5.0 * MB).unwrap();
+            diffs.push(d);
+        }
+    }
+    let bg_model = b.add_task(typed_task(&mut rng, "mBgModel", 4.0, 40.0));
+    b.add_edge(concat, bg_model, 10.0 * MB).unwrap();
+    let imgtbl = b.add_task(typed_task(&mut rng, "mImgtbl", 1.0, 30.0));
+    for &p in &projects {
+        let bg = b.add_task(typed_task(&mut rng, "mBackground", 5.0, 120.0));
+        b.add_edge(p, bg, 120.0 * MB).unwrap();
+        b.add_edge(bg_model, bg, 1.0 * MB).unwrap();
+        b.add_edge(bg, imgtbl, 120.0 * MB).unwrap();
+    }
+    let m_add = b.add_task(typed_task(&mut rng, "mAdd", 25.0, 900.0));
+    b.add_edge(imgtbl, m_add, 900.0 * MB).unwrap();
+    let shrink = b.add_task(typed_task(&mut rng, "mShrink", 8.0, 500.0));
+    b.add_edge(m_add, shrink, 500.0 * MB).unwrap();
+    let jpeg = b.add_task(typed_task(&mut rng, "mJPEG", 4.0, 100.0));
+    b.add_edge(shrink, jpeg, 100.0 * MB).unwrap();
+    b.build().expect("montage recipe is acyclic")
+}
+
+/// epigenomics: per library a fastqSplit fans into parallel 4-stage
+/// chains (filterContams → sol2sanger → fast2bfq → map) merged per
+/// library, then mapIndex → pileup.  Almost entirely chains — the
+/// series-parallel showcase of the paper's Table I discussion.
+pub fn epigenomics(tasks: usize, seed: u64) -> TaskGraph {
+    let libs = ((tasks as f64 / 330.0).round() as usize).clamp(2, 8);
+    let chains = ((tasks.saturating_sub(2 * libs + 2)) / (4 * libs)).max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = builder();
+    let index = b.add_task(typed_task(&mut rng, "mapIndex", 5.0, 120.0));
+    for _ in 0..libs {
+        let split = b.add_task(typed_task(&mut rng, "fastqSplit", 2.0, 400.0));
+        let merge = b.add_task(typed_task(&mut rng, "mapMerge", 6.0, 150.0));
+        for _ in 0..chains {
+            let chunk_mb = 400.0 / chains as f64;
+            let filter = b.add_task(typed_task(&mut rng, "filterContams", 4.0, chunk_mb));
+            let sol = b.add_task(typed_task(&mut rng, "sol2sanger", 3.0, chunk_mb));
+            let bfq = b.add_task(typed_task(&mut rng, "fast2bfq", 3.0, chunk_mb));
+            let map = b.add_task(typed_task(&mut rng, "map", 12.0, chunk_mb));
+            b.add_edge(split, filter, chunk_mb * MB).unwrap();
+            b.add_edge(filter, sol, chunk_mb * MB).unwrap();
+            b.add_edge(sol, bfq, chunk_mb * MB).unwrap();
+            b.add_edge(bfq, map, chunk_mb * MB).unwrap();
+            b.add_edge(map, merge, chunk_mb * MB).unwrap();
+        }
+        b.add_edge(merge, index, 150.0 * MB).unwrap();
+    }
+    let pileup = b.add_task(typed_task(&mut rng, "pileup", 7.0, 200.0));
+    b.add_edge(index, pileup, 200.0 * MB).unwrap();
+    b.build().expect("epigenomics recipe is acyclic")
+}
+
+/// 1000genome: per chromosome a wide individuals fan-in plus a sifting
+/// side input feeding mutation-overlap and frequency analyses.
+pub fn genome1000(tasks: usize, seed: u64) -> TaskGraph {
+    let chroms = ((tasks as f64 / 160.0).round() as usize).clamp(1, 8);
+    let analyses = 7usize;
+    let per_chrom = (tasks / chroms).max(2 + 2 * analyses + 4);
+    let individuals = per_chrom - 2 - 2 * analyses;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = builder();
+    // Final gather keeps multi-chromosome instances weakly connected (the
+    // Pegasus workflows end in a summary/transfer stage).
+    let report = b.add_task(typed_task(&mut rng, "mutations_report", 1.0, 30.0));
+    for _ in 0..chroms {
+        let merge = b.add_task(typed_task(&mut rng, "individuals_merge", 3.0, 120.0));
+        for _ in 0..individuals {
+            let ind = b.add_task(typed_task(&mut rng, "individuals", 8.0, 25.0));
+            b.add_edge(ind, merge, 25.0 * MB).unwrap();
+        }
+        let sifting = b.add_task(typed_task(&mut rng, "sifting", 2.0, 40.0));
+        for _ in 0..analyses {
+            let mo = b.add_task(typed_task(&mut rng, "mutation_overlap", 6.0, 100.0));
+            b.add_edge(merge, mo, 120.0 * MB).unwrap();
+            b.add_edge(sifting, mo, 40.0 * MB).unwrap();
+            b.add_edge(mo, report, 10.0 * MB).unwrap();
+            let fr = b.add_task(typed_task(&mut rng, "frequency", 7.0, 100.0));
+            b.add_edge(merge, fr, 120.0 * MB).unwrap();
+            b.add_edge(sifting, fr, 40.0 * MB).unwrap();
+            b.add_edge(fr, report, 10.0 * MB).unwrap();
+        }
+    }
+    b.build().expect("1000genome recipe is acyclic")
+}
+
+/// blast: split → wide compute-heavy blastall fan → two concatenations.
+pub fn blast(tasks: usize, seed: u64) -> TaskGraph {
+    let w = tasks.saturating_sub(3).max(2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = builder();
+    let split = b.add_task(typed_task(&mut rng, "split_fasta", 1.0, 60.0));
+    let cat_blast = b.add_task(typed_task(&mut rng, "cat_blast", 1.0, 30.0));
+    let cat = b.add_task(typed_task(&mut rng, "cat_all", 1.0, 30.0));
+    for _ in 0..w {
+        let blastall = b.add_task(typed_task(&mut rng, "blastall", 15.0, 60.0 / w as f64 + 20.0));
+        b.add_edge(split, blastall, (60.0 / w as f64) * MB).unwrap();
+        b.add_edge(blastall, cat_blast, 10.0 * MB).unwrap();
+    }
+    b.add_edge(cat_blast, cat, 30.0 * MB).unwrap();
+    b.build().expect("blast recipe is acyclic")
+}
+
+/// bwa: index + reduce feeding a wide, *transfer-dominated* alignment
+/// fan (low complexity per byte — the paper finds no acceleration here).
+pub fn bwa(tasks: usize, seed: u64) -> TaskGraph {
+    let w = tasks.saturating_sub(3).max(2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = builder();
+    let index = b.add_task(typed_task(&mut rng, "bwa_index", 0.4, 300.0));
+    let reduce = b.add_task(typed_task(&mut rng, "fastq_reduce", 0.25, 300.0));
+    let cat = b.add_task(typed_task(&mut rng, "cat_bwa", 0.3, 100.0));
+    for _ in 0..w {
+        let align = b.add_task(typed_task(&mut rng, "bwa_align", 0.25, 200.0));
+        b.add_edge(index, align, 300.0 * MB).unwrap();
+        b.add_edge(reduce, align, 200.0 * MB).unwrap();
+        b.add_edge(align, cat, 100.0 * MB).unwrap();
+    }
+    b.build().expect("bwa recipe is acyclic")
+}
+
+/// cycles: independent 3-stage parameter-sweep chains gathered by an
+/// output parser and a plotting task.
+pub fn cycles(tasks: usize, seed: u64) -> TaskGraph {
+    let sweeps = ((tasks.saturating_sub(2)) / 3).max(2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = builder();
+    let parser = b.add_task(typed_task(&mut rng, "cycles_output_parser", 2.0, 60.0));
+    let plots = b.add_task(typed_task(&mut rng, "cycles_plots", 3.0, 80.0));
+    for _ in 0..sweeps {
+        let baseline = b.add_task(typed_task(&mut rng, "baseline_cycles", 5.0, 40.0));
+        let cyc = b.add_task(typed_task(&mut rng, "cycles", 9.0, 40.0));
+        let fert = b.add_task(typed_task(&mut rng, "fertilizer_increase", 6.0, 40.0));
+        b.add_edge(baseline, cyc, 40.0 * MB).unwrap();
+        b.add_edge(cyc, fert, 40.0 * MB).unwrap();
+        b.add_edge(fert, parser, 20.0 * MB).unwrap();
+    }
+    b.add_edge(parser, plots, 60.0 * MB).unwrap();
+    b.build().expect("cycles recipe is acyclic")
+}
+
+/// seismology: a flat, transfer-dominated deconvolution fan-in.
+pub fn seismology(tasks: usize, seed: u64) -> TaskGraph {
+    let w = tasks.saturating_sub(1).max(2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = builder();
+    let wrapper = b.add_task(typed_task(&mut rng, "siftSTFByMisfit", 0.15, 100.0));
+    for _ in 0..w {
+        let decon = b.add_task(typed_task(&mut rng, "sG1IterDecon", 0.1, 200.0));
+        b.add_edge(decon, wrapper, 200.0 * MB).unwrap();
+    }
+    b.build().expect("seismology recipe is acyclic")
+}
+
+/// soykb: per-sample 6-stage alignment chains, two haplotype callers per
+/// sample, and a deep shared variant-calling tail.
+pub fn soykb(tasks: usize, seed: u64) -> TaskGraph {
+    let samples = ((tasks.saturating_sub(6)) / 8).max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = builder();
+    let combine = b.add_task(typed_task(&mut rng, "combine_variants", 4.0, 120.0));
+    for _ in 0..samples {
+        let stages = [
+            ("alignment_to_reference", 10.0, 150.0),
+            ("sort_sam", 4.0, 150.0),
+            ("dedup", 4.0, 130.0),
+            ("add_replace", 3.0, 130.0),
+            ("realign_target_creator", 6.0, 130.0),
+            ("indel_realign", 8.0, 130.0),
+        ];
+        let mut prev: Option<NodeId> = None;
+        let mut last = NodeId(0);
+        for (name, c, mb) in stages {
+            let t = b.add_task(typed_task(&mut rng, name, c, mb));
+            if let Some(p) = prev {
+                b.add_edge(p, t, 130.0 * MB).unwrap();
+            }
+            prev = Some(t);
+            last = t;
+        }
+        for _ in 0..2 {
+            let caller = b.add_task(typed_task(&mut rng, "haplotype_caller", 12.0, 100.0));
+            b.add_edge(last, caller, 130.0 * MB).unwrap();
+            b.add_edge(caller, combine, 60.0 * MB).unwrap();
+        }
+    }
+    let genotype = b.add_task(typed_task(&mut rng, "genotype_gvcfs", 8.0, 150.0));
+    b.add_edge(combine, genotype, 120.0 * MB).unwrap();
+    let mut tails = Vec::new();
+    for name in ["select_variants_snp", "select_variants_indel"] {
+        let sel = b.add_task(typed_task(&mut rng, name, 3.0, 80.0));
+        b.add_edge(genotype, sel, 150.0 * MB).unwrap();
+        tails.push(sel);
+    }
+    let merge = b.add_task(typed_task(&mut rng, "merge_gcvf", 2.0, 80.0));
+    for (sel, name) in tails.iter().zip(["filtering_snp", "filtering_indel"]) {
+        let filt = b.add_task(typed_task(&mut rng, name, 3.0, 80.0));
+        b.add_edge(*sel, filt, 80.0 * MB).unwrap();
+        b.add_edge(filt, merge, 40.0 * MB).unwrap();
+    }
+    b.build().expect("soykb recipe is acyclic")
+}
+
+/// srasearch: per-accession prefetch → fasterq-dump → blastn chains,
+/// pasted and concatenated.
+pub fn srasearch(tasks: usize, seed: u64) -> TaskGraph {
+    let accessions = ((tasks.saturating_sub(2)) / 3).max(2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = builder();
+    let paste = b.add_task(typed_task(&mut rng, "paste", 1.0, 40.0));
+    let cat = b.add_task(typed_task(&mut rng, "cat", 0.5, 40.0));
+    for _ in 0..accessions {
+        let prefetch = b.add_task(typed_task(&mut rng, "prefetch", 0.5, 120.0));
+        let fasterq = b.add_task(typed_task(&mut rng, "fasterq_dump", 2.0, 120.0));
+        let blastn = b.add_task(typed_task(&mut rng, "blastn", 10.0, 80.0));
+        b.add_edge(prefetch, fasterq, 120.0 * MB).unwrap();
+        b.add_edge(fasterq, blastn, 120.0 * MB).unwrap();
+        b.add_edge(blastn, paste, 20.0 * MB).unwrap();
+    }
+    b.add_edge(paste, cat, 40.0 * MB).unwrap();
+    b.build().expect("srasearch recipe is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmap_graph::ops;
+
+    #[test]
+    fn montage_shape() {
+        let g = montage(260, 1);
+        // Sinks: exactly one (mJPEG).
+        assert_eq!(ops::sinks(&g).len(), 1);
+        // Sources: the w projections.
+        let w = (260 - 6) / 4;
+        assert_eq!(ops::sources(&g).len(), w);
+        // mAdd is the heavy hitter.
+        let m_add = g
+            .nodes()
+            .find(|&v| g.task(v).name == "mAdd")
+            .expect("mAdd exists");
+        let ops_m_add = g.task(m_add).ops();
+        let mean: f64 = g.nodes().map(|v| g.task(v).ops()).sum::<f64>() / g.node_count() as f64;
+        assert!(ops_m_add > 20.0 * mean, "mAdd must dominate");
+    }
+
+    #[test]
+    fn epigenomics_chain_length() {
+        let g = epigenomics(247, 2);
+        // Every 'map' task has exactly one successor (its merge).
+        for v in g.nodes() {
+            if g.task(v).name == "map" {
+                assert_eq!(g.out_degree(v), 1);
+                assert_eq!(g.in_degree(v), 1);
+            }
+        }
+        assert_eq!(ops::sinks(&g).len(), 1, "pileup is the unique sink");
+    }
+
+    #[test]
+    fn blast_is_map_reduce() {
+        let g = blast(40, 3);
+        assert_eq!(ops::sources(&g).len(), 1);
+        assert_eq!(ops::sinks(&g).len(), 1);
+        let blasts = g.nodes().filter(|&v| g.task(v).name == "blastall").count();
+        assert_eq!(blasts, 37);
+    }
+
+    #[test]
+    fn seismology_is_flat() {
+        let g = seismology(60, 4);
+        assert_eq!(g.node_count(), 60);
+        assert_eq!(g.edge_count(), 59);
+        assert_eq!(ops::sinks(&g).len(), 1);
+        assert_eq!(ops::sources(&g).len(), 59);
+    }
+
+    #[test]
+    fn genome1000_fan_structure() {
+        let g = genome1000(160, 5);
+        let merges = g
+            .nodes()
+            .filter(|&v| g.task(v).name == "individuals_merge")
+            .count();
+        assert!(merges >= 1);
+        for v in g.nodes() {
+            if g.task(v).name == "mutation_overlap" {
+                assert_eq!(g.in_degree(v), 2, "merge + sifting inputs");
+            }
+        }
+    }
+
+    #[test]
+    fn soykb_tail_depth() {
+        let g = soykb(86, 6);
+        // The tail runs combine -> genotype -> select -> filter -> merge:
+        // depth at least 10 including a sample chain.
+        let layers = ops::bfs_layers(&g);
+        let max_layer = layers.iter().max().unwrap();
+        assert!(*max_layer >= 10, "soykb must be deep, got {max_layer}");
+    }
+
+    #[test]
+    fn srasearch_chains() {
+        let g = srasearch(32, 7);
+        assert_eq!(ops::sinks(&g).len(), 1);
+        let blastn = g.nodes().filter(|&v| g.task(v).name == "blastn").count();
+        assert_eq!(blastn, 10);
+    }
+
+    #[test]
+    fn cycles_sweep_count() {
+        let g = cycles(92, 8);
+        let sweeps = g
+            .nodes()
+            .filter(|&v| g.task(v).name == "baseline_cycles")
+            .count();
+        assert_eq!(sweeps, 30);
+        assert!(ops::topo_order(&g).is_some());
+    }
+
+    #[test]
+    fn bwa_in_degree() {
+        let g = bwa(20, 9);
+        for v in g.nodes() {
+            if g.task(v).name == "bwa_align" {
+                assert_eq!(g.in_degree(v), 2, "index + reduce");
+                assert_eq!(g.out_degree(v), 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! A tour of series-parallel decomposition: reproduces the paper's Fig. 1
+//! (decomposition tree of an SP graph) and Fig. 2 (decomposition *forest*
+//! of a non-SP graph, under both cut policies), and prints the resulting
+//! candidate subgraph sets.
+//!
+//! ```sh
+//! cargo run --release --example decomposition_tour
+//! ```
+
+use spmap::prelude::*;
+
+fn print_forest(graph: &TaskGraph, policy: CutPolicy, label: &str) {
+    let norm = spmap::graph::ops::normalize_terminals(graph);
+    let result = decompose_forest(&norm.graph, norm.source, norm.sink, policy);
+    println!(
+        "{label}: {} tree(s), {} cut(s){}",
+        result.forest.roots.len(),
+        result.cuts,
+        if result.is_series_parallel() {
+            " — graph is series-parallel"
+        } else {
+            ""
+        }
+    );
+    for (i, &root) in result.forest.roots.iter().enumerate() {
+        let kind = if root == result.core { "core" } else { "cut" };
+        println!("tree {i} ({kind}):");
+        print!("{}", result.forest.format_tree(root, &norm.graph));
+    }
+    println!();
+}
+
+fn print_subgraphs(graph: &TaskGraph, label: &str) {
+    let set = series_parallel_subgraphs(graph, CutPolicy::default());
+    let mut rendered: Vec<String> = set
+        .iter()
+        .map(|sg| {
+            let ids: Vec<String> = sg.iter().map(|v| v.0.to_string()).collect();
+            format!("{{{}}}", ids.join(","))
+        })
+        .collect();
+    rendered.sort();
+    println!("{label} subgraph set S = {}", rendered.join(", "));
+    println!();
+}
+
+fn main() {
+    // ----- Fig. 1: the series-parallel graph 0-1-2-3-4-5 -----
+    let fig1 = fig1_graph(100e6);
+    println!("=== paper Fig. 1: series-parallel graph ===");
+    print_forest(&fig1, CutPolicy::default(), "decomposition");
+    // The paper's §III-C example set:
+    // {{0},{1},{2},{3},{4},{5},{1,2,3},{0,1,2,3,4,5}}.
+    print_subgraphs(&fig1, "paper §III-C:");
+
+    // ----- Fig. 2: the same graph plus the conflicting edge 1-4 -----
+    let fig2 = fig2_graph(100e6);
+    println!("=== paper Fig. 2: non-series-parallel graph (extra edge 1-4) ===");
+    print_forest(
+        &fig2,
+        CutPolicy::LargestSubtree,
+        "cutting the largest subtree (the forest drawn in the paper)",
+    );
+    print_forest(
+        &fig2,
+        CutPolicy::SmallestSubtree,
+        "cutting the smallest subtree (the paper's 'arguably better' forest)",
+    );
+
+    // ----- A random almost-SP graph -----
+    let g = almost_sp_graph(&SpGenConfig::new(30, 42), 8);
+    println!(
+        "=== random almost-SP graph: {} tasks, {} edges ===",
+        g.node_count(),
+        g.edge_count()
+    );
+    print_forest(&g, CutPolicy::default(), "decomposition");
+}

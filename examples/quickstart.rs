@@ -1,0 +1,79 @@
+//! Quickstart: generate a task graph, map it with every algorithm family,
+//! and print a comparison table.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::time::Instant;
+
+use spmap::prelude::*;
+
+fn main() {
+    // A 40-task random series-parallel graph with the paper's §IV-B
+    // attribute augmentation (complexity/streamability ~ LogNormal(2, .5),
+    // 50 % perfectly parallelizable tasks, 100 MB data flows).
+    let mut graph = random_sp_graph(&SpGenConfig::new(40, 7));
+    augment(&mut graph, &AugmentConfig::default(), 7);
+
+    // The paper's reference platform: 16-core CPU + GPU + streaming FPGA.
+    let platform = Platform::reference();
+    let mut evaluator = Evaluator::new(&graph, &platform);
+    let cpu_only = evaluator
+        .report_makespan(&Mapping::all_default(&graph, &platform), 100, 0)
+        .unwrap();
+    println!(
+        "graph: {} tasks, {} edges — pure-CPU makespan {:.3} s\n",
+        graph.node_count(),
+        graph.edge_count(),
+        cpu_only
+    );
+    println!("{:<22} {:>12} {:>14} {:>12}", "algorithm", "makespan", "improvement", "time");
+
+    let mut show = |name: &str, mapping: &Mapping, elapsed: std::time::Duration| {
+        let ms = evaluator
+            .report_makespan(mapping, 100, 0)
+            .unwrap_or(cpu_only)
+            .min(cpu_only);
+        println!(
+            "{:<22} {:>10.3} s {:>13.1}% {:>12?}",
+            name,
+            ms,
+            100.0 * relative_improvement(cpu_only, ms),
+            elapsed
+        );
+    };
+
+    // List schedulers.
+    for (name, f) in [("HEFT", heft as fn(&_, &_) -> _), ("PEFT", peft)] {
+        let t = Instant::now();
+        let r = f(&graph, &platform);
+        show(name, &r.mapping, t.elapsed());
+    }
+    // Decomposition mapping (the paper's contribution).
+    for (name, cfg) in [
+        ("SingleNode", MapperConfig::single_node()),
+        ("SeriesParallel", MapperConfig::series_parallel()),
+        ("SNFirstFit", MapperConfig::sn_first_fit()),
+        ("SPFirstFit", MapperConfig::sp_first_fit()),
+    ] {
+        let t = Instant::now();
+        let r = decomposition_map(&graph, &platform, &cfg);
+        show(name, &r.mapping, t.elapsed());
+    }
+    // Genetic algorithm (reduced generations for the demo).
+    let t = Instant::now();
+    let r = nsga2_map(&graph, &platform, &GaConfig::with_generations(100, 1));
+    show("NSGA-II (100 gen)", &r.mapping, t.elapsed());
+    // MILPs (small time budgets for the demo).
+    let opts = SolveOptions {
+        time_limit: std::time::Duration::from_secs(5),
+        ..SolveOptions::default()
+    };
+    let t = Instant::now();
+    let r = solve_wgdp_device(&graph, &platform, &opts);
+    show("WGDP-Device (5s)", &r.mapping, t.elapsed());
+    let t = Instant::now();
+    let r = solve_wgdp_time(&graph, &platform, &opts);
+    show("WGDP-Time (5s)", &r.mapping, t.elapsed());
+}

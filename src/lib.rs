@@ -1,0 +1,69 @@
+//! # spmap — static task mapping via series-parallel decompositions
+//!
+//! A full reproduction of *"Static task mapping for heterogeneous systems
+//! based on series-parallel decompositions"* (Wilhelm & Pionteck, IPPS
+//! 2025) as a Rust workspace:
+//!
+//! * [`graph`] — task DAGs, random series-parallel / almost-SP
+//!   generators, attribute augmentation,
+//! * [`model`] — the CPU+GPU+FPGA platform model and the linear-time
+//!   model-based makespan evaluator (with FPGA dataflow streaming),
+//! * [`decomp`] — series-parallel decomposition trees, the paper's
+//!   decomposition-forest algorithm for general DAGs (Alg. 1), and the
+//!   candidate subgraph sets,
+//! * [`core`] — the decomposition-based mapping algorithms (SingleNode /
+//!   SeriesParallel, exhaustive / γ-threshold / FirstFit),
+//! * [`baselines`] — HEFT and PEFT list schedulers,
+//! * [`ga`] — the single-objective NSGA-II mapper,
+//! * [`milp`] — a simplex + branch & bound MILP stack with the ZhouLiu,
+//!   WGDP-Device and WGDP-Time formulations,
+//! * [`workflows`] — WfCommons-style scientific workflow generators,
+//! * [`par`] — a small parallel-map utility for experiment sweeps.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use spmap::prelude::*;
+//!
+//! // A random series-parallel task graph with the paper's attributes.
+//! let mut graph = random_sp_graph(&SpGenConfig::new(40, 7));
+//! augment(&mut graph, &AugmentConfig::default(), 7);
+//!
+//! // The paper's reference platform: Epyc CPU + Vega GPU + Zynq FPGA.
+//! let platform = Platform::reference();
+//!
+//! // Map with the series-parallel decomposition + FirstFit heuristic.
+//! let result = decomposition_map(&graph, &platform, &MapperConfig::sp_first_fit());
+//! assert!(result.makespan <= result.cpu_only_makespan);
+//! println!("relative improvement: {:.1}%", 100.0 * result.relative_improvement());
+//! ```
+
+pub use spmap_baselines as baselines;
+pub use spmap_core as core;
+pub use spmap_decomp as decomp;
+pub use spmap_ga as ga;
+pub use spmap_graph as graph;
+pub use spmap_milp as milp;
+pub use spmap_model as model;
+pub use spmap_par as par;
+pub use spmap_workflows as workflows;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use spmap_baselines::{heft, peft};
+    pub use spmap_core::{decomposition_map, MapperConfig, SearchHeuristic, SubgraphStrategy};
+    pub use spmap_decomp::{
+        decompose_forest, series_parallel_subgraphs, single_node_subgraphs, CutPolicy,
+    };
+    pub use spmap_ga::{nsga2_map, GaConfig};
+    pub use spmap_graph::{
+        almost_sp_graph, augment,
+        gen::{chain, diamond, fig1_graph, fig2_graph, fork_join},
+        random_sp_graph, AugmentConfig, GraphBuilder, NodeId, SpGenConfig, Task, TaskGraph,
+    };
+    pub use spmap_milp::{solve_wgdp_device, solve_wgdp_time, solve_zhou_liu, SolveOptions};
+    pub use spmap_model::{
+        relative_improvement, DeviceId, Evaluator, Mapping, Platform, SchedulePolicy,
+    };
+    pub use spmap_workflows::{benchmark_set, Family, SizeTier};
+}

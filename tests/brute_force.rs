@@ -1,0 +1,102 @@
+//! Brute-force oracles on tiny instances: enumerate every possible
+//! mapping and compare the heuristics against the true optimum of the
+//! model.
+
+use spmap::prelude::*;
+
+/// The optimal makespan over all `m^n` mappings (BFS schedule), or the
+/// CPU-only makespan if nothing beats it.
+fn brute_force_optimum(graph: &TaskGraph, platform: &Platform) -> (f64, Mapping) {
+    let n = graph.node_count();
+    let m = platform.device_count();
+    assert!(m.pow(n as u32) <= 4_000_000, "instance too large to enumerate");
+    let mut ev = Evaluator::new(graph, platform);
+    let mut best = (
+        ev.cpu_only_makespan(),
+        Mapping::all_default(graph, platform),
+    );
+    let mut devices = vec![0usize; n];
+    loop {
+        let mapping = Mapping::from_vec(
+            devices.iter().map(|&d| DeviceId(d as u32)).collect(),
+        );
+        if let Some(ms) = ev.makespan_bfs(&mapping) {
+            if ms < best.0 {
+                best = (ms, mapping);
+            }
+        }
+        // Increment the mixed-radix counter.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return best;
+            }
+            devices[i] += 1;
+            if devices[i] < m {
+                break;
+            }
+            devices[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[test]
+fn decomposition_mapper_is_near_optimal_on_tiny_graphs() {
+    let platform = Platform::reference();
+    let mut ratios = Vec::new();
+    for seed in 0..6 {
+        let mut graph = random_sp_graph(&SpGenConfig::new(7, seed));
+        augment(&mut graph, &AugmentConfig::default(), seed);
+        let (opt, _) = brute_force_optimum(&graph, &platform);
+        let sp = decomposition_map(&graph, &platform, &MapperConfig::series_parallel());
+        // Greedy can miss the optimum but must never be worse than the
+        // baseline, and the gap should be modest on 7-task graphs.
+        assert!(sp.makespan + 1e-12 >= opt, "cannot beat the optimum");
+        assert!(
+            sp.makespan <= opt * 1.5,
+            "seed {seed}: greedy {} vs optimum {opt}",
+            sp.makespan
+        );
+        ratios.push(sp.makespan / opt);
+    }
+    let mean: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(mean <= 1.2, "mean optimality ratio {mean}");
+}
+
+#[test]
+fn ga_finds_tiny_optima_with_enough_generations() {
+    let platform = Platform::reference();
+    let mut graph = random_sp_graph(&SpGenConfig::new(6, 3));
+    augment(&mut graph, &AugmentConfig::default(), 3);
+    let (opt, _) = brute_force_optimum(&graph, &platform);
+    let ga = nsga2_map(
+        &graph,
+        &platform,
+        &GaConfig {
+            population: 60,
+            generations: 120,
+            seed: 5,
+            ..GaConfig::default()
+        },
+    );
+    assert!(
+        ga.makespan <= opt * 1.05,
+        "GA {} vs optimum {opt}",
+        ga.makespan
+    );
+}
+
+#[test]
+fn report_metric_no_worse_than_exhaustive_schedule_search_on_chains() {
+    // On a chain there is exactly one topological order, so the reported
+    // makespan must equal the BFS-schedule makespan exactly.
+    let platform = Platform::reference();
+    let mut graph = spmap::graph::gen::chain(5, 100e6);
+    augment(&mut graph, &AugmentConfig::default(), 2);
+    let mut ev = Evaluator::new(&graph, &platform);
+    let mapping = Mapping::all_default(&graph, &platform);
+    let bfs = ev.makespan(&mapping, SchedulePolicy::Bfs).unwrap();
+    let reported = ev.report_makespan(&mapping, 50, 1).unwrap();
+    assert!((bfs - reported).abs() < 1e-12);
+}

@@ -1,0 +1,211 @@
+//! Cross-crate integration tests: full pipelines from graph generation
+//! through decomposition, mapping and model evaluation.
+
+use spmap::prelude::*;
+
+#[test]
+fn full_pipeline_on_random_sp_graphs() {
+    let platform = Platform::reference();
+    for seed in 0..5 {
+        let mut graph = random_sp_graph(&SpGenConfig::new(35, seed));
+        augment(&mut graph, &AugmentConfig::default(), seed);
+        let mut ev = Evaluator::new(&graph, &platform);
+        let cpu_only = ev.cpu_only_makespan();
+
+        let heft_res = heft(&graph, &platform);
+        let peft_res = peft(&graph, &platform);
+        let sn = decomposition_map(&graph, &platform, &MapperConfig::sn_first_fit());
+        let sp = decomposition_map(&graph, &platform, &MapperConfig::sp_first_fit());
+        let ga = nsga2_map(&graph, &platform, &GaConfig {
+            population: 30,
+            generations: 40,
+            seed,
+            ..GaConfig::default()
+        });
+
+        // Every algorithm produces a feasible mapping the model can score.
+        for (name, mapping) in [
+            ("heft", &heft_res.mapping),
+            ("peft", &peft_res.mapping),
+            ("sn", &sn.mapping),
+            ("sp", &sp.mapping),
+            ("ga", &ga.mapping),
+        ] {
+            assert!(mapping.is_area_feasible(&graph, &platform), "{name}");
+            let ms = ev.makespan_bfs(mapping);
+            assert!(ms.is_some(), "{name} infeasible");
+        }
+        // Decomposition and GA never lose to the pure-CPU mapping.
+        assert!(sn.makespan <= cpu_only * (1.0 + 1e-9));
+        assert!(sp.makespan <= cpu_only * (1.0 + 1e-9));
+        assert!(ga.makespan <= cpu_only * (1.0 + 1e-9));
+    }
+}
+
+#[test]
+fn sp_strategy_dominates_on_streaming_pipelines() {
+    // Average over several pipelines: the series-parallel strategy must
+    // beat single-node where streaming chains matter (paper Fig. 4 story).
+    let platform = Platform::reference();
+    let mut sn_total = 0.0;
+    let mut sp_total = 0.0;
+    for seed in 0..4 {
+        let mut builder = GraphBuilder::new();
+        let mut prev = builder.add_task(Task::default());
+        for _ in 1..10 {
+            let t = builder.add_task(Task::default());
+            builder.add_edge(prev, t, 1e9).unwrap();
+            prev = t;
+        }
+        let mut graph = builder.build().unwrap();
+        for v in graph.nodes().collect::<Vec<_>>() {
+            *graph.task_mut(v) = Task {
+                complexity: 15.0 + seed as f64,
+                data_points: 1.25e8,
+                parallelizability: 0.0,
+                streamability: 6.5,
+                area: 110.0,
+                ..Task::default()
+            };
+        }
+        let sn = decomposition_map(&graph, &platform, &MapperConfig::single_node());
+        let sp = decomposition_map(&graph, &platform, &MapperConfig::series_parallel());
+        sn_total += sn.relative_improvement();
+        sp_total += sp.relative_improvement();
+    }
+    assert!(
+        sp_total > sn_total + 0.5,
+        "SP {sp_total} must clearly beat SN {sn_total} on pipelines"
+    );
+}
+
+#[test]
+fn milp_and_decomposition_agree_on_tiny_instances() {
+    // On tiny graphs the time-based MILP (exact within its time budget)
+    // must be at least as good as the greedy heuristics under its own
+    // objective; under the full model all stay within the CPU-only bound.
+    let platform = Platform::reference();
+    let mut graph = random_sp_graph(&SpGenConfig::new(6, 11));
+    augment(&mut graph, &AugmentConfig::default(), 11);
+    let mut ev = Evaluator::new(&graph, &platform);
+    let cpu_only = ev.cpu_only_makespan();
+    let milp = solve_wgdp_time(
+        &graph,
+        &platform,
+        &SolveOptions {
+            time_limit: std::time::Duration::from_secs(20),
+            ..SolveOptions::default()
+        },
+    );
+    let milp_ms = ev.makespan_bfs(&milp.mapping).unwrap_or(cpu_only);
+    assert!(milp_ms <= cpu_only * 1.5, "MILP mapping must be sane");
+    assert!(milp.objective <= cpu_only * (1.0 + 1e-6));
+}
+
+#[test]
+fn workflows_map_end_to_end() {
+    use spmap::workflows::augment_ps;
+    let platform = Platform::reference();
+    for family in Family::all() {
+        let mut graph = family.generate(60, 3);
+        augment_ps(&mut graph, 3);
+        let r = decomposition_map(&graph, &platform, &MapperConfig::sp_first_fit());
+        assert!(
+            r.makespan <= r.cpu_only_makespan * (1.0 + 1e-9),
+            "{}",
+            family.name()
+        );
+        assert!(r.mapping.is_area_feasible(&graph, &platform));
+    }
+}
+
+#[test]
+fn transfer_dominated_workflows_see_no_gain() {
+    // bwa and seismology: the paper reports no significant acceleration.
+    use spmap::workflows::augment_ps;
+    let platform = Platform::reference();
+    for family in [Family::Bwa, Family::Seismology] {
+        let mut total = 0.0;
+        for seed in 0..3 {
+            let mut graph = family.generate(80, seed);
+            augment_ps(&mut graph, seed);
+            let r = decomposition_map(&graph, &platform, &MapperConfig::sp_first_fit());
+            total += r.relative_improvement();
+        }
+        // "No *significant* acceleration" (paper §IV-D): single-digit
+        // improvements at most.
+        assert!(
+            total / 3.0 < 0.10,
+            "{} should not accelerate, got {:.1}%",
+            family.name(),
+            100.0 * total / 3.0
+        );
+    }
+}
+
+#[test]
+fn decomposition_forest_invariants_across_generators() {
+    use spmap::decomp::{decompose_forest, CutPolicy};
+    use spmap::graph::ops::normalize_terminals;
+    let cases: Vec<TaskGraph> = vec![
+        random_sp_graph(&SpGenConfig::new(80, 1)),
+        almost_sp_graph(&SpGenConfig::new(80, 2), 30),
+        Family::Montage.generate(120, 3),
+        Family::Epigenomics.generate(150, 4),
+    ];
+    for graph in cases {
+        let norm = normalize_terminals(&graph);
+        let result = decompose_forest(&norm.graph, norm.source, norm.sink, CutPolicy::default());
+        result.forest.validate(&norm.graph);
+        let total: u32 = result
+            .forest
+            .roots
+            .iter()
+            .map(|&t| result.forest.node(t).edge_count)
+            .sum();
+        assert_eq!(total as usize, norm.graph.edge_count(), "edge partition");
+    }
+}
+
+#[test]
+fn reporting_metric_is_min_over_schedules() {
+    let platform = Platform::reference();
+    let mut graph = random_sp_graph(&SpGenConfig::new(50, 9));
+    augment(&mut graph, &AugmentConfig::default(), 9);
+    let mut ev = Evaluator::new(&graph, &platform);
+    let mapping = heft(&graph, &platform).mapping;
+    let bfs_only = ev.makespan(&mapping, SchedulePolicy::Bfs).unwrap();
+    let reported = ev.report_makespan(&mapping, 100, 7).unwrap();
+    assert!(reported <= bfs_only + 1e-12);
+}
+
+#[test]
+fn heft_is_competitive_on_cpu_gpu_platforms() {
+    // Paper §II-A: "HEFT performs very well in a CPU-GPU environment" —
+    // the decomposition advantage comes from high heterogeneity (FPGA
+    // streaming).  Without the FPGA, HEFT must be close to the
+    // decomposition mappers on average.
+    let platform = Platform::cpu_gpu();
+    let mut heft_sum = 0.0;
+    let mut sp_sum = 0.0;
+    let trials = 6;
+    for seed in 0..trials {
+        let mut graph = random_sp_graph(&SpGenConfig::new(40, seed));
+        augment(&mut graph, &AugmentConfig::default(), seed);
+        let mut ev = Evaluator::new(&graph, &platform);
+        let cpu = ev.cpu_only_makespan();
+        let hm = ev
+            .makespan_bfs(&heft(&graph, &platform).mapping)
+            .unwrap()
+            .min(cpu);
+        let sp = decomposition_map(&graph, &platform, &MapperConfig::sp_first_fit());
+        heft_sum += relative_improvement(cpu, hm);
+        sp_sum += relative_improvement(cpu, sp.makespan);
+    }
+    let heft_mean = heft_sum / trials as f64;
+    let sp_mean = sp_sum / trials as f64;
+    assert!(
+        heft_mean >= sp_mean - 0.06,
+        "HEFT ({heft_mean:.3}) should be near decomposition ({sp_mean:.3}) without an FPGA"
+    );
+}
