@@ -169,7 +169,7 @@ pub(crate) fn run_list_scheduler(
             let start = timelines[d.index()].earliest_fit(est, len);
             let eft = start + len;
             let score = eft + tiebreak(v, d);
-            if best.map_or(true, |(_, _, s)| score < s) {
+            if best.is_none_or(|(_, _, s)| score < s) {
                 best = Some((d, start, score));
             }
         }

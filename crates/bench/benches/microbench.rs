@@ -9,7 +9,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use spmap_baselines::{heft, peft};
-use spmap_core::{decomposition_map, MapperConfig};
+use spmap_core::{
+    decomposition_map, decomposition_map_reference, EngineConfig, MapperConfig,
+};
 use spmap_decomp::{decompose_forest, CutPolicy};
 use spmap_ga::{nsga2_map, GaConfig};
 use spmap_graph::gen::{random_sp_graph, SpGenConfig};
@@ -100,12 +102,39 @@ fn bench_ga(c: &mut Criterion) {
     group.finish();
 }
 
+/// The headline comparison: a full `SeriesParallel`-strategy mapper run
+/// through the serial seed path (`serial`: one full simulation per
+/// candidate per iteration) versus the incremental + parallel candidate
+/// engine (`batch`: windowed re-simulation, exact pruning, memoization,
+/// worker threads) — both produce bit-identical mappings.
+fn bench_candidate_scan(c: &mut Criterion) {
+    let platform = Platform::reference();
+    let mut group = c.benchmark_group("candidate_scan");
+    group.sample_size(10);
+    for n in [30usize, 60, 120] {
+        let g = graph_of(n);
+        let serial_cfg = MapperConfig::series_parallel();
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
+            b.iter(|| decomposition_map_reference(&g, &platform, &serial_cfg))
+        });
+        let batch_cfg = MapperConfig {
+            engine: EngineConfig::default(),
+            ..MapperConfig::series_parallel()
+        };
+        group.bench_with_input(BenchmarkId::new("batch", n), &n, |b, _| {
+            b.iter(|| decomposition_map(&g, &platform, &batch_cfg))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_evaluator,
     bench_decomposition,
     bench_list_schedulers,
     bench_mappers,
-    bench_ga
+    bench_ga,
+    bench_candidate_scan
 );
 criterion_main!(benches);

@@ -68,7 +68,7 @@ fn main() {
         let cfg = MapperConfig {
             strategy: SubgraphStrategy::SeriesParallel { cut_policy: policy },
             heuristic: SearchHeuristic::first_fit(),
-            iteration_cap: None,
+            ..MapperConfig::series_parallel()
         };
         let runs: Vec<_> = spmap_par::par_map(&graphs, |_, g| {
             let r = decomposition_map(g, &platform, &cfg);

@@ -1,0 +1,216 @@
+//! `perf_report` — measures the incremental + parallel candidate engine
+//! against the serial seed path and emits machine-readable
+//! `BENCH_mapper.json`.
+//!
+//! For each graph size it runs the full `SeriesParallel`-strategy mapper
+//! (exhaustive search) three ways:
+//!
+//! * `serial` — `decomposition_map_reference`, the seed implementation:
+//!   one full simulation per candidate per iteration, single-threaded,
+//! * `batch1` — the engine on **one** thread (isolates the pruning +
+//!   memoization win; zero thread spawns),
+//! * `batchN` — the engine on `--threads N` workers (default 8).
+//!
+//! All three produce bit-identical mappings (asserted here, proven at
+//! scale by `tests/equivalence.rs`).  The headline row is the 500-node
+//! layered DAG; `--quick` shrinks sizes for smoke runs.
+//!
+//! Usage: `cargo run --release -p spmap-bench --bin perf_report
+//!         [--quick] [--threads 8] [--seed 2025]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use spmap_bench::cli::Opts;
+use spmap_core::{
+    decomposition_map, decomposition_map_reference, EngineConfig, MapperConfig,
+};
+use spmap_graph::gen::{layered_random, LayeredConfig};
+use spmap_graph::{augment, AugmentConfig, TaskGraph};
+use spmap_model::Platform;
+
+/// A layered (non-series-parallel) DAG of ~`nodes` tasks with the
+/// paper's attribute augmentation — the mapper's stress shape.
+fn layered_dag(nodes: usize, seed: u64) -> TaskGraph {
+    let width = (nodes as f64).sqrt().round() as usize;
+    let layers = nodes.div_ceil(width);
+    let mut g = layered_random(&LayeredConfig {
+        layers,
+        width,
+        density: 0.25,
+        seed,
+        edge_bytes: 50e6,
+    });
+    augment(&mut g, &AugmentConfig::default(), seed);
+    g
+}
+
+struct Measurement {
+    nodes: usize,
+    edges: usize,
+    serial_seconds: f64,
+    serial_evaluations: u64,
+    batch1_seconds: f64,
+    batchn_seconds: f64,
+    batchn_evaluations: u64,
+    simulated: u64,
+    memo_hits: u64,
+    pruned: u64,
+    trivial: u64,
+    iterations: usize,
+}
+
+impl Measurement {
+    fn speedup_1t(&self) -> f64 {
+        self.serial_seconds / self.batch1_seconds
+    }
+
+    fn speedup_nt(&self) -> f64 {
+        self.serial_seconds / self.batchn_seconds
+    }
+
+    fn serial_ns_per_eval(&self) -> f64 {
+        self.serial_seconds * 1e9 / self.serial_evaluations.max(1) as f64
+    }
+
+    /// Engine wall time divided by *candidate decisions* — the metric
+    /// that shows where pruning/memoization pay: most decisions never
+    /// reach a simulation.
+    fn batch_ns_per_candidate(&self) -> f64 {
+        let total = self.simulated + self.memo_hits + self.pruned + self.trivial;
+        self.batchn_seconds * 1e9 / total.max(1) as f64
+    }
+
+    fn memo_hit_rate(&self) -> f64 {
+        let denom = self.simulated + self.memo_hits;
+        if denom == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / denom as f64
+        }
+    }
+}
+
+fn measure(nodes: usize, seed: u64, threads: usize) -> Measurement {
+    let g = layered_dag(nodes, seed);
+    let p = Platform::reference();
+    let base = MapperConfig::series_parallel();
+
+    let t0 = Instant::now();
+    let serial = decomposition_map_reference(&g, &p, &base);
+    let serial_seconds = t0.elapsed().as_secs_f64();
+
+    let engine = |t: usize| MapperConfig {
+        engine: EngineConfig {
+            threads: Some(t),
+            ..EngineConfig::default()
+        },
+        ..base
+    };
+    let t1 = Instant::now();
+    let batch1 = decomposition_map(&g, &p, &engine(1));
+    let batch1_seconds = t1.elapsed().as_secs_f64();
+    let tn = Instant::now();
+    let batchn = decomposition_map(&g, &p, &engine(threads));
+    let batchn_seconds = tn.elapsed().as_secs_f64();
+
+    assert_eq!(serial.mapping, batch1.mapping, "engine must be exact");
+    assert_eq!(serial.mapping, batchn.mapping, "engine must be exact");
+    assert_eq!(serial.history, batchn.history, "engine must be exact");
+
+    Measurement {
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        serial_seconds,
+        serial_evaluations: serial.evaluations,
+        batch1_seconds,
+        batchn_seconds,
+        batchn_evaluations: batchn.evaluations,
+        simulated: batchn.batch.simulated,
+        memo_hits: batchn.batch.memo_hits,
+        pruned: batchn.batch.pruned,
+        trivial: batchn.batch.trivial,
+        iterations: batchn.iterations,
+    }
+}
+
+fn main() {
+    let opts = Opts::parse();
+    let threads = opts.threads.unwrap_or(8);
+    let sizes: &[usize] = if opts.quick {
+        &[60, 120]
+    } else {
+        &[120, 250, 500]
+    };
+
+    println!(
+        "perf_report: SeriesParallel mapper, serial seed path vs candidate engine ({threads} threads)\n"
+    );
+    println!(
+        "{:>6} {:>7} {:>10} {:>10} {:>10} {:>9} {:>9} {:>12} {:>10} {:>9}",
+        "nodes", "edges", "serial", "batch1", "batchN", "x1", "xN", "pruned", "memo", "hit%"
+    );
+
+    let mut rows = Vec::new();
+    for &nodes in sizes {
+        let m = measure(nodes, opts.seed, threads);
+        println!(
+            "{:>6} {:>7} {:>9.2}s {:>9.2}s {:>9.2}s {:>8.2}x {:>8.2}x {:>12} {:>10} {:>8.1}%",
+            m.nodes,
+            m.edges,
+            m.serial_seconds,
+            m.batch1_seconds,
+            m.batchn_seconds,
+            m.speedup_1t(),
+            m.speedup_nt(),
+            m.pruned,
+            m.memo_hits,
+            100.0 * m.memo_hit_rate(),
+        );
+        rows.push(m);
+    }
+    let head = rows.last().expect("at least one size");
+    println!(
+        "\nheadline ({} nodes, {} threads): {:.2}x vs seed serial path \
+         ({:.1} ns/eval serial, {:.1} ns/candidate batched)",
+        head.nodes,
+        threads,
+        head.speedup_nt(),
+        head.serial_ns_per_eval(),
+        head.batch_ns_per_candidate(),
+    );
+
+    // ---- machine-readable report ----
+    let mut json = String::from("{\n  \"benchmark\": \"candidate_engine_mapper\",\n");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"quick\": {},", opts.quick);
+    let _ = writeln!(json, "  \"seed\": {},", opts.seed);
+    json.push_str("  \"runs\": [\n");
+    for (i, m) in rows.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"nodes\": {},", m.nodes);
+        let _ = writeln!(json, "      \"edges\": {},", m.edges);
+        let _ = writeln!(json, "      \"iterations\": {},", m.iterations);
+        let _ = writeln!(json, "      \"serial_seconds\": {:.6},", m.serial_seconds);
+        let _ = writeln!(json, "      \"serial_evaluations\": {},", m.serial_evaluations);
+        let _ = writeln!(json, "      \"serial_mean_ns_per_eval\": {:.1},", m.serial_ns_per_eval());
+        let _ = writeln!(json, "      \"batch1_seconds\": {:.6},", m.batch1_seconds);
+        let _ = writeln!(json, "      \"batchn_seconds\": {:.6},", m.batchn_seconds);
+        let _ = writeln!(json, "      \"batchn_evaluations\": {},", m.batchn_evaluations);
+        let _ = writeln!(json, "      \"batch_mean_ns_per_candidate\": {:.1},", m.batch_ns_per_candidate());
+        let _ = writeln!(json, "      \"evals_skipped_by_pruning\": {},", m.pruned);
+        let _ = writeln!(json, "      \"memo_hits\": {},", m.memo_hits);
+        let _ = writeln!(json, "      \"memo_hit_rate\": {:.4},", m.memo_hit_rate());
+        let _ = writeln!(json, "      \"simulated\": {},", m.simulated);
+        let _ = writeln!(json, "      \"trivial_skips\": {},", m.trivial);
+        let _ = writeln!(json, "      \"speedup_1_thread\": {:.3},", m.speedup_1t());
+        let _ = writeln!(json, "      \"speedup_n_threads\": {:.3}", m.speedup_nt());
+        let _ = writeln!(json, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"headline_nodes\": {},", head.nodes);
+    let _ = writeln!(json, "  \"headline_speedup\": {:.3}", head.speedup_nt());
+    json.push_str("}\n");
+    std::fs::write("BENCH_mapper.json", &json).expect("write BENCH_mapper.json");
+    println!("\nwrote BENCH_mapper.json");
+}

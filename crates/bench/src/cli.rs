@@ -6,7 +6,9 @@
 //! * `--step <n>` — task-count step of the sweep,
 //! * `--full` — paper-scale settings (more replicates, larger limits),
 //! * `--quick` — smoke-test settings (fewer replicates, smaller sweeps),
-//! * `--seed <n>` — base experiment seed.
+//! * `--seed <n>` — base experiment seed,
+//! * `--threads <n>` — worker threads for binaries that measure
+//!   parallel speedups (e.g. `perf_report`; clamped to ≥ 1).
 
 /// Parsed common options.
 #[derive(Clone, Copy, Debug)]
@@ -21,22 +23,25 @@ pub struct Opts {
     pub quick: bool,
     /// Base seed.
     pub seed: u64,
+    /// Worker-thread override for parallel-measurement binaries.
+    pub threads: Option<usize>,
 }
 
 impl Opts {
     /// Parse `std::env::args`, ignoring unknown flags with a warning.
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::parse_from(std::env::args().skip(1))
     }
 
     /// Parse from an explicit iterator (testable).
-    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
         let mut opts = Opts {
             graphs: None,
             step: None,
             full: false,
             quick: false,
             seed: 2025,
+            threads: None,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -46,6 +51,9 @@ impl Opts {
                 }
                 "--step" => {
                     opts.step = it.next().and_then(|v| v.parse().ok());
+                }
+                "--threads" => {
+                    opts.threads = it.next().and_then(|v| v.parse().ok()).map(|t: usize| t.max(1));
                 }
                 "--seed" => {
                     if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
@@ -80,7 +88,7 @@ mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> Opts {
-        Opts::from_iter(args.iter().map(|s| s.to_string()))
+        Opts::parse_from(args.iter().map(|s| s.to_string()))
     }
 
     #[test]
@@ -100,6 +108,13 @@ mod tests {
         assert!(o.full);
         assert_eq!(o.step, Some(10));
         assert_eq!(o.replicates(10, 3, 30), 7, "--graphs wins over presets");
+    }
+
+    #[test]
+    fn threads_flag_clamped_to_one() {
+        assert_eq!(parse(&["--threads", "8"]).threads, Some(8));
+        assert_eq!(parse(&["--threads", "0"]).threads, Some(1), "0 clamps to 1");
+        assert_eq!(parse(&[]).threads, None);
     }
 
     #[test]

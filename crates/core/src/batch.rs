@@ -1,0 +1,1013 @@
+//! The incremental + parallel candidate evaluation engine.
+//!
+//! Both search heuristics of the decomposition mapper spend essentially
+//! all of their time evaluating candidate operations "map subgraph `S` to
+//! device `d`" against the full model-based evaluator.  The seed
+//! implementation ran one strictly serial `O((V+E) log V)` simulation per
+//! candidate per iteration.  [`CandidateBatch`] replaces that inner loop
+//! with three stacked optimizations, none of which changes any result
+//! (see `docs/PERF.md` for the exactness arguments):
+//!
+//! 1. **Memoization by mapping content.**  The evaluator is a pure
+//!    function of the full mapping, so makespans are memoized under the
+//!    mapping's Zobrist fingerprint (`spmap_model::MappingFingerprint`),
+//!    maintained in `O(k)` per candidate with `k` remapped tasks.  A memo
+//!    entry can never go stale — keying by content is the sound
+//!    refinement of "invalidate when an applied move intersects the
+//!    candidate's region": after a committed move, a candidate hits
+//!    exactly when its resulting full mapping was already evaluated
+//!    (e.g. every device-variant and every enclosing subgraph of the
+//!    committed operation).
+//! 2. **Exact lower-bound pruning.**  A candidate is skipped without
+//!    simulation when a cheap lower bound on its resulting makespan
+//!    already proves it cannot *strictly* beat the incumbent improvement
+//!    (or the improvement threshold).  The bound combines per-device
+//!    serialization loads, per-link transfer loads and single-task spans,
+//!    all maintained incrementally — and is deflated by a relative safety
+//!    margin so float drift can never flip a true improvement into a
+//!    prune.  Ties are therefore never pruned, and the serial
+//!    first-lowest-index tie-break is preserved bit for bit.
+//! 3. **Parallel simulation.**  Candidates that survive 1–2 are simulated
+//!    in fixed-size chunks through `spmap_par::par_map_with`, one
+//!    reusable [`spmap_model::EvalScratch`] (plus mapping copy) per
+//!    worker against a shared immutable [`spmap_model::EvalTables`].
+//!    Results are reduced serially in candidate-index order, so thread
+//!    arrival order can never influence a tie-break, and
+//!    `SPMAP_THREADS=1` degenerates to the serial fast path with zero
+//!    thread spawns.
+
+use std::collections::HashMap;
+
+use spmap_graph::{NodeId, TaskGraph};
+use spmap_model::{
+    BfsCheckpoints, DeviceId, EvalScratch, EvalTables, Mapping, MappingFingerprint, Platform,
+    WindowSim,
+};
+use spmap_par::{par_map_with_threads, WorkerStates};
+
+use crate::mapper::{OpId, REL_EPS};
+
+/// Relative safety margin by which candidate lower bounds are deflated
+/// before they may prune: the incremental load bookkeeping performs a
+/// handful of f64 adds per candidate (error ~1e-15 relative), so 1e-9
+/// guarantees a bound can never exceed the true makespan's neighborhood
+/// and flip a tie or a true improvement into a prune.
+const BOUND_SLACK: f64 = 1e-9;
+
+/// Tuning knobs of the candidate engine.  The defaults are what
+/// `decomposition_map` uses; the ablation switches exist for benchmarks
+/// and tests (e.g. the equivalence suite runs all 2×2 combinations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker thread count; `None` reads `SPMAP_THREADS` / the machine
+    /// parallelism via `spmap_par::num_threads`.
+    pub threads: Option<usize>,
+    /// Candidates simulated per parallel dispatch.  Fixed (not derived
+    /// from the thread count) so the exhaustive path's set of simulated
+    /// candidates — and with it every statistic — is identical for any
+    /// worker count.  (The γ-threshold search's *speculation wave* does
+    /// scale with the worker count, so its counters are only
+    /// reproducible for a fixed thread configuration; results are
+    /// always identical.)
+    pub chunk_size: usize,
+    /// Enable exact lower-bound pruning.
+    pub prune: bool,
+    /// Enable content-keyed memoization.
+    pub memo: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            threads: None,
+            chunk_size: 64,
+            prune: true,
+            memo: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Effective worker count.  An explicit `Some(n)` is honored
+    /// verbatim (tests rely on really getting `n` workers); only the
+    /// `None` default is capped at the machine's parallelism, because
+    /// candidate simulation is CPU-bound and oversubscribed workers
+    /// only add scheduling overhead.
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            Some(n) => n.max(1),
+            None => {
+                let cores = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                spmap_par::num_threads().clamp(1, cores)
+            }
+        }
+    }
+}
+
+/// Where the engine's candidate verdicts came from, accumulated over a
+/// whole mapper run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Candidates settled by a full list-schedule simulation.
+    pub simulated: u64,
+    /// Candidates settled by a memoized makespan (no simulation).
+    pub memo_hits: u64,
+    /// Candidates skipped because their lower bound proved they cannot
+    /// win the iteration.
+    pub pruned: u64,
+    /// Candidate simulations aborted mid-run by the makespan cutoff
+    /// (`finish + up_min > cutoff`): strictly worse than the incumbent,
+    /// proven before the schedule completed.
+    pub aborted: u64,
+    /// Candidates skipped without simulation as no-ops or FPGA-area
+    /// infeasible (decided by incremental bookkeeping alone).
+    pub trivial: u64,
+}
+
+impl BatchStats {
+    /// All candidate decisions made.
+    pub fn total(&self) -> u64 {
+        self.simulated + self.memo_hits + self.pruned + self.aborted + self.trivial
+    }
+
+    /// Fraction of non-trivial candidates answered from the memo.
+    pub fn memo_hit_rate(&self) -> f64 {
+        let denom = self.simulated + self.memo_hits;
+        if denom == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / denom as f64
+        }
+    }
+}
+
+/// Per-worker state: an evaluation scratch plus a private mapping copy
+/// that is lazily re-synced to the engine's base mapping.
+struct Worker {
+    scratch: EvalScratch,
+    mapping: Mapping,
+    undo: Vec<(NodeId, DeviceId)>,
+    generation: u64,
+}
+
+/// A candidate evaluation awaiting simulation.
+struct Pending {
+    /// Position in the caller's op slice (for writing the delta back).
+    slot: usize,
+    op: OpId,
+    fp: u128,
+    /// Upper bound on the achievable improvement (`+inf` when pruning is
+    /// off).
+    bound: f64,
+    /// Ordering key: the candidate's improvement when last evaluated
+    /// (best-first scanning raises the incumbent — and with it the
+    /// cutoff — as early as possible).
+    expected: f64,
+    /// First pop position the candidate's schedule can differ from the
+    /// base schedule (window-simulation start).
+    from_pos: usize,
+}
+
+/// The candidate evaluation engine of one mapper run: shared immutable
+/// [`EvalTables`], the current mapping with its fingerprint and load
+/// aggregates, the makespan memo, and one worker state per thread.
+pub struct CandidateBatch<'g> {
+    tables: EvalTables<'g>,
+    subgraphs: Vec<Vec<NodeId>>,
+    devices: Vec<DeviceId>,
+    cfg: EngineConfig,
+    threads: usize,
+    workers: WorkerStates<Worker>,
+    mapping: Mapping,
+    fingerprint: MappingFingerprint,
+    generation: u64,
+    /// Current (best committed) makespan.
+    cur: f64,
+    memo: HashMap<u128, f64>,
+    // --- incrementally maintained aggregates of the base mapping ---
+    /// Per *temporal* device: sum of mapped execution times (0 for FPGAs).
+    dev_load: Vec<f64>,
+    /// Per directed link `from*m+to`: sum of crossing transfer times.
+    link_load: Vec<f64>,
+    /// Per FPGA device: mapped area (0 for others).
+    area_used: Vec<f64>,
+    /// Static bound: `max_v min_d exec(v, d)` — some task must run.
+    max_min_exec: f64,
+    /// Critical-path scores of the base mapping, sorted descending:
+    /// `(path_floor(v) + span(v, base device), v)`.  The best score whose
+    /// node is *outside* a candidate's region is a sound path bound that
+    /// survives the candidate unchanged.
+    path_scores: Vec<(f64, u32)>,
+    /// Base-schedule state snapshots (rebuilt on every commit) for
+    /// windowed candidate re-simulation.
+    checkpoints: BfsCheckpoints,
+    /// Per-op improvement when last evaluated (`+inf` before the first
+    /// evaluation) — the best-first scan order of `evaluate_ops`.
+    expected: Vec<f64>,
+    /// Region membership stamps for O(1) "is node in candidate" tests.
+    mark: Vec<u64>,
+    mark_gen: u64,
+    stats: BatchStats,
+}
+
+impl<'g> CandidateBatch<'g> {
+    /// Build the engine for one run: tables, the all-default base
+    /// mapping, and its aggregates.
+    pub fn new(
+        graph: &'g TaskGraph,
+        platform: &'g Platform,
+        subgraphs: Vec<Vec<NodeId>>,
+        devices: Vec<DeviceId>,
+        cfg: EngineConfig,
+    ) -> Self {
+        let tables = EvalTables::new(graph, platform);
+        let threads = cfg.effective_threads();
+        let mapping = Mapping::all_default(graph, platform);
+        let workers = WorkerStates::new(threads, |_| Worker {
+            scratch: EvalScratch::for_tables(&tables),
+            mapping: mapping.clone(),
+            undo: Vec::with_capacity(graph.node_count()),
+            generation: 0,
+        });
+        let max_min_exec = graph
+            .nodes()
+            .map(|v| tables.min_exec_time(v))
+            .fold(0.0, f64::max);
+        let n = graph.node_count();
+        let op_count = subgraphs.len() * devices.len();
+        let mut engine = Self {
+            fingerprint: MappingFingerprint::of(&mapping),
+            generation: 1,
+            cur: 0.0,
+            memo: HashMap::new(),
+            dev_load: Vec::new(),
+            link_load: Vec::new(),
+            area_used: Vec::new(),
+            max_min_exec,
+            path_scores: Vec::new(),
+            checkpoints: BfsCheckpoints::new(BfsCheckpoints::auto_interval(n)),
+            expected: vec![f64::INFINITY; op_count],
+            mark: vec![0; n],
+            mark_gen: 0,
+            stats: BatchStats::default(),
+            tables,
+            subgraphs,
+            devices,
+            cfg,
+            threads,
+            workers,
+            mapping,
+        };
+        engine.rebuild_aggregates();
+        engine.cur = engine
+            .simulate_base()
+            .expect("default mapping is feasible");
+        if engine.cfg.memo {
+            engine.memo.insert(engine.fingerprint.value(), engine.cur);
+        }
+        engine
+    }
+
+    /// The shared evaluation tables.
+    pub fn tables(&self) -> &EvalTables<'g> {
+        &self.tables
+    }
+
+    /// The candidate subgraph set.
+    pub fn subgraphs(&self) -> &[Vec<NodeId>] {
+        &self.subgraphs
+    }
+
+    /// The device list.
+    pub fn devices(&self) -> &[DeviceId] {
+        &self.devices
+    }
+
+    /// Number of candidate operations (`subgraphs × devices`).
+    pub fn op_count(&self) -> usize {
+        self.subgraphs.len() * self.devices.len()
+    }
+
+    /// The `(subgraph, device)` of an operation id.
+    #[inline]
+    pub fn op_parts(&self, op: OpId) -> (&[NodeId], DeviceId) {
+        let m = self.devices.len();
+        (&self.subgraphs[op / m], self.devices[op % m])
+    }
+
+    /// Effective worker thread count of this engine.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The current base mapping.
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// The current (best committed) makespan.
+    pub fn current_makespan(&self) -> f64 {
+        self.cur
+    }
+
+    /// `true` if `delta` is a real improvement on the current makespan
+    /// (guards against float-noise cycles, like the serial reference).
+    #[inline]
+    pub fn improves(&self, delta: f64) -> bool {
+        delta > self.cur * REL_EPS
+    }
+
+    /// Candidate-decision counters accumulated so far.
+    pub fn stats(&self) -> BatchStats {
+        self.stats
+    }
+
+    /// Total full simulations run so far (all workers).
+    pub fn evaluations(&self) -> u64 {
+        self.workers.iter().map(|w| w.scratch.stats().evaluations).sum()
+    }
+
+    /// Evaluate the improvement delta of every operation in `ops`
+    /// against the current makespan, in one batch.
+    ///
+    /// Returns one delta per op, in input order: `cur - makespan(op)`,
+    /// or `NEG_INFINITY` for no-ops, area-infeasible candidates and —
+    /// when `prune` is on — candidates whose bound proves they cannot
+    /// strictly beat the best delta of this batch (such candidates can
+    /// never be committed, so the mapper's choice is unaffected).
+    ///
+    /// The returned deltas are bit-identical to serial re-simulation of
+    /// every op; only the amount of work spent differs.
+    pub fn evaluate_ops(&mut self, ops: &[OpId], prune: bool) -> Vec<f64> {
+        let threshold = self.cur * REL_EPS;
+        let mut deltas = vec![f64::NEG_INFINITY; ops.len()];
+        let mut pending: Vec<Pending> = Vec::with_capacity(ops.len());
+        // Incumbent: the best delta already known in this batch (memo
+        // hits count — they are exact).  Only *strictly* better bounds
+        // may prune, so ties always go to simulation and the
+        // lowest-index winner is preserved.
+        let mut incumbent = f64::NEG_INFINITY;
+        for (slot, &op) in ops.iter().enumerate() {
+            match self.classify(op, prune) {
+                Verdict::Trivial => {
+                    self.stats.trivial += 1;
+                    if prune {
+                        self.expected[op] = f64::NEG_INFINITY;
+                    }
+                }
+                Verdict::Memoized(ms) => {
+                    self.stats.memo_hits += 1;
+                    let delta = self.cur - ms;
+                    deltas[slot] = delta;
+                    if prune {
+                        self.expected[op] = delta;
+                    }
+                    if delta > incumbent {
+                        incumbent = delta;
+                    }
+                }
+                Verdict::Simulate { fp, bound, from_pos } => {
+                    pending.push(Pending {
+                        slot,
+                        op,
+                        fp,
+                        bound,
+                        expected: self.expected[op],
+                        from_pos,
+                    });
+                }
+            }
+        }
+        if prune {
+            // Best-first by last-known improvement (index-ascending on
+            // ties, so the order — and with it every statistic — is
+            // deterministic): the incumbent and the simulation cutoff
+            // tighten as early as possible.
+            pending.sort_by(|a, b| b.expected.total_cmp(&a.expected).then(a.op.cmp(&b.op)));
+        }
+        let chunk_size = self.cfg.chunk_size.max(1);
+        let mut next = 0usize;
+        while next < pending.len() {
+            let cut = max_beatable(threshold, incumbent);
+            if prune {
+                // A candidate is provably out when its bound cannot
+                // strictly beat the incumbent, or cannot clear the
+                // improvement threshold at all.  Equality with the
+                // incumbent is NOT pruned: a lower-index tie must win.
+                while next < pending.len() && cannot_win(pending[next].bound, incumbent, threshold)
+                {
+                    self.expected[pending[next].op] = pending[next].bound;
+                    self.stats.pruned += 1;
+                    next += 1;
+                }
+                if next >= pending.len() {
+                    break;
+                }
+            }
+            let mut end = (next + chunk_size).min(pending.len());
+            if prune {
+                // Trim the tail of the chunk likewise.
+                while end > next + 1 && cannot_win(pending[end - 1].bound, incumbent, threshold) {
+                    end -= 1;
+                }
+            }
+            let chunk = &pending[next..end];
+            // The cutoff a candidate must *strictly* exceed to be proven
+            // useless; ties survive, so index-order tie-breaks hold.
+            let cutoff = if prune { self.cur - cut } else { f64::INFINITY };
+            let results = self.simulate_chunk(chunk, cutoff);
+            for (p, result) in chunk.iter().zip(&results) {
+                match *result {
+                    WindowSim::Done(ms) => {
+                        let delta = self.cur - ms;
+                        deltas[p.slot] = delta;
+                        self.stats.simulated += 1;
+                        if prune {
+                            self.expected[p.op] = delta;
+                        }
+                        if self.cfg.memo {
+                            self.memo.insert(p.fp, ms);
+                        }
+                        if delta > incumbent {
+                            incumbent = delta;
+                        }
+                    }
+                    WindowSim::Cutoff => {
+                        // delta < cut, strictly: never the winner.
+                        self.stats.aborted += 1;
+                        if prune {
+                            self.expected[p.op] = p.bound.min(cut);
+                        }
+                    }
+                }
+            }
+            next = end;
+        }
+        deltas
+    }
+
+    /// Apply `op` permanently: update the mapping, fingerprint, load
+    /// aggregates and current makespan.
+    pub fn commit(&mut self, op: OpId) {
+        let (sub, d) = self.op_parts(op);
+        let changed: Vec<(NodeId, DeviceId)> = sub
+            .iter()
+            .filter_map(|&v| {
+                let old = self.mapping.device(v);
+                (old != d).then_some((v, old))
+            })
+            .collect();
+        debug_assert!(!changed.is_empty(), "committing a no-op");
+        for &(v, old) in &changed {
+            self.fingerprint.toggle(v, old, d);
+            self.mapping.set(v, d);
+        }
+        self.generation += 1;
+        // Exact rebuild instead of incremental update: commits are rare
+        // (≤ n per run) and a fresh O(V + E) accumulation keeps the load
+        // aggregates free of float drift across iterations.  The base
+        // simulation is always re-run (never memo-answered) because it
+        // also records the schedule snapshots every window needs.
+        self.rebuild_aggregates();
+        self.cur = self
+            .simulate_base()
+            .expect("committed operations are feasible");
+        if self.cfg.memo {
+            self.memo.insert(self.fingerprint.value(), self.cur);
+        }
+    }
+
+    /// Classify one candidate without simulating it.
+    fn classify(&mut self, op: OpId, prune: bool) -> Verdict {
+        let m = self.devices.len();
+        let dm = self.tables.device_count();
+        let d = self.devices[op % m];
+        let sub = &self.subgraphs[op / m];
+        // Mark the changed region and fold its effects in one pass.
+        self.mark_gen += 1;
+        let mark_gen = self.mark_gen;
+        let mut fp = self.fingerprint;
+        let mut any = false;
+        let mut area = [0.0f64; 8];
+        area[..dm].copy_from_slice(&self.area_used);
+        for &v in sub {
+            let old = self.mapping.device(v);
+            if old == d {
+                continue;
+            }
+            any = true;
+            self.mark[v.index()] = mark_gen;
+            fp.toggle(v, old, d);
+            if self.tables.is_fpga_device(old) {
+                area[old.index()] -= self.tables.task_area(v);
+            }
+            if self.tables.is_fpga_device(d) {
+                area[d.index()] += self.tables.task_area(v);
+            }
+        }
+        if !any {
+            return Verdict::Trivial;
+        }
+        for (dev, &used) in area.iter().enumerate().take(dm) {
+            let id = DeviceId(dev as u32);
+            if !self.tables.is_fpga_device(id) {
+                continue;
+            }
+            let limit = self.tables.area_capacity(id) + 1e-9;
+            // The incremental sum and the evaluator's fresh node-order
+            // sum can disagree in the last ulps.  Decisions far from the
+            // limit are unaffected; hairline cases are re-decided with
+            // the exact accumulation the reference path uses, so the
+            // feasibility verdict can never diverge from it.
+            let guard = 1e-12 * (1.0 + limit.abs());
+            let over = if (used - limit).abs() <= guard {
+                self.exact_candidate_area(id, d) > limit
+            } else {
+                used > limit
+            };
+            if over {
+                return Verdict::Trivial;
+            }
+        }
+        if self.cfg.memo {
+            if let Some(&ms) = self.memo.get(&fp.value()) {
+                return Verdict::Memoized(ms);
+            }
+        }
+        let bound = if prune {
+            self.cur - self.candidate_lower_bound(sub, d) * (1.0 - BOUND_SLACK)
+        } else {
+            f64::INFINITY
+        };
+        let from_pos = sub
+            .iter()
+            .filter(|v| self.mark[v.index()] == self.mark_gen)
+            .map(|&v| self.tables.earliest_read_pos(v))
+            .min()
+            .unwrap_or(0);
+        Verdict::Simulate {
+            fp: fp.value(),
+            bound,
+            from_pos,
+        }
+    }
+
+    /// FPGA area of device `dev` under the current candidate (marked
+    /// region moved to `d_target`), accumulated in node-index order —
+    /// the exact sequence `EvalTables::area_feasible` uses, so the
+    /// result is bit-identical to what the reference path would sum.
+    fn exact_candidate_area(&self, dev: DeviceId, d_target: DeviceId) -> f64 {
+        let mut used = 0.0f64;
+        for (i, &base_d) in self.mapping.as_slice().iter().enumerate() {
+            let d = if self.mark[i] == self.mark_gen {
+                d_target
+            } else {
+                base_d
+            };
+            if d == dev {
+                used += self.tables.task_area(NodeId(i as u32));
+            }
+        }
+        used
+    }
+
+    /// An exact lower bound on the makespan of the candidate mapping
+    /// (base with `sub -> d` applied).  Callers must have stamped the
+    /// changed region into `self.mark` with the current `mark_gen`.
+    ///
+    /// Three sound components, each `≤ makespan` of *any* schedule the
+    /// evaluator can produce (see docs/PERF.md for the arguments):
+    ///
+    /// * temporal device load: tasks on a CPU/GPU serialize,
+    /// * directed link load: transfers on one link serialize,
+    /// * single-task spans: `max(max_v min_d exec, max_{v moved} exec)`.
+    fn candidate_lower_bound(&self, sub: &[NodeId], d: DeviceId) -> f64 {
+        let dm = self.tables.device_count();
+        let spatial_target = self.tables.is_fpga_device(d);
+        let mut dev_load = [0.0f64; 8];
+        dev_load[..dm].copy_from_slice(&self.dev_load);
+        let mut link_load = [0.0f64; 64];
+        link_load[..dm * dm].copy_from_slice(&self.link_load);
+        let mut moved_span: f64 = 0.0;
+        for &v in sub {
+            if self.mark[v.index()] != self.mark_gen {
+                continue; // already on d
+            }
+            let old = self.mapping.device(v);
+            if !self.tables.is_fpga_device(old) {
+                dev_load[old.index()] -= self.tables.exec_time(v, old);
+            }
+            let ev = self.tables.exec_time(v, d);
+            if !spatial_target {
+                dev_load[d.index()] += ev;
+            }
+            moved_span = moved_span.max(ev);
+            // Re-route the transfer load of every incident edge.  Edges
+            // with both endpoints in the region are handled once, from
+            // their source side.
+            let g = self.tables.graph();
+            for &e in g.out_edges(v) {
+                let edge = g.edge(e);
+                let w = edge.dst;
+                let old_to = self.mapping.device(w);
+                let new_to = if self.mark[w.index()] == self.mark_gen {
+                    d
+                } else {
+                    old_to
+                };
+                relink(
+                    &mut link_load,
+                    dm,
+                    edge.bytes,
+                    &self.tables,
+                    (old, old_to),
+                    (d, new_to),
+                );
+            }
+            for &e in g.in_edges(v) {
+                let edge = g.edge(e);
+                let u = edge.src;
+                if self.mark[u.index()] == self.mark_gen {
+                    continue; // counted from u's out-edge loop
+                }
+                let du = self.mapping.device(u);
+                relink(
+                    &mut link_load,
+                    dm,
+                    edge.bytes,
+                    &self.tables,
+                    (du, old),
+                    (du, d),
+                );
+            }
+        }
+        let mut lb = self.max_min_exec.max(moved_span);
+        for &load in dev_load.iter().take(dm) {
+            lb = lb.max(load);
+        }
+        for &load in link_load.iter().take(dm * dm) {
+            lb = lb.max(load);
+        }
+        // Critical-path component.  For every node, `path_floor(v) +
+        // span(v, its device)` is a sound makespan bound (docs/PERF.md);
+        // nodes outside the region keep their base span, so the best
+        // pre-sorted base score not in the region survives as-is, and
+        // moved nodes contribute with their span on the target device.
+        for &(score, v) in &self.path_scores {
+            if score <= lb {
+                break; // sorted descending: nothing better follows
+            }
+            if self.mark[v as usize] != self.mark_gen {
+                lb = score;
+                break;
+            }
+        }
+        let target_fill = if spatial_target {
+            self.tables.fill_fraction(d)
+        } else {
+            1.0
+        };
+        for &v in sub {
+            if self.mark[v.index()] != self.mark_gen {
+                continue;
+            }
+            let span = target_fill * self.tables.exec_time(v, d);
+            lb = lb.max(self.tables.path_floor(v) + span);
+        }
+        lb
+    }
+
+    /// Simulate the candidates of one chunk in parallel (or serially for
+    /// one thread — zero spawns): each worker syncs its private mapping
+    /// copy to the base, applies the candidate's moves, and re-simulates
+    /// only the schedule window from the candidate's first affected
+    /// position, aborting once `cutoff` is provably exceeded.  Returns
+    /// outcomes in chunk order.  Area feasibility was prechecked.
+    fn simulate_chunk(&mut self, chunk: &[Pending], cutoff: f64) -> Vec<WindowSim> {
+        let tables = &self.tables;
+        let checkpoints = &self.checkpoints;
+        let base = &self.mapping;
+        let generation = self.generation;
+        let m = self.devices.len();
+        let subgraphs = &self.subgraphs;
+        let devices = &self.devices;
+        par_map_with_threads(self.threads, &mut self.workers, chunk, |w, _, p| {
+            if w.generation != generation {
+                w.mapping.copy_from(base);
+                w.generation = generation;
+            }
+            let d = devices[p.op % m];
+            let sub = &subgraphs[p.op / m];
+            w.undo.clear();
+            for &v in sub {
+                let old = w.mapping.device(v);
+                if old != d {
+                    w.undo.push((v, old));
+                    w.mapping.set(v, d);
+                }
+            }
+            let result =
+                tables.makespan_bfs_window(&mut w.scratch, &w.mapping, checkpoints, p.from_pos, cutoff);
+            for &(v, old) in w.undo.iter().rev() {
+                w.mapping.set(v, old);
+            }
+            result
+        })
+    }
+
+    /// Simulate the current base mapping on worker 0's scratch,
+    /// recording the schedule snapshots for windowed re-simulation.
+    fn simulate_base(&mut self) -> Option<f64> {
+        self.tables.makespan_bfs_checkpointed(
+            &mut self.workers.first_mut().scratch,
+            &self.mapping,
+            &mut self.checkpoints,
+        )
+    }
+
+    /// Recompute the load aggregates of the base mapping from scratch.
+    fn rebuild_aggregates(&mut self) {
+        let dm = self.tables.device_count();
+        let g = self.tables.graph();
+        self.dev_load.clear();
+        self.dev_load.resize(dm, 0.0);
+        self.area_used.clear();
+        self.area_used.resize(dm, 0.0);
+        self.link_load.clear();
+        self.link_load.resize(dm * dm, 0.0);
+        for v in g.nodes() {
+            let d = self.mapping.device(v);
+            if self.tables.is_fpga_device(d) {
+                self.area_used[d.index()] += self.tables.task_area(v);
+            } else {
+                self.dev_load[d.index()] += self.tables.exec_time(v, d);
+            }
+        }
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            let from = self.mapping.device(edge.src);
+            let to = self.mapping.device(edge.dst);
+            if from != to {
+                self.link_load[from.index() * dm + to.index()] +=
+                    self.tables.transfer_time(edge.bytes, from, to);
+            }
+        }
+        self.path_scores.clear();
+        for v in g.nodes() {
+            let d = self.mapping.device(v);
+            let span = if self.tables.is_fpga_device(d) {
+                self.tables.fill_fraction(d) * self.tables.exec_time(v, d)
+            } else {
+                self.tables.exec_time(v, d)
+            };
+            self.path_scores.push((self.tables.path_floor(v) + span, v.0));
+        }
+        self.path_scores
+            .sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    }
+}
+
+/// The smallest delta a candidate must strictly beat to matter: the
+/// improvement threshold, or the batch incumbent once one exists.
+#[inline]
+fn max_beatable(threshold: f64, incumbent: f64) -> f64 {
+    incumbent.max(threshold)
+}
+
+/// `true` if a candidate with improvement upper bound `bound` provably
+/// cannot be the committed winner: it cannot *strictly* beat the
+/// incumbent (a tie loses to the incumbent only on higher index, so ties
+/// must still be simulated), or it cannot clear the improvement
+/// threshold (where ties are also non-improvements).
+#[inline]
+fn cannot_win(bound: f64, incumbent: f64, threshold: f64) -> bool {
+    bound < incumbent || bound <= threshold
+}
+
+/// Move one edge's transfer-load contribution between links.
+#[inline]
+fn relink(
+    link_load: &mut [f64],
+    dm: usize,
+    bytes: f64,
+    tables: &EvalTables<'_>,
+    old: (DeviceId, DeviceId),
+    new: (DeviceId, DeviceId),
+) {
+    if old == new {
+        return;
+    }
+    if old.0 != old.1 {
+        link_load[old.0.index() * dm + old.1.index()] -= tables.transfer_time(bytes, old.0, old.1);
+    }
+    if new.0 != new.1 {
+        link_load[new.0.index() * dm + new.1.index()] += tables.transfer_time(bytes, new.0, new.1);
+    }
+}
+
+/// What the incremental bookkeeping decided about one candidate.
+enum Verdict {
+    /// No-op or area-infeasible: never an improvement.
+    Trivial,
+    /// Known makespan from the memo.
+    Memoized(f64),
+    /// Needs a simulation; `bound` caps its achievable delta and
+    /// `from_pos` is its window start.
+    Simulate { fp: u128, bound: f64, from_pos: usize },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmap_decomp::{series_parallel_subgraphs, CutPolicy};
+    use spmap_graph::gen::{random_sp_graph, SpGenConfig};
+    use spmap_graph::{augment, AugmentConfig};
+    use spmap_model::Evaluator;
+
+    fn setup(seed: u64) -> (TaskGraph, Platform) {
+        let mut g = random_sp_graph(&SpGenConfig::new(40, seed));
+        augment(&mut g, &AugmentConfig::default(), seed);
+        (g, Platform::reference())
+    }
+
+    fn engine<'g>(
+        g: &'g TaskGraph,
+        p: &'g Platform,
+        cfg: EngineConfig,
+    ) -> CandidateBatch<'g> {
+        let subgraphs = series_parallel_subgraphs(g, CutPolicy::default())
+            .subgraphs()
+            .to_vec();
+        let devices: Vec<DeviceId> = p.device_ids().collect();
+        CandidateBatch::new(g, p, subgraphs, devices, cfg)
+    }
+
+    /// Reference deltas: serial probe of every op, exactly like the seed
+    /// mapper's inner loop.
+    fn reference_deltas(
+        g: &TaskGraph,
+        p: &Platform,
+        eng: &CandidateBatch<'_>,
+    ) -> Vec<f64> {
+        let mut ev = Evaluator::new(g, p);
+        let mut mapping = eng.mapping().clone();
+        let cur = eng.current_makespan();
+        (0..eng.op_count())
+            .map(|op| {
+                let (sub, d) = eng.op_parts(op);
+                let undo: Vec<(NodeId, DeviceId)> = sub
+                    .iter()
+                    .filter_map(|&v| {
+                        let old = mapping.device(v);
+                        (old != d).then_some((v, old))
+                    })
+                    .collect();
+                if undo.is_empty() {
+                    return f64::NEG_INFINITY;
+                }
+                for &(v, _) in &undo {
+                    mapping.set(v, d);
+                }
+                let delta = match ev.makespan_bfs(&mapping) {
+                    Some(ms) => cur - ms,
+                    None => f64::NEG_INFINITY,
+                };
+                for &(v, old) in undo.iter().rev() {
+                    mapping.set(v, old);
+                }
+                delta
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unpruned_batch_matches_serial_probe_bitwise() {
+        for seed in [1, 5, 9] {
+            let (g, p) = setup(seed);
+            let mut eng = engine(
+                &g,
+                &p,
+                EngineConfig {
+                    threads: Some(4),
+                    memo: false,
+                    prune: false,
+                    ..EngineConfig::default()
+                },
+            );
+            let ops: Vec<OpId> = (0..eng.op_count()).collect();
+            let batch = eng.evaluate_ops(&ops, false);
+            let reference = reference_deltas(&g, &p, &eng);
+            assert_eq!(batch, reference, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pruned_batch_preserves_the_winning_candidate() {
+        for seed in [2, 6, 11] {
+            let (g, p) = setup(seed);
+            let mut eng = engine(&g, &p, EngineConfig { threads: Some(4), ..Default::default() });
+            let ops: Vec<OpId> = (0..eng.op_count()).collect();
+            let pruned = eng.evaluate_ops(&ops, true);
+            let reference = reference_deltas(&g, &p, &eng);
+            let threshold = eng.current_makespan() * REL_EPS;
+            let pick = |d: &[f64]| {
+                d.iter()
+                    .enumerate()
+                    .filter(|(_, &x)| x > threshold)
+                    .fold(None::<(usize, f64)>, |best, (i, &x)| {
+                        if best.map_or(true, |(_, b)| x > b) {
+                            Some((i, x))
+                        } else {
+                            best
+                        }
+                    })
+            };
+            assert_eq!(pick(&pruned), pick(&reference), "seed {seed}");
+            assert!(eng.stats().pruned > 0, "pruning fired (seed {seed})");
+            // Every non-pruned delta is bit-identical to the reference.
+            for (i, (&a, &b)) in pruned.iter().zip(&reference).enumerate() {
+                if a != f64::NEG_INFINITY {
+                    assert_eq!(a, b, "op {i} seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memo_hits_after_commit_are_exact() {
+        let (g, p) = setup(3);
+        let mut eng = engine(&g, &p, EngineConfig { threads: Some(2), ..Default::default() });
+        let ops: Vec<OpId> = (0..eng.op_count()).collect();
+        let deltas = eng.evaluate_ops(&ops, false);
+        let threshold = eng.current_makespan() * REL_EPS;
+        let (best_op, best_delta) = deltas
+            .iter()
+            .enumerate()
+            .fold((0, f64::NEG_INFINITY), |acc, (i, &d)| {
+                if d > acc.1 {
+                    (i, d)
+                } else {
+                    acc
+                }
+            });
+        assert!(best_delta > threshold, "test graph must have an improvement");
+        let before = eng.current_makespan();
+        eng.commit(best_op);
+        let expected = before - best_delta;
+        assert!(
+            (eng.current_makespan() - expected).abs() <= 1e-12 * before,
+            "cur after commit"
+        );
+        // Re-evaluating everything after the commit: results must again
+        // match the serial probe, and the committed op's device-variants
+        // (same subgraph, other devices) must be answered by the memo.
+        let hits_before = eng.stats().memo_hits;
+        let again = eng.evaluate_ops(&ops, false);
+        let reference = reference_deltas(&g, &p, &eng);
+        assert_eq!(again, reference);
+        assert!(eng.stats().memo_hits > hits_before, "memo produced hits");
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_true_makespan() {
+        // The heart of the exactness argument: for every candidate,
+        // bound >= true delta (equivalently LB <= true makespan).
+        for seed in [4, 7, 13] {
+            let (g, p) = setup(seed);
+            let mut eng = engine(&g, &p, EngineConfig { threads: Some(1), ..Default::default() });
+            let reference = reference_deltas(&g, &p, &eng);
+            for op in 0..eng.op_count() {
+                let verdict = eng.classify(op, true);
+                if let Verdict::Simulate { bound, .. } = verdict {
+                    let true_delta = reference[op];
+                    if true_delta != f64::NEG_INFINITY {
+                        assert!(
+                            bound >= true_delta,
+                            "op {op} seed {seed}: bound {bound} < delta {true_delta}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let (g, p) = setup(8);
+        let mut results = Vec::new();
+        for threads in [1, 2, 8] {
+            let mut eng = engine(
+                &g,
+                &p,
+                EngineConfig { threads: Some(threads), ..Default::default() },
+            );
+            let ops: Vec<OpId> = (0..eng.op_count()).collect();
+            let deltas = eng.evaluate_ops(&ops, true);
+            results.push((deltas, eng.stats()));
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2], "stats and deltas thread-invariant");
+    }
+}

@@ -26,10 +26,25 @@
 //! Because the evaluator is deterministic and every applied operation
 //! strictly improves the makespan, the algorithm terminates; an iteration
 //! cap of `n` bounds degenerate cases (§III-A).
+//!
+//! ## The candidate evaluation engine
+//!
+//! Both heuristics route their inner loop through [`CandidateBatch`]
+//! (module [`batch`]): all candidate moves of one iteration are settled
+//! as a batch using content-keyed memoization, exact lower-bound
+//! pruning, and parallel *windowed* re-simulation (each candidate
+//! replays only the schedule suffix it can affect, aborting as soon as
+//! it provably cannot beat the incumbent).  Results are bit-identical
+//! to the serial scan — [`decomposition_map_reference`] keeps the
+//! original implementation as the executable specification, and
+//! `tests/equivalence.rs` plus `docs/PERF.md` carry the proof burden.
 
+pub mod batch;
 pub mod mapper;
 pub mod threshold;
 
+pub use batch::{BatchStats, CandidateBatch, EngineConfig};
 pub use mapper::{
-    decomposition_map, MapperConfig, MapperResult, SearchHeuristic, SubgraphStrategy,
+    decomposition_map, decomposition_map_reference, MapperConfig, MapperResult, OpId,
+    SearchHeuristic, SubgraphStrategy,
 };

@@ -1,9 +1,16 @@
 //! The decomposition mapping loop (paper §III-A/B/C).
+//!
+//! Candidate evaluation — the inner loop that dominates the runtime —
+//! goes through the incremental + parallel engine in [`crate::batch`];
+//! [`decomposition_map_reference`] keeps the original strictly serial
+//! probe loop as an executable specification that the engine is tested
+//! against (identical mappings, makespans and history, bit for bit).
 
 use spmap_decomp::{series_parallel_subgraphs, single_node_subgraphs, CutPolicy};
 use spmap_graph::{NodeId, TaskGraph};
 use spmap_model::{DeviceId, Evaluator, Mapping, Platform};
 
+use crate::batch::{BatchStats, CandidateBatch, EngineConfig};
 use crate::threshold::gamma_threshold_search;
 
 /// Which candidate subgraph set to use (paper §III-B vs. §III-C).
@@ -49,6 +56,10 @@ pub struct MapperConfig {
     /// Maximum number of improvement iterations; `None` uses the paper's
     /// suggested cap of `n` (the task count).
     pub iteration_cap: Option<usize>,
+    /// Candidate-engine tuning (threads, pruning, memoization).  The
+    /// defaults are right for production use; benchmarks and tests use
+    /// the switches for ablations.
+    pub engine: EngineConfig,
 }
 
 impl MapperConfig {
@@ -58,6 +69,7 @@ impl MapperConfig {
             strategy: SubgraphStrategy::SingleNode,
             heuristic: SearchHeuristic::Exhaustive,
             iteration_cap: None,
+            engine: EngineConfig::default(),
         }
     }
 
@@ -69,6 +81,7 @@ impl MapperConfig {
             },
             heuristic: SearchHeuristic::Exhaustive,
             iteration_cap: None,
+            engine: EngineConfig::default(),
         }
     }
 
@@ -106,6 +119,9 @@ pub struct MapperResult {
     pub subgraph_count: usize,
     /// Makespan after each applied iteration (strictly decreasing).
     pub history: Vec<f64>,
+    /// Candidate-engine decision counters (zero for the serial
+    /// reference path).
+    pub batch: BatchStats,
 }
 
 impl MapperResult {
@@ -119,22 +135,151 @@ impl MapperResult {
 /// considered an improvement (guards against float noise cycles).
 pub(crate) const REL_EPS: f64 = 1e-9;
 
-/// Shared state of one mapping run.
-pub(crate) struct Ctx<'g> {
-    pub evaluator: Evaluator<'g>,
-    pub subgraphs: Vec<Vec<NodeId>>,
-    pub devices: Vec<DeviceId>,
-    pub mapping: Mapping,
-    /// Current (best) makespan.
-    pub cur: f64,
+/// An operation index: `subgraph * device_count + device`.
+pub type OpId = usize;
+
+/// The candidate subgraph set of `strategy` on `graph`.
+fn build_subgraphs(graph: &TaskGraph, strategy: SubgraphStrategy) -> Vec<Vec<NodeId>> {
+    match strategy {
+        SubgraphStrategy::SingleNode => single_node_subgraphs(graph).subgraphs().to_vec(),
+        SubgraphStrategy::SeriesParallel { cut_policy } => {
+            series_parallel_subgraphs(graph, cut_policy)
+                .subgraphs()
+                .to_vec()
+        }
+    }
+}
+
+/// Run decomposition-based mapping (paper §III) on `graph` over
+/// `platform` through the incremental + parallel candidate engine.
+pub fn decomposition_map(
+    graph: &TaskGraph,
+    platform: &Platform,
+    cfg: &MapperConfig,
+) -> MapperResult {
+    let subgraphs = build_subgraphs(graph, cfg.strategy);
+    let devices: Vec<DeviceId> = platform.device_ids().collect();
+    let mut engine = CandidateBatch::new(graph, platform, subgraphs, devices, cfg.engine);
+    let cpu_only = engine.current_makespan();
+    let cap = cfg.iteration_cap.unwrap_or(graph.node_count().max(1));
+
+    let (iterations, history) = match cfg.heuristic {
+        SearchHeuristic::Exhaustive => exhaustive_search(&mut engine, cap, cfg.engine.prune),
+        SearchHeuristic::GammaThreshold { gamma } => {
+            assert!(gamma >= 1.0, "gamma must be >= 1");
+            gamma_threshold_search(&mut engine, cap, gamma)
+        }
+    };
+
+    MapperResult {
+        makespan: engine.current_makespan(),
+        cpu_only_makespan: cpu_only,
+        iterations,
+        evaluations: engine.evaluations(),
+        subgraph_count: engine.subgraphs().len(),
+        history,
+        batch: engine.stats(),
+        mapping: engine.mapping().clone(),
+    }
+}
+
+/// The basic variant: evaluate every operation in every iteration and
+/// commit the best one (paper §III-A steps 2–4), one engine batch per
+/// iteration.
+fn exhaustive_search(
+    engine: &mut CandidateBatch<'_>,
+    cap: usize,
+    prune: bool,
+) -> (usize, Vec<f64>) {
+    let ops: Vec<OpId> = (0..engine.op_count()).collect();
+    let mut history = Vec::new();
+    let mut iterations = 0;
+    while iterations < cap {
+        let deltas = engine.evaluate_ops(&ops, prune);
+        // Serial reduce in candidate-index order: ties go to the lowest
+        // index, exactly like the serial reference — thread arrival
+        // order cannot influence the choice.
+        let mut best: Option<(OpId, f64)> = None;
+        for (op, &delta) in deltas.iter().enumerate() {
+            if engine.improves(delta) && best.is_none_or(|(_, b)| delta > b) {
+                best = Some((op, delta));
+            }
+        }
+        match best {
+            Some((op, _)) => {
+                engine.commit(op);
+                history.push(engine.current_makespan());
+                iterations += 1;
+            }
+            None => break,
+        }
+    }
+    (iterations, history)
+}
+
+/// Run decomposition-based mapping through the original strictly serial
+/// candidate scan — one probe (full simulation) per candidate per
+/// iteration, no pruning, no memoization, no threads.
+///
+/// This is the executable specification the engine is verified against:
+/// `decomposition_map` must produce the identical mapping, makespan and
+/// history for every input (see `tests/equivalence.rs`).  It is also the
+/// baseline that `perf_report` measures speedups from.
+pub fn decomposition_map_reference(
+    graph: &TaskGraph,
+    platform: &Platform,
+    cfg: &MapperConfig,
+) -> MapperResult {
+    let subgraphs = build_subgraphs(graph, cfg.strategy);
+    let devices: Vec<DeviceId> = platform.device_ids().collect();
+    let mut ctx = RefCtx {
+        evaluator: Evaluator::new(graph, platform),
+        mapping: Mapping::all_default(graph, platform),
+        cur: 0.0,
+        undo: Vec::with_capacity(graph.node_count()),
+        subgraphs,
+        devices,
+    };
+    ctx.cur = ctx
+        .evaluator
+        .makespan_bfs(&ctx.mapping)
+        .expect("default mapping is feasible");
+    let cpu_only = ctx.cur;
+    let cap = cfg.iteration_cap.unwrap_or(graph.node_count().max(1));
+
+    let (iterations, history) = match cfg.heuristic {
+        SearchHeuristic::Exhaustive => ctx.exhaustive(cap),
+        SearchHeuristic::GammaThreshold { gamma } => {
+            assert!(gamma >= 1.0, "gamma must be >= 1");
+            ctx.gamma_threshold(cap, gamma)
+        }
+    };
+
+    let subgraph_count = ctx.subgraphs.len();
+    MapperResult {
+        makespan: ctx.cur,
+        cpu_only_makespan: cpu_only,
+        iterations,
+        evaluations: ctx.evaluator.stats().evaluations,
+        subgraph_count,
+        history,
+        batch: BatchStats::default(),
+        mapping: ctx.mapping,
+    }
+}
+
+/// Shared state of one serial reference run.
+struct RefCtx<'g> {
+    evaluator: Evaluator<'g>,
+    subgraphs: Vec<Vec<NodeId>>,
+    devices: Vec<DeviceId>,
+    mapping: Mapping,
+    cur: f64,
     undo: Vec<(NodeId, DeviceId)>,
 }
 
-/// An operation index: `subgraph * device_count + device`.
-pub(crate) type OpId = usize;
-
-impl<'g> Ctx<'g> {
-    pub(crate) fn op_count(&self) -> usize {
+impl RefCtx<'_> {
+    fn op_count(&self) -> usize {
         self.subgraphs.len() * self.devices.len()
     }
 
@@ -164,7 +309,7 @@ impl<'g> Ctx<'g> {
 
     /// Evaluate the improvement of `op` against the current makespan and
     /// revert.  Returns `NEG_INFINITY` for no-ops and infeasible mappings.
-    pub(crate) fn probe(&mut self, op: OpId) -> f64 {
+    fn probe(&mut self, op: OpId) -> f64 {
         if !self.apply(op) {
             return f64::NEG_INFINITY;
         }
@@ -177,7 +322,7 @@ impl<'g> Ctx<'g> {
     }
 
     /// Apply `op` permanently and update the current makespan.
-    pub(crate) fn commit(&mut self, op: OpId) {
+    fn commit(&mut self, op: OpId) {
         let changed = self.apply(op);
         debug_assert!(changed, "committing a no-op");
         self.undo.clear();
@@ -187,88 +332,81 @@ impl<'g> Ctx<'g> {
             .expect("committed operations are feasible");
     }
 
-    /// `true` if `delta` is a real improvement on the current makespan.
-    pub(crate) fn improves(&self, delta: f64) -> bool {
+    fn improves(&self, delta: f64) -> bool {
         delta > self.cur * REL_EPS
     }
 
-}
-
-/// Run decomposition-based mapping (paper §III) on `graph` over
-/// `platform`.
-pub fn decomposition_map(
-    graph: &TaskGraph,
-    platform: &Platform,
-    cfg: &MapperConfig,
-) -> MapperResult {
-    let subgraphs: Vec<Vec<NodeId>> = match cfg.strategy {
-        SubgraphStrategy::SingleNode => single_node_subgraphs(graph)
-            .subgraphs()
-            .to_vec(),
-        SubgraphStrategy::SeriesParallel { cut_policy } => {
-            series_parallel_subgraphs(graph, cut_policy)
-                .subgraphs()
-                .to_vec()
-        }
-    };
-    let mut ctx = Ctx {
-        evaluator: Evaluator::new(graph, platform),
-        subgraphs,
-        devices: platform.device_ids().collect(),
-        mapping: Mapping::all_default(graph, platform),
-        cur: 0.0,
-        undo: Vec::with_capacity(graph.node_count()),
-    };
-    ctx.cur = ctx
-        .evaluator
-        .makespan_bfs(&ctx.mapping)
-        .expect("default mapping is feasible");
-    let cpu_only = ctx.cur;
-    let cap = cfg.iteration_cap.unwrap_or(graph.node_count().max(1));
-
-    let (iterations, history) = match cfg.heuristic {
-        SearchHeuristic::Exhaustive => exhaustive_search(&mut ctx, cap),
-        SearchHeuristic::GammaThreshold { gamma } => {
-            assert!(gamma >= 1.0, "gamma must be >= 1");
-            gamma_threshold_search(&mut ctx, cap, gamma)
-        }
-    };
-
-    let subgraph_count = ctx.subgraphs.len();
-    MapperResult {
-        makespan: ctx.cur,
-        cpu_only_makespan: cpu_only,
-        iterations,
-        evaluations: ctx.evaluator.stats().evaluations,
-        subgraph_count,
-        history,
-        mapping: ctx.mapping,
-    }
-}
-
-/// The basic variant: evaluate every operation in every iteration and
-/// commit the best one (paper §III-A steps 2–4).
-fn exhaustive_search(ctx: &mut Ctx<'_>, cap: usize) -> (usize, Vec<f64>) {
-    let mut history = Vec::new();
-    let mut iterations = 0;
-    while iterations < cap {
-        let mut best: Option<(OpId, f64)> = None;
-        for op in 0..ctx.op_count() {
-            let delta = ctx.probe(op);
-            if ctx.improves(delta) && best.map_or(true, |(_, b)| delta > b) {
-                best = Some((op, delta));
+    fn exhaustive(&mut self, cap: usize) -> (usize, Vec<f64>) {
+        let mut history = Vec::new();
+        let mut iterations = 0;
+        while iterations < cap {
+            let mut best: Option<(OpId, f64)> = None;
+            for op in 0..self.op_count() {
+                let delta = self.probe(op);
+                if self.improves(delta) && best.is_none_or(|(_, b)| delta > b) {
+                    best = Some((op, delta));
+                }
+            }
+            match best {
+                Some((op, _)) => {
+                    self.commit(op);
+                    history.push(self.cur);
+                    iterations += 1;
+                }
+                None => break,
             }
         }
-        match best {
-            Some((op, _)) => {
-                ctx.commit(op);
-                history.push(ctx.cur);
-                iterations += 1;
-            }
-            None => break,
-        }
+        (iterations, history)
     }
-    (iterations, history)
+
+    /// The original serial γ-threshold search (see `crate::threshold` for
+    /// the algorithm description; the engine version replays exactly this
+    /// decision sequence).
+    fn gamma_threshold(&mut self, cap: usize, gamma: f64) -> (usize, Vec<f64>) {
+        use crate::threshold::Key;
+        use std::collections::BinaryHeap;
+
+        let op_count = self.op_count();
+        let mut expected = vec![f64::INFINITY; op_count];
+        let mut evaluated = vec![false; op_count];
+        let mut history = Vec::new();
+        let mut iterations = 0;
+
+        while iterations < cap {
+            let mut heap: BinaryHeap<(Key, OpId)> = (0..op_count)
+                .map(|op| (Key(expected[op]), op))
+                .collect();
+            evaluated.iter_mut().for_each(|e| *e = false);
+            let mut found: Option<(OpId, f64)> = None;
+
+            while let Some((Key(exp), op)) = heap.pop() {
+                if evaluated[op] {
+                    continue;
+                }
+                if let Some((_, delta)) = found {
+                    if exp <= delta / gamma {
+                        break;
+                    }
+                }
+                evaluated[op] = true;
+                let delta = self.probe(op);
+                expected[op] = delta;
+                if self.improves(delta) && found.is_none_or(|(_, best)| delta > best) {
+                    found = Some((op, delta));
+                }
+            }
+
+            match found {
+                Some((op, _)) => {
+                    self.commit(op);
+                    history.push(self.cur);
+                    iterations += 1;
+                }
+                None => break,
+            }
+        }
+        (iterations, history)
+    }
 }
 
 #[cfg(test)]
@@ -388,6 +526,8 @@ mod tests {
         for seed in 20..28 {
             let mut g = random_sp_graph(&SpGenConfig::new(40, seed));
             augment(&mut g, &AugmentConfig::default(), seed);
+            // Compare candidate *decisions* (work per heuristic), not raw
+            // simulations: pruning shrinks both sides' simulation counts.
             let ex = decomposition_map(&g, &p, &MapperConfig::series_parallel());
             let ff = decomposition_map(&g, &p, &MapperConfig::sp_first_fit());
             let ex_imp = relative_improvement(ex.cpu_only_makespan, ex.makespan);
@@ -395,7 +535,7 @@ mod tests {
             if ff_imp < ex_imp - 0.05 {
                 worse += 1;
             }
-            eval_savings += ex.evaluations as i64 - ff.evaluations as i64;
+            eval_savings += ex.batch.total() as i64 - ff.batch.total() as i64;
         }
         assert!(worse <= 2, "FirstFit quality collapsed on {worse}/8 graphs");
         assert!(
@@ -428,6 +568,7 @@ mod tests {
             assert_eq!(a.mapping, b.mapping);
             assert_eq!(a.makespan, b.makespan);
             assert_eq!(a.evaluations, b.evaluations);
+            assert_eq!(a.batch, b.batch);
         }
     }
 
@@ -455,7 +596,42 @@ mod tests {
                 ..MapperConfig::series_parallel()
             },
         );
-        assert!(gamma2.evaluations >= ff.evaluations);
+        assert!(gamma2.batch.total() >= ff.batch.total());
         assert!(gamma2.makespan <= ff.makespan * (1.0 + 1e-6) || gamma2.makespan <= ff.makespan);
+    }
+
+    #[test]
+    fn engine_matches_reference_on_all_heuristics() {
+        // The headline guarantee, in miniature (the full randomized
+        // version lives in tests/equivalence.rs): engine and serial
+        // reference agree bit for bit on mapping, makespan and history.
+        let p = Platform::reference();
+        for seed in [0, 3, 14] {
+            let mut g = random_sp_graph(&SpGenConfig::new(30, seed));
+            augment(&mut g, &AugmentConfig::default(), seed);
+            for cfg in [
+                MapperConfig::series_parallel(),
+                MapperConfig::single_node(),
+                MapperConfig::sp_first_fit(),
+                MapperConfig {
+                    heuristic: SearchHeuristic::GammaThreshold { gamma: 3.0 },
+                    ..MapperConfig::series_parallel()
+                },
+            ] {
+                let engine_cfg = MapperConfig {
+                    engine: EngineConfig {
+                        threads: Some(4),
+                        ..EngineConfig::default()
+                    },
+                    ..cfg
+                };
+                let fast = decomposition_map(&g, &p, &engine_cfg);
+                let slow = decomposition_map_reference(&g, &p, &cfg);
+                assert_eq!(fast.mapping, slow.mapping, "seed {seed} {cfg:?}");
+                assert_eq!(fast.makespan, slow.makespan, "seed {seed} {cfg:?}");
+                assert_eq!(fast.history, slow.history, "seed {seed} {cfg:?}");
+                assert_eq!(fast.iterations, slow.iterations);
+            }
+        }
     }
 }

@@ -16,15 +16,35 @@
 //! committed unless an operation with a *higher* expectation is still
 //! pending (i.e. the found improvement was "significantly smaller than
 //! the previously expected improvement").
+//!
+//! ## Parallelization: speculative waves
+//!
+//! The algorithm is inherently sequential — whether an operation is
+//! evaluated at all depends on the deltas of the operations popped
+//! before it.  To still extract parallelism without changing a single
+//! decision, the engine version pops the next `W` operations (the exact
+//! prefix the serial loop would consider next), simulates them as one
+//! batch through [`CandidateBatch`], and then *replays* the serial
+//! decision sequence over the precomputed results: expectations update
+//! in pop order, and the moment the look-ahead cutoff fires, the
+//! remaining speculative results are discarded — their expectations are
+//! **not** updated, exactly as if they had never been evaluated.
+//! Discarded simulations are not wasted: their makespans stay in the
+//! engine's content-keyed memo and answer later evaluations of the same
+//! mapping for free.
+//!
+//! With one worker thread the wave size is 1 and the loop *is* the
+//! serial algorithm (zero speculation, zero spawns).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::mapper::{Ctx, OpId};
+use crate::batch::CandidateBatch;
+use crate::mapper::OpId;
 
 /// Max-heap key wrapping an `f64` expectation with total order.
 #[derive(Clone, Copy, PartialEq)]
-struct Key(f64);
+pub(crate) struct Key(pub(crate) f64);
 
 impl Eq for Key {}
 
@@ -40,18 +60,36 @@ impl Ord for Key {
     }
 }
 
-/// Run the γ-threshold search; returns `(iterations, history)`.
+/// Speculation depth: how many pending pops are simulated per batch.
+/// Serial (1 thread) speculates nothing — bit-for-bit the textbook
+/// loop.  Capped at 64 so speculative waste is bounded on very wide
+/// machines (every speculated-then-discarded op costs a simulation and
+/// inflates the evaluation counters without helping wall-clock once
+/// the wave exceeds a few chunks).
+fn wave_size(threads: usize) -> usize {
+    if threads <= 1 {
+        1
+    } else {
+        (4 * threads).min(64)
+    }
+}
+
+/// Run the γ-threshold search through the candidate engine; returns
+/// `(iterations, history)`.
 ///
 /// Expectations start at `+∞`, so the first iteration degenerates to a
 /// full sweep exactly as the paper describes ("we assign an expected
 /// makespan improvement to each mapping operation after the first
-/// iteration").
+/// iteration").  The decision sequence — which operations get evaluated,
+/// their expectation updates, and the committed winner — is identical to
+/// the serial reference for every wave size; see the module docs.
 pub(crate) fn gamma_threshold_search(
-    ctx: &mut Ctx<'_>,
+    engine: &mut CandidateBatch<'_>,
     cap: usize,
     gamma: f64,
 ) -> (usize, Vec<f64>) {
-    let op_count = ctx.op_count();
+    let op_count = engine.op_count();
+    let wave = wave_size(engine.threads());
     let mut expected = vec![f64::INFINITY; op_count];
     let mut evaluated = vec![false; op_count];
     let mut history = Vec::new();
@@ -66,30 +104,56 @@ pub(crate) fn gamma_threshold_search(
             .collect();
         evaluated.iter_mut().for_each(|e| *e = false);
         let mut found: Option<(OpId, f64)> = None;
+        let mut wave_ops: Vec<OpId> = Vec::with_capacity(wave);
+        let mut wave_exps: Vec<f64> = Vec::with_capacity(wave);
 
-        while let Some((Key(exp), op)) = heap.pop() {
-            if evaluated[op] {
-                continue;
-            }
-            if let Some((_, delta)) = found {
-                // Look-ahead bound: only operations whose expected
-                // improvement exceeds Δ/γ are still worth evaluating.
-                if exp <= delta / gamma {
-                    break;
+        'pass: loop {
+            // Speculatively take the next `wave` pops — exactly the
+            // prefix the serial loop would consider next.
+            wave_ops.clear();
+            wave_exps.clear();
+            while wave_ops.len() < wave {
+                match heap.pop() {
+                    Some((Key(exp), op)) => {
+                        if evaluated[op] {
+                            continue;
+                        }
+                        wave_ops.push(op);
+                        wave_exps.push(exp);
+                    }
+                    None => break,
                 }
             }
-            evaluated[op] = true;
-            let delta = ctx.probe(op);
-            expected[op] = delta;
-            if ctx.improves(delta) && found.map_or(true, |(_, best)| delta > best) {
-                found = Some((op, delta));
+            if wave_ops.is_empty() {
+                break 'pass;
+            }
+            // One parallel batch (memoized, unpruned: the γ-search needs
+            // every delta it asks for, because deltas become the next
+            // iteration's expectations).
+            let deltas = engine.evaluate_ops(&wave_ops, false);
+            // Serial replay of the decision sequence.
+            for ((&op, &exp), &delta) in wave_ops.iter().zip(&wave_exps).zip(&deltas) {
+                if let Some((_, best)) = found {
+                    // Look-ahead bound: only operations whose expected
+                    // improvement exceeds Δ/γ are still worth
+                    // evaluating; everything speculated beyond this
+                    // point is discarded unseen.
+                    if exp <= best / gamma {
+                        break 'pass;
+                    }
+                }
+                evaluated[op] = true;
+                expected[op] = delta;
+                if engine.improves(delta) && found.is_none_or(|(_, best)| delta > best) {
+                    found = Some((op, delta));
+                }
             }
         }
 
         match found {
             Some((op, _)) => {
-                ctx.commit(op);
-                history.push(ctx.cur);
+                engine.commit(op);
+                history.push(engine.current_makespan());
                 iterations += 1;
             }
             None => break,
@@ -120,5 +184,11 @@ mod tests {
         assert_eq!(h.pop().unwrap().1, 1);
         assert_eq!(h.pop().unwrap().1, 0);
         assert_eq!(h.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn wave_size_serial_is_one() {
+        assert_eq!(super::wave_size(1), 1);
+        assert!(super::wave_size(8) > 1);
     }
 }

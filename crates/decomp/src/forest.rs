@@ -32,9 +32,11 @@ use crate::sptree::{SpForest, SpTreeId};
 
 /// How to choose the subtree to cut from a stuck wavefront.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Default)]
 pub enum CutPolicy {
     /// Cut the active subtree with the fewest edges (default; keeps large
     /// decompositions intact — the paper's "arguably better" choice).
+    #[default]
     SmallestSubtree,
     /// Cut the active subtree with the most edges (reproduces the paper's
     /// Fig. 2 forest).
@@ -49,11 +51,6 @@ pub enum CutPolicy {
     },
 }
 
-impl Default for CutPolicy {
-    fn default() -> Self {
-        CutPolicy::SmallestSubtree
-    }
-}
 
 /// Output of [`decompose_forest`].
 #[derive(Clone, Debug)]

@@ -5,7 +5,28 @@
 //! order, it computes start/finish times for every task and thus the
 //! makespan, in `O((V + E) log V)` with no allocations after construction.
 //!
-//! Semantics (DESIGN.md §6):
+//! ## Architecture: tables / scratch split
+//!
+//! The evaluator is split into two parts so that *many* evaluations can
+//! run concurrently without rebuilding anything:
+//!
+//! * [`EvalTables`] — everything immutable about one `(graph, platform)`
+//!   pair: the pre-tabulated `(task, device)` execution times, the
+//!   breadth-first priority ranks, a flat CSR copy of the adjacency
+//!   (successor ids + edge bytes), cached task areas, and the flattened
+//!   link-parameter matrices.  `EvalTables` is `Sync`: share it by `&`
+//!   across worker threads, or via `Arc` for `'static` contexts.
+//! * [`EvalScratch`] — the small mutable working set of one in-flight
+//!   simulation (ready heap, in-degrees, data-ready/start/finish times,
+//!   device and link availability).  One scratch per worker; a scratch is
+//!   reused across any number of evaluations and never reallocates.
+//!
+//! [`Evaluator`] bundles one of each behind the original single-threaded
+//! API; the parallel candidate engine in `spmap-core` drives
+//! [`EvalTables::makespan_bfs`] directly with per-worker scratches from
+//! `spmap-par`.
+//!
+//! ## Simulation semantics (DESIGN.md §6)
 //!
 //! * CPU/GPU devices execute their mapped tasks sequentially; a popped
 //!   task starts at `max(device_free, data_ready)`.
@@ -29,6 +50,11 @@
 //!   budget bounds what can be resident at all (violations make the
 //!   mapping infeasible → `None`).
 //!
+//! The simulation is a pure function of `(tables, mapping, ranks)`: the
+//! same inputs produce bit-identical makespans on every thread and every
+//! run.  The candidate engine's memoization (`spmap-core`) relies on
+//! exactly this property.
+//!
 //! The paper's reporting metric (§IV-A) — the minimum makespan over a
 //! breadth-first schedule and `k` random schedules — is
 //! [`Evaluator::report_makespan`]; the optimizers' inner loop uses the
@@ -45,7 +71,7 @@ use crate::platform::Platform;
 use crate::schedule::{priority_ranks, SchedulePolicy};
 use crate::DeviceId;
 
-/// Counters accumulated over an evaluator's lifetime.
+/// Counters accumulated over a scratch's lifetime.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct EvalStats {
     /// Number of complete makespan evaluations performed.
@@ -63,14 +89,623 @@ pub struct Schedule {
     pub makespan: f64,
 }
 
-/// Reusable makespan evaluator for one `(graph, platform)` pair.
-pub struct Evaluator<'g> {
+/// Immutable evaluation tables for one `(graph, platform)` pair.
+///
+/// Building the tables costs `O(V·M + E)` once; afterwards any number of
+/// threads can evaluate mappings concurrently against a shared `&EvalTables`
+/// with one [`EvalScratch`] each.
+pub struct EvalTables<'g> {
     graph: &'g TaskGraph,
     platform: &'g Platform,
     /// Execution-time table, node-major: `exec[n * m + d]`.
     exec: Vec<f64>,
+    /// Per-task minimum execution time over all devices (lower bounds).
+    min_exec: Vec<f64>,
+    /// Per-task minimum *path span* over all devices: the least a task
+    /// can contribute to any precedence path under any mapping —
+    /// `min_d exec(v, d)` on temporal devices, `fill_d · exec(v, d)` on
+    /// FPGAs (a streamed consumer still adds its pipeline-fill tail).
+    min_span: Vec<f64>,
+    /// Longest predecessor path into `v` (exclusive), using `min_span`.
+    down_min: Vec<f64>,
+    /// Longest successor path out of `v` (exclusive), using `min_span`.
+    up_min: Vec<f64>,
     bfs_ranks: Vec<u32>,
-    // --- reusable scratch ---
+    /// The breadth-first list-schedule *pop order*.  Which task is popped
+    /// next depends only on precedence structure and ranks — never on
+    /// times or the mapping — so the whole sequence is precomputable.
+    /// This is what makes windowed re-simulation possible.
+    pop_order: Vec<u32>,
+    /// Inverse of `pop_order`: `pop_pos[v]` is when `v` is processed.
+    pop_pos: Vec<u32>,
+    /// The earliest pop position at which the simulation reads task `v`'s
+    /// device assignment: `min(pop_pos[v], pop_pos of v's predecessors)`
+    /// (a predecessor's out-edge loop reads the consumer's device for the
+    /// transfer).  Before `min` over a candidate's remapped tasks, the
+    /// candidate's schedule is bit-identical to the base schedule.
+    earliest_read: Vec<u32>,
+    /// CSR out-adjacency: successors of `v` are
+    /// `out_dst[out_start[v]..out_start[v+1]]`, with parallel `out_bytes`.
+    out_start: Vec<u32>,
+    out_dst: Vec<u32>,
+    out_bytes: Vec<f64>,
+    /// Initial in-degree per node.
+    indeg_init: Vec<u32>,
+    /// Cached `task.area` per node.
+    area: Vec<f64>,
+    /// Per-device flags/parameters, indexed by device.
+    is_fpga: Vec<bool>,
+    fill: Vec<f64>,
+    area_cap: Vec<f64>,
+    /// Flattened link parameters: `link_lat[from * m + to]`, same for bw.
+    link_lat: Vec<f64>,
+    link_bw: Vec<f64>,
+    any_fpga: bool,
+}
+
+impl<'g> EvalTables<'g> {
+    /// Pre-tabulate all `(task, device)` execution times, the breadth-first
+    /// priority ranks, and flat copies of adjacency and link parameters.
+    pub fn new(graph: &'g TaskGraph, platform: &'g Platform) -> Self {
+        let n = graph.node_count();
+        let m = platform.device_count();
+        // Several hot paths (area accounting here, the candidate
+        // engine's stack-allocated load buffers) are sized for small
+        // device counts.  Fail loudly at construction instead of deep
+        // inside a simulation.
+        assert!(
+            m <= 8,
+            "platforms are limited to 8 devices (got {m}); widen the fixed-size \
+             buffers in spmap-model/src/eval.rs and spmap-core/src/batch.rs to lift this"
+        );
+        let mut exec = Vec::with_capacity(n * m);
+        let mut min_exec = Vec::with_capacity(n);
+        for v in graph.nodes() {
+            let mut best = f64::INFINITY;
+            for d in platform.device_ids() {
+                let e = exec_time(platform, d, graph.task(v));
+                best = best.min(e);
+                exec.push(e);
+            }
+            min_exec.push(best);
+        }
+        let mut out_start = Vec::with_capacity(n + 1);
+        let mut out_dst = Vec::with_capacity(graph.edge_count());
+        let mut out_bytes = Vec::with_capacity(graph.edge_count());
+        out_start.push(0);
+        for v in graph.nodes() {
+            for &e in graph.out_edges(v) {
+                let edge = graph.edge(e);
+                out_dst.push(edge.dst.0);
+                out_bytes.push(edge.bytes);
+            }
+            out_start.push(out_dst.len() as u32);
+        }
+        let mut link_lat = vec![0.0; m * m];
+        let mut link_bw = vec![f64::INFINITY; m * m];
+        for from in platform.device_ids() {
+            for to in platform.device_ids() {
+                if from != to {
+                    let link = platform.link(from, to);
+                    link_lat[from.index() * m + to.index()] = link.latency;
+                    link_bw[from.index() * m + to.index()] = link.bandwidth;
+                }
+            }
+        }
+        let is_fpga: Vec<bool> = platform.device_ids().map(|d| platform.is_fpga(d)).collect();
+        let mut min_span = Vec::with_capacity(n);
+        for v in graph.nodes() {
+            let mut best = f64::INFINITY;
+            for d in platform.device_ids() {
+                let e = exec[v.index() * m + d.index()];
+                let span = if is_fpga[d.index()] {
+                    platform.fill_fraction(d) * e
+                } else {
+                    e
+                };
+                best = best.min(span);
+            }
+            min_span.push(best);
+        }
+        let topo = spmap_graph::ops::topo_order(graph).expect("task graphs are acyclic");
+        let mut down_min = vec![0.0f64; n];
+        let mut up_min = vec![0.0f64; n];
+        for &v in &topo {
+            let reach = down_min[v.index()] + min_span[v.index()];
+            for w in graph.successors(v) {
+                if reach > down_min[w.index()] {
+                    down_min[w.index()] = reach;
+                }
+            }
+        }
+        for &v in topo.iter().rev() {
+            let reach = up_min[v.index()] + min_span[v.index()];
+            for u in graph.predecessors(v) {
+                if reach > up_min[u.index()] {
+                    up_min[u.index()] = reach;
+                }
+            }
+        }
+        // Precompute the breadth-first pop order: Kahn's algorithm with
+        // the same (rank, id) min-heap the timed simulation uses — the
+        // pop sequence is identical because readiness is structural.
+        let bfs_ranks = priority_ranks(graph, SchedulePolicy::Bfs);
+        let mut pop_order = Vec::with_capacity(n);
+        {
+            let mut indeg: Vec<u32> = graph.nodes().map(|v| graph.in_degree(v) as u32).collect();
+            let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::with_capacity(n);
+            for v in graph.nodes() {
+                if indeg[v.index()] == 0 {
+                    heap.push(Reverse((bfs_ranks[v.index()], v.0)));
+                }
+            }
+            while let Some(Reverse((_, vi))) = heap.pop() {
+                pop_order.push(vi);
+                for w in graph.successors(NodeId(vi)) {
+                    indeg[w.index()] -= 1;
+                    if indeg[w.index()] == 0 {
+                        heap.push(Reverse((bfs_ranks[w.index()], w.0)));
+                    }
+                }
+            }
+            debug_assert_eq!(pop_order.len(), n, "graph must be acyclic");
+        }
+        let mut pop_pos = vec![0u32; n];
+        for (i, &v) in pop_order.iter().enumerate() {
+            pop_pos[v as usize] = i as u32;
+        }
+        let earliest_read: Vec<u32> = graph
+            .nodes()
+            .map(|v| {
+                graph
+                    .predecessors(v)
+                    .map(|u| pop_pos[u.index()])
+                    .fold(pop_pos[v.index()], u32::min)
+            })
+            .collect();
+        Self {
+            exec,
+            min_exec,
+            min_span,
+            down_min,
+            up_min,
+            bfs_ranks,
+            pop_order,
+            pop_pos,
+            earliest_read,
+            out_start,
+            out_dst,
+            out_bytes,
+            indeg_init: graph.nodes().map(|v| graph.in_degree(v) as u32).collect(),
+            area: graph.nodes().map(|v| graph.task(v).area).collect(),
+            any_fpga: is_fpga.iter().any(|&f| f),
+            fill: platform.device_ids().map(|d| platform.fill_fraction(d)).collect(),
+            area_cap: platform
+                .device_ids()
+                .map(|d| platform.device(d).area_capacity())
+                .collect(),
+            is_fpga,
+            link_lat,
+            link_bw,
+            graph,
+            platform,
+        }
+    }
+
+    /// The graph these tables simulate.
+    #[inline]
+    pub fn graph(&self) -> &'g TaskGraph {
+        self.graph
+    }
+
+    /// The platform these tables simulate.
+    #[inline]
+    pub fn platform(&self) -> &'g Platform {
+        self.platform
+    }
+
+    /// Number of task nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.indeg_init.len()
+    }
+
+    /// Number of devices.
+    #[inline]
+    pub fn device_count(&self) -> usize {
+        self.is_fpga.len()
+    }
+
+    /// Tabulated execution time of task `n` on device `d`.
+    #[inline]
+    pub fn exec_time(&self, n: NodeId, d: DeviceId) -> f64 {
+        self.exec[n.index() * self.device_count() + d.index()]
+    }
+
+    /// The full execution-time table, node-major (`[n * m + d]`).
+    #[inline]
+    pub fn exec_table(&self) -> &[f64] {
+        &self.exec
+    }
+
+    /// Minimum execution time of task `n` over all devices.
+    #[inline]
+    pub fn min_exec_time(&self, n: NodeId) -> f64 {
+        self.min_exec[n.index()]
+    }
+
+    /// The least path span task `n` can contribute under any mapping:
+    /// `min_d exec(n, d)` for temporal devices, `fill · exec` for FPGAs.
+    #[inline]
+    pub fn min_span(&self, n: NodeId) -> f64 {
+        self.min_span[n.index()]
+    }
+
+    /// Longest path of `min_span` contributions strictly before `n` plus
+    /// strictly after `n`: adding `n`'s own (mapping-dependent) span
+    /// yields a sound critical-path lower bound through `n` for *any*
+    /// mapping — the engine's strongest pruning component.
+    #[inline]
+    pub fn path_floor(&self, n: NodeId) -> f64 {
+        self.down_min[n.index()] + self.up_min[n.index()]
+    }
+
+    /// Pipeline-fill fraction of device `d` (0 for non-FPGAs).
+    #[inline]
+    pub fn fill_fraction(&self, d: DeviceId) -> f64 {
+        self.fill[d.index()]
+    }
+
+    /// Longest successor path out of `n` (exclusive) under best-case
+    /// spans; `finish(n) + up_min(n)` is a sound bound on the final
+    /// makespan the moment `n` is scheduled — the window simulation's
+    /// cutoff test.
+    #[inline]
+    pub fn up_min(&self, n: NodeId) -> f64 {
+        self.up_min[n.index()]
+    }
+
+    /// The breadth-first pop position at which task `n` is scheduled
+    /// (mapping-independent; see the `pop_order` field).
+    #[inline]
+    pub fn pop_position(&self, n: NodeId) -> usize {
+        self.pop_pos[n.index()] as usize
+    }
+
+    /// The earliest breadth-first pop position at which the simulation
+    /// reads `n`'s device assignment (see the `earliest_read` field).
+    #[inline]
+    pub fn earliest_read_pos(&self, n: NodeId) -> usize {
+        self.earliest_read[n.index()] as usize
+    }
+
+    /// Cached FPGA area demand of task `n`.
+    #[inline]
+    pub fn task_area(&self, n: NodeId) -> f64 {
+        self.area[n.index()]
+    }
+
+    /// `true` if device `d` is a spatial dataflow device.
+    #[inline]
+    pub fn is_fpga_device(&self, d: DeviceId) -> bool {
+        self.is_fpga[d.index()]
+    }
+
+    /// Area capacity of device `d` (0 for non-FPGAs).
+    #[inline]
+    pub fn area_capacity(&self, d: DeviceId) -> f64 {
+        self.area_cap[d.index()]
+    }
+
+    /// The breadth-first priority ranks used by the optimizers' inner loop.
+    #[inline]
+    pub fn bfs_ranks(&self) -> &[u32] {
+        &self.bfs_ranks
+    }
+
+    /// Transfer time for `bytes` moving `from -> to` (0 on-device), using
+    /// the same arithmetic as [`Platform::transfer_time`] so results are
+    /// bit-identical.
+    #[inline]
+    pub fn transfer_time(&self, bytes: f64, from: DeviceId, to: DeviceId) -> f64 {
+        if from == to {
+            0.0
+        } else {
+            let i = from.index() * self.device_count() + to.index();
+            self.link_lat[i] + bytes / self.link_bw[i]
+        }
+    }
+
+    /// `true` if `mapping` respects every FPGA's area budget.
+    pub fn area_feasible(&self, mapping: &Mapping) -> bool {
+        // Cheap common case: no FPGA in the platform.
+        if !self.any_fpga {
+            return true;
+        }
+        let m = self.device_count();
+        let mut used = [0.0f64; 8];
+        debug_assert!(m <= 8, "platforms larger than 8 devices need a Vec here");
+        for (i, &d) in mapping.as_slice().iter().enumerate() {
+            if self.is_fpga[d.index()] {
+                used[d.index()] += self.area[i];
+            }
+        }
+        (0..m).all(|d| !self.is_fpga[d] || used[d] <= self.area_cap[d] + 1e-9)
+    }
+
+    /// Makespan under an explicit priority-rank vector, or `None` if the
+    /// mapping violates an FPGA area budget.  Pure function of
+    /// `(self, mapping, ranks)` — any scratch yields the same bits.
+    pub fn makespan_with_ranks(
+        &self,
+        scratch: &mut EvalScratch,
+        mapping: &Mapping,
+        ranks: &[u32],
+    ) -> Option<f64> {
+        let n = self.node_count();
+        let m = self.device_count();
+        debug_assert_eq!(mapping.len(), n);
+        debug_assert_eq!(ranks.len(), n);
+        debug_assert_eq!(scratch.indeg.len(), n, "scratch sized for this graph");
+        debug_assert_eq!(scratch.device_free.len(), m, "scratch sized for this platform");
+        scratch.stats.evaluations += 1;
+        if !self.area_feasible(mapping) {
+            return None;
+        }
+        // Reset scratch.
+        scratch.indeg.copy_from_slice(&self.indeg_init);
+        scratch.data_ready.iter_mut().for_each(|t| *t = 0.0);
+        scratch.start.iter_mut().for_each(|t| *t = 0.0);
+        scratch.finish.iter_mut().for_each(|t| *t = 0.0);
+        scratch.stream_input.iter_mut().for_each(|s| *s = false);
+        scratch.device_free.iter_mut().for_each(|t| *t = 0.0);
+        scratch.link_free.iter_mut().for_each(|t| *t = 0.0);
+        scratch.heap.clear();
+        for (v, &deg) in scratch.indeg.iter().enumerate() {
+            if deg == 0 {
+                scratch.heap.push(Reverse((ranks[v], v as u32)));
+            }
+        }
+        let devices = mapping.as_slice();
+        let mut makespan: f64 = 0.0;
+        let mut scheduled = 0usize;
+        while let Some(Reverse((_, vi))) = scratch.heap.pop() {
+            let v = vi as usize;
+            scheduled += 1;
+            let d = devices[v];
+            let ev = self.exec[v * m + d.index()];
+            let spatial = self.is_fpga[d.index()];
+            let start = if spatial {
+                if scratch.stream_input[v] {
+                    // Pipeline continuation: runs concurrently with its
+                    // producers; the pipeline occupies the device until
+                    // its last stage drains.
+                    scratch.data_ready[v]
+                } else {
+                    // Pipeline head: queues like on any other device.
+                    scratch.device_free[d.index()].max(scratch.data_ready[v])
+                }
+            } else {
+                let s = scratch.device_free[d.index()].max(scratch.data_ready[v]);
+                scratch.device_free[d.index()] = s + ev;
+                s
+            };
+            let fin = start + ev;
+            if spatial {
+                let free = &mut scratch.device_free[d.index()];
+                *free = free.max(fin);
+            }
+            scratch.start[v] = start;
+            scratch.finish[v] = fin;
+            makespan = makespan.max(fin);
+            let fill = self.fill[d.index()];
+            // A pipeline extends through one successor only: grant the
+            // queue-skip to the first same-FPGA out-edge.
+            let mut stream_granted = false;
+            let lo = self.out_start[v] as usize;
+            let hi = self.out_start[v + 1] as usize;
+            for k in lo..hi {
+                let w = self.out_dst[k] as usize;
+                let dw = devices[w];
+                let ready = if dw == d {
+                    if spatial {
+                        // Streaming: the consumer's data arrives after the
+                        // pipeline fill, but it cannot finish before the
+                        // producer (+ its own fill tail).
+                        if !stream_granted {
+                            scratch.stream_input[w] = true;
+                            stream_granted = true;
+                        }
+                        let ew = self.exec[w * m + dw.index()];
+                        (start + fill * ev).max(fin - (1.0 - fill) * ew)
+                    } else {
+                        fin
+                    }
+                } else {
+                    // The transfer occupies the directed link: it starts
+                    // when both the data and the link are available.
+                    let li = d.index() * m + dw.index();
+                    let tr = self.link_lat[li] + self.out_bytes[k] / self.link_bw[li];
+                    let link = &mut scratch.link_free[li];
+                    let t_start = fin.max(*link);
+                    *link = t_start + tr;
+                    t_start + tr
+                };
+                if ready > scratch.data_ready[w] {
+                    scratch.data_ready[w] = ready;
+                }
+                scratch.indeg[w] -= 1;
+                if scratch.indeg[w] == 0 {
+                    scratch.heap.push(Reverse((ranks[w], w as u32)));
+                }
+            }
+        }
+        debug_assert_eq!(scheduled, n, "graph must be acyclic");
+        Some(makespan)
+    }
+
+    /// Makespan under the deterministic breadth-first schedule — the
+    /// optimizers' inner-loop cost function.
+    #[inline]
+    pub fn makespan_bfs(&self, scratch: &mut EvalScratch, mapping: &Mapping) -> Option<f64> {
+        self.makespan_with_ranks(scratch, mapping, &self.bfs_ranks)
+    }
+
+    /// One breadth-first simulation step: process the task at pop
+    /// position `i` and fold its finish time into `makespan`.  The
+    /// arithmetic is the exact sequence of [`Self::makespan_with_ranks`],
+    /// so heap-driven, checkpointed and windowed runs agree bit for bit.
+    #[inline]
+    fn bfs_step(&self, scratch: &mut EvalScratch, devices: &[DeviceId], i: usize, makespan: &mut f64) -> (usize, f64) {
+        let m = self.device_count();
+        let v = self.pop_order[i] as usize;
+        let d = devices[v];
+        let ev = self.exec[v * m + d.index()];
+        let spatial = self.is_fpga[d.index()];
+        let start = if spatial {
+            if scratch.stream_input[v] {
+                scratch.data_ready[v]
+            } else {
+                scratch.device_free[d.index()].max(scratch.data_ready[v])
+            }
+        } else {
+            let s = scratch.device_free[d.index()].max(scratch.data_ready[v]);
+            scratch.device_free[d.index()] = s + ev;
+            s
+        };
+        let fin = start + ev;
+        if spatial {
+            let free = &mut scratch.device_free[d.index()];
+            *free = free.max(fin);
+        }
+        scratch.start[v] = start;
+        scratch.finish[v] = fin;
+        *makespan = makespan.max(fin);
+        let fill = self.fill[d.index()];
+        let mut stream_granted = false;
+        let lo = self.out_start[v] as usize;
+        let hi = self.out_start[v + 1] as usize;
+        for k in lo..hi {
+            let w = self.out_dst[k] as usize;
+            let dw = devices[w];
+            let ready = if dw == d {
+                if spatial {
+                    if !stream_granted {
+                        scratch.stream_input[w] = true;
+                        stream_granted = true;
+                    }
+                    let ew = self.exec[w * m + dw.index()];
+                    (start + fill * ev).max(fin - (1.0 - fill) * ew)
+                } else {
+                    fin
+                }
+            } else {
+                let li = d.index() * m + dw.index();
+                let tr = self.link_lat[li] + self.out_bytes[k] / self.link_bw[li];
+                let link = &mut scratch.link_free[li];
+                let t_start = fin.max(*link);
+                *link = t_start + tr;
+                t_start + tr
+            };
+            if ready > scratch.data_ready[w] {
+                scratch.data_ready[w] = ready;
+            }
+        }
+        (v, fin)
+    }
+
+    /// Breadth-first makespan via the precomputed pop order, recording a
+    /// state snapshot into `out` every `out.every` pops.  Functionally
+    /// identical to [`Self::makespan_bfs`] (same checks, same bits); the
+    /// snapshots let [`Self::makespan_bfs_window`] later re-simulate any
+    /// candidate from its first affected position instead of from zero.
+    pub fn makespan_bfs_checkpointed(
+        &self,
+        scratch: &mut EvalScratch,
+        mapping: &Mapping,
+        out: &mut BfsCheckpoints,
+    ) -> Option<f64> {
+        let n = self.node_count();
+        let m = self.device_count();
+        debug_assert_eq!(mapping.len(), n);
+        scratch.stats.evaluations += 1;
+        if !self.area_feasible(mapping) {
+            return None;
+        }
+        scratch.reset_times();
+        out.reset(n, m);
+        let devices = mapping.as_slice();
+        let mut makespan: f64 = 0.0;
+        for i in 0..n {
+            if i % out.every == 0 {
+                out.record(i / out.every, scratch, makespan);
+            }
+            self.bfs_step(scratch, devices, i, &mut makespan);
+        }
+        Some(makespan)
+    }
+
+    /// Windowed breadth-first makespan of a candidate mapping: restore
+    /// the base-schedule snapshot covering `from_pos` (the candidate's
+    /// earliest affected position) and replay only from there.
+    ///
+    /// Aborts with [`WindowSim::Cutoff`] as soon as a scheduled task
+    /// proves `makespan > cutoff` (via `finish + up_min`): the proof is
+    /// strict, so a candidate that exactly *ties* the cutoff is never
+    /// aborted — tie-breaking stays exact.  Pass `f64::INFINITY` to
+    /// disable the cutoff.
+    ///
+    /// The caller must have verified FPGA-area feasibility (the engine
+    /// prechecks it incrementally) and `ckpt` must snapshot a base
+    /// mapping that agrees with `mapping` on every task read before
+    /// `from_pos` (see [`Self::earliest_read_pos`]).
+    pub fn makespan_bfs_window(
+        &self,
+        scratch: &mut EvalScratch,
+        mapping: &Mapping,
+        ckpt: &BfsCheckpoints,
+        from_pos: usize,
+        cutoff: f64,
+    ) -> WindowSim {
+        let n = self.node_count();
+        debug_assert_eq!(mapping.len(), n);
+        debug_assert!(self.area_feasible(mapping), "caller prechecks area");
+        scratch.stats.evaluations += 1;
+        let start_pos = ckpt.restore(from_pos, scratch);
+        let mut makespan = ckpt.makespan[start_pos / ckpt.every];
+        let devices = mapping.as_slice();
+        for i in start_pos..n {
+            let (v, fin) = self.bfs_step(scratch, devices, i, &mut makespan);
+            if fin + self.up_min[v] > cutoff {
+                return WindowSim::Cutoff;
+            }
+        }
+        WindowSim::Done(makespan)
+    }
+
+    /// Makespan under an arbitrary policy.
+    pub fn makespan(
+        &self,
+        scratch: &mut EvalScratch,
+        mapping: &Mapping,
+        policy: SchedulePolicy,
+    ) -> Option<f64> {
+        match policy {
+            SchedulePolicy::Bfs => self.makespan_bfs(scratch, mapping),
+            _ => {
+                let ranks = priority_ranks(self.graph, policy);
+                self.makespan_with_ranks(scratch, mapping, &ranks)
+            }
+        }
+    }
+}
+
+/// Reusable mutable working set of one in-flight simulation.
+///
+/// Allocates once for a `(node count, device count)` shape; every
+/// evaluation reuses the buffers.  Create one per worker thread.
+#[derive(Clone, Debug)]
+pub struct EvalScratch {
     indeg: Vec<u32>,
     data_ready: Vec<f64>,
     start: Vec<f64>,
@@ -83,178 +718,227 @@ pub struct Evaluator<'g> {
     stats: EvalStats,
 }
 
-impl<'g> Evaluator<'g> {
-    /// Build an evaluator, pre-tabulating all `(task, device)` execution
-    /// times and the breadth-first priority ranks.
-    pub fn new(graph: &'g TaskGraph, platform: &'g Platform) -> Self {
-        let n = graph.node_count();
-        let m = platform.device_count();
-        let mut exec = Vec::with_capacity(n * m);
-        for v in graph.nodes() {
-            for d in platform.device_ids() {
-                exec.push(exec_time(platform, d, graph.task(v)));
-            }
-        }
+impl EvalScratch {
+    /// A scratch for graphs with `nodes` tasks on `devices` devices.
+    pub fn new(nodes: usize, devices: usize) -> Self {
         Self {
-            graph,
-            platform,
-            exec,
-            bfs_ranks: priority_ranks(graph, SchedulePolicy::Bfs),
-            indeg: vec![0; n],
-            data_ready: vec![0.0; n],
-            start: vec![0.0; n],
-            finish: vec![0.0; n],
-            device_free: vec![0.0; m],
-            link_free: vec![0.0; m * m],
-            stream_input: vec![false; n],
-            heap: BinaryHeap::with_capacity(n),
+            indeg: vec![0; nodes],
+            data_ready: vec![0.0; nodes],
+            start: vec![0.0; nodes],
+            finish: vec![0.0; nodes],
+            device_free: vec![0.0; devices],
+            link_free: vec![0.0; devices * devices],
+            stream_input: vec![false; nodes],
+            heap: BinaryHeap::with_capacity(nodes),
             stats: EvalStats::default(),
         }
     }
 
+    /// A scratch shaped for `tables`.
+    pub fn for_tables(tables: &EvalTables<'_>) -> Self {
+        Self::new(tables.node_count(), tables.device_count())
+    }
+
+    /// Zero every timing buffer (the pop-order paths need no in-degree
+    /// or heap state).
+    fn reset_times(&mut self) {
+        self.data_ready.iter_mut().for_each(|t| *t = 0.0);
+        self.start.iter_mut().for_each(|t| *t = 0.0);
+        self.finish.iter_mut().for_each(|t| *t = 0.0);
+        self.stream_input.iter_mut().for_each(|s| *s = false);
+        self.device_free.iter_mut().for_each(|t| *t = 0.0);
+        self.link_free.iter_mut().for_each(|t| *t = 0.0);
+    }
+
+    /// Start time per task of the most recent complete evaluation.
+    #[inline]
+    pub fn start_times(&self) -> &[f64] {
+        &self.start
+    }
+
+    /// Finish time per task of the most recent complete evaluation.
+    #[inline]
+    pub fn finish_times(&self) -> &[f64] {
+        &self.finish
+    }
+
+    /// Lifetime evaluation counters of this scratch.
+    #[inline]
+    pub fn stats(&self) -> EvalStats {
+        self.stats
+    }
+}
+
+/// Outcome of a windowed candidate simulation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WindowSim {
+    /// The complete makespan (bit-identical to a from-scratch run).
+    Done(f64),
+    /// Aborted: the makespan is *strictly* above the cutoff, so the
+    /// candidate provably cannot beat the incumbent improvement.
+    Cutoff,
+}
+
+/// State snapshots of one base-mapping breadth-first schedule, taken
+/// every `every` pop positions by
+/// [`EvalTables::makespan_bfs_checkpointed`] and consumed by
+/// [`EvalTables::makespan_bfs_window`].
+///
+/// Because the pop order is mapping-independent, a candidate that first
+/// affects the schedule at position `p` shares the base schedule's exact
+/// state before `p`; restoring the latest snapshot at or before `p`
+/// replaces the `O(V + E)` prefix with an `O(V)` memcpy.
+#[derive(Clone, Debug)]
+pub struct BfsCheckpoints {
+    every: usize,
+    n: usize,
+    m: usize,
+    count: usize,
+    data_ready: Vec<f64>,
+    device_free: Vec<f64>,
+    link_free: Vec<f64>,
+    stream_input: Vec<bool>,
+    makespan: Vec<f64>,
+}
+
+impl BfsCheckpoints {
+    /// An empty snapshot store with a fixed interval.
+    pub fn new(every: usize) -> Self {
+        Self {
+            every: every.max(1),
+            n: 0,
+            m: 0,
+            count: 0,
+            data_ready: Vec::new(),
+            device_free: Vec::new(),
+            link_free: Vec::new(),
+            stream_input: Vec::new(),
+            makespan: Vec::new(),
+        }
+    }
+
+    /// An interval balancing snapshot memory (`~n/every` snapshots of
+    /// `O(n)` state) against replay length, for an `n`-task graph.
+    pub fn auto_interval(n: usize) -> usize {
+        (n / 32).clamp(8, 128)
+    }
+
+    /// Snapshot interval in pop positions.
+    pub fn every(&self) -> usize {
+        self.every
+    }
+
+    /// Size the store for an `n`-task, `m`-device run.
+    fn reset(&mut self, n: usize, m: usize) {
+        self.n = n;
+        self.m = m;
+        self.count = (n / self.every + 1).max(1);
+        self.data_ready.clear();
+        self.data_ready.resize(self.count * n, 0.0);
+        self.device_free.clear();
+        self.device_free.resize(self.count * m, 0.0);
+        self.link_free.clear();
+        self.link_free.resize(self.count * m * m, 0.0);
+        self.stream_input.clear();
+        self.stream_input.resize(self.count * n, false);
+        self.makespan.clear();
+        self.makespan.resize(self.count, 0.0);
+    }
+
+    /// Record snapshot `j` (state after `j * every` pops).
+    fn record(&mut self, j: usize, scratch: &EvalScratch, makespan: f64) {
+        debug_assert!(j < self.count);
+        let (n, m) = (self.n, self.m);
+        self.data_ready[j * n..(j + 1) * n].copy_from_slice(&scratch.data_ready);
+        self.device_free[j * m..(j + 1) * m].copy_from_slice(&scratch.device_free);
+        self.link_free[j * m * m..(j + 1) * m * m].copy_from_slice(&scratch.link_free);
+        self.stream_input[j * n..(j + 1) * n].copy_from_slice(&scratch.stream_input);
+        self.makespan[j] = makespan;
+    }
+
+    /// Restore the latest snapshot at or before `from_pos` into
+    /// `scratch`; returns the pop position simulation must resume from.
+    fn restore(&self, from_pos: usize, scratch: &mut EvalScratch) -> usize {
+        let j = (from_pos / self.every).min(self.count - 1);
+        let (n, m) = (self.n, self.m);
+        scratch.data_ready.copy_from_slice(&self.data_ready[j * n..(j + 1) * n]);
+        scratch.device_free.copy_from_slice(&self.device_free[j * m..(j + 1) * m]);
+        scratch
+            .link_free
+            .copy_from_slice(&self.link_free[j * m * m..(j + 1) * m * m]);
+        scratch
+            .stream_input
+            .copy_from_slice(&self.stream_input[j * n..(j + 1) * n]);
+        j * self.every
+    }
+}
+
+/// Reusable makespan evaluator for one `(graph, platform)` pair: an
+/// [`EvalTables`] plus one [`EvalScratch`] behind the original
+/// single-threaded API.
+pub struct Evaluator<'g> {
+    tables: EvalTables<'g>,
+    scratch: EvalScratch,
+}
+
+impl<'g> Evaluator<'g> {
+    /// Build an evaluator, pre-tabulating all `(task, device)` execution
+    /// times and the breadth-first priority ranks.
+    pub fn new(graph: &'g TaskGraph, platform: &'g Platform) -> Self {
+        let tables = EvalTables::new(graph, platform);
+        let scratch = EvalScratch::for_tables(&tables);
+        Self { tables, scratch }
+    }
+
+    /// The shared immutable tables (for the parallel candidate engine).
+    #[inline]
+    pub fn tables(&self) -> &EvalTables<'g> {
+        &self.tables
+    }
+
+    /// Split into the immutable tables and the scratch, e.g. to share the
+    /// tables across threads while keeping this scratch for the caller.
+    pub fn into_parts(self) -> (EvalTables<'g>, EvalScratch) {
+        (self.tables, self.scratch)
+    }
+
     /// The graph this evaluator simulates.
     pub fn graph(&self) -> &TaskGraph {
-        self.graph
+        self.tables.graph()
     }
 
     /// The platform this evaluator simulates.
     pub fn platform(&self) -> &Platform {
-        self.platform
+        self.tables.platform()
     }
 
     /// Tabulated execution time of task `n` on device `d`.
     #[inline]
     pub fn exec_time(&self, n: NodeId, d: DeviceId) -> f64 {
-        self.exec[n.index() * self.platform.device_count() + d.index()]
+        self.tables.exec_time(n, d)
     }
 
     /// Lifetime evaluation counters.
     pub fn stats(&self) -> EvalStats {
-        self.stats
+        self.scratch.stats()
     }
 
     /// Makespan under an explicit priority-rank vector, or `None` if the
     /// mapping violates an FPGA area budget.
     pub fn makespan_with_ranks(&mut self, mapping: &Mapping, ranks: &[u32]) -> Option<f64> {
-        debug_assert_eq!(mapping.len(), self.graph.node_count());
-        debug_assert_eq!(ranks.len(), self.graph.node_count());
-        self.stats.evaluations += 1;
-        if !self.area_feasible(mapping) {
-            return None;
-        }
-        let g = self.graph;
-        let m = self.platform.device_count();
-        // Reset scratch.
-        for v in g.nodes() {
-            self.indeg[v.index()] = g.in_degree(v) as u32;
-            self.data_ready[v.index()] = 0.0;
-            self.finish[v.index()] = 0.0;
-            self.start[v.index()] = 0.0;
-            self.stream_input[v.index()] = false;
-        }
-        self.device_free.iter_mut().for_each(|t| *t = 0.0);
-        self.link_free.iter_mut().for_each(|t| *t = 0.0);
-        self.heap.clear();
-        for v in g.nodes() {
-            if self.indeg[v.index()] == 0 {
-                self.heap.push(Reverse((ranks[v.index()], v.0)));
-            }
-        }
-        let mut makespan: f64 = 0.0;
-        let mut scheduled = 0usize;
-        while let Some(Reverse((_, vi))) = self.heap.pop() {
-            let v = NodeId(vi);
-            scheduled += 1;
-            let d = mapping.device(v);
-            let ev = self.exec[v.index() * m + d.index()];
-            let spatial = self.platform.is_fpga(d);
-            let start = if spatial {
-                if self.stream_input[v.index()] {
-                    // Pipeline continuation: runs concurrently with its
-                    // producers; the pipeline occupies the device until
-                    // its last stage drains.
-                    self.data_ready[v.index()]
-                } else {
-                    // Pipeline head: queues like on any other device.
-                    self.device_free[d.index()].max(self.data_ready[v.index()])
-                }
-            } else {
-                let s = self.device_free[d.index()].max(self.data_ready[v.index()]);
-                self.device_free[d.index()] = s + ev;
-                s
-            };
-            let fin = start + ev;
-            if spatial {
-                let free = &mut self.device_free[d.index()];
-                *free = free.max(fin);
-            }
-            self.start[v.index()] = start;
-            self.finish[v.index()] = fin;
-            makespan = makespan.max(fin);
-            let fill = self.platform.fill_fraction(d);
-            // A pipeline extends through one successor only: grant the
-            // queue-skip to the first same-FPGA out-edge.
-            let mut stream_granted = false;
-            for &e in g.out_edges(v) {
-                let edge = g.edge(e);
-                let w = edge.dst;
-                let dw = mapping.device(w);
-                let ready = if dw == d {
-                    if spatial {
-                        // Streaming: the consumer's data arrives after the
-                        // pipeline fill, but it cannot finish before the
-                        // producer (+ its own fill tail).
-                        if !stream_granted {
-                            self.stream_input[w.index()] = true;
-                            stream_granted = true;
-                        }
-                        let ew = self.exec[w.index() * m + dw.index()];
-                        (start + fill * ev).max(fin - (1.0 - fill) * ew)
-                    } else {
-                        fin
-                    }
-                } else {
-                    // The transfer occupies the directed link: it starts
-                    // when both the data and the link are available.
-                    let tr = self.platform.transfer_time(edge.bytes, d, dw);
-                    let link = &mut self.link_free[d.index() * m + dw.index()];
-                    let t_start = fin.max(*link);
-                    *link = t_start + tr;
-                    t_start + tr
-                };
-                if ready > self.data_ready[w.index()] {
-                    self.data_ready[w.index()] = ready;
-                }
-                self.indeg[w.index()] -= 1;
-                if self.indeg[w.index()] == 0 {
-                    self.heap.push(Reverse((ranks[w.index()], w.0)));
-                }
-            }
-        }
-        debug_assert_eq!(scheduled, g.node_count(), "graph must be acyclic");
-        Some(makespan)
+        self.tables
+            .makespan_with_ranks(&mut self.scratch, mapping, ranks)
     }
 
     /// Makespan under the deterministic breadth-first schedule — the
     /// optimizers' inner-loop cost function.
     pub fn makespan_bfs(&mut self, mapping: &Mapping) -> Option<f64> {
-        // Temporarily move the ranks out to satisfy the borrow checker
-        // without cloning per call.
-        let ranks = std::mem::take(&mut self.bfs_ranks);
-        let result = self.makespan_with_ranks(mapping, &ranks);
-        self.bfs_ranks = ranks;
-        result
+        self.tables.makespan_bfs(&mut self.scratch, mapping)
     }
 
     /// Makespan under an arbitrary policy.
     pub fn makespan(&mut self, mapping: &Mapping, policy: SchedulePolicy) -> Option<f64> {
-        match policy {
-            SchedulePolicy::Bfs => self.makespan_bfs(mapping),
-            _ => {
-                let ranks = priority_ranks(self.graph, policy);
-                self.makespan_with_ranks(mapping, &ranks)
-            }
-        }
+        self.tables.makespan(&mut self.scratch, mapping, policy)
     }
 
     /// The paper's reporting metric (§IV-A): the minimum makespan over the
@@ -269,7 +953,7 @@ impl<'g> Evaluator<'g> {
         let mut best = self.makespan_bfs(mapping)?;
         for i in 0..random_schedules {
             let ranks = priority_ranks(
-                self.graph,
+                self.tables.graph(),
                 SchedulePolicy::RandomTopo {
                     seed: seed.wrapping_add(i as u64),
                 },
@@ -286,8 +970,8 @@ impl<'g> Evaluator<'g> {
     pub fn simulate(&mut self, mapping: &Mapping, policy: SchedulePolicy) -> Option<Schedule> {
         let makespan = self.makespan(mapping, policy)?;
         Some(Schedule {
-            start: self.start.clone(),
-            finish: self.finish.clone(),
+            start: self.scratch.start_times().to_vec(),
+            finish: self.scratch.finish_times().to_vec(),
             makespan,
         })
     }
@@ -295,30 +979,9 @@ impl<'g> Evaluator<'g> {
     /// Makespan of the all-default (pure CPU) mapping — the baseline of
     /// every relative improvement.
     pub fn cpu_only_makespan(&mut self) -> f64 {
-        let mapping = Mapping::all_default(self.graph, self.platform);
+        let mapping = Mapping::all_default(self.tables.graph(), self.tables.platform());
         self.makespan_bfs(&mapping)
             .expect("the default mapping uses no FPGA area")
-    }
-
-    fn area_feasible(&self, mapping: &Mapping) -> bool {
-        let m = self.platform.device_count();
-        // Cheap common case: no FPGA in the platform.
-        if !(0..m).any(|d| self.platform.is_fpga(DeviceId(d as u32))) {
-            return true;
-        }
-        let mut used = [0.0f64; 8];
-        debug_assert!(m <= 8, "platforms larger than 8 devices need a Vec here");
-        for v in self.graph.nodes() {
-            let d = mapping.device(v);
-            if self.platform.is_fpga(d) {
-                used[d.index()] += self.graph.task(v).area;
-            }
-        }
-        (0..m).all(|d| {
-            let id = DeviceId(d as u32);
-            !self.platform.is_fpga(id)
-                || used[d] <= self.platform.device(id).area_capacity() + 1e-9
-        })
     }
 }
 
@@ -584,5 +1247,69 @@ mod tests {
         let (s1, f1) = (sched.start[1], sched.finish[1]);
         let (s2, f2) = (sched.start[2], sched.finish[2]);
         assert!(f1 <= s2 || f2 <= s1, "GPU tasks overlap: [{s1},{f1}] [{s2},{f2}]");
+    }
+
+    #[test]
+    fn shared_tables_concurrent_evaluations_match_serial() {
+        // The tables are Sync: four threads evaluating different mappings
+        // against one shared &EvalTables must reproduce the serial bits.
+        let mut g = random_sp_graph(&SpGenConfig::new(50, 11));
+        augment(&mut g, &AugmentConfig::default(), 11);
+        let p = ref_platform();
+        let tables = EvalTables::new(&g, &p);
+        let mappings: Vec<Mapping> = (0..16u32)
+            .map(|t| {
+                Mapping::from_vec(
+                    (0..g.node_count())
+                        .map(|i| DeviceId(((i as u32).wrapping_mul(5).wrapping_add(t)) % 3))
+                        .collect(),
+                )
+            })
+            .collect();
+        let mut serial_scratch = EvalScratch::for_tables(&tables);
+        let serial: Vec<Option<f64>> = mappings
+            .iter()
+            .map(|m| tables.makespan_bfs(&mut serial_scratch, m))
+            .collect();
+        let parallel: Vec<Option<f64>> = std::thread::scope(|scope| {
+            let chunks: Vec<_> = mappings
+                .chunks(4)
+                .map(|chunk| {
+                    let tables = &tables;
+                    scope.spawn(move || {
+                        let mut scratch = EvalScratch::for_tables(tables);
+                        chunk
+                            .iter()
+                            .map(|m| tables.makespan_bfs(&mut scratch, m))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            chunks.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(serial, parallel, "bit-identical across threads");
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless() {
+        // Interleaving evaluations of different mappings through one
+        // scratch never contaminates results.
+        let mut g = random_sp_graph(&SpGenConfig::new(30, 5));
+        augment(&mut g, &AugmentConfig::default(), 5);
+        let p = ref_platform();
+        let tables = EvalTables::new(&g, &p);
+        let mut scratch = EvalScratch::for_tables(&tables);
+        let a = Mapping::all_default(&g, &p);
+        let b = Mapping::from_vec(
+            (0..g.node_count())
+                .map(|i| DeviceId((i % 2) as u32))
+                .collect(),
+        );
+        let ms_a = tables.makespan_bfs(&mut scratch, &a);
+        let ms_b = tables.makespan_bfs(&mut scratch, &b);
+        for _ in 0..3 {
+            assert_eq!(tables.makespan_bfs(&mut scratch, &a), ms_a);
+            assert_eq!(tables.makespan_bfs(&mut scratch, &b), ms_b);
+        }
     }
 }

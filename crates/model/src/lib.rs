@@ -25,13 +25,18 @@
 
 pub mod cost;
 pub mod eval;
+pub mod fingerprint;
 pub mod gantt;
 pub mod mapping;
 mod multi;
 pub mod platform;
 pub mod schedule;
 
-pub use eval::{relative_improvement, EvalStats, Evaluator};
+pub use eval::{
+    relative_improvement, BfsCheckpoints, EvalScratch, EvalStats, EvalTables, Evaluator,
+    WindowSim,
+};
+pub use fingerprint::MappingFingerprint;
 pub use gantt::render_gantt;
 pub use mapping::Mapping;
 pub use platform::{Device, DeviceId, DeviceKind, DeviceSpec, Link, Platform};

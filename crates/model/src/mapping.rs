@@ -53,6 +53,14 @@ impl Mapping {
         self.devices[n.index()] = d;
     }
 
+    /// Overwrite this mapping with `other` without reallocating (the
+    /// candidate engine re-syncs per-worker mapping copies this way).
+    /// Panics if the task counts differ.
+    #[inline]
+    pub fn copy_from(&mut self, other: &Mapping) {
+        self.devices.copy_from_slice(&other.devices);
+    }
+
     /// The raw assignment slice (index = node id).
     #[inline]
     pub fn as_slice(&self) -> &[DeviceId] {

@@ -218,6 +218,13 @@ impl Platform {
         }
     }
 
+    /// The directed link parameters `from -> to` (the diagonal is a
+    /// placeholder — same-device transfers are free in the model).
+    #[inline]
+    pub fn link(&self, from: DeviceId, to: DeviceId) -> Link {
+        self.links[from.index()][to.index()]
+    }
+
     /// Transfer time for `bytes` moving from device `from` to device `to`.
     /// Same-device transfers are free (shared memory / on-chip streams).
     #[inline]

@@ -1,11 +1,22 @@
-//! # spmap-par — parallel map for experiment sweeps
+//! # spmap-par — scoped parallel map with reusable per-worker state
 //!
-//! The experiment harness evaluates hundreds of independent
-//! (graph, algorithm) cells; this crate provides a small self-balancing
-//! parallel map on top of `crossbeam`'s scoped threads (no global thread
-//! pool, no extra dependencies).  Work items are claimed through a shared
-//! atomic counter, so long-running items (e.g. a MILP solve) do not stall
-//! the remaining workers.
+//! Two layers of the workspace lean on this crate:
+//!
+//! * the experiment harness maps hundreds of independent
+//!   (graph, algorithm) cells ([`par_map`]),
+//! * the candidate-evaluation engine in `spmap-core` maps thousands of
+//!   candidate moves per mapper iteration, each needing a mutable
+//!   evaluation scratch ([`par_map_with`] + [`WorkerStates`]).
+//!
+//! Work items are claimed through a shared atomic counter, so long-running
+//! items (e.g. a MILP solve) do not stall the remaining workers.  Threads
+//! are `std::thread::scope` scoped — no global pool, no dependencies —
+//! while the expensive part of a worker, its state `S`, lives in a
+//! [`WorkerStates`] arena that is reused across any number of calls.
+//!
+//! `SPMAP_THREADS=1` (or a single-item input) is a true serial fast path:
+//! the closure runs on the calling thread and **zero** threads are
+//! spawned.
 //!
 //! Measurement note: per-item *execution times* reported by the harness
 //! are measured inside the item closure, so wall-clock parallelism of the
@@ -27,42 +38,100 @@ pub fn num_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Apply `f` to every item, in parallel, preserving input order in the
-/// result.  `f` receives `(index, &item)`.
-pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+/// An arena of per-worker states, built once and reused across many
+/// [`par_map_with`] calls.  Worker `k` of a call always receives exclusive
+/// `&mut` access to one slot; slots never migrate mid-call.
+#[derive(Debug)]
+pub struct WorkerStates<S> {
+    states: Vec<S>,
+}
+
+impl<S> WorkerStates<S> {
+    /// `count` states built by `init(slot_index)`.
+    pub fn new(count: usize, init: impl FnMut(usize) -> S) -> Self {
+        assert!(count > 0, "need at least one worker state");
+        Self {
+            states: (0..count).map(init).collect(),
+        }
+    }
+
+    /// One state per configured thread ([`num_threads`]).
+    pub fn per_thread(init: impl FnMut(usize) -> S) -> Self {
+        Self::new(num_threads(), init)
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` if there are no slots (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The slot the serial fast path uses.
+    pub fn first_mut(&mut self) -> &mut S {
+        &mut self.states[0]
+    }
+
+    /// Iterate over all slots, e.g. to aggregate per-worker statistics.
+    pub fn iter(&self) -> impl Iterator<Item = &S> {
+        self.states.iter()
+    }
+
+    /// Mutably iterate over all slots.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut S> {
+        self.states.iter_mut()
+    }
+}
+
+/// Apply `f(state, index, item)` to every item with `threads` workers,
+/// preserving input order in the result.  Worker count is further capped
+/// by the item count and the number of state slots.  `threads <= 1` runs
+/// entirely on the calling thread with `states` slot 0 and spawns nothing.
+pub fn par_map_with_threads<S, T, R, F>(
+    threads: usize,
+    states: &mut WorkerStates<S>,
+    items: &[T],
+    f: F,
+) -> Vec<R>
 where
+    S: Send,
     T: Sync,
     R: Send,
-    F: Fn(usize, &T) -> R + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
 {
-    let threads = num_threads().min(items.len().max(1));
+    let threads = threads.min(items.len().max(1)).min(states.len());
     if threads <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let s = states.first_mut();
+        return items.iter().enumerate().map(|(i, t)| f(s, i, t)).collect();
     }
     let next = AtomicUsize::new(0);
-    let mut parts: Vec<Vec<(usize, R)>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let next = &next;
-            let f = &f;
-            handles.push(scope.spawn(move |_| {
-                let mut local = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    local.push((i, f(i, &items[i])));
-                }
-                local
-            }));
+    let worker = |s: &mut S| {
+        let mut local: Vec<(usize, R)> = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= items.len() {
+                break;
+            }
+            local.push((i, f(s, i, &items[i])));
         }
+        local
+    };
+    let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
+    let (mine, rest) = states.states.split_at_mut(1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = rest[..threads - 1]
+            .iter_mut()
+            .map(|s| scope.spawn(|| worker(s)))
+            .collect();
+        // The calling thread is worker 0 — one fewer spawn per call.
+        parts.push(worker(&mut mine[0]));
         for h in handles {
             parts.push(h.join().expect("worker panicked"));
         }
-    })
-    .expect("scope panicked");
+    });
     let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     for part in parts {
         for (i, r) in part {
@@ -73,6 +142,31 @@ where
     out.into_iter()
         .map(|r| r.expect("every index claimed exactly once"))
         .collect()
+}
+
+/// [`par_map_with_threads`] with the environment-configured thread count.
+pub fn par_map_with<S, T, R, F>(states: &mut WorkerStates<S>, items: &[T], f: F) -> Vec<R>
+where
+    S: Send,
+    T: Sync,
+    R: Send,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    par_map_with_threads(num_threads(), states, items, f)
+}
+
+/// Apply `f` to every item, in parallel, preserving input order in the
+/// result.  `f` receives `(index, &item)`.  Stateless convenience wrapper
+/// over [`par_map_with`].
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = num_threads();
+    let mut states = WorkerStates::new(threads, |_| ());
+    par_map_with_threads(threads, &mut states, items, |_, i, t| f(i, t))
 }
 
 #[cfg(test)]
@@ -122,5 +216,73 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn with_state_preserves_order_and_reuses_slots() {
+        // Each worker state accumulates how many items it processed;
+        // across two calls the *same* arena keeps accumulating.
+        let mut states = WorkerStates::new(4, |_| 0usize);
+        let items: Vec<u32> = (0..100).collect();
+        let out = par_map_with_threads(4, &mut states, &items, |s, i, &x| {
+            *s += 1;
+            (i as u32, x + 1)
+        });
+        for (i, &(idx, v)) in out.iter().enumerate() {
+            assert_eq!(idx as usize, i);
+            assert_eq!(v, i as u32 + 1);
+        }
+        let first_total: usize = states.iter().sum();
+        assert_eq!(first_total, 100, "every item processed exactly once");
+        par_map_with_threads(4, &mut states, &items, |s, _, _| *s += 1);
+        let second_total: usize = states.iter().sum();
+        assert_eq!(second_total, 200, "state survives across calls");
+    }
+
+    #[test]
+    fn single_thread_is_serial_on_calling_thread() {
+        // threads = 1 must run everything on the caller with slot 0 and
+        // spawn no threads — observable through thread ids.
+        let me = std::thread::current().id();
+        let mut states = WorkerStates::new(3, |_| Vec::new());
+        let items: Vec<u32> = (0..50).collect();
+        par_map_with_threads(1, &mut states, &items, |s, _, _| {
+            s.push(std::thread::current().id());
+        });
+        let (slot0, others) = {
+            let mut it = states.iter();
+            (it.next().unwrap().clone(), it.map(|v| v.len()).sum::<usize>())
+        };
+        assert_eq!(slot0.len(), 50, "all items on slot 0");
+        assert!(slot0.iter().all(|&id| id == me), "no thread was spawned");
+        assert_eq!(others, 0, "no other slot touched");
+    }
+
+    #[test]
+    fn parallel_uses_multiple_threads_when_asked() {
+        // With enough slow items, at least one item must land on a thread
+        // other than the caller (the caller is itself one of the workers).
+        let me = std::thread::current().id();
+        let mut states = WorkerStates::new(4, |_| ());
+        let items: Vec<u32> = (0..64).collect();
+        let ids = par_map_with_threads(4, &mut states, &items, |_, _, _| {
+            std::hint::black_box((0..100_000u64).fold(0u64, |a, b| a.wrapping_add(b)));
+            std::thread::current().id()
+        });
+        assert!(ids.iter().any(|&id| id != me), "expected a spawned worker");
+    }
+
+    #[test]
+    fn worker_count_capped_by_state_slots() {
+        // 8 threads requested but only 2 slots: must still complete with
+        // every item processed exactly once.
+        let mut states = WorkerStates::new(2, |_| 0usize);
+        let items: Vec<u32> = (0..40).collect();
+        let out = par_map_with_threads(8, &mut states, &items, |s, _, &x| {
+            *s += 1;
+            x
+        });
+        assert_eq!(out, items);
+        assert_eq!(states.iter().sum::<usize>(), 40);
     }
 }

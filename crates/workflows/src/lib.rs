@@ -122,7 +122,6 @@ pub(crate) fn typed_task(
         parallelizability: 0.0, // set by augment_ps
         streamability: 1.0,     // set by augment_ps
         area: 0.0,              // set by augment_ps
-        ..Task::default()
     }
 }
 

@@ -1,0 +1,147 @@
+//! Equivalence property suite for the candidate evaluation engine.
+//!
+//! The engine (`spmap_core::batch`) stacks parallel simulation, exact
+//! lower-bound pruning and content-keyed memoization under the mapper's
+//! inner loop.  None of that may change a single result: for random
+//! graphs and platforms, the engine path must produce the **same makespan
+//! history and final mapping, bit for bit**, as the straight serial
+//! exhaustive scan (`decomposition_map_reference` — the seed
+//! implementation kept as an executable specification).
+
+use spmap::prelude::*;
+use spmap_core::{decomposition_map_reference, EngineConfig};
+
+/// Deterministic graph zoo: SP graphs, almost-SP graphs and layered
+/// non-SP DAGs, with the paper's attribute augmentation.
+fn graph_case(case: u64) -> TaskGraph {
+    let nodes = 12 + (case * 7 % 36) as usize;
+    let seed = case * 131 + 17;
+    let mut g = match case % 3 {
+        0 => random_sp_graph(&SpGenConfig::new(nodes, seed)),
+        1 => almost_sp_graph(&SpGenConfig::new(nodes, seed), (case % 7) as usize),
+        _ => {
+            use spmap::graph::gen::{layered_random, LayeredConfig};
+            layered_random(&LayeredConfig {
+                layers: 3 + (case % 4) as usize,
+                width: 2 + (case % 3) as usize,
+                density: 0.5,
+                seed,
+                edge_bytes: 50e6,
+            })
+        }
+    };
+    augment(&mut g, &AugmentConfig::default(), seed);
+    g
+}
+
+fn platform_case(case: u64) -> Platform {
+    match case % 4 {
+        3 => Platform::cpu_gpu(),
+        _ => Platform::reference(),
+    }
+}
+
+fn engine_cfg(base: MapperConfig, threads: usize, prune: bool, memo: bool) -> MapperConfig {
+    MapperConfig {
+        engine: EngineConfig {
+            threads: Some(threads),
+            prune,
+            memo,
+            ..EngineConfig::default()
+        },
+        ..base
+    }
+}
+
+fn assert_equivalent(g: &TaskGraph, p: &Platform, fast: &MapperConfig, slow: &MapperConfig, tag: &str) {
+    let a = decomposition_map(g, p, fast);
+    let b = decomposition_map_reference(g, p, slow);
+    assert_eq!(a.mapping, b.mapping, "{tag}: final mapping differs");
+    assert_eq!(a.makespan, b.makespan, "{tag}: makespan differs");
+    assert_eq!(a.history, b.history, "{tag}: makespan history differs");
+    assert_eq!(a.iterations, b.iterations, "{tag}: iteration count differs");
+    assert_eq!(
+        a.cpu_only_makespan, b.cpu_only_makespan,
+        "{tag}: baseline differs"
+    );
+}
+
+/// The headline property: parallel + pruned + memoized batches reproduce
+/// the serial exhaustive scan exactly, over random graphs and platforms.
+#[test]
+fn batch_engine_matches_serial_exhaustive_scan() {
+    for case in 0..18u64 {
+        let g = graph_case(case);
+        let p = platform_case(case);
+        for base in [MapperConfig::series_parallel(), MapperConfig::single_node()] {
+            let fast = engine_cfg(base, 8, true, true);
+            let tag = format!("case {case} {:?}", base.strategy);
+            assert_equivalent(&g, &p, &fast, &base, &tag);
+        }
+    }
+}
+
+/// Every ablation corner (each optimization on its own, and none at all)
+/// is equally exact — a failure here isolates the broken layer.
+#[test]
+fn every_engine_ablation_is_exact() {
+    for case in 0..6u64 {
+        let g = graph_case(case + 100);
+        let p = platform_case(case);
+        let base = MapperConfig::series_parallel();
+        for (threads, prune, memo) in [
+            (1, false, false), // pure serial batch: the engine skeleton
+            (1, true, false),  // pruning alone
+            (1, false, true),  // memo alone
+            (8, false, false), // parallelism alone
+            (8, true, true),   // everything
+        ] {
+            let fast = engine_cfg(base, threads, prune, memo);
+            let tag = format!("case {case} t{threads} prune={prune} memo={memo}");
+            assert_equivalent(&g, &p, &fast, &base, &tag);
+        }
+    }
+}
+
+/// The γ-threshold family (FirstFit and the look-ahead variants) replays
+/// the serial decision sequence exactly, including the speculative-wave
+/// parallel path.
+#[test]
+fn gamma_threshold_waves_match_serial() {
+    for case in 0..12u64 {
+        let g = graph_case(case + 200);
+        let p = platform_case(case);
+        for gamma in [1.0, 2.0, 4.0] {
+            let base = MapperConfig {
+                heuristic: SearchHeuristic::GammaThreshold { gamma },
+                ..MapperConfig::series_parallel()
+            };
+            let fast = engine_cfg(base, 8, true, true);
+            let tag = format!("case {case} gamma {gamma}");
+            assert_equivalent(&g, &p, &fast, &base, &tag);
+        }
+    }
+}
+
+/// Thread count is not allowed to influence anything observable — runs
+/// with 1, 3 and 8 workers must agree with each other in every field,
+/// including the engine statistics.
+#[test]
+fn results_and_stats_are_thread_invariant() {
+    for case in 0..6u64 {
+        let g = graph_case(case + 300);
+        let p = platform_case(case);
+        let base = MapperConfig::series_parallel();
+        let runs: Vec<_> = [1usize, 3, 8]
+            .iter()
+            .map(|&t| decomposition_map(&g, &p, &engine_cfg(base, t, true, true)))
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(r.mapping, runs[0].mapping, "case {case}");
+            assert_eq!(r.makespan, runs[0].makespan, "case {case}");
+            assert_eq!(r.history, runs[0].history, "case {case}");
+            assert_eq!(r.batch, runs[0].batch, "case {case}: stats drifted");
+            assert_eq!(r.evaluations, runs[0].evaluations, "case {case}");
+        }
+    }
+}

@@ -1,94 +1,129 @@
-//! Cross-crate property-based tests (proptest) on the core invariants.
+//! Cross-crate property-based tests on the core invariants.
+//!
+//! Written as explicit seeded case loops (the offline environment has no
+//! `proptest`); each property sweeps a deterministic grid of sizes and
+//! seeds, so failures reproduce exactly.
 
-use proptest::prelude::*;
 use spmap::decomp::{decompose_forest, is_two_terminal_sp, CutPolicy};
 use spmap::graph::ops;
 use spmap::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every generated SP graph is recognized by the reduction oracle and
-    /// decomposes into a single tree covering all edges.
-    #[test]
-    fn generated_sp_graphs_decompose_cleanly(nodes in 2usize..60, seed in 0u64..5000) {
+/// Every generated SP graph is recognized by the reduction oracle and
+/// decomposes into a single tree covering all edges.
+#[test]
+fn generated_sp_graphs_decompose_cleanly() {
+    for case in 0..24u64 {
+        let nodes = 2 + (case * 7 % 58) as usize;
+        let seed = case * 199;
         let g = random_sp_graph(&SpGenConfig::new(nodes, seed));
-        prop_assert!(is_two_terminal_sp(&g));
+        assert!(is_two_terminal_sp(&g), "nodes {nodes} seed {seed}");
         let norm = ops::normalize_terminals(&g);
         let r = decompose_forest(&norm.graph, norm.source, norm.sink, CutPolicy::default());
-        prop_assert!(r.is_series_parallel());
-        prop_assert_eq!(r.forest.node(r.core).edge_count as usize, g.edge_count());
+        assert!(r.is_series_parallel(), "nodes {nodes} seed {seed}");
+        assert_eq!(
+            r.forest.node(r.core).edge_count as usize,
+            g.edge_count(),
+            "nodes {nodes} seed {seed}"
+        );
         r.forest.validate(&norm.graph);
     }
+}
 
-    /// The forest algorithm and the reduction oracle agree on almost-SP
-    /// graphs, and the forest always partitions the edge set.
-    #[test]
-    fn forest_agrees_with_oracle(nodes in 4usize..40, extra in 0usize..25, seed in 0u64..2000) {
+/// The forest algorithm and the reduction oracle agree on almost-SP
+/// graphs, and the forest always partitions the edge set.
+#[test]
+fn forest_agrees_with_oracle() {
+    for case in 0..24u64 {
+        let nodes = 4 + (case * 5 % 36) as usize;
+        let extra = (case * 3 % 25) as usize;
+        let seed = case * 83;
         let g = almost_sp_graph(&SpGenConfig::new(nodes, seed), extra);
         let norm = ops::normalize_terminals(&g);
         let r = decompose_forest(&norm.graph, norm.source, norm.sink, CutPolicy::default());
-        prop_assert_eq!(r.is_series_parallel(), is_two_terminal_sp(&norm.graph));
+        assert_eq!(
+            r.is_series_parallel(),
+            is_two_terminal_sp(&norm.graph),
+            "nodes {nodes} extra {extra} seed {seed}"
+        );
         let total: u32 = r.forest.roots.iter().map(|&t| r.forest.node(t).edge_count).sum();
-        prop_assert_eq!(total as usize, norm.graph.edge_count());
+        assert_eq!(total as usize, norm.graph.edge_count());
     }
+}
 
-    /// The mapper never returns a mapping worse than pure CPU, never
-    /// violates the area budget, and its makespan history is decreasing.
-    #[test]
-    fn mapper_invariants(nodes in 5usize..30, seed in 0u64..1000) {
+/// The mapper never returns a mapping worse than pure CPU, never
+/// violates the area budget, and its makespan history is decreasing.
+#[test]
+fn mapper_invariants() {
+    let p = Platform::reference();
+    for case in 0..24u64 {
+        let nodes = 5 + (case % 25) as usize;
+        let seed = case * 41;
         let mut g = random_sp_graph(&SpGenConfig::new(nodes, seed));
         augment(&mut g, &AugmentConfig::default(), seed);
-        let p = Platform::reference();
         let r = decomposition_map(&g, &p, &MapperConfig::sp_first_fit());
-        prop_assert!(r.makespan <= r.cpu_only_makespan * (1.0 + 1e-9));
-        prop_assert!(r.mapping.is_area_feasible(&g, &p));
+        assert!(
+            r.makespan <= r.cpu_only_makespan * (1.0 + 1e-9),
+            "nodes {nodes} seed {seed}"
+        );
+        assert!(r.mapping.is_area_feasible(&g, &p));
         let mut prev = r.cpu_only_makespan;
         for &h in &r.history {
-            prop_assert!(h < prev);
+            assert!(h < prev, "history not decreasing (nodes {nodes} seed {seed})");
             prev = h;
         }
     }
+}
 
-    /// The evaluator's makespan is never below the per-task lower bound
-    /// (the most favorable device for every task, no waiting at all), and
-    /// reported improvements stay in [0, 1).
-    #[test]
-    fn evaluator_bounds(nodes in 3usize..40, seed in 0u64..1000) {
+/// The evaluator's makespan is never below the per-task lower bound
+/// (the most favorable device for every task, no waiting at all), and
+/// reported improvements stay in [0, 1).
+#[test]
+fn evaluator_bounds() {
+    let p = Platform::reference();
+    for case in 0..24u64 {
+        let nodes = 3 + (case * 11 % 37) as usize;
+        let seed = case * 59;
         let mut g = random_sp_graph(&SpGenConfig::new(nodes, seed));
         augment(&mut g, &AugmentConfig::default(), seed);
-        let p = Platform::reference();
         let mut ev = Evaluator::new(&g, &p);
         let cpu_only = ev.cpu_only_makespan();
         let mapping = heft(&g, &p).mapping;
         let ms = ev.makespan_bfs(&mapping).unwrap();
         // Lower bound: the longest single task on its fastest device.
-        let lb = g.nodes()
+        let lb = g
+            .nodes()
             .map(|v| p.device_ids().map(|d| ev.exec_time(v, d)).fold(f64::INFINITY, f64::min))
             .fold(0.0, f64::max);
-        prop_assert!(ms + 1e-9 >= lb);
+        assert!(ms + 1e-9 >= lb, "nodes {nodes} seed {seed}");
         let imp = relative_improvement(cpu_only, ms.min(cpu_only));
-        prop_assert!((0.0..1.0).contains(&imp));
+        assert!((0.0..1.0).contains(&imp));
     }
+}
 
-    /// HEFT and PEFT schedules respect precedence and the area budget on
-    /// arbitrary workflow shapes.
-    #[test]
-    fn list_schedulers_are_safe_on_workflows(tasks in 20usize..80, seed in 0u64..500) {
-        use spmap::workflows::augment_ps;
+/// HEFT and PEFT schedules respect precedence and the area budget on
+/// arbitrary workflow shapes.
+#[test]
+fn list_schedulers_are_safe_on_workflows() {
+    use spmap::workflows::augment_ps;
+    let p = Platform::reference();
+    for case in 0..18u64 {
+        let tasks = 20 + (case * 13 % 60) as usize;
+        let seed = case * 29;
         let family = Family::all()[(seed % 9) as usize];
         let mut g = family.generate(tasks, seed);
         augment_ps(&mut g, seed);
-        let p = Platform::reference();
         for r in [heft(&g, &p), peft(&g, &p)] {
-            prop_assert!(r.mapping.is_area_feasible(&g, &p));
+            assert!(r.mapping.is_area_feasible(&g, &p), "tasks {tasks} seed {seed}");
             let mut pos = vec![0usize; g.node_count()];
             for (i, &v) in r.order.iter().enumerate() {
                 pos[v.index()] = i;
             }
             for e in g.edge_ids() {
                 let edge = g.edge(e);
-                prop_assert!(pos[edge.src.index()] < pos[edge.dst.index()]);
+                assert!(
+                    pos[edge.src.index()] < pos[edge.dst.index()],
+                    "tasks {tasks} seed {seed}"
+                );
             }
         }
     }
