@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use spmap_baselines::{heft, peft};
 use spmap_core::{
-    decomposition_map, decomposition_map_reference, EngineConfig, MapperConfig,
+    decomposition_map, decomposition_map_reference, CostModel, EngineConfig, MapperConfig,
 };
 use spmap_decomp::{decompose_forest, CutPolicy};
 use spmap_ga::{nsga2_map, GaConfig};
@@ -123,6 +123,19 @@ fn bench_candidate_scan(c: &mut Criterion) {
         };
         group.bench_with_input(BenchmarkId::new("batch", n), &n, |b, _| {
             b.iter(|| decomposition_map(&g, &platform, &batch_cfg))
+        });
+        // The multi-schedule reporting metric (§IV-A): each candidate is
+        // a sweep of k+1 simulations — serial reference vs the engine's
+        // per-schedule windowed sweep with running cutoffs.
+        let report_cfg = MapperConfig {
+            cost: CostModel::Report { schedules: 4, seed: 42 },
+            ..MapperConfig::series_parallel()
+        };
+        group.bench_with_input(BenchmarkId::new("report_serial", n), &n, |b, _| {
+            b.iter(|| decomposition_map_reference(&g, &platform, &report_cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("report_batch", n), &n, |b, _| {
+            b.iter(|| decomposition_map(&g, &platform, &report_cfg))
         });
     }
     group.finish();

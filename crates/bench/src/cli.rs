@@ -8,7 +8,10 @@
 //! * `--quick` — smoke-test settings (fewer replicates, smaller sweeps),
 //! * `--seed <n>` — base experiment seed,
 //! * `--threads <n>` — worker threads for binaries that measure
-//!   parallel speedups (e.g. `perf_report`; clamped to ≥ 1).
+//!   parallel speedups (e.g. `perf_report`; clamped to ≥ 1),
+//! * `--report-schedules <k>` — random schedules of the
+//!   `report_makespan` cost model for binaries that sweep it
+//!   (`perf_report`; `0` skips the report-mode measurements).
 
 /// Parsed common options.
 #[derive(Clone, Copy, Debug)]
@@ -25,6 +28,9 @@ pub struct Opts {
     pub seed: u64,
     /// Worker-thread override for parallel-measurement binaries.
     pub threads: Option<usize>,
+    /// Random-schedule count for `report_makespan`-mode measurements
+    /// (`None` = binary default; `Some(0)` = skip report mode).
+    pub report_schedules: Option<usize>,
 }
 
 impl Opts {
@@ -42,6 +48,7 @@ impl Opts {
             quick: false,
             seed: 2025,
             threads: None,
+            report_schedules: None,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -54,6 +61,9 @@ impl Opts {
                 }
                 "--threads" => {
                     opts.threads = it.next().and_then(|v| v.parse().ok()).map(|t: usize| t.max(1));
+                }
+                "--report-schedules" => {
+                    opts.report_schedules = it.next().and_then(|v| v.parse().ok());
                 }
                 "--seed" => {
                     if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
@@ -121,5 +131,13 @@ mod tests {
     fn presets() {
         assert_eq!(parse(&["--quick"]).replicates(10, 3, 30), 3);
         assert_eq!(parse(&["--full"]).replicates(10, 3, 30), 30);
+    }
+
+    #[test]
+    fn report_schedules_flag() {
+        assert_eq!(parse(&[]).report_schedules, None);
+        assert_eq!(parse(&["--report-schedules", "4"]).report_schedules, Some(4));
+        assert_eq!(parse(&["--report-schedules", "0"]).report_schedules, Some(0), "0 = skip");
+        assert_eq!(parse(&["--report-schedules", "x"]).report_schedules, None);
     }
 }

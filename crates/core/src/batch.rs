@@ -35,17 +35,36 @@
 //!    arrival order can never influence a tie-break, and
 //!    `SPMAP_THREADS=1` degenerates to the serial fast path with zero
 //!    thread spawns.
+//!
+//! All three layers generalize to the paper's *reporting metric*
+//! (`CostModel::Report`): a candidate is then scored by the minimum
+//! makespan over a fixed set of schedules (BFS + `k` seeded random
+//! topological orders, [`spmap_model::ReportSchedules`]).  Each schedule
+//! keeps its own base-mapping checkpoint trail
+//! ([`spmap_model::CheckpointSet`]) so every schedule of a candidate's
+//! sweep is windowed from its own earliest affected position; schedules
+//! of one candidate run under a *running* cutoff (`min(incumbent
+//! cutoff, best schedule so far)` — an aborted schedule provably cannot
+//! be the reported minimum); and completed per-schedule makespans are
+//! memoized under `(fingerprint, schedule)` so partially-swept mappings
+//! resume where they left off.  The BFS cost model is simply the
+//! single-schedule instance of the same path.
 
 use std::collections::HashMap;
 
 use spmap_graph::{NodeId, TaskGraph};
 use spmap_model::{
-    BfsCheckpoints, DeviceId, EvalScratch, EvalTables, Mapping, MappingFingerprint, Platform,
-    WindowSim,
+    CheckpointSet, DeviceId, EvalScratch, EvalTables, Mapping, MappingFingerprint, Platform,
+    ReportSchedules, WindowSim,
 };
 use spmap_par::{par_map_with_threads, WorkerStates};
 
-use crate::mapper::{OpId, REL_EPS};
+use crate::mapper::{CostModel, OpId, REL_EPS};
+
+/// Schedule-set size cap: candidates track their unresolved schedules in
+/// a `u64` bitmask, so at most 63 random schedules ride on top of BFS.
+/// Far beyond the paper's `k` (§IV-A uses a handful).
+pub const MAX_SCHEDULES: usize = 64;
 
 /// Relative safety margin by which candidate lower bounds are deflated
 /// before they may prune: the incremental load bookkeeping performs a
@@ -124,6 +143,16 @@ pub struct BatchStats {
     /// Candidates skipped without simulation as no-ops or FPGA-area
     /// infeasible (decided by incremental bookkeeping alone).
     pub trivial: u64,
+    /// Individual schedule re-simulations run to completion (one
+    /// candidate is a sweep of up to `schedules + 1` of these in
+    /// `report_makespan` mode; exactly one in BFS mode).
+    pub sched_simulated: u64,
+    /// Individual schedule re-simulations aborted by the per-candidate
+    /// *running* cutoff (`min(incumbent cutoff, best schedule so far)`).
+    pub sched_aborted: u64,
+    /// Schedule makespans answered by the `(fingerprint, schedule)` memo
+    /// without re-simulation.
+    pub sched_memo_hits: u64,
 }
 
 impl BatchStats {
@@ -165,9 +194,31 @@ struct Pending {
     /// (best-first scanning raises the incumbent — and with it the
     /// cutoff — as early as possible).
     expected: f64,
-    /// First pop position the candidate's schedule can differ from the
-    /// base schedule (window-simulation start).
-    from_pos: usize,
+    /// Bitmask of schedules still needing a window simulation (bit `s` =
+    /// schedule `s`); schedules answered by the `(fp, schedule)` memo
+    /// are cleared.
+    mask: u64,
+    /// Minimum over the memo-answered schedules (`+inf` if none): the
+    /// starting value of the candidate's running best.
+    best_known: f64,
+}
+
+/// Worker-side outcome of one candidate's multi-schedule sweep.
+struct CandidateSim {
+    /// `min(best_known, completed schedule makespans)` — the candidate's
+    /// exact report makespan whenever `aborted == 0` or the value is at
+    /// or below the incumbent cutoff (see `evaluate_ops`).
+    best: f64,
+    /// Number of schedule simulations that ran to completion.
+    completed: u32,
+    /// `(schedule, makespan)` of the completed schedules, destined for
+    /// the `(fp, schedule)` memo.  Populated only when banking is on
+    /// (memoization enabled *and* more than one schedule); an empty
+    /// `Vec` never allocates, so the single-schedule BFS hot path stays
+    /// allocation-free per candidate.
+    banked: Vec<(u32, f64)>,
+    /// Schedule simulations aborted by the running cutoff.
+    aborted: u32,
 }
 
 /// The candidate evaluation engine of one mapper run: shared immutable
@@ -183,9 +234,21 @@ pub struct CandidateBatch<'g> {
     mapping: Mapping,
     fingerprint: MappingFingerprint,
     generation: u64,
-    /// Current (best committed) makespan.
+    /// Current (best committed) makespan under the configured cost model
+    /// (BFS, or min over the report schedules).
     cur: f64,
+    /// Exact cost-model makespans keyed by mapping fingerprint.
     memo: HashMap<u128, f64>,
+    /// The fixed schedule set the cost model sweeps: `[BFS]` in BFS mode,
+    /// `[BFS, k random topological orders]` in `report_makespan` mode.
+    schedules: ReportSchedules,
+    /// Exact *per-schedule* makespans keyed by `(fingerprint, schedule)`
+    /// — a candidate aborted under the running cutoff still banks every
+    /// schedule value it did complete.  Unused (empty) with a single
+    /// schedule, where `memo` already is the schedule-0 memo.
+    sched_memo: HashMap<(u128, u32), f64>,
+    /// Per-schedule makespans of the current base mapping.
+    base_sched: Vec<f64>,
     // --- incrementally maintained aggregates of the base mapping ---
     /// Per *temporal* device: sum of mapped execution times (0 for FPGAs).
     dev_load: Vec<f64>,
@@ -200,9 +263,9 @@ pub struct CandidateBatch<'g> {
     /// node is *outside* a candidate's region is a sound path bound that
     /// survives the candidate unchanged.
     path_scores: Vec<(f64, u32)>,
-    /// Base-schedule state snapshots (rebuilt on every commit) for
-    /// windowed candidate re-simulation.
-    checkpoints: BfsCheckpoints,
+    /// Base state snapshots, one store per schedule (rebuilt on every
+    /// commit), for windowed candidate re-simulation under any schedule.
+    checkpoints: CheckpointSet,
     /// Per-op improvement when last evaluated (`+inf` before the first
     /// evaluation) — the best-first scan order of `evaluate_ops`.
     expected: Vec<f64>,
@@ -213,8 +276,8 @@ pub struct CandidateBatch<'g> {
 }
 
 impl<'g> CandidateBatch<'g> {
-    /// Build the engine for one run: tables, the all-default base
-    /// mapping, and its aggregates.
+    /// Build the BFS-cost engine for one run: tables, the all-default
+    /// base mapping, and its aggregates.
     pub fn new(
         graph: &'g TaskGraph,
         platform: &'g Platform,
@@ -222,7 +285,34 @@ impl<'g> CandidateBatch<'g> {
         devices: Vec<DeviceId>,
         cfg: EngineConfig,
     ) -> Self {
+        Self::with_cost(graph, platform, subgraphs, devices, cfg, CostModel::Bfs)
+    }
+
+    /// Build the engine for one run under an explicit cost model.  With
+    /// [`CostModel::Report`], every candidate is scored by the minimum
+    /// makespan over the fixed schedule set, each schedule windowed from
+    /// its own checkpoint trail.
+    pub fn with_cost(
+        graph: &'g TaskGraph,
+        platform: &'g Platform,
+        subgraphs: Vec<Vec<NodeId>>,
+        devices: Vec<DeviceId>,
+        cfg: EngineConfig,
+        cost: CostModel,
+    ) -> Self {
         let tables = EvalTables::new(graph, platform);
+        let schedules = match cost {
+            CostModel::Bfs => ReportSchedules::bfs_only(graph),
+            CostModel::Report { schedules, seed } => {
+                assert!(
+                    schedules < MAX_SCHEDULES,
+                    "at most {} random report schedules (got {schedules}); \
+                     widen the candidate schedule bitmask in spmap-core/src/batch.rs",
+                    MAX_SCHEDULES - 1
+                );
+                ReportSchedules::new(graph, schedules, seed)
+            }
+        };
         let threads = cfg.effective_threads();
         let mapping = Mapping::all_default(graph, platform);
         let workers = WorkerStates::new(threads, |_| Worker {
@@ -242,17 +332,20 @@ impl<'g> CandidateBatch<'g> {
             generation: 1,
             cur: 0.0,
             memo: HashMap::new(),
+            sched_memo: HashMap::new(),
+            base_sched: vec![0.0; schedules.len()],
             dev_load: Vec::new(),
             link_load: Vec::new(),
             area_used: Vec::new(),
             max_min_exec,
             path_scores: Vec::new(),
-            checkpoints: BfsCheckpoints::new(BfsCheckpoints::auto_interval(n)),
+            checkpoints: CheckpointSet::for_schedules(&schedules, n),
             expected: vec![f64::INFINITY; op_count],
             mark: vec![0; n],
             mark_gen: 0,
             stats: BatchStats::default(),
             tables,
+            schedules,
             subgraphs,
             devices,
             cfg,
@@ -264,9 +357,7 @@ impl<'g> CandidateBatch<'g> {
         engine.cur = engine
             .simulate_base()
             .expect("default mapping is feasible");
-        if engine.cfg.memo {
-            engine.memo.insert(engine.fingerprint.value(), engine.cur);
-        }
+        engine.memoize_base();
         engine
     }
 
@@ -368,14 +459,20 @@ impl<'g> CandidateBatch<'g> {
                         incumbent = delta;
                     }
                 }
-                Verdict::Simulate { fp, bound, from_pos } => {
+                Verdict::Simulate {
+                    fp,
+                    bound,
+                    mask,
+                    best_known,
+                } => {
                     pending.push(Pending {
                         slot,
                         op,
                         fp,
                         bound,
                         expected: self.expected[op],
-                        from_pos,
+                        mask,
+                        best_known,
                     });
                 }
             }
@@ -418,28 +515,38 @@ impl<'g> CandidateBatch<'g> {
             // useless; ties survive, so index-order tie-breaks hold.
             let cutoff = if prune { self.cur - cut } else { f64::INFINITY };
             let results = self.simulate_chunk(chunk, cutoff);
-            for (p, result) in chunk.iter().zip(&results) {
-                match *result {
-                    WindowSim::Done(ms) => {
-                        let delta = self.cur - ms;
-                        deltas[p.slot] = delta;
-                        self.stats.simulated += 1;
-                        if prune {
-                            self.expected[p.op] = delta;
-                        }
-                        if self.cfg.memo {
-                            self.memo.insert(p.fp, ms);
-                        }
-                        if delta > incumbent {
-                            incumbent = delta;
-                        }
+            for (p, r) in chunk.iter().zip(&results) {
+                self.stats.sched_simulated += u64::from(r.completed);
+                self.stats.sched_aborted += u64::from(r.aborted);
+                // `banked` is populated only with memoization on and >1
+                // schedule (empty otherwise).
+                for &(s, ms) in &r.banked {
+                    self.sched_memo.insert((p.fp, s), ms);
+                }
+                // The candidate's sweep minimum is exact when every
+                // schedule resolved to a value, or when it lands at or
+                // below the incumbent cutoff (every aborted schedule is
+                // then *strictly* above it, so the min is unaffected —
+                // the running-cutoff argument in docs/PERF.md).
+                if r.aborted == 0 || r.best <= cutoff {
+                    let delta = self.cur - r.best;
+                    deltas[p.slot] = delta;
+                    self.stats.simulated += 1;
+                    if prune {
+                        self.expected[p.op] = delta;
                     }
-                    WindowSim::Cutoff => {
-                        // delta < cut, strictly: never the winner.
-                        self.stats.aborted += 1;
-                        if prune {
-                            self.expected[p.op] = p.bound.min(cut);
-                        }
+                    if self.cfg.memo {
+                        self.memo.insert(p.fp, r.best);
+                    }
+                    if delta > incumbent {
+                        incumbent = delta;
+                    }
+                } else {
+                    // Every schedule proved > cutoff: delta < cut,
+                    // strictly — never the winner.
+                    self.stats.aborted += 1;
+                    if prune {
+                        self.expected[p.op] = p.bound.min(cut);
                     }
                 }
             }
@@ -469,14 +576,13 @@ impl<'g> CandidateBatch<'g> {
         // (≤ n per run) and a fresh O(V + E) accumulation keeps the load
         // aggregates free of float drift across iterations.  The base
         // simulation is always re-run (never memo-answered) because it
-        // also records the schedule snapshots every window needs.
+        // also records the per-schedule snapshot trails every window
+        // needs.
         self.rebuild_aggregates();
         self.cur = self
             .simulate_base()
             .expect("committed operations are feasible");
-        if self.cfg.memo {
-            self.memo.insert(self.fingerprint.value(), self.cur);
-        }
+        self.memoize_base();
     }
 
     /// Classify one candidate without simulating it.
@@ -536,21 +642,39 @@ impl<'g> CandidateBatch<'g> {
                 return Verdict::Memoized(ms);
             }
         }
+        // Partial sweep reuse: any schedule whose makespan for this exact
+        // mapping is already banked under `(fp, schedule)` is cleared
+        // from the simulation mask; its value seeds the running best.
+        let s_count = self.schedules.len();
+        let mut mask: u64 = u64::MAX >> (64 - s_count as u32);
+        let mut best_known = f64::INFINITY;
+        if self.cfg.memo && s_count > 1 {
+            for s in 0..s_count {
+                if let Some(&ms) = self.sched_memo.get(&(fp.value(), s as u32)) {
+                    mask &= !(1 << s);
+                    self.stats.sched_memo_hits += 1;
+                    if ms < best_known {
+                        best_known = ms;
+                    }
+                }
+            }
+            if mask == 0 {
+                // Every schedule known: the min is the exact report
+                // makespan — promote it to the full-mapping memo.
+                self.memo.insert(fp.value(), best_known);
+                return Verdict::Memoized(best_known);
+            }
+        }
         let bound = if prune {
             self.cur - self.candidate_lower_bound(sub, d) * (1.0 - BOUND_SLACK)
         } else {
             f64::INFINITY
         };
-        let from_pos = sub
-            .iter()
-            .filter(|v| self.mark[v.index()] == self.mark_gen)
-            .map(|&v| self.tables.earliest_read_pos(v))
-            .min()
-            .unwrap_or(0);
         Verdict::Simulate {
             fp: fp.value(),
             bound,
-            from_pos,
+            mask,
+            best_known,
         }
     }
 
@@ -681,18 +805,24 @@ impl<'g> CandidateBatch<'g> {
 
     /// Simulate the candidates of one chunk in parallel (or serially for
     /// one thread — zero spawns): each worker syncs its private mapping
-    /// copy to the base, applies the candidate's moves, and re-simulates
-    /// only the schedule window from the candidate's first affected
-    /// position, aborting once `cutoff` is provably exceeded.  Returns
-    /// outcomes in chunk order.  Area feasibility was prechecked.
-    fn simulate_chunk(&mut self, chunk: &[Pending], cutoff: f64) -> Vec<WindowSim> {
+    /// copy to the base, applies the candidate's moves, and sweeps the
+    /// candidate's unresolved schedules — each windowed from the
+    /// candidate's first affected position *under that schedule*, with a
+    /// running cutoff `min(cutoff, best schedule so far)` (a schedule
+    /// aborted by the running cutoff is strictly worse than some other
+    /// schedule of the same candidate, so it can never be the reported
+    /// minimum).  Returns outcomes in chunk order.  Area feasibility was
+    /// prechecked.
+    fn simulate_chunk(&mut self, chunk: &[Pending], cutoff: f64) -> Vec<CandidateSim> {
         let tables = &self.tables;
+        let schedules = &self.schedules;
         let checkpoints = &self.checkpoints;
         let base = &self.mapping;
         let generation = self.generation;
         let m = self.devices.len();
         let subgraphs = &self.subgraphs;
         let devices = &self.devices;
+        let bank = self.cfg.memo && self.schedules.len() > 1;
         par_map_with_threads(self.threads, &mut self.workers, chunk, |w, _, p| {
             if w.generation != generation {
                 w.mapping.copy_from(base);
@@ -708,23 +838,92 @@ impl<'g> CandidateBatch<'g> {
                     w.mapping.set(v, d);
                 }
             }
-            let result =
-                tables.makespan_bfs_window(&mut w.scratch, &w.mapping, checkpoints, p.from_pos, cutoff);
+            let mut best = p.best_known;
+            let mut completed = 0u32;
+            let mut banked: Vec<(u32, f64)> = Vec::new();
+            let mut aborted = 0u32;
+            for s in 0..schedules.len() {
+                if p.mask & (1 << s) == 0 {
+                    continue;
+                }
+                let order = schedules.order(s);
+                let from_pos = w
+                    .undo
+                    .iter()
+                    .map(|&(v, _)| order.earliest_read_pos(v))
+                    .min()
+                    .unwrap_or(0);
+                let running = if best < cutoff { best } else { cutoff };
+                match tables.makespan_order_window(
+                    &mut w.scratch,
+                    &w.mapping,
+                    order,
+                    checkpoints.get(s),
+                    from_pos,
+                    running,
+                ) {
+                    WindowSim::Done(ms) => {
+                        completed += 1;
+                        if bank {
+                            banked.push((s as u32, ms));
+                        }
+                        if ms < best {
+                            best = ms;
+                        }
+                    }
+                    WindowSim::Cutoff => aborted += 1,
+                }
+            }
             for &(v, old) in w.undo.iter().rev() {
                 w.mapping.set(v, old);
             }
-            result
+            CandidateSim {
+                best,
+                completed,
+                banked,
+                aborted,
+            }
         })
     }
 
-    /// Simulate the current base mapping on worker 0's scratch,
-    /// recording the schedule snapshots for windowed re-simulation.
+    /// Simulate the current base mapping on worker 0's scratch under
+    /// *every* schedule of the set, recording each schedule's snapshot
+    /// trail for windowed re-simulation; returns the cost-model makespan
+    /// (min over schedules, folded in schedule order exactly like the
+    /// reference metric).
     fn simulate_base(&mut self) -> Option<f64> {
-        self.tables.makespan_bfs_checkpointed(
-            &mut self.workers.first_mut().scratch,
-            &self.mapping,
-            &mut self.checkpoints,
-        )
+        let scratch = &mut self.workers.first_mut().scratch;
+        let mut best: Option<f64> = None;
+        for s in 0..self.schedules.len() {
+            let ms = self.tables.makespan_order_checkpointed(
+                scratch,
+                &self.mapping,
+                self.schedules.order(s),
+                self.checkpoints.get_mut(s),
+            )?;
+            self.base_sched[s] = ms;
+            best = Some(match best {
+                None => ms,
+                Some(b) => b.min(ms),
+            });
+        }
+        best
+    }
+
+    /// Bank the base mapping's exact makespans: the cost-model value
+    /// under its fingerprint, and (with several schedules) every
+    /// per-schedule value under `(fingerprint, schedule)`.
+    fn memoize_base(&mut self) {
+        if !self.cfg.memo {
+            return;
+        }
+        let fp = self.fingerprint.value();
+        self.memo.insert(fp, self.cur);
+        if self.schedules.len() > 1 {
+            for (s, &ms) in self.base_sched.iter().enumerate() {
+                self.sched_memo.insert((fp, s as u32), ms);
+            }
+        }
     }
 
     /// Recompute the load aggregates of the base mapping from scratch.
@@ -811,11 +1010,17 @@ fn relink(
 enum Verdict {
     /// No-op or area-infeasible: never an improvement.
     Trivial,
-    /// Known makespan from the memo.
+    /// Known cost-model makespan from the memo.
     Memoized(f64),
-    /// Needs a simulation; `bound` caps its achievable delta and
-    /// `from_pos` is its window start.
-    Simulate { fp: u128, bound: f64, from_pos: usize },
+    /// Needs simulation of the schedules in `mask`; `bound` caps its
+    /// achievable delta and `best_known` is the min over the
+    /// memo-answered schedules.
+    Simulate {
+        fp: u128,
+        bound: f64,
+        mask: u64,
+        best_known: f64,
+    },
 }
 
 #[cfg(test)]
@@ -991,6 +1196,189 @@ mod tests {
                 }
             }
         }
+    }
+
+    fn report_engine<'g>(
+        g: &'g TaskGraph,
+        p: &'g Platform,
+        cfg: EngineConfig,
+        k: usize,
+        seed: u64,
+    ) -> CandidateBatch<'g> {
+        let subgraphs = series_parallel_subgraphs(g, CutPolicy::default())
+            .subgraphs()
+            .to_vec();
+        let devices: Vec<DeviceId> = p.device_ids().collect();
+        CandidateBatch::with_cost(
+            g,
+            p,
+            subgraphs,
+            devices,
+            cfg,
+            CostModel::Report { schedules: k, seed },
+        )
+    }
+
+    /// Reference report-mode deltas: serial sweep of every op through
+    /// `Evaluator::report_makespan`, exactly like the seed metric.
+    fn reference_report_deltas(
+        g: &TaskGraph,
+        p: &Platform,
+        eng: &CandidateBatch<'_>,
+        k: usize,
+        seed: u64,
+    ) -> Vec<f64> {
+        let mut ev = Evaluator::new(g, p);
+        let mut mapping = eng.mapping().clone();
+        let cur = eng.current_makespan();
+        (0..eng.op_count())
+            .map(|op| {
+                let (sub, d) = eng.op_parts(op);
+                let undo: Vec<(NodeId, DeviceId)> = sub
+                    .iter()
+                    .filter_map(|&v| {
+                        let old = mapping.device(v);
+                        (old != d).then_some((v, old))
+                    })
+                    .collect();
+                if undo.is_empty() {
+                    return f64::NEG_INFINITY;
+                }
+                for &(v, _) in &undo {
+                    mapping.set(v, d);
+                }
+                let delta = match ev.report_makespan(&mapping, k, seed) {
+                    Some(ms) => cur - ms,
+                    None => f64::NEG_INFINITY,
+                };
+                for &(v, old) in undo.iter().rev() {
+                    mapping.set(v, old);
+                }
+                delta
+            })
+            .collect()
+    }
+
+    #[test]
+    fn report_mode_unpruned_batch_matches_serial_sweep_bitwise() {
+        for (seed, k) in [(1u64, 2usize), (5, 4), (9, 3)] {
+            let (g, p) = setup(seed);
+            let mut eng = report_engine(
+                &g,
+                &p,
+                EngineConfig {
+                    threads: Some(4),
+                    memo: false,
+                    prune: false,
+                    ..EngineConfig::default()
+                },
+                k,
+                seed ^ 0xabc,
+            );
+            let ops: Vec<OpId> = (0..eng.op_count()).collect();
+            let batch = eng.evaluate_ops(&ops, false);
+            let reference = reference_report_deltas(&g, &p, &eng, k, seed ^ 0xabc);
+            assert_eq!(batch, reference, "seed {seed} k {k}");
+            assert!(
+                eng.stats().sched_aborted > 0,
+                "running cutoff should abort some non-minimal schedules (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn report_mode_pruned_batch_preserves_the_winning_candidate() {
+        for (seed, k) in [(2u64, 3usize), (6, 2)] {
+            let (g, p) = setup(seed);
+            let mut eng = report_engine(
+                &g,
+                &p,
+                EngineConfig { threads: Some(4), ..Default::default() },
+                k,
+                seed,
+            );
+            let ops: Vec<OpId> = (0..eng.op_count()).collect();
+            let pruned = eng.evaluate_ops(&ops, true);
+            let reference = reference_report_deltas(&g, &p, &eng, k, seed);
+            let threshold = eng.current_makespan() * REL_EPS;
+            let pick = |d: &[f64]| {
+                d.iter()
+                    .enumerate()
+                    .filter(|(_, &x)| x > threshold)
+                    .fold(None::<(usize, f64)>, |best, (i, &x)| {
+                        if best.is_none_or(|(_, b)| x > b) {
+                            Some((i, x))
+                        } else {
+                            best
+                        }
+                    })
+            };
+            assert_eq!(pick(&pruned), pick(&reference), "seed {seed} k {k}");
+            for (i, (&a, &b)) in pruned.iter().zip(&reference).enumerate() {
+                if a != f64::NEG_INFINITY {
+                    assert_eq!(a, b, "op {i} seed {seed} k {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn report_mode_schedule_memo_reuses_partial_sweeps() {
+        let (g, p) = setup(3);
+        let k = 3;
+        let mut eng = report_engine(
+            &g,
+            &p,
+            EngineConfig { threads: Some(2), ..Default::default() },
+            k,
+            77,
+        );
+        let ops: Vec<OpId> = (0..eng.op_count()).collect();
+        let deltas = eng.evaluate_ops(&ops, false);
+        let threshold = eng.current_makespan() * REL_EPS;
+        let (best_op, best_delta) = deltas
+            .iter()
+            .enumerate()
+            .fold((0, f64::NEG_INFINITY), |acc, (i, &d)| {
+                if d > acc.1 {
+                    (i, d)
+                } else {
+                    acc
+                }
+            });
+        assert!(best_delta > threshold, "test graph must have an improvement");
+        eng.commit(best_op);
+        // Re-evaluating after the commit must again match the serial
+        // sweep bitwise, and the banked (fingerprint, schedule) values
+        // must produce hits.
+        let again = eng.evaluate_ops(&ops, false);
+        let reference = reference_report_deltas(&g, &p, &eng, k, 77);
+        assert_eq!(again, reference);
+        assert!(
+            eng.stats().memo_hits > 0 || eng.stats().sched_memo_hits > 0,
+            "memoization produced no hits at all: {:?}",
+            eng.stats()
+        );
+    }
+
+    #[test]
+    fn report_mode_thread_count_does_not_change_results() {
+        let (g, p) = setup(8);
+        let mut results = Vec::new();
+        for threads in [1, 2, 8] {
+            let mut eng = report_engine(
+                &g,
+                &p,
+                EngineConfig { threads: Some(threads), ..Default::default() },
+                3,
+                8,
+            );
+            let ops: Vec<OpId> = (0..eng.op_count()).collect();
+            let deltas = eng.evaluate_ops(&ops, true);
+            results.push((deltas, eng.stats()));
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2], "stats and deltas thread-invariant");
     }
 
     #[test]

@@ -43,8 +43,9 @@ pub mod batch;
 pub mod mapper;
 pub mod threshold;
 
-pub use batch::{BatchStats, CandidateBatch, EngineConfig};
+pub use batch::{BatchStats, CandidateBatch, EngineConfig, MAX_SCHEDULES};
 pub use mapper::{
-    decomposition_map, decomposition_map_reference, MapperConfig, MapperResult, OpId,
+    decomposition_map, decomposition_map_reference, try_decomposition_map,
+    try_decomposition_map_reference, CostModel, MapperConfig, MapperError, MapperResult, OpId,
     SearchHeuristic, SubgraphStrategy,
 };

@@ -6,12 +6,67 @@
 //! probe loop as an executable specification that the engine is tested
 //! against (identical mappings, makespans and history, bit for bit).
 
+use std::fmt;
+
 use spmap_decomp::{series_parallel_subgraphs, single_node_subgraphs, CutPolicy};
 use spmap_graph::{NodeId, TaskGraph};
 use spmap_model::{DeviceId, Evaluator, Mapping, Platform};
 
 use crate::batch::{BatchStats, CandidateBatch, EngineConfig};
 use crate::threshold::gamma_threshold_search;
+
+/// Which makespan the mapper minimizes (and reports).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CostModel {
+    /// Makespan under the deterministic breadth-first schedule — the
+    /// optimizers' classic inner-loop cost function.
+    #[default]
+    Bfs,
+    /// The paper's reporting metric (§IV-A): the minimum makespan over
+    /// the breadth-first schedule and `schedules` seeded random
+    /// topological schedules.  Each candidate evaluation is a *sweep* of
+    /// `schedules + 1` simulations; the engine checkpoints and windows
+    /// every schedule (docs/PERF.md).
+    Report {
+        /// Number of random topological schedules on top of BFS.
+        schedules: usize,
+        /// Base seed; schedule `i` uses `seed + i`.
+        seed: u64,
+    },
+}
+
+/// A typed failure of a mapper run.
+///
+/// The searches order candidates by improvement deltas; a NaN delta (an
+/// upstream NaN or `∞ − ∞` makespan, e.g. from non-finite task
+/// attributes) has no place in that order — every comparison against it
+/// is silently false, so the priority queue would degrade into an
+/// arbitrary scan.  Instead of mis-searching, the run aborts with this
+/// error (infinite makespans are fine: `±∞` deltas order correctly and
+/// are handled as "no improvement" / "always an improvement").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapperError {
+    /// Candidate `op` evaluated to a NaN improvement delta.
+    NanDelta {
+        /// The offending operation id (`subgraph * device_count + device`).
+        op: OpId,
+    },
+}
+
+impl fmt::Display for MapperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapperError::NanDelta { op } => write!(
+                f,
+                "candidate operation {op} evaluated to a NaN makespan improvement \
+                 (non-finite task attributes or an ∞ − ∞ makespan delta); \
+                 the search order would be meaningless"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MapperError {}
 
 /// Which candidate subgraph set to use (paper §III-B vs. §III-C).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -56,6 +111,9 @@ pub struct MapperConfig {
     /// Maximum number of improvement iterations; `None` uses the paper's
     /// suggested cap of `n` (the task count).
     pub iteration_cap: Option<usize>,
+    /// The makespan the search minimizes: the breadth-first schedule
+    /// (default) or the paper's multi-schedule reporting metric.
+    pub cost: CostModel,
     /// Candidate-engine tuning (threads, pruning, memoization).  The
     /// defaults are right for production use; benchmarks and tests use
     /// the switches for ablations.
@@ -69,8 +127,17 @@ impl MapperConfig {
             strategy: SubgraphStrategy::SingleNode,
             heuristic: SearchHeuristic::Exhaustive,
             iteration_cap: None,
+            cost: CostModel::Bfs,
             engine: EngineConfig::default(),
         }
+    }
+
+    /// This configuration with the `report_makespan` cost model:
+    /// minimize the best makespan over BFS plus `schedules` random
+    /// topological schedules seeded from `seed`.
+    pub fn with_report_cost(mut self, schedules: usize, seed: u64) -> Self {
+        self.cost = CostModel::Report { schedules, seed };
+        self
     }
 
     /// `SeriesParallel` with exhaustive search (paper's "SeriesParallel").
@@ -81,6 +148,7 @@ impl MapperConfig {
             },
             heuristic: SearchHeuristic::Exhaustive,
             iteration_cap: None,
+            cost: CostModel::Bfs,
             engine: EngineConfig::default(),
         }
     }
@@ -151,27 +219,29 @@ fn build_subgraphs(graph: &TaskGraph, strategy: SubgraphStrategy) -> Vec<Vec<Nod
 }
 
 /// Run decomposition-based mapping (paper §III) on `graph` over
-/// `platform` through the incremental + parallel candidate engine.
-pub fn decomposition_map(
+/// `platform` through the incremental + parallel candidate engine,
+/// returning the typed error instead of panicking on NaN deltas.
+pub fn try_decomposition_map(
     graph: &TaskGraph,
     platform: &Platform,
     cfg: &MapperConfig,
-) -> MapperResult {
+) -> Result<MapperResult, MapperError> {
     let subgraphs = build_subgraphs(graph, cfg.strategy);
     let devices: Vec<DeviceId> = platform.device_ids().collect();
-    let mut engine = CandidateBatch::new(graph, platform, subgraphs, devices, cfg.engine);
+    let mut engine =
+        CandidateBatch::with_cost(graph, platform, subgraphs, devices, cfg.engine, cfg.cost);
     let cpu_only = engine.current_makespan();
     let cap = cfg.iteration_cap.unwrap_or(graph.node_count().max(1));
 
     let (iterations, history) = match cfg.heuristic {
-        SearchHeuristic::Exhaustive => exhaustive_search(&mut engine, cap, cfg.engine.prune),
+        SearchHeuristic::Exhaustive => exhaustive_search(&mut engine, cap, cfg.engine.prune)?,
         SearchHeuristic::GammaThreshold { gamma } => {
             assert!(gamma >= 1.0, "gamma must be >= 1");
-            gamma_threshold_search(&mut engine, cap, gamma)
+            gamma_threshold_search(&mut engine, cap, gamma)?
         }
     };
 
-    MapperResult {
+    Ok(MapperResult {
         makespan: engine.current_makespan(),
         cpu_only_makespan: cpu_only,
         iterations,
@@ -180,7 +250,21 @@ pub fn decomposition_map(
         history,
         batch: engine.stats(),
         mapping: engine.mapping().clone(),
-    }
+    })
+}
+
+/// Run decomposition-based mapping (paper §III) on `graph` over
+/// `platform` through the incremental + parallel candidate engine.
+///
+/// Panics on [`MapperError`] (NaN improvement deltas from non-finite
+/// task attributes); use [`try_decomposition_map`] to handle that as a
+/// value.
+pub fn decomposition_map(
+    graph: &TaskGraph,
+    platform: &Platform,
+    cfg: &MapperConfig,
+) -> MapperResult {
+    try_decomposition_map(graph, platform, cfg).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The basic variant: evaluate every operation in every iteration and
@@ -190,7 +274,7 @@ fn exhaustive_search(
     engine: &mut CandidateBatch<'_>,
     cap: usize,
     prune: bool,
-) -> (usize, Vec<f64>) {
+) -> Result<(usize, Vec<f64>), MapperError> {
     let ops: Vec<OpId> = (0..engine.op_count()).collect();
     let mut history = Vec::new();
     let mut iterations = 0;
@@ -201,6 +285,9 @@ fn exhaustive_search(
         // order cannot influence the choice.
         let mut best: Option<(OpId, f64)> = None;
         for (op, &delta) in deltas.iter().enumerate() {
+            if delta.is_nan() {
+                return Err(MapperError::NanDelta { op });
+            }
             if engine.improves(delta) && best.is_none_or(|(_, b)| delta > b) {
                 best = Some((op, delta));
             }
@@ -214,12 +301,57 @@ fn exhaustive_search(
             None => break,
         }
     }
-    (iterations, history)
+    Ok((iterations, history))
 }
 
 /// Run decomposition-based mapping through the original strictly serial
-/// candidate scan — one probe (full simulation) per candidate per
-/// iteration, no pruning, no memoization, no threads.
+/// candidate scan, returning the typed error instead of panicking on NaN
+/// deltas.  See [`decomposition_map_reference`].
+pub fn try_decomposition_map_reference(
+    graph: &TaskGraph,
+    platform: &Platform,
+    cfg: &MapperConfig,
+) -> Result<MapperResult, MapperError> {
+    let subgraphs = build_subgraphs(graph, cfg.strategy);
+    let devices: Vec<DeviceId> = platform.device_ids().collect();
+    let mut ctx = RefCtx {
+        evaluator: Evaluator::new(graph, platform),
+        mapping: Mapping::all_default(graph, platform),
+        cur: 0.0,
+        undo: Vec::with_capacity(graph.node_count()),
+        cost: cfg.cost,
+        subgraphs,
+        devices,
+    };
+    ctx.cur = ctx.cost_makespan().expect("default mapping is feasible");
+    let cpu_only = ctx.cur;
+    let cap = cfg.iteration_cap.unwrap_or(graph.node_count().max(1));
+
+    let (iterations, history) = match cfg.heuristic {
+        SearchHeuristic::Exhaustive => ctx.exhaustive(cap)?,
+        SearchHeuristic::GammaThreshold { gamma } => {
+            assert!(gamma >= 1.0, "gamma must be >= 1");
+            ctx.gamma_threshold(cap, gamma)?
+        }
+    };
+
+    let subgraph_count = ctx.subgraphs.len();
+    Ok(MapperResult {
+        makespan: ctx.cur,
+        cpu_only_makespan: cpu_only,
+        iterations,
+        evaluations: ctx.evaluator.stats().evaluations,
+        subgraph_count,
+        history,
+        batch: BatchStats::default(),
+        mapping: ctx.mapping,
+    })
+}
+
+/// Run decomposition-based mapping through the original strictly serial
+/// candidate scan — one probe (full simulation, or one full sweep of
+/// `schedules + 1` simulations under [`CostModel::Report`]) per candidate
+/// per iteration, no pruning, no memoization, no threads.
 ///
 /// This is the executable specification the engine is verified against:
 /// `decomposition_map` must produce the identical mapping, makespan and
@@ -230,42 +362,7 @@ pub fn decomposition_map_reference(
     platform: &Platform,
     cfg: &MapperConfig,
 ) -> MapperResult {
-    let subgraphs = build_subgraphs(graph, cfg.strategy);
-    let devices: Vec<DeviceId> = platform.device_ids().collect();
-    let mut ctx = RefCtx {
-        evaluator: Evaluator::new(graph, platform),
-        mapping: Mapping::all_default(graph, platform),
-        cur: 0.0,
-        undo: Vec::with_capacity(graph.node_count()),
-        subgraphs,
-        devices,
-    };
-    ctx.cur = ctx
-        .evaluator
-        .makespan_bfs(&ctx.mapping)
-        .expect("default mapping is feasible");
-    let cpu_only = ctx.cur;
-    let cap = cfg.iteration_cap.unwrap_or(graph.node_count().max(1));
-
-    let (iterations, history) = match cfg.heuristic {
-        SearchHeuristic::Exhaustive => ctx.exhaustive(cap),
-        SearchHeuristic::GammaThreshold { gamma } => {
-            assert!(gamma >= 1.0, "gamma must be >= 1");
-            ctx.gamma_threshold(cap, gamma)
-        }
-    };
-
-    let subgraph_count = ctx.subgraphs.len();
-    MapperResult {
-        makespan: ctx.cur,
-        cpu_only_makespan: cpu_only,
-        iterations,
-        evaluations: ctx.evaluator.stats().evaluations,
-        subgraph_count,
-        history,
-        batch: BatchStats::default(),
-        mapping: ctx.mapping,
-    }
+    try_decomposition_map_reference(graph, platform, cfg).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Shared state of one serial reference run.
@@ -276,11 +373,24 @@ struct RefCtx<'g> {
     mapping: Mapping,
     cur: f64,
     undo: Vec<(NodeId, DeviceId)>,
+    cost: CostModel,
 }
 
 impl RefCtx<'_> {
     fn op_count(&self) -> usize {
         self.subgraphs.len() * self.devices.len()
+    }
+
+    /// The configured cost of the working mapping, exactly as the seed
+    /// implementation computed it (`report_makespan` re-derives every
+    /// random rank vector on each call).
+    fn cost_makespan(&mut self) -> Option<f64> {
+        match self.cost {
+            CostModel::Bfs => self.evaluator.makespan_bfs(&self.mapping),
+            CostModel::Report { schedules, seed } => {
+                self.evaluator.report_makespan(&self.mapping, schedules, seed)
+            }
+        }
     }
 
     /// Apply `op` to the working mapping, recording undo info.  Returns
@@ -313,7 +423,7 @@ impl RefCtx<'_> {
         if !self.apply(op) {
             return f64::NEG_INFINITY;
         }
-        let delta = match self.evaluator.makespan_bfs(&self.mapping) {
+        let delta = match self.cost_makespan() {
             Some(ms) => self.cur - ms,
             None => f64::NEG_INFINITY,
         };
@@ -327,8 +437,7 @@ impl RefCtx<'_> {
         debug_assert!(changed, "committing a no-op");
         self.undo.clear();
         self.cur = self
-            .evaluator
-            .makespan_bfs(&self.mapping)
+            .cost_makespan()
             .expect("committed operations are feasible");
     }
 
@@ -336,13 +445,16 @@ impl RefCtx<'_> {
         delta > self.cur * REL_EPS
     }
 
-    fn exhaustive(&mut self, cap: usize) -> (usize, Vec<f64>) {
+    fn exhaustive(&mut self, cap: usize) -> Result<(usize, Vec<f64>), MapperError> {
         let mut history = Vec::new();
         let mut iterations = 0;
         while iterations < cap {
             let mut best: Option<(OpId, f64)> = None;
             for op in 0..self.op_count() {
                 let delta = self.probe(op);
+                if delta.is_nan() {
+                    return Err(MapperError::NanDelta { op });
+                }
                 if self.improves(delta) && best.is_none_or(|(_, b)| delta > b) {
                     best = Some((op, delta));
                 }
@@ -356,13 +468,13 @@ impl RefCtx<'_> {
                 None => break,
             }
         }
-        (iterations, history)
+        Ok((iterations, history))
     }
 
     /// The original serial γ-threshold search (see `crate::threshold` for
     /// the algorithm description; the engine version replays exactly this
     /// decision sequence).
-    fn gamma_threshold(&mut self, cap: usize, gamma: f64) -> (usize, Vec<f64>) {
+    fn gamma_threshold(&mut self, cap: usize, gamma: f64) -> Result<(usize, Vec<f64>), MapperError> {
         use crate::threshold::Key;
         use std::collections::BinaryHeap;
 
@@ -373,13 +485,15 @@ impl RefCtx<'_> {
         let mut iterations = 0;
 
         while iterations < cap {
-            let mut heap: BinaryHeap<(Key, OpId)> = (0..op_count)
-                .map(|op| (Key(expected[op]), op))
-                .collect();
+            let mut heap: BinaryHeap<(Key, OpId)> = BinaryHeap::with_capacity(op_count);
+            for (op, &exp) in expected.iter().enumerate() {
+                heap.push((Key::new(exp).map_err(|_| MapperError::NanDelta { op })?, op));
+            }
             evaluated.iter_mut().for_each(|e| *e = false);
             let mut found: Option<(OpId, f64)> = None;
 
-            while let Some((Key(exp), op)) = heap.pop() {
+            while let Some((key, op)) = heap.pop() {
+                let exp = key.get();
                 if evaluated[op] {
                     continue;
                 }
@@ -390,6 +504,9 @@ impl RefCtx<'_> {
                 }
                 evaluated[op] = true;
                 let delta = self.probe(op);
+                if delta.is_nan() {
+                    return Err(MapperError::NanDelta { op });
+                }
                 expected[op] = delta;
                 if self.improves(delta) && found.is_none_or(|(_, best)| delta > best) {
                     found = Some((op, delta));
@@ -405,7 +522,7 @@ impl RefCtx<'_> {
                 None => break,
             }
         }
-        (iterations, history)
+        Ok((iterations, history))
     }
 }
 
@@ -598,6 +715,124 @@ mod tests {
         );
         assert!(gamma2.batch.total() >= ff.batch.total());
         assert!(gamma2.makespan <= ff.makespan * (1.0 + 1e-6) || gamma2.makespan <= ff.makespan);
+    }
+
+    #[test]
+    fn report_mode_engine_matches_reference() {
+        // Same headline guarantee under the report_makespan cost model:
+        // engine and serial reference agree bit for bit on the final
+        // mapping, the *report* makespan and the history.
+        let p = Platform::reference();
+        for seed in [1u64, 7] {
+            let mut g = random_sp_graph(&SpGenConfig::new(25, seed));
+            augment(&mut g, &AugmentConfig::default(), seed);
+            for base in [
+                MapperConfig::series_parallel(),
+                MapperConfig::sp_first_fit(),
+            ] {
+                let cfg = base.with_report_cost(3, 42);
+                let engine_cfg = MapperConfig {
+                    engine: EngineConfig {
+                        threads: Some(4),
+                        ..EngineConfig::default()
+                    },
+                    ..cfg
+                };
+                let fast = decomposition_map(&g, &p, &engine_cfg);
+                let slow = decomposition_map_reference(&g, &p, &cfg);
+                assert_eq!(fast.mapping, slow.mapping, "seed {seed}");
+                assert_eq!(fast.makespan, slow.makespan, "seed {seed}");
+                assert_eq!(fast.history, slow.history, "seed {seed}");
+                assert_eq!(fast.cpu_only_makespan, slow.cpu_only_makespan);
+            }
+        }
+    }
+
+    #[test]
+    fn report_mode_result_is_the_report_metric_of_the_final_mapping() {
+        // The `makespan` field of a report-mode run must be exactly the
+        // paper's reporting metric of the returned mapping (bitwise),
+        // and — min over a superset of schedules — it can never exceed
+        // the BFS makespan of that same mapping.  Likewise the baseline:
+        // the report metric of the all-CPU mapping never exceeds its
+        // BFS makespan.
+        let p = Platform::reference();
+        let mut g = random_sp_graph(&SpGenConfig::new(30, 4));
+        augment(&mut g, &AugmentConfig::default(), 4);
+        let (k, seed) = (4usize, 11u64);
+        let rep = decomposition_map(
+            &g,
+            &p,
+            &MapperConfig::series_parallel().with_report_cost(k, seed),
+        );
+        let mut ev = Evaluator::new(&g, &p);
+        assert_eq!(
+            ev.report_makespan(&rep.mapping, k, seed),
+            Some(rep.makespan),
+            "result field must be the report metric of the final mapping"
+        );
+        let bfs_of_final = ev.makespan_bfs(&rep.mapping).unwrap();
+        assert!(
+            rep.makespan <= bfs_of_final,
+            "min over a schedule superset: {} > {}",
+            rep.makespan,
+            bfs_of_final
+        );
+        let bfs = decomposition_map(&g, &p, &MapperConfig::series_parallel());
+        assert!(
+            rep.cpu_only_makespan <= bfs.cpu_only_makespan,
+            "report baseline must not exceed the BFS baseline"
+        );
+    }
+
+    /// A graph whose every execution time is ∞ produces an ∞ baseline
+    /// makespan and ∞ candidate makespans, so every improvement delta is
+    /// `∞ − ∞ = NaN` — the regression scenario for the Key-ordering
+    /// audit.  All search paths must surface the typed error instead of
+    /// silently mis-searching (or panicking deep in a heap).
+    fn nan_graph() -> TaskGraph {
+        let mut g = fork_join(3, 1e6);
+        for v in 0..g.node_count() {
+            let t = g.task_mut(NodeId(v as u32));
+            t.complexity = f64::INFINITY;
+            t.data_points = 1e7;
+            t.parallelizability = 0.5;
+            t.streamability = 1.0;
+            t.area = 10.0;
+        }
+        g
+    }
+
+    #[test]
+    fn nan_deltas_surface_as_typed_errors_not_misordering() {
+        let g = nan_graph();
+        let p = Platform::reference();
+        for cfg in [
+            MapperConfig::single_node(),
+            MapperConfig::sn_first_fit(),
+            MapperConfig {
+                heuristic: SearchHeuristic::GammaThreshold { gamma: 2.0 },
+                ..MapperConfig::single_node()
+            },
+        ] {
+            let err = try_decomposition_map(&g, &p, &cfg)
+                .expect_err("NaN deltas must be a typed error (engine path)");
+            assert!(matches!(err, MapperError::NanDelta { .. }), "{err}");
+            // The error is descriptive and displayable.
+            assert!(err.to_string().contains("NaN"));
+            let err = try_decomposition_map_reference(&g, &p, &cfg)
+                .expect_err("NaN deltas must be a typed error (reference path)");
+            assert!(matches!(err, MapperError::NanDelta { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn finite_runs_report_no_error() {
+        let mut g = random_sp_graph(&SpGenConfig::new(20, 3));
+        augment(&mut g, &AugmentConfig::default(), 3);
+        let p = Platform::reference();
+        assert!(try_decomposition_map(&g, &p, &MapperConfig::sp_first_fit()).is_ok());
+        assert!(try_decomposition_map_reference(&g, &p, &MapperConfig::series_parallel()).is_ok());
     }
 
     #[test]

@@ -68,7 +68,7 @@ use spmap_graph::{NodeId, TaskGraph};
 use crate::cost::exec_time;
 use crate::mapping::Mapping;
 use crate::platform::Platform;
-use crate::schedule::{priority_ranks, SchedulePolicy};
+use crate::schedule::{priority_ranks, OrderTables, ReportSchedules, SchedulePolicy};
 use crate::DeviceId;
 
 /// Counters accumulated over a scratch's lifetime.
@@ -110,20 +110,13 @@ pub struct EvalTables<'g> {
     down_min: Vec<f64>,
     /// Longest successor path out of `v` (exclusive), using `min_span`.
     up_min: Vec<f64>,
-    bfs_ranks: Vec<u32>,
-    /// The breadth-first list-schedule *pop order*.  Which task is popped
+    /// Pop tables of the breadth-first schedule.  Which task is popped
     /// next depends only on precedence structure and ranks — never on
     /// times or the mapping — so the whole sequence is precomputable.
-    /// This is what makes windowed re-simulation possible.
-    pop_order: Vec<u32>,
-    /// Inverse of `pop_order`: `pop_pos[v]` is when `v` is processed.
-    pop_pos: Vec<u32>,
-    /// The earliest pop position at which the simulation reads task `v`'s
-    /// device assignment: `min(pop_pos[v], pop_pos of v's predecessors)`
-    /// (a predecessor's out-edge loop reads the consumer's device for the
-    /// transfer).  Before `min` over a candidate's remapped tasks, the
-    /// candidate's schedule is bit-identical to the base schedule.
-    earliest_read: Vec<u32>,
+    /// This is what makes windowed re-simulation possible; the same holds
+    /// for *any* fixed rank vector (see [`OrderTables`]), which is how
+    /// the report schedules get the same treatment.
+    bfs: OrderTables,
     /// CSR out-adjacency: successors of `v` are
     /// `out_dst[out_start[v]..out_start[v+1]]`, with parallel `out_bytes`.
     out_start: Vec<u32>,
@@ -229,50 +222,14 @@ impl<'g> EvalTables<'g> {
         // Precompute the breadth-first pop order: Kahn's algorithm with
         // the same (rank, id) min-heap the timed simulation uses — the
         // pop sequence is identical because readiness is structural.
-        let bfs_ranks = priority_ranks(graph, SchedulePolicy::Bfs);
-        let mut pop_order = Vec::with_capacity(n);
-        {
-            let mut indeg: Vec<u32> = graph.nodes().map(|v| graph.in_degree(v) as u32).collect();
-            let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::with_capacity(n);
-            for v in graph.nodes() {
-                if indeg[v.index()] == 0 {
-                    heap.push(Reverse((bfs_ranks[v.index()], v.0)));
-                }
-            }
-            while let Some(Reverse((_, vi))) = heap.pop() {
-                pop_order.push(vi);
-                for w in graph.successors(NodeId(vi)) {
-                    indeg[w.index()] -= 1;
-                    if indeg[w.index()] == 0 {
-                        heap.push(Reverse((bfs_ranks[w.index()], w.0)));
-                    }
-                }
-            }
-            debug_assert_eq!(pop_order.len(), n, "graph must be acyclic");
-        }
-        let mut pop_pos = vec![0u32; n];
-        for (i, &v) in pop_order.iter().enumerate() {
-            pop_pos[v as usize] = i as u32;
-        }
-        let earliest_read: Vec<u32> = graph
-            .nodes()
-            .map(|v| {
-                graph
-                    .predecessors(v)
-                    .map(|u| pop_pos[u.index()])
-                    .fold(pop_pos[v.index()], u32::min)
-            })
-            .collect();
+        let bfs = OrderTables::for_policy(graph, SchedulePolicy::Bfs);
         Self {
             exec,
             min_exec,
             min_span,
             down_min,
             up_min,
-            bfs_ranks,
-            pop_order,
-            pop_pos,
-            earliest_read,
+            bfs,
             out_start,
             out_dst,
             out_bytes,
@@ -366,17 +323,23 @@ impl<'g> EvalTables<'g> {
     }
 
     /// The breadth-first pop position at which task `n` is scheduled
-    /// (mapping-independent; see the `pop_order` field).
+    /// (mapping-independent; see [`OrderTables`]).
     #[inline]
     pub fn pop_position(&self, n: NodeId) -> usize {
-        self.pop_pos[n.index()] as usize
+        self.bfs.pop_position(n)
     }
 
     /// The earliest breadth-first pop position at which the simulation
-    /// reads `n`'s device assignment (see the `earliest_read` field).
+    /// reads `n`'s device assignment (see [`OrderTables`]).
     #[inline]
     pub fn earliest_read_pos(&self, n: NodeId) -> usize {
-        self.earliest_read[n.index()] as usize
+        self.bfs.earliest_read_pos(n)
+    }
+
+    /// The precomputed pop tables of the breadth-first schedule.
+    #[inline]
+    pub fn bfs_order(&self) -> &OrderTables {
+        &self.bfs
     }
 
     /// Cached FPGA area demand of task `n`.
@@ -400,7 +363,7 @@ impl<'g> EvalTables<'g> {
     /// The breadth-first priority ranks used by the optimizers' inner loop.
     #[inline]
     pub fn bfs_ranks(&self) -> &[u32] {
-        &self.bfs_ranks
+        self.bfs.ranks()
     }
 
     /// Transfer time for `bytes` moving `from -> to` (0 on-device), using
@@ -548,17 +511,25 @@ impl<'g> EvalTables<'g> {
     /// optimizers' inner-loop cost function.
     #[inline]
     pub fn makespan_bfs(&self, scratch: &mut EvalScratch, mapping: &Mapping) -> Option<f64> {
-        self.makespan_with_ranks(scratch, mapping, &self.bfs_ranks)
+        self.makespan_with_ranks(scratch, mapping, self.bfs.ranks())
     }
 
-    /// One breadth-first simulation step: process the task at pop
-    /// position `i` and fold its finish time into `makespan`.  The
+    /// One pop-order simulation step: process the task at pop position
+    /// `i` of `pop_order` and fold its finish time into `makespan`.  The
     /// arithmetic is the exact sequence of [`Self::makespan_with_ranks`],
-    /// so heap-driven, checkpointed and windowed runs agree bit for bit.
+    /// so heap-driven, checkpointed and windowed runs agree bit for bit
+    /// — for any fixed schedule, not just the breadth-first one.
     #[inline]
-    fn bfs_step(&self, scratch: &mut EvalScratch, devices: &[DeviceId], i: usize, makespan: &mut f64) -> (usize, f64) {
+    fn sim_step(
+        &self,
+        scratch: &mut EvalScratch,
+        devices: &[DeviceId],
+        pop_order: &[u32],
+        i: usize,
+        makespan: &mut f64,
+    ) -> (usize, f64) {
         let m = self.device_count();
-        let v = self.pop_order[i] as usize;
+        let v = pop_order[i] as usize;
         let d = devices[v];
         let ev = self.exec[v * m + d.index()];
         let spatial = self.is_fpga[d.index()];
@@ -614,20 +585,24 @@ impl<'g> EvalTables<'g> {
         (v, fin)
     }
 
-    /// Breadth-first makespan via the precomputed pop order, recording a
-    /// state snapshot into `out` every `out.every` pops.  Functionally
-    /// identical to [`Self::makespan_bfs`] (same checks, same bits); the
-    /// snapshots let [`Self::makespan_bfs_window`] later re-simulate any
-    /// candidate from its first affected position instead of from zero.
-    pub fn makespan_bfs_checkpointed(
+    /// Makespan under schedule `order` via its precomputed pop order,
+    /// recording a state snapshot into `out` every `out.every` pops.
+    /// Functionally identical to
+    /// [`Self::makespan_with_ranks`]`(…, order.ranks())` (same checks,
+    /// same bits); the snapshots let [`Self::makespan_order_window`]
+    /// later re-simulate any candidate from its first affected position
+    /// instead of from zero.
+    pub fn makespan_order_checkpointed(
         &self,
         scratch: &mut EvalScratch,
         mapping: &Mapping,
-        out: &mut BfsCheckpoints,
+        order: &OrderTables,
+        out: &mut ScheduleCheckpoints,
     ) -> Option<f64> {
         let n = self.node_count();
         let m = self.device_count();
         debug_assert_eq!(mapping.len(), n);
+        debug_assert_eq!(order.len(), n);
         scratch.stats.evaluations += 1;
         if !self.area_feasible(mapping) {
             return None;
@@ -635,19 +610,32 @@ impl<'g> EvalTables<'g> {
         scratch.reset_times();
         out.reset(n, m);
         let devices = mapping.as_slice();
+        let pop_order = order.pop_order();
         let mut makespan: f64 = 0.0;
         for i in 0..n {
             if i % out.every == 0 {
                 out.record(i / out.every, scratch, makespan);
             }
-            self.bfs_step(scratch, devices, i, &mut makespan);
+            self.sim_step(scratch, devices, pop_order, i, &mut makespan);
         }
         Some(makespan)
     }
 
-    /// Windowed breadth-first makespan of a candidate mapping: restore
-    /// the base-schedule snapshot covering `from_pos` (the candidate's
-    /// earliest affected position) and replay only from there.
+    /// Breadth-first [`Self::makespan_order_checkpointed`].
+    #[inline]
+    pub fn makespan_bfs_checkpointed(
+        &self,
+        scratch: &mut EvalScratch,
+        mapping: &Mapping,
+        out: &mut ScheduleCheckpoints,
+    ) -> Option<f64> {
+        self.makespan_order_checkpointed(scratch, mapping, &self.bfs, out)
+    }
+
+    /// Windowed makespan of a candidate mapping under schedule `order`:
+    /// restore the base-schedule snapshot covering `from_pos` (the
+    /// candidate's earliest affected position *under this schedule*) and
+    /// replay only from there.
     ///
     /// Aborts with [`WindowSim::Cutoff`] as soon as a scheduled task
     /// proves `makespan > cutoff` (via `finish + up_min`): the proof is
@@ -656,14 +644,17 @@ impl<'g> EvalTables<'g> {
     /// disable the cutoff.
     ///
     /// The caller must have verified FPGA-area feasibility (the engine
-    /// prechecks it incrementally) and `ckpt` must snapshot a base
-    /// mapping that agrees with `mapping` on every task read before
-    /// `from_pos` (see [`Self::earliest_read_pos`]).
-    pub fn makespan_bfs_window(
+    /// prechecks it incrementally), `ckpt` must hold snapshots recorded
+    /// by [`Self::makespan_order_checkpointed`] under the *same* `order`,
+    /// and the snapshotted base mapping must agree with `mapping` on
+    /// every task read before `from_pos` (see
+    /// [`OrderTables::earliest_read_pos`]).
+    pub fn makespan_order_window(
         &self,
         scratch: &mut EvalScratch,
         mapping: &Mapping,
-        ckpt: &BfsCheckpoints,
+        order: &OrderTables,
+        ckpt: &ScheduleCheckpoints,
         from_pos: usize,
         cutoff: f64,
     ) -> WindowSim {
@@ -674,13 +665,27 @@ impl<'g> EvalTables<'g> {
         let start_pos = ckpt.restore(from_pos, scratch);
         let mut makespan = ckpt.makespan[start_pos / ckpt.every];
         let devices = mapping.as_slice();
+        let pop_order = order.pop_order();
         for i in start_pos..n {
-            let (v, fin) = self.bfs_step(scratch, devices, i, &mut makespan);
+            let (v, fin) = self.sim_step(scratch, devices, pop_order, i, &mut makespan);
             if fin + self.up_min[v] > cutoff {
                 return WindowSim::Cutoff;
             }
         }
         WindowSim::Done(makespan)
+    }
+
+    /// Breadth-first [`Self::makespan_order_window`].
+    #[inline]
+    pub fn makespan_bfs_window(
+        &self,
+        scratch: &mut EvalScratch,
+        mapping: &Mapping,
+        ckpt: &ScheduleCheckpoints,
+        from_pos: usize,
+        cutoff: f64,
+    ) -> WindowSim {
+        self.makespan_order_window(scratch, mapping, &self.bfs, ckpt, from_pos, cutoff)
     }
 
     /// Makespan under an arbitrary policy.
@@ -779,17 +784,17 @@ pub enum WindowSim {
     Cutoff,
 }
 
-/// State snapshots of one base-mapping breadth-first schedule, taken
-/// every `every` pop positions by
-/// [`EvalTables::makespan_bfs_checkpointed`] and consumed by
-/// [`EvalTables::makespan_bfs_window`].
+/// State snapshots of one base-mapping list schedule (breadth-first or
+/// any fixed [`OrderTables`]), taken every `every` pop positions by
+/// [`EvalTables::makespan_order_checkpointed`] and consumed by
+/// [`EvalTables::makespan_order_window`].
 ///
-/// Because the pop order is mapping-independent, a candidate that first
-/// affects the schedule at position `p` shares the base schedule's exact
-/// state before `p`; restoring the latest snapshot at or before `p`
-/// replaces the `O(V + E)` prefix with an `O(V)` memcpy.
+/// Because the pop order of a fixed rank vector is mapping-independent,
+/// a candidate that first affects the schedule at position `p` shares the
+/// base schedule's exact state before `p`; restoring the latest snapshot
+/// at or before `p` replaces the `O(V + E)` prefix with an `O(V)` memcpy.
 #[derive(Clone, Debug)]
-pub struct BfsCheckpoints {
+pub struct ScheduleCheckpoints {
     every: usize,
     n: usize,
     m: usize,
@@ -801,7 +806,11 @@ pub struct BfsCheckpoints {
     makespan: Vec<f64>,
 }
 
-impl BfsCheckpoints {
+/// Former name of [`ScheduleCheckpoints`], kept while the snapshots were
+/// breadth-first-only.
+pub type BfsCheckpoints = ScheduleCheckpoints;
+
+impl ScheduleCheckpoints {
     /// An empty snapshot store with a fixed interval.
     pub fn new(every: usize) -> Self {
         Self {
@@ -870,6 +879,59 @@ impl BfsCheckpoints {
             .stream_input
             .copy_from_slice(&self.stream_input[j * n..(j + 1) * n]);
         j * self.every
+    }
+}
+
+/// One [`ScheduleCheckpoints`] store per report schedule: the multi-
+/// schedule generalization of the single BFS snapshot store.
+///
+/// The candidate engine records a base-mapping snapshot trail for *every*
+/// schedule of a [`ReportSchedules`] set on each commit, so any candidate
+/// can be windowed under any schedule.  Store `s` must only ever be
+/// written/read with the order `schedules.order(s)` — the set carries no
+/// schedule identity of its own.
+#[derive(Clone, Debug)]
+pub struct CheckpointSet {
+    stores: Vec<ScheduleCheckpoints>,
+}
+
+impl CheckpointSet {
+    /// One empty snapshot store per schedule, all with interval `every`.
+    pub fn new(schedules: usize, every: usize) -> Self {
+        assert!(schedules > 0, "a schedule set is never empty (BFS is always present)");
+        Self {
+            stores: (0..schedules).map(|_| ScheduleCheckpoints::new(every)).collect(),
+        }
+    }
+
+    /// A set shaped for `schedules` with the automatic interval for an
+    /// `n`-task graph.
+    pub fn for_schedules(schedules: &ReportSchedules, n: usize) -> Self {
+        Self::new(schedules.len(), ScheduleCheckpoints::auto_interval(n))
+    }
+
+    /// Number of per-schedule stores.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// `false` always (constructed non-empty).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.stores.is_empty()
+    }
+
+    /// The snapshot store of schedule `s`.
+    #[inline]
+    pub fn get(&self, s: usize) -> &ScheduleCheckpoints {
+        &self.stores[s]
+    }
+
+    /// Mutable snapshot store of schedule `s` (for recording a new base).
+    #[inline]
+    pub fn get_mut(&mut self, s: usize) -> &mut ScheduleCheckpoints {
+        &mut self.stores[s]
     }
 }
 
@@ -943,7 +1005,10 @@ impl<'g> Evaluator<'g> {
 
     /// The paper's reporting metric (§IV-A): the minimum makespan over the
     /// breadth-first schedule and `random_schedules` seeded random
-    /// topological schedules.
+    /// topological schedules.  Recomputes every random rank vector on
+    /// each call — the straightforward reference; hot paths precompute a
+    /// [`ReportSchedules`] once and use
+    /// [`Self::report_makespan_with`] (bit-identical results).
     pub fn report_makespan(
         &mut self,
         mapping: &Mapping,
@@ -959,6 +1024,30 @@ impl<'g> Evaluator<'g> {
                 },
             );
             if let Some(ms) = self.makespan_with_ranks(mapping, &ranks) {
+                best = best.min(ms);
+            }
+        }
+        Some(best)
+    }
+
+    /// [`Self::report_makespan`] over a precomputed schedule set: the
+    /// minimum makespan over every order of `schedules`.  The fold order
+    /// and every per-schedule simulation match the reference exactly, so
+    /// the result is bit-identical to
+    /// `report_makespan(mapping, schedules.random_schedules(), schedules.seed())`.
+    pub fn report_makespan_with(
+        &mut self,
+        mapping: &Mapping,
+        schedules: &ReportSchedules,
+    ) -> Option<f64> {
+        let mut best = self
+            .tables
+            .makespan_with_ranks(&mut self.scratch, mapping, schedules.order(0).ranks())?;
+        for s in 1..schedules.len() {
+            if let Some(ms) =
+                self.tables
+                    .makespan_with_ranks(&mut self.scratch, mapping, schedules.order(s).ranks())
+            {
                 best = best.min(ms);
             }
         }
@@ -1213,6 +1302,90 @@ mod tests {
         assert!(report <= bfs + 1e-12);
         // Deterministic.
         assert_eq!(report, ev.report_makespan(&mapping, 20, 99).unwrap());
+    }
+
+    #[test]
+    fn report_makespan_with_matches_reference_bitwise() {
+        let mut g = random_sp_graph(&SpGenConfig::new(40, 8));
+        augment(&mut g, &AugmentConfig::default(), 8);
+        let p = ref_platform();
+        let mut ev = Evaluator::new(&g, &p);
+        for (k, seed) in [(0usize, 7u64), (3, 7), (8, 123)] {
+            let schedules = ReportSchedules::new(&g, k, seed);
+            for trial in 0..6u64 {
+                let mapping = Mapping::from_vec(
+                    (0..g.node_count())
+                        .map(|i| DeviceId(((i as u64 * 11 + trial * 5) % 3) as u32))
+                        .collect(),
+                );
+                let reference = ev.report_makespan(&mapping, k, seed);
+                let precomputed = ev.report_makespan_with(&mapping, &schedules);
+                assert_eq!(reference, precomputed, "k={k} seed={seed} trial={trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn order_checkpointed_and_window_match_heap_run_on_any_schedule() {
+        // The windowed-re-simulation argument for arbitrary fixed orders:
+        // checkpointed full runs and windowed replays from any position
+        // reproduce the heap-driven simulation bit for bit, for random
+        // topological schedules exactly like for BFS.
+        let mut g = random_sp_graph(&SpGenConfig::new(45, 17));
+        augment(&mut g, &AugmentConfig::default(), 17);
+        let p = ref_platform();
+        let tables = EvalTables::new(&g, &p);
+        let mut scratch = EvalScratch::for_tables(&tables);
+        let schedules = ReportSchedules::new(&g, 3, 99);
+        let mut ckpts = CheckpointSet::for_schedules(&schedules, g.node_count());
+        let base = Mapping::all_default(&g, &p);
+        for s in 0..schedules.len() {
+            let order = schedules.order(s);
+            let heap_ms = tables
+                .makespan_with_ranks(&mut scratch, &base, order.ranks())
+                .unwrap();
+            let ck_ms = tables
+                .makespan_order_checkpointed(&mut scratch, &base, order, ckpts.get_mut(s))
+                .unwrap();
+            assert_eq!(heap_ms, ck_ms, "schedule {s}: checkpointed run drifted");
+        }
+        // Candidates: move one task at a time; window from its earliest
+        // read position under each schedule.
+        let mut candidate = base.clone();
+        for v in 0..g.node_count().min(12) {
+            let v = NodeId(v as u32);
+            candidate.set(v, GPU);
+            for s in 0..schedules.len() {
+                let order = schedules.order(s);
+                let full = tables
+                    .makespan_with_ranks(&mut scratch, &candidate, order.ranks())
+                    .unwrap();
+                let windowed = tables.makespan_order_window(
+                    &mut scratch,
+                    &candidate,
+                    order,
+                    ckpts.get(s),
+                    order.earliest_read_pos(v),
+                    f64::INFINITY,
+                );
+                assert_eq!(windowed, WindowSim::Done(full), "task {v:?} schedule {s}");
+                // A cutoff strictly below the result must abort; a cutoff
+                // exactly at the result must not (strict proof).
+                assert_eq!(
+                    tables.makespan_order_window(
+                        &mut scratch,
+                        &candidate,
+                        order,
+                        ckpts.get(s),
+                        order.earliest_read_pos(v),
+                        full,
+                    ),
+                    WindowSim::Done(full),
+                    "tie with the cutoff must complete"
+                );
+            }
+            candidate.set(v, CPU);
+        }
     }
 
     #[test]

@@ -1,6 +1,14 @@
 //! Text Gantt rendering of simulated schedules — for examples, debugging
 //! and documentation.  One lane per device; tasks are drawn as `[id---]`
 //! blocks on a common time axis.
+//!
+//! [`write_gantt`] streams the chart into any [`fmt::Write`] sink and
+//! propagates write errors instead of panicking; [`render_gantt`] is the
+//! convenience wrapper producing a `String` (whose writer is infallible).
+//! For `io::Write` sinks, adapt with a `String` buffer or a small
+//! `fmt::Write`-over-`io::Write` shim and forward the `fmt::Result`.
+
+use std::fmt::{self, Write};
 
 use spmap_graph::TaskGraph;
 
@@ -8,30 +16,29 @@ use crate::eval::Schedule;
 use crate::mapping::Mapping;
 use crate::platform::Platform;
 
-/// Render `schedule` as a text Gantt chart with `width` columns.
+/// Write `schedule` as a text Gantt chart with `width` columns into
+/// `out`, propagating any writer error.
 ///
 /// Concurrent tasks on the same device (FPGA pipelines) are folded into
 /// extra lanes of that device as needed.
-pub fn render_gantt(
+pub fn write_gantt<W: Write>(
+    out: &mut W,
     graph: &TaskGraph,
     platform: &Platform,
     mapping: &Mapping,
     schedule: &Schedule,
     width: usize,
-) -> String {
-    use std::fmt::Write;
+) -> fmt::Result {
     let width = width.max(20);
     let horizon = schedule.makespan.max(1e-12);
     let col = |t: f64| -> usize { ((t / horizon) * (width as f64 - 1.0)).round() as usize };
 
-    let mut out = String::new();
     writeln!(
         out,
         "makespan {:.4}s — one column ≈ {:.4}s",
         schedule.makespan,
         horizon / width as f64
-    )
-    .unwrap();
+    )?;
     for d in platform.device_ids() {
         // Collect this device's tasks sorted by start.
         let mut tasks: Vec<usize> = (0..graph.node_count())
@@ -54,7 +61,7 @@ pub fn render_gantt(
         }
         let name = &platform.device(d).name;
         if lanes.is_empty() {
-            writeln!(out, "{name:>12} | (idle)").unwrap();
+            writeln!(out, "{name:>12} | (idle)")?;
             continue;
         }
         for (li, (lane, _)) in lanes.iter().enumerate() {
@@ -68,9 +75,26 @@ pub fn render_gantt(
                     *slot = if k < id.len() { id.as_bytes()[k] } else { b'#' };
                 }
             }
-            writeln!(out, "{label:>12} |{}|", String::from_utf8_lossy(&row)).unwrap();
+            writeln!(out, "{label:>12} |{}|", String::from_utf8_lossy(&row))?;
         }
     }
+    Ok(())
+}
+
+/// Render `schedule` as a text Gantt chart with `width` columns.
+///
+/// Convenience wrapper over [`write_gantt`]; writing into a `String`
+/// cannot fail, so this stays infallible.
+pub fn render_gantt(
+    graph: &TaskGraph,
+    platform: &Platform,
+    mapping: &Mapping,
+    schedule: &Schedule,
+    width: usize,
+) -> String {
+    let mut out = String::new();
+    write_gantt(&mut out, graph, platform, mapping, schedule, width)
+        .expect("fmt::Write for String is infallible");
     out
 }
 
@@ -104,6 +128,48 @@ mod tests {
         assert!(out.contains('0') && out.contains('2'));
         // FPGA lane is idle.
         assert!(out.contains("(idle)"));
+    }
+
+    /// A writer that fails after a byte budget — rendering into it must
+    /// surface the error through `fmt::Result`, never panic.
+    struct FailingWriter {
+        budget: usize,
+    }
+
+    impl std::fmt::Write for FailingWriter {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            if s.len() > self.budget {
+                return Err(std::fmt::Error);
+            }
+            self.budget -= s.len();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn failing_writer_propagates_error_without_panicking() {
+        let mut g = chain(4, 100e6);
+        for v in 0..4 {
+            let t = g.task_mut(NodeId(v));
+            t.complexity = 8.0;
+            t.data_points = 1e7;
+        }
+        let p = Platform::reference();
+        let mut ev = Evaluator::new(&g, &p);
+        let m = Mapping::all_default(&g, &p);
+        let sched = ev.simulate(&m, SchedulePolicy::Bfs).unwrap();
+        // A zero-budget writer fails on the very first write.
+        let mut w = FailingWriter { budget: 0 };
+        assert_eq!(
+            write_gantt(&mut w, &g, &p, &m, &sched, 60),
+            Err(std::fmt::Error),
+            "error must propagate, not panic"
+        );
+        // A mid-chart failure (header fits, body doesn't) also propagates.
+        let mut w = FailingWriter { budget: 48 };
+        assert_eq!(write_gantt(&mut w, &g, &p, &m, &sched, 60), Err(std::fmt::Error));
+        // And the infallible wrapper still works.
+        assert!(render_gantt(&g, &p, &m, &sched, 60).contains("makespan"));
     }
 
     #[test]

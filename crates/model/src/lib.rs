@@ -33,11 +33,11 @@ pub mod platform;
 pub mod schedule;
 
 pub use eval::{
-    relative_improvement, BfsCheckpoints, EvalScratch, EvalStats, EvalTables, Evaluator,
-    WindowSim,
+    relative_improvement, BfsCheckpoints, CheckpointSet, EvalScratch, EvalStats, EvalTables,
+    Evaluator, ScheduleCheckpoints, WindowSim,
 };
 pub use fingerprint::MappingFingerprint;
-pub use gantt::render_gantt;
+pub use gantt::{render_gantt, write_gantt};
 pub use mapping::Mapping;
 pub use platform::{Device, DeviceId, DeviceKind, DeviceSpec, Link, Platform};
-pub use schedule::SchedulePolicy;
+pub use schedule::{OrderTables, ReportSchedules, SchedulePolicy};

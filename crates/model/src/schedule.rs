@@ -4,12 +4,24 @@
 //! order.  We represent it as a *priority rank per task* (lower = earlier);
 //! the evaluator pops ready tasks in rank order, which induces the device
 //! orders while always respecting precedence.
+//!
+//! [`OrderTables`] precomputes, for one fixed rank vector, everything the
+//! windowed re-simulation machinery needs: the structural pop order (which
+//! is mapping-independent — see the field docs), its inverse, and the
+//! earliest pop position at which each task's device assignment is read.
+//! [`ReportSchedules`] bundles the orders of the paper's reporting metric
+//! (the breadth-first schedule plus `k` seeded random topological
+//! schedules) so the candidate engine can checkpoint and window *every*
+//! report schedule, not just the BFS one.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use spmap_graph::gen::random_topo_order;
-use spmap_graph::{ops, TaskGraph};
+use spmap_graph::{ops, NodeId, TaskGraph};
 
 /// How to derive the priority order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,6 +61,196 @@ fn invert(order: &[u32]) -> Vec<u32> {
         rank[v as usize] = i as u32;
     }
     rank
+}
+
+/// Precomputed pop-order tables of one fixed priority-rank vector.
+///
+/// The list-schedule evaluator pops the minimum-`(rank, id)` task among
+/// the *structurally* ready ones (all predecessors processed) — readiness
+/// never depends on times or on the mapping.  The whole pop sequence is
+/// therefore a pure function of `(graph, ranks)` and can be precomputed
+/// with Kahn's algorithm using the same heap.  This is what makes
+/// windowed re-simulation possible for *any* schedule, not just the
+/// breadth-first one: a candidate mapping's schedule is bit-identical to
+/// the base mapping's schedule before the first pop position that reads a
+/// remapped task's device assignment.
+#[derive(Clone, Debug)]
+pub struct OrderTables {
+    /// The rank vector itself (`rank[node]`, lower runs earlier).
+    ranks: Vec<u32>,
+    /// The structural pop order: `pop_order[i]` is the `i`-th task popped.
+    pop_order: Vec<u32>,
+    /// Inverse of `pop_order`: `pop_pos[v]` is when `v` is processed.
+    pop_pos: Vec<u32>,
+    /// The earliest pop position at which the simulation reads task `v`'s
+    /// device assignment: `min(pop_pos[v], pop_pos of v's predecessors)`
+    /// (a predecessor's out-edge loop reads the consumer's device for the
+    /// transfer).
+    earliest_read: Vec<u32>,
+}
+
+impl OrderTables {
+    /// Precompute the pop tables of `ranks` on `graph`.
+    pub fn new(graph: &TaskGraph, ranks: Vec<u32>) -> Self {
+        let n = graph.node_count();
+        debug_assert_eq!(ranks.len(), n);
+        let mut pop_order = Vec::with_capacity(n);
+        let mut indeg: Vec<u32> = graph.nodes().map(|v| graph.in_degree(v) as u32).collect();
+        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::with_capacity(n);
+        for v in graph.nodes() {
+            if indeg[v.index()] == 0 {
+                heap.push(Reverse((ranks[v.index()], v.0)));
+            }
+        }
+        while let Some(Reverse((_, vi))) = heap.pop() {
+            pop_order.push(vi);
+            for w in graph.successors(NodeId(vi)) {
+                indeg[w.index()] -= 1;
+                if indeg[w.index()] == 0 {
+                    heap.push(Reverse((ranks[w.index()], w.0)));
+                }
+            }
+        }
+        debug_assert_eq!(pop_order.len(), n, "graph must be acyclic");
+        let mut pop_pos = vec![0u32; n];
+        for (i, &v) in pop_order.iter().enumerate() {
+            pop_pos[v as usize] = i as u32;
+        }
+        let earliest_read: Vec<u32> = graph
+            .nodes()
+            .map(|v| {
+                graph
+                    .predecessors(v)
+                    .map(|u| pop_pos[u.index()])
+                    .fold(pop_pos[v.index()], u32::min)
+            })
+            .collect();
+        Self {
+            ranks,
+            pop_order,
+            pop_pos,
+            earliest_read,
+        }
+    }
+
+    /// Pop tables for `policy` on `graph`.
+    pub fn for_policy(graph: &TaskGraph, policy: SchedulePolicy) -> Self {
+        Self::new(graph, priority_ranks(graph, policy))
+    }
+
+    /// The priority-rank vector this order was built from.
+    #[inline]
+    pub fn ranks(&self) -> &[u32] {
+        &self.ranks
+    }
+
+    /// The structural pop order (`pop_order[i]` = `i`-th task popped).
+    #[inline]
+    pub fn pop_order(&self) -> &[u32] {
+        &self.pop_order
+    }
+
+    /// The pop position at which task `n` is scheduled.
+    #[inline]
+    pub fn pop_position(&self, n: NodeId) -> usize {
+        self.pop_pos[n.index()] as usize
+    }
+
+    /// The earliest pop position at which the simulation reads `n`'s
+    /// device assignment (see the `earliest_read` field).
+    #[inline]
+    pub fn earliest_read_pos(&self, n: NodeId) -> usize {
+        self.earliest_read[n.index()] as usize
+    }
+
+    /// Number of tasks this order schedules.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pop_order.len()
+    }
+
+    /// `true` for the empty graph.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pop_order.is_empty()
+    }
+}
+
+/// The fixed schedule set of the paper's reporting metric (§IV-A): the
+/// breadth-first schedule (index 0) followed by `random_schedules` seeded
+/// random topological schedules (seeds `seed`, `seed+1`, …), each with
+/// its pop tables precomputed for windowed re-simulation.
+///
+/// The rank vectors are exactly the ones
+/// [`crate::Evaluator::report_makespan`] derives on the fly, so makespans
+/// computed through this set are bit-identical to the reference metric.
+#[derive(Clone, Debug)]
+pub struct ReportSchedules {
+    orders: Vec<OrderTables>,
+    random_schedules: usize,
+    seed: u64,
+}
+
+impl ReportSchedules {
+    /// Build the schedule set on `graph`: BFS plus `random_schedules`
+    /// random topological orders seeded `seed + i`.
+    pub fn new(graph: &TaskGraph, random_schedules: usize, seed: u64) -> Self {
+        let mut orders = Vec::with_capacity(random_schedules + 1);
+        orders.push(OrderTables::for_policy(graph, SchedulePolicy::Bfs));
+        for i in 0..random_schedules {
+            orders.push(OrderTables::for_policy(
+                graph,
+                SchedulePolicy::RandomTopo {
+                    seed: seed.wrapping_add(i as u64),
+                },
+            ));
+        }
+        Self {
+            orders,
+            random_schedules,
+            seed,
+        }
+    }
+
+    /// The BFS-only schedule set (the optimizers' classic inner loop).
+    pub fn bfs_only(graph: &TaskGraph) -> Self {
+        Self::new(graph, 0, 0)
+    }
+
+    /// Total number of schedules (1 + random count); never zero.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.orders.len()
+    }
+
+    /// `false` always — the BFS schedule is always present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.orders.is_empty()
+    }
+
+    /// Number of random schedules (`len() - 1`).
+    #[inline]
+    pub fn random_schedules(&self) -> usize {
+        self.random_schedules
+    }
+
+    /// Base seed of the random schedules.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The pop tables of schedule `s` (0 = BFS).
+    #[inline]
+    pub fn order(&self, s: usize) -> &OrderTables {
+        &self.orders[s]
+    }
+
+    /// Iterate over all schedule orders, BFS first.
+    pub fn iter(&self) -> impl Iterator<Item = &OrderTables> {
+        self.orders.iter()
+    }
 }
 
 #[cfg(test)]
@@ -96,5 +298,74 @@ mod tests {
         let expect: Vec<u32> = (0..g.node_count() as u32).collect();
         assert_eq!(sorted, expect);
         let _ = NodeId(0); // silence unused import on some cfgs
+    }
+
+    /// The pop order of an `OrderTables` must be a topological order whose
+    /// inverse is consistent, and `earliest_read` must never exceed a
+    /// node's own pop position.
+    fn check_order(g: &TaskGraph, order: &OrderTables) {
+        assert_eq!(order.len(), g.node_count());
+        let mut seen = vec![false; g.node_count()];
+        for &v in order.pop_order() {
+            assert!(!seen[v as usize], "pop order repeats node {v}");
+            seen[v as usize] = true;
+        }
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            assert!(
+                order.pop_position(edge.src) < order.pop_position(edge.dst),
+                "pop order violates edge {:?}",
+                edge
+            );
+        }
+        for v in g.nodes() {
+            assert!(order.earliest_read_pos(v) <= order.pop_position(v));
+            assert_eq!(
+                order.pop_order()[order.pop_position(v)] as usize,
+                v.index(),
+                "pop_pos must invert pop_order"
+            );
+        }
+    }
+
+    #[test]
+    fn order_tables_are_topological_for_any_policy() {
+        for seed in [3u64, 8, 21] {
+            let g = random_sp_graph(&SpGenConfig::new(30, seed));
+            check_order(&g, &OrderTables::for_policy(&g, SchedulePolicy::Bfs));
+            check_order(
+                &g,
+                &OrderTables::for_policy(&g, SchedulePolicy::RandomTopo { seed }),
+            );
+        }
+    }
+
+    #[test]
+    fn report_schedules_reproduce_the_reference_ranks() {
+        let g = random_sp_graph(&SpGenConfig::new(35, 5));
+        let set = ReportSchedules::new(&g, 3, 42);
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.random_schedules(), 3);
+        assert_eq!(set.seed(), 42);
+        assert_eq!(set.order(0).ranks(), priority_ranks(&g, SchedulePolicy::Bfs));
+        for i in 0..3u64 {
+            assert_eq!(
+                set.order(1 + i as usize).ranks(),
+                priority_ranks(&g, SchedulePolicy::RandomTopo { seed: 42 + i }),
+                "random schedule {i} must use seed + {i}"
+            );
+        }
+        for order in set.iter() {
+            check_order(&g, order);
+        }
+    }
+
+    #[test]
+    fn bfs_only_set_has_one_schedule() {
+        let g = random_sp_graph(&SpGenConfig::new(15, 2));
+        let set = ReportSchedules::bfs_only(&g);
+        assert_eq!(set.len(), 1);
+        assert!(!set.is_empty());
+        assert_eq!(set.order(0).ranks(), priority_ranks(&g, SchedulePolicy::Bfs));
     }
 }

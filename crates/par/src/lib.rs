@@ -27,15 +27,46 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of worker threads to use: `SPMAP_THREADS` if set, otherwise the
 /// machine's available parallelism.
+///
+/// The env var is parsed defensively (see [`parse_threads`]): `0` and
+/// garbage values clamp to the serial path (1 worker) instead of
+/// panicking or spawning zero workers, and an empty value counts as
+/// unset.  An explicitly configured-but-broken override falling back to
+/// *full* machine parallelism would silently oversubscribe the exact
+/// runs (benchmarks, CI) that set the variable to contain parallelism —
+/// serial is the safe interpretation.
 pub fn num_threads() -> usize {
-    if let Ok(v) = std::env::var("SPMAP_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            return n.max(1);
-        }
+    let machine = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    match std::env::var_os("SPMAP_THREADS") {
+        // Non-UTF-8 bytes are garbage, not "unset": clamp to serial like
+        // any other unparseable override.
+        Some(v) => match v.to_str() {
+            Some(s) => parse_threads(s).unwrap_or_else(machine),
+            None => 1,
+        },
+        None => machine(),
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+}
+
+/// Interpret one `SPMAP_THREADS` value:
+///
+/// * a positive integer (surrounding whitespace tolerated) is honored,
+/// * `0` and garbage (`banana`, `-3`, `1.5`, …) clamp to `Some(1)` — the
+///   serial path; never a panic, never zero workers,
+/// * an empty / whitespace-only value is `None` — treated as unset.
+pub fn parse_threads(raw: &str) -> Option<usize> {
+    let t = raw.trim();
+    if t.is_empty() {
+        return None;
+    }
+    Some(match t.parse::<usize>() {
+        Ok(0) | Err(_) => 1,
+        Ok(n) => n,
+    })
 }
 
 /// An arena of per-worker states, built once and reused across many
@@ -216,6 +247,33 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        assert_eq!(parse_threads("1"), Some(1));
+        assert_eq!(parse_threads("8"), Some(8));
+        assert_eq!(parse_threads(" 4 "), Some(4), "whitespace tolerated");
+        assert_eq!(parse_threads("128"), Some(128));
+    }
+
+    #[test]
+    fn parse_threads_clamps_zero_and_garbage_to_serial() {
+        // Regression: `SPMAP_THREADS=0` must not configure zero workers,
+        // and garbage must not fall through to full machine parallelism
+        // (the var is usually set precisely to *limit* parallelism).
+        assert_eq!(parse_threads("0"), Some(1));
+        assert_eq!(parse_threads("banana"), Some(1));
+        assert_eq!(parse_threads("-3"), Some(1));
+        assert_eq!(parse_threads("1.5"), Some(1));
+        assert_eq!(parse_threads("8 threads"), Some(1));
+        assert_eq!(parse_threads("99999999999999999999999999"), Some(1), "overflow is garbage");
+    }
+
+    #[test]
+    fn parse_threads_empty_is_unset() {
+        assert_eq!(parse_threads(""), None);
+        assert_eq!(parse_threads("   "), None);
     }
 
     #[test]

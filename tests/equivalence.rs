@@ -7,9 +7,16 @@
 //! history and final mapping, bit for bit**, as the straight serial
 //! exhaustive scan (`decomposition_map_reference` — the seed
 //! implementation kept as an executable specification).
+//!
+//! The same burden applies to the `report_makespan` cost model: the
+//! multi-schedule incremental sweep (per-schedule checkpoints, running
+//! cutoffs, `(fingerprint, schedule)` memoization) must reproduce the
+//! reference serial sweep — one full `Evaluator::report_makespan` per
+//! candidate per iteration — bit for bit, across thread counts and
+//! schedule counts.
 
 use spmap::prelude::*;
-use spmap_core::{decomposition_map_reference, EngineConfig};
+use spmap_core::{decomposition_map_reference, CostModel, EngineConfig};
 
 /// Deterministic graph zoo: SP graphs, almost-SP graphs and layered
 /// non-SP DAGs, with the paper's attribute augmentation.
@@ -119,6 +126,114 @@ fn gamma_threshold_waves_match_serial() {
             let fast = engine_cfg(base, 8, true, true);
             let tag = format!("case {case} gamma {gamma}");
             assert_equivalent(&g, &p, &fast, &base, &tag);
+        }
+    }
+}
+
+/// The multi-schedule sweep, headline version: for every combination of
+/// ≥3 thread counts and ≥2 schedule counts, the incremental
+/// `report_makespan`-mode engine (pruning + memo + per-schedule windows
+/// + running cutoffs) reproduces the reference serial sweep bit for
+/// bit: final mapping, report makespans, acceptance history, iteration
+/// count and baseline.
+#[test]
+fn report_sweep_matches_serial_reference_across_threads_and_schedules() {
+    for case in 0..5u64 {
+        let g = graph_case(case + 400);
+        let p = platform_case(case);
+        for schedules in [2usize, 5] {
+            let base = MapperConfig {
+                cost: CostModel::Report {
+                    schedules,
+                    seed: 0xbeef + case,
+                },
+                ..MapperConfig::series_parallel()
+            };
+            for threads in [1usize, 3, 8] {
+                let fast = engine_cfg(base, threads, true, true);
+                let tag = format!("case {case} k {schedules} t{threads}");
+                assert_equivalent(&g, &p, &fast, &base, &tag);
+            }
+        }
+    }
+}
+
+/// Every engine ablation corner is equally exact under the report cost
+/// model — a failure here isolates the broken layer of the
+/// multi-schedule path.
+#[test]
+fn report_sweep_ablations_are_exact() {
+    for case in 0..4u64 {
+        let g = graph_case(case + 500);
+        let p = platform_case(case);
+        let base = MapperConfig {
+            cost: CostModel::Report {
+                schedules: 3,
+                seed: 99,
+            },
+            ..MapperConfig::series_parallel()
+        };
+        for (threads, prune, memo) in [
+            (1, false, false), // pure multi-schedule skeleton
+            (1, true, false),  // pruning alone
+            (1, false, true),  // (fp, schedule) memo alone
+            (8, false, false), // parallelism alone
+            (8, true, true),   // everything
+        ] {
+            let fast = engine_cfg(base, threads, prune, memo);
+            let tag = format!("report case {case} t{threads} prune={prune} memo={memo}");
+            assert_equivalent(&g, &p, &fast, &base, &tag);
+        }
+    }
+}
+
+/// The γ-threshold speculative waves (now adaptively sized) replay the
+/// serial decision sequence exactly under the report cost model too.
+#[test]
+fn report_gamma_waves_match_serial() {
+    for case in 0..4u64 {
+        let g = graph_case(case + 600);
+        let p = platform_case(case);
+        for gamma in [1.0, 2.0] {
+            let base = MapperConfig {
+                heuristic: SearchHeuristic::GammaThreshold { gamma },
+                cost: CostModel::Report {
+                    schedules: 2,
+                    seed: 7,
+                },
+                ..MapperConfig::series_parallel()
+            };
+            let fast = engine_cfg(base, 8, true, true);
+            let tag = format!("report case {case} gamma {gamma}");
+            assert_equivalent(&g, &p, &fast, &base, &tag);
+        }
+    }
+}
+
+/// Thread count is not allowed to influence anything observable in the
+/// report sweep either — including every engine statistic.
+#[test]
+fn report_results_and_stats_are_thread_invariant() {
+    for case in 0..3u64 {
+        let g = graph_case(case + 700);
+        let p = platform_case(case);
+        let base = MapperConfig {
+            cost: CostModel::Report {
+                schedules: 3,
+                seed: 21,
+            },
+            ..MapperConfig::series_parallel()
+        };
+        let runs: Vec<_> = [1usize, 3, 8]
+            .iter()
+            .map(|&t| decomposition_map(&g, &p, &engine_cfg(base, t, true, true)))
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(r.mapping, runs[0].mapping, "case {case}");
+            assert_eq!(r.makespan, runs[0].makespan, "case {case}");
+            assert_eq!(r.history, runs[0].history, "case {case}");
+            assert_eq!(r.batch, runs[0].batch, "case {case}: stats drifted");
+            assert_eq!(r.evaluations, runs[0].evaluations, "case {case}");
         }
     }
 }

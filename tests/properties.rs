@@ -100,6 +100,100 @@ fn evaluator_bounds() {
     }
 }
 
+/// `random_topo_order` is deterministic per seed, and the two call sites
+/// that derive random schedules from it — `spmap_graph::gen` directly
+/// and `spmap_model::schedule::priority_ranks` through `StdRng` — agree
+/// exactly: the rank vector of `RandomTopo { seed }` is the inverse
+/// permutation of the order drawn with the same seed.
+#[test]
+fn random_topo_order_is_deterministic_across_call_sites() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spmap::graph::gen::random_topo_order;
+    use spmap::model::schedule::priority_ranks;
+
+    for case in 0..18u64 {
+        let nodes = 6 + (case * 9 % 40) as usize;
+        let graph_seed = case * 71 + 5;
+        let g = match case % 3 {
+            0 => random_sp_graph(&SpGenConfig::new(nodes, graph_seed)),
+            1 => almost_sp_graph(&SpGenConfig::new(nodes, graph_seed), (case % 6) as usize),
+            _ => {
+                use spmap::graph::gen::{layered_random, LayeredConfig};
+                layered_random(&LayeredConfig {
+                    layers: 2 + (case % 5) as usize,
+                    width: 2 + (case % 4) as usize,
+                    density: 0.4,
+                    seed: graph_seed,
+                    edge_bytes: 10e6,
+                })
+            }
+        };
+        for order_seed in [0u64, 1, case * 17 + 3] {
+            // Same seed, same RNG construction ⇒ same order, twice.
+            let a = random_topo_order(&g, &mut StdRng::seed_from_u64(order_seed));
+            let b = random_topo_order(&g, &mut StdRng::seed_from_u64(order_seed));
+            assert_eq!(a, b, "case {case} order_seed {order_seed}");
+            // The model crate's rank derivation is the inverse of the
+            // same draw: rank[order[i]] == i.
+            let ranks = priority_ranks(&g, SchedulePolicy::RandomTopo { seed: order_seed });
+            for (i, &v) in a.iter().enumerate() {
+                assert_eq!(
+                    ranks[v.index()] as usize, i,
+                    "case {case} order_seed {order_seed}: rank/order mismatch at {i}"
+                );
+            }
+        }
+    }
+}
+
+/// Every schedule of a `ReportSchedules` set — BFS and each seeded
+/// random order — is a valid topological order of the DAG: the pop
+/// order is a permutation and respects every edge.
+#[test]
+fn every_report_schedule_is_a_valid_topological_order() {
+    use spmap::model::ReportSchedules;
+
+    for case in 0..18u64 {
+        let nodes = 5 + (case * 7 % 45) as usize;
+        let seed = case * 131 + 1;
+        let g = match case % 3 {
+            0 => random_sp_graph(&SpGenConfig::new(nodes, seed)),
+            1 => almost_sp_graph(&SpGenConfig::new(nodes, seed), (case % 8) as usize),
+            _ => {
+                use spmap::graph::gen::{layered_random, LayeredConfig};
+                layered_random(&LayeredConfig {
+                    layers: 2 + (case % 4) as usize,
+                    width: 2 + (case % 3) as usize,
+                    density: 0.5,
+                    seed,
+                    edge_bytes: 25e6,
+                })
+            }
+        };
+        let set = ReportSchedules::new(&g, 2 + (case % 4) as usize, seed ^ 0x5eed);
+        for (s, order) in set.iter().enumerate() {
+            assert_eq!(order.len(), g.node_count(), "case {case} schedule {s}");
+            let mut seen = vec![false; g.node_count()];
+            for &v in order.pop_order() {
+                assert!(!seen[v as usize], "case {case} schedule {s}: duplicate pop {v}");
+                seen[v as usize] = true;
+            }
+            for e in g.edge_ids() {
+                let edge = g.edge(e);
+                assert!(
+                    order.pop_position(edge.src) < order.pop_position(edge.dst),
+                    "case {case} schedule {s}: edge order violated"
+                );
+                assert!(
+                    order.ranks()[edge.src.index()] < order.ranks()[edge.dst.index()],
+                    "case {case} schedule {s}: rank order violated"
+                );
+            }
+        }
+    }
+}
+
 /// HEFT and PEFT schedules respect precedence and the area budget on
 /// arbitrary workflow shapes.
 #[test]
