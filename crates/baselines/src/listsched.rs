@@ -103,8 +103,16 @@ impl Timeline {
 pub struct ListScheduleResult {
     /// The produced task → device mapping.
     pub mapping: Mapping,
-    /// The scheduler's *internal* makespan estimate (sequential-device
-    /// view, no streaming) — not the model-evaluated makespan.
+    /// The scheduler's *internal* makespan estimate: the EFT bookkeeping
+    /// of its own insertion-based timelines, which treats every device
+    /// as strictly sequential and knows nothing about FPGA dataflow
+    /// streaming or link occupancy.  It exists to drive the scheduler's
+    /// greedy choices and for diagnostics only — it is **not** the
+    /// model-evaluated makespan and must never be reported as one.
+    /// Every reported number in this workspace (the sweep driver's
+    /// tables, `perf_report`, the figures) re-evaluates `mapping` with
+    /// `spmap_model::Evaluator` under the paper's reporting metric;
+    /// `spmap-bench` pins that invariant with a regression test.
     pub internal_makespan: f64,
     /// Order in which tasks were scheduled.
     pub order: Vec<NodeId>,

@@ -166,6 +166,50 @@ mod tests {
     }
 
     #[test]
+    fn sweep_driver_reports_the_model_evaluated_makespan() {
+        // The list schedulers carry an *internal* EFT makespan estimate
+        // (sequential devices, no streaming, no link occupancy).  The
+        // sweep driver must never surface it: every reported makespan is
+        // the model evaluator's reporting metric of the produced
+        // mapping.  Pin both the equality with the re-evaluated metric
+        // and the inequality with the internal estimate.
+        let mut g = random_sp_graph(&SpGenConfig::new(24, 9));
+        augment(&mut g, &AugmentConfig::default(), 9);
+        let p = Platform::reference();
+        let seed = 13u64;
+        for (algo, internal) in [
+            (Algo::Heft, spmap_baselines::heft(&g, &p).internal_makespan),
+            (Algo::Peft, spmap_baselines::peft(&g, &p).internal_makespan),
+        ] {
+            let out = run_algo(&algo, &g, &p, seed);
+            let mut ev = Evaluator::new(&g, &p);
+            let mapping = match algo {
+                Algo::Heft => spmap_baselines::heft(&g, &p).mapping,
+                _ => spmap_baselines::peft(&g, &p).mapping,
+            };
+            let cpu_only = ev
+                .report_makespan(&Mapping::all_default(&g, &p), REPORT_SCHEDULES, seed)
+                .unwrap();
+            let model = ev
+                .report_makespan(&mapping, REPORT_SCHEDULES, seed)
+                .unwrap()
+                .min(cpu_only);
+            assert_eq!(
+                out.makespan,
+                model,
+                "{}: reported makespan must be the model-evaluated metric",
+                algo.name()
+            );
+            assert_ne!(
+                out.makespan,
+                internal,
+                "{}: the internal EFT estimate leaked into the report",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
     fn names_match_paper() {
         assert_eq!(Algo::SpFirstFit.name(), "SPFirstFit");
         assert_eq!(Algo::Nsga2 { generations: 1 }.name(), "NSGAII");

@@ -73,6 +73,97 @@ pub const MAX_SCHEDULES: usize = 64;
 /// and flip a tie or a true improvement into a prune.
 const BOUND_SLACK: f64 = 1e-9;
 
+/// Default memo capacity: generous (a million entries is ~50 MB per memo)
+/// but bounded, so multi-hour sweep runs on huge graphs cannot grow the
+/// memos without limit.  `0` disables eviction entirely.
+pub const DEFAULT_MEMO_CAPACITY: usize = 1 << 20;
+
+/// A makespan memo with access-generation-stamped LRU eviction.
+///
+/// Every read and write stamps the entry with a monotonically increasing
+/// access generation.  When an insert pushes the map past `capacity`, the
+/// oldest half of the entries (by stamp) is evicted in one batch —
+/// amortized `O(1)` bookkeeping per insert, and the map never exceeds
+/// `capacity` entries.  Eviction can never change a result: memo entries
+/// are pure values (the makespan of a mapping content), so losing one
+/// merely costs a re-simulation.  All reads and writes happen on the
+/// serial reduce path, so the stamp sequence — and with it the eviction
+/// pattern — is deterministic and thread-invariant.
+#[derive(Clone, Debug)]
+pub(crate) struct BoundedMemo<K> {
+    map: HashMap<K, (f64, u64)>,
+    clock: u64,
+    capacity: usize,
+    evictions: u64,
+    peak: usize,
+}
+
+impl<K: std::hash::Hash + Eq + Copy> BoundedMemo<K> {
+    /// An empty memo holding at most `capacity` entries (`0` = unbounded).
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            clock: 0,
+            capacity,
+            evictions: 0,
+            peak: 0,
+        }
+    }
+
+    /// Look up `k`, refreshing its LRU stamp on a hit.
+    pub(crate) fn get(&mut self, k: &K) -> Option<f64> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(k).map(|e| {
+            e.1 = clock;
+            e.0
+        })
+    }
+
+    /// Insert (or refresh) `k -> v`.  When a new key would push the map
+    /// past `capacity`, the oldest half of the entries is evicted first,
+    /// so the map never exceeds `capacity` — not even transiently.
+    pub(crate) fn insert(&mut self, k: K, v: f64) {
+        self.clock += 1;
+        if self.capacity != 0 && self.map.len() >= self.capacity && !self.map.contains_key(&k) {
+            self.evict();
+        }
+        self.map.insert(k, (v, self.clock));
+        if self.map.len() > self.peak {
+            self.peak = self.map.len();
+        }
+    }
+
+    /// Drop the oldest entries so a new insert still fits: only the
+    /// newest `capacity / 2` (at most `capacity - 1`) survive.  Stamps
+    /// are unique (the clock increments on every touch), so the cutoff
+    /// is exact and deterministic.
+    fn evict(&mut self) {
+        let keep = (self.capacity / 2).min(self.capacity - 1);
+        let drop = self.map.len() - keep;
+        let mut stamps: Vec<u64> = self.map.values().map(|&(_, s)| s).collect();
+        let (_, &mut cutoff, _) = stamps.select_nth_unstable(drop - 1);
+        self.map.retain(|_, &mut (_, s)| s > cutoff);
+        debug_assert_eq!(self.map.len(), keep);
+        self.evictions += drop as u64;
+    }
+
+    /// Number of live entries.
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total entries evicted over this memo's lifetime.
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Largest entry count ever held (≤ capacity when one is set).
+    pub(crate) fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
 /// Tuning knobs of the candidate engine.  The defaults are what
 /// `decomposition_map` uses; the ablation switches exist for benchmarks
 /// and tests (e.g. the equivalence suite runs all 2×2 combinations).
@@ -93,6 +184,11 @@ pub struct EngineConfig {
     pub prune: bool,
     /// Enable content-keyed memoization.
     pub memo: bool,
+    /// Entry cap for each of the two memos (the full-mapping memo and the
+    /// `(fingerprint, schedule)` memo), enforced by generation-stamped
+    /// LRU eviction; `0` = unbounded.  Eviction only ever costs
+    /// re-simulation — it cannot change any result.
+    pub memo_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -102,6 +198,7 @@ impl Default for EngineConfig {
             chunk_size: 64,
             prune: true,
             memo: true,
+            memo_capacity: DEFAULT_MEMO_CAPACITY,
         }
     }
 }
@@ -153,6 +250,16 @@ pub struct BatchStats {
     /// Schedule makespans answered by the `(fingerprint, schedule)` memo
     /// without re-simulation.
     pub sched_memo_hits: u64,
+    /// Entries dropped from the full-mapping memo by LRU eviction.
+    pub memo_evictions: u64,
+    /// Entries dropped from the `(fingerprint, schedule)` memo by LRU
+    /// eviction.
+    pub sched_memo_evictions: u64,
+    /// Largest entry count the full-mapping memo ever held (stays at or
+    /// below `EngineConfig::memo_capacity` when a capacity is set).
+    pub memo_peak: u64,
+    /// Largest entry count the `(fingerprint, schedule)` memo ever held.
+    pub sched_memo_peak: u64,
 }
 
 impl BatchStats {
@@ -169,6 +276,30 @@ impl BatchStats {
         } else {
             self.memo_hits as f64 / denom as f64
         }
+    }
+}
+
+/// A multi-assignment candidate: reassign every listed node to its
+/// paired device, relative to the engine's current base mapping.
+///
+/// This generalizes the engine's original "single op: subgraph → one
+/// device" candidates — a [`DeltaOp`] may move different nodes to
+/// different devices in one candidate.  Fingerprints, FPGA-area sums
+/// and lower bounds are maintained in `O(k)` for `k` reassignments
+/// (plus their incident edges), and windowed re-simulation starts at
+/// the minimum earliest-read position over all changed nodes, per
+/// schedule.  Entries whose node already sits on the listed device are
+/// ignored; a node must appear at most once.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct DeltaOp {
+    /// The `(node, new device)` reassignments of this candidate.
+    pub changes: Vec<(NodeId, DeviceId)>,
+}
+
+impl DeltaOp {
+    /// A delta moving every node of `changes` to its paired device.
+    pub fn new(changes: Vec<(NodeId, DeviceId)>) -> Self {
+        Self { changes }
     }
 }
 
@@ -237,16 +368,18 @@ pub struct CandidateBatch<'g> {
     /// Current (best committed) makespan under the configured cost model
     /// (BFS, or min over the report schedules).
     cur: f64,
-    /// Exact cost-model makespans keyed by mapping fingerprint.
-    memo: HashMap<u128, f64>,
+    /// Exact cost-model makespans keyed by mapping fingerprint, bounded
+    /// by `EngineConfig::memo_capacity` via LRU eviction.
+    memo: BoundedMemo<u128>,
     /// The fixed schedule set the cost model sweeps: `[BFS]` in BFS mode,
     /// `[BFS, k random topological orders]` in `report_makespan` mode.
     schedules: ReportSchedules,
     /// Exact *per-schedule* makespans keyed by `(fingerprint, schedule)`
     /// — a candidate aborted under the running cutoff still banks every
     /// schedule value it did complete.  Unused (empty) with a single
-    /// schedule, where `memo` already is the schedule-0 memo.
-    sched_memo: HashMap<(u128, u32), f64>,
+    /// schedule, where `memo` already is the schedule-0 memo.  Bounded by
+    /// `EngineConfig::memo_capacity` via LRU eviction.
+    sched_memo: BoundedMemo<(u128, u32)>,
     /// Per-schedule makespans of the current base mapping.
     base_sched: Vec<f64>,
     // --- incrementally maintained aggregates of the base mapping ---
@@ -271,6 +404,11 @@ pub struct CandidateBatch<'g> {
     expected: Vec<f64>,
     /// Region membership stamps for O(1) "is node in candidate" tests.
     mark: Vec<u64>,
+    /// Target device of each node stamped in the current candidate
+    /// region (valid only where `mark[v] == mark_gen`): single-op
+    /// candidates stamp one shared device, [`DeltaOp`] candidates stamp
+    /// one device per reassigned node.
+    target: Vec<DeviceId>,
     mark_gen: u64,
     stats: BatchStats,
 }
@@ -331,8 +469,8 @@ impl<'g> CandidateBatch<'g> {
             fingerprint: MappingFingerprint::of(&mapping),
             generation: 1,
             cur: 0.0,
-            memo: HashMap::new(),
-            sched_memo: HashMap::new(),
+            memo: BoundedMemo::new(cfg.memo_capacity),
+            sched_memo: BoundedMemo::new(cfg.memo_capacity),
             base_sched: vec![0.0; schedules.len()],
             dev_load: Vec::new(),
             link_load: Vec::new(),
@@ -342,6 +480,7 @@ impl<'g> CandidateBatch<'g> {
             checkpoints: CheckpointSet::for_schedules(&schedules, n),
             expected: vec![f64::INFINITY; op_count],
             mark: vec![0; n],
+            target: vec![DeviceId(0); n],
             mark_gen: 0,
             stats: BatchStats::default(),
             tables,
@@ -410,9 +549,25 @@ impl<'g> CandidateBatch<'g> {
         delta > self.cur * REL_EPS
     }
 
-    /// Candidate-decision counters accumulated so far.
+    /// Candidate-decision counters accumulated so far (including the
+    /// memos' live eviction counters and peak sizes).
     pub fn stats(&self) -> BatchStats {
-        self.stats
+        let mut s = self.stats;
+        s.memo_evictions = self.memo.evictions();
+        s.sched_memo_evictions = self.sched_memo.evictions();
+        s.memo_peak = self.memo.peak() as u64;
+        s.sched_memo_peak = self.sched_memo.peak() as u64;
+        s
+    }
+
+    /// Current entry count of the full-mapping memo.
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Current entry count of the `(fingerprint, schedule)` memo.
+    pub fn sched_memo_len(&self) -> usize {
+        self.sched_memo.len()
     }
 
     /// Total full simulations run so far (all workers).
@@ -555,6 +710,107 @@ impl<'g> CandidateBatch<'g> {
         deltas
     }
 
+    /// Evaluate the improvement of every multi-assignment candidate in
+    /// `deltas` against the current base mapping, in one batch — the
+    /// multi-move generalization of [`Self::evaluate_ops`].
+    ///
+    /// Returns one improvement per candidate, in input order: `cur -
+    /// makespan(base with the delta applied)`, or `NEG_INFINITY` for
+    /// no-op deltas, area-infeasible candidates and — when `prune` is
+    /// on — candidates whose lower bound proves they cannot *strictly*
+    /// beat the best improvement of this batch.  All the `evaluate_ops`
+    /// guarantees carry over: every schedule of a candidate is windowed
+    /// from the minimum earliest-read position over its changed nodes
+    /// under that schedule, ties are never pruned, and every returned
+    /// (non-pruned) improvement is bit-identical to a serial
+    /// from-scratch re-simulation of the delta.
+    pub fn evaluate_deltas(&mut self, deltas: &[DeltaOp], prune: bool) -> Vec<f64> {
+        let threshold = self.cur * REL_EPS;
+        let mut out = vec![f64::NEG_INFINITY; deltas.len()];
+        let mut pending: Vec<Pending> = Vec::with_capacity(deltas.len());
+        let mut incumbent = f64::NEG_INFINITY;
+        for (slot, delta) in deltas.iter().enumerate() {
+            match self.classify_delta(delta, prune) {
+                Verdict::Trivial => self.stats.trivial += 1,
+                Verdict::Memoized(ms) => {
+                    self.stats.memo_hits += 1;
+                    let d = self.cur - ms;
+                    out[slot] = d;
+                    if d > incumbent {
+                        incumbent = d;
+                    }
+                }
+                Verdict::Simulate {
+                    fp,
+                    bound,
+                    mask,
+                    best_known,
+                } => {
+                    // Deltas carry no persistent identity across calls,
+                    // so the best-first scan orders by the bound itself.
+                    pending.push(Pending {
+                        slot,
+                        op: slot,
+                        fp,
+                        bound,
+                        expected: bound,
+                        mask,
+                        best_known,
+                    });
+                }
+            }
+        }
+        if prune {
+            pending.sort_by(|a, b| b.expected.total_cmp(&a.expected).then(a.op.cmp(&b.op)));
+        }
+        let chunk_size = self.cfg.chunk_size.max(1);
+        let mut next = 0usize;
+        while next < pending.len() {
+            let cut = max_beatable(threshold, incumbent);
+            if prune {
+                while next < pending.len() && cannot_win(pending[next].bound, incumbent, threshold)
+                {
+                    self.stats.pruned += 1;
+                    next += 1;
+                }
+                if next >= pending.len() {
+                    break;
+                }
+            }
+            let mut end = (next + chunk_size).min(pending.len());
+            if prune {
+                while end > next + 1 && cannot_win(pending[end - 1].bound, incumbent, threshold) {
+                    end -= 1;
+                }
+            }
+            let chunk = &pending[next..end];
+            let cutoff = if prune { self.cur - cut } else { f64::INFINITY };
+            let results = self.simulate_delta_chunk(chunk, deltas, cutoff);
+            for (p, r) in chunk.iter().zip(&results) {
+                self.stats.sched_simulated += u64::from(r.completed);
+                self.stats.sched_aborted += u64::from(r.aborted);
+                for &(s, ms) in &r.banked {
+                    self.sched_memo.insert((p.fp, s), ms);
+                }
+                if r.aborted == 0 || r.best <= cutoff {
+                    let d = self.cur - r.best;
+                    out[p.slot] = d;
+                    self.stats.simulated += 1;
+                    if self.cfg.memo {
+                        self.memo.insert(p.fp, r.best);
+                    }
+                    if d > incumbent {
+                        incumbent = d;
+                    }
+                } else {
+                    self.stats.aborted += 1;
+                }
+            }
+            next = end;
+        }
+        out
+    }
+
     /// Apply `op` permanently: update the mapping, fingerprint, load
     /// aggregates and current makespan.
     pub fn commit(&mut self, op: OpId) {
@@ -605,6 +861,7 @@ impl<'g> CandidateBatch<'g> {
             }
             any = true;
             self.mark[v.index()] = mark_gen;
+            self.target[v.index()] = d;
             fp.toggle(v, old, d);
             if self.tables.is_fpga_device(old) {
                 area[old.index()] -= self.tables.task_area(v);
@@ -629,7 +886,7 @@ impl<'g> CandidateBatch<'g> {
             // feasibility verdict can never diverge from it.
             let guard = 1e-12 * (1.0 + limit.abs());
             let over = if (used - limit).abs() <= guard {
-                self.exact_candidate_area(id, d) > limit
+                self.exact_candidate_area(id) > limit
             } else {
                 used > limit
             };
@@ -638,7 +895,7 @@ impl<'g> CandidateBatch<'g> {
             }
         }
         if self.cfg.memo {
-            if let Some(&ms) = self.memo.get(&fp.value()) {
+            if let Some(ms) = self.memo.get(&fp.value()) {
                 return Verdict::Memoized(ms);
             }
         }
@@ -650,7 +907,7 @@ impl<'g> CandidateBatch<'g> {
         let mut best_known = f64::INFINITY;
         if self.cfg.memo && s_count > 1 {
             for s in 0..s_count {
-                if let Some(&ms) = self.sched_memo.get(&(fp.value(), s as u32)) {
+                if let Some(ms) = self.sched_memo.get(&(fp.value(), s as u32)) {
                     mask &= !(1 << s);
                     self.stats.sched_memo_hits += 1;
                     if ms < best_known {
@@ -666,7 +923,108 @@ impl<'g> CandidateBatch<'g> {
             }
         }
         let bound = if prune {
-            self.cur - self.candidate_lower_bound(sub, d) * (1.0 - BOUND_SLACK)
+            self.cur - self.candidate_lower_bound(sub.iter().map(|&v| (v, d))) * (1.0 - BOUND_SLACK)
+        } else {
+            f64::INFINITY
+        };
+        Verdict::Simulate {
+            fp: fp.value(),
+            bound,
+            mask,
+            best_known,
+        }
+    }
+
+    /// Classify one [`DeltaOp`] candidate without simulating it — the
+    /// multi-assignment generalization of [`Self::classify`], sharing
+    /// the stamped-region bookkeeping, the memos and the lower bound.
+    /// Fingerprint, area and bound maintenance are all `O(k)` in the
+    /// number of reassigned nodes (plus their incident edges).
+    ///
+    /// The post-marking tail (area guard, memo probes, schedule mask,
+    /// bound) deliberately mirrors [`Self::classify`] line for line
+    /// instead of sharing a helper: the op path borrows its subgraph
+    /// from `self.subgraphs` across the tail, so a `&mut self` helper
+    /// cannot take the moved-node iterator without an allocation on the
+    /// memo-hit fast path.  Changes to either tail must be applied to
+    /// both.
+    fn classify_delta(&mut self, delta: &DeltaOp, prune: bool) -> Verdict {
+        let dm = self.tables.device_count();
+        // Mark the changed region and fold its effects in one pass.
+        self.mark_gen += 1;
+        let mark_gen = self.mark_gen;
+        let mut fp = self.fingerprint;
+        let mut any = false;
+        let mut area = [0.0f64; 8];
+        area[..dm].copy_from_slice(&self.area_used);
+        for &(v, d) in &delta.changes {
+            // A real (non-no-op) reassignment of the same node twice
+            // would silently corrupt the fingerprint and poison the
+            // shared memo in release builds — fail loudly instead (the
+            // compare is one load against an already-hot stamp line).
+            assert!(
+                self.mark[v.index()] != mark_gen,
+                "DeltaOp reassigns node {v:?} twice"
+            );
+            let old = self.mapping.device(v);
+            if old == d {
+                continue;
+            }
+            any = true;
+            self.mark[v.index()] = mark_gen;
+            self.target[v.index()] = d;
+            fp.toggle(v, old, d);
+            if self.tables.is_fpga_device(old) {
+                area[old.index()] -= self.tables.task_area(v);
+            }
+            if self.tables.is_fpga_device(d) {
+                area[d.index()] += self.tables.task_area(v);
+            }
+        }
+        if !any {
+            return Verdict::Trivial;
+        }
+        for (dev, &used) in area.iter().enumerate().take(dm) {
+            let id = DeviceId(dev as u32);
+            if !self.tables.is_fpga_device(id) {
+                continue;
+            }
+            let limit = self.tables.area_capacity(id) + 1e-9;
+            let guard = 1e-12 * (1.0 + limit.abs());
+            let over = if (used - limit).abs() <= guard {
+                self.exact_candidate_area(id) > limit
+            } else {
+                used > limit
+            };
+            if over {
+                return Verdict::Trivial;
+            }
+        }
+        if self.cfg.memo {
+            if let Some(ms) = self.memo.get(&fp.value()) {
+                return Verdict::Memoized(ms);
+            }
+        }
+        let s_count = self.schedules.len();
+        let mut mask: u64 = u64::MAX >> (64 - s_count as u32);
+        let mut best_known = f64::INFINITY;
+        if self.cfg.memo && s_count > 1 {
+            for s in 0..s_count {
+                if let Some(ms) = self.sched_memo.get(&(fp.value(), s as u32)) {
+                    mask &= !(1 << s);
+                    self.stats.sched_memo_hits += 1;
+                    if ms < best_known {
+                        best_known = ms;
+                    }
+                }
+            }
+            if mask == 0 {
+                self.memo.insert(fp.value(), best_known);
+                return Verdict::Memoized(best_known);
+            }
+        }
+        let bound = if prune {
+            self.cur - self.candidate_lower_bound(delta.changes.iter().copied()) * (1.0 - BOUND_SLACK)
         } else {
             f64::INFINITY
         };
@@ -679,14 +1037,15 @@ impl<'g> CandidateBatch<'g> {
     }
 
     /// FPGA area of device `dev` under the current candidate (marked
-    /// region moved to `d_target`), accumulated in node-index order —
-    /// the exact sequence `EvalTables::area_feasible` uses, so the
-    /// result is bit-identical to what the reference path would sum.
-    fn exact_candidate_area(&self, dev: DeviceId, d_target: DeviceId) -> f64 {
+    /// region moved to its stamped `target` devices), accumulated in
+    /// node-index order — the exact sequence
+    /// `EvalTables::area_feasible` uses, so the result is bit-identical
+    /// to what the reference path would sum.
+    fn exact_candidate_area(&self, dev: DeviceId) -> f64 {
         let mut used = 0.0f64;
         for (i, &base_d) in self.mapping.as_slice().iter().enumerate() {
             let d = if self.mark[i] == self.mark_gen {
-                d_target
+                self.target[i]
             } else {
                 base_d
             };
@@ -698,8 +1057,12 @@ impl<'g> CandidateBatch<'g> {
     }
 
     /// An exact lower bound on the makespan of the candidate mapping
-    /// (base with `sub -> d` applied).  Callers must have stamped the
-    /// changed region into `self.mark` with the current `mark_gen`.
+    /// (base with every `(v, d_v)` of `moved` applied).  Callers must
+    /// have stamped the changed region into `self.mark`/`self.target`
+    /// with the current `mark_gen`; pairs whose node is unmarked (no-op
+    /// reassignments) are skipped.  Single-op candidates pass every node
+    /// with the same device; [`DeltaOp`] candidates pass one device per
+    /// node — the arithmetic sequence is identical in the shared case.
     ///
     /// Three sound components, each `≤ makespan` of *any* schedule the
     /// evaluator can produce (see docs/PERF.md for the arguments):
@@ -707,15 +1070,17 @@ impl<'g> CandidateBatch<'g> {
     /// * temporal device load: tasks on a CPU/GPU serialize,
     /// * directed link load: transfers on one link serialize,
     /// * single-task spans: `max(max_v min_d exec, max_{v moved} exec)`.
-    fn candidate_lower_bound(&self, sub: &[NodeId], d: DeviceId) -> f64 {
+    fn candidate_lower_bound<I>(&self, moved: I) -> f64
+    where
+        I: Iterator<Item = (NodeId, DeviceId)> + Clone,
+    {
         let dm = self.tables.device_count();
-        let spatial_target = self.tables.is_fpga_device(d);
         let mut dev_load = [0.0f64; 8];
         dev_load[..dm].copy_from_slice(&self.dev_load);
         let mut link_load = [0.0f64; 64];
         link_load[..dm * dm].copy_from_slice(&self.link_load);
         let mut moved_span: f64 = 0.0;
-        for &v in sub {
+        for (v, d) in moved.clone() {
             if self.mark[v.index()] != self.mark_gen {
                 continue; // already on d
             }
@@ -724,7 +1089,7 @@ impl<'g> CandidateBatch<'g> {
                 dev_load[old.index()] -= self.tables.exec_time(v, old);
             }
             let ev = self.tables.exec_time(v, d);
-            if !spatial_target {
+            if !self.tables.is_fpga_device(d) {
                 dev_load[d.index()] += ev;
             }
             moved_span = moved_span.max(ev);
@@ -737,7 +1102,7 @@ impl<'g> CandidateBatch<'g> {
                 let w = edge.dst;
                 let old_to = self.mapping.device(w);
                 let new_to = if self.mark[w.index()] == self.mark_gen {
-                    d
+                    self.target[w.index()]
                 } else {
                     old_to
                 };
@@ -788,15 +1153,15 @@ impl<'g> CandidateBatch<'g> {
                 break;
             }
         }
-        let target_fill = if spatial_target {
-            self.tables.fill_fraction(d)
-        } else {
-            1.0
-        };
-        for &v in sub {
+        for (v, d) in moved {
             if self.mark[v.index()] != self.mark_gen {
                 continue;
             }
+            let target_fill = if self.tables.is_fpga_device(d) {
+                self.tables.fill_fraction(d)
+            } else {
+                1.0
+            };
             let span = target_fill * self.tables.exec_time(v, d);
             lb = lb.max(self.tables.path_floor(v) + span);
         }
@@ -838,51 +1203,47 @@ impl<'g> CandidateBatch<'g> {
                     w.mapping.set(v, d);
                 }
             }
-            let mut best = p.best_known;
-            let mut completed = 0u32;
-            let mut banked: Vec<(u32, f64)> = Vec::new();
-            let mut aborted = 0u32;
-            for s in 0..schedules.len() {
-                if p.mask & (1 << s) == 0 {
-                    continue;
-                }
-                let order = schedules.order(s);
-                let from_pos = w
-                    .undo
-                    .iter()
-                    .map(|&(v, _)| order.earliest_read_pos(v))
-                    .min()
-                    .unwrap_or(0);
-                let running = if best < cutoff { best } else { cutoff };
-                match tables.makespan_order_window(
-                    &mut w.scratch,
-                    &w.mapping,
-                    order,
-                    checkpoints.get(s),
-                    from_pos,
-                    running,
-                ) {
-                    WindowSim::Done(ms) => {
-                        completed += 1;
-                        if bank {
-                            banked.push((s as u32, ms));
-                        }
-                        if ms < best {
-                            best = ms;
-                        }
-                    }
-                    WindowSim::Cutoff => aborted += 1,
-                }
-            }
+            let sim = sweep_candidate(tables, schedules, checkpoints, w, p, cutoff, bank);
             for &(v, old) in w.undo.iter().rev() {
                 w.mapping.set(v, old);
             }
-            CandidateSim {
-                best,
-                completed,
-                banked,
-                aborted,
+            sim
+        })
+    }
+
+    /// [`Self::simulate_chunk`] for [`DeltaOp`] candidates: identical
+    /// sweep machinery, but each candidate's moves come from its delta's
+    /// explicit `(node, device)` list (`Pending::op` indexes `deltas`).
+    fn simulate_delta_chunk(
+        &mut self,
+        chunk: &[Pending],
+        deltas: &[DeltaOp],
+        cutoff: f64,
+    ) -> Vec<CandidateSim> {
+        let tables = &self.tables;
+        let schedules = &self.schedules;
+        let checkpoints = &self.checkpoints;
+        let base = &self.mapping;
+        let generation = self.generation;
+        let bank = self.cfg.memo && self.schedules.len() > 1;
+        par_map_with_threads(self.threads, &mut self.workers, chunk, |w, _, p| {
+            if w.generation != generation {
+                w.mapping.copy_from(base);
+                w.generation = generation;
             }
+            w.undo.clear();
+            for &(v, d) in &deltas[p.op].changes {
+                let old = w.mapping.device(v);
+                if old != d {
+                    w.undo.push((v, old));
+                    w.mapping.set(v, d);
+                }
+            }
+            let sim = sweep_candidate(tables, schedules, checkpoints, w, p, cutoff, bank);
+            for &(v, old) in w.undo.iter().rev() {
+                w.mapping.set(v, old);
+            }
+            sim
         })
     }
 
@@ -965,6 +1326,66 @@ impl<'g> CandidateBatch<'g> {
         }
         self.path_scores
             .sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    }
+}
+
+/// Sweep the unresolved schedules (`p.mask`) of one candidate whose
+/// moves are already applied to `w.mapping` (undo log in `w.undo`):
+/// each schedule is windowed from the candidate's minimum earliest-read
+/// position over all changed nodes *under that schedule*, under the
+/// running cutoff `min(cutoff, best schedule so far)`.  Shared by the
+/// single-op and the [`DeltaOp`] simulation paths — the sweep never
+/// cares how the moves were described, only which nodes changed.
+fn sweep_candidate(
+    tables: &EvalTables<'_>,
+    schedules: &ReportSchedules,
+    checkpoints: &CheckpointSet,
+    w: &mut Worker,
+    p: &Pending,
+    cutoff: f64,
+    bank: bool,
+) -> CandidateSim {
+    let mut best = p.best_known;
+    let mut completed = 0u32;
+    let mut banked: Vec<(u32, f64)> = Vec::new();
+    let mut aborted = 0u32;
+    for s in 0..schedules.len() {
+        if p.mask & (1 << s) == 0 {
+            continue;
+        }
+        let order = schedules.order(s);
+        let from_pos = w
+            .undo
+            .iter()
+            .map(|&(v, _)| order.earliest_read_pos(v))
+            .min()
+            .unwrap_or(0);
+        let running = if best < cutoff { best } else { cutoff };
+        match tables.makespan_order_window(
+            &mut w.scratch,
+            &w.mapping,
+            order,
+            checkpoints.get(s),
+            from_pos,
+            running,
+        ) {
+            WindowSim::Done(ms) => {
+                completed += 1;
+                if bank {
+                    banked.push((s as u32, ms));
+                }
+                if ms < best {
+                    best = ms;
+                }
+            }
+            WindowSim::Cutoff => aborted += 1,
+        }
+    }
+    CandidateSim {
+        best,
+        completed,
+        banked,
+        aborted,
     }
 }
 
@@ -1379,6 +1800,251 @@ mod tests {
         }
         assert_eq!(results[0], results[1]);
         assert_eq!(results[0], results[2], "stats and deltas thread-invariant");
+    }
+
+    /// Deterministic multi-assignment deltas over a graph: mixes
+    /// single-node moves, multi-node single-device moves and genuinely
+    /// multi-device reassignments (different nodes to different
+    /// devices), plus no-op entries.
+    fn delta_zoo(g: &TaskGraph, p: &Platform) -> Vec<DeltaOp> {
+        let n = g.node_count() as u32;
+        let dm = p.device_count() as u32;
+        let mut deltas = Vec::new();
+        for t in 0..24u32 {
+            let k = 1 + (t % 4) as usize;
+            let changes: Vec<(NodeId, DeviceId)> = (0..k)
+                .map(|j| {
+                    let v = (t.wrapping_mul(13).wrapping_add(j as u32 * 29)) % n;
+                    let d = (t + j as u32) % dm;
+                    (NodeId(v), DeviceId(d))
+                })
+                .collect();
+            // A node may repeat across deltas but not within one.
+            let mut seen = Vec::new();
+            let changes: Vec<_> = changes
+                .into_iter()
+                .filter(|&(v, _)| {
+                    if seen.contains(&v) {
+                        false
+                    } else {
+                        seen.push(v);
+                        true
+                    }
+                })
+                .collect();
+            deltas.push(DeltaOp::new(changes));
+        }
+        deltas.push(DeltaOp::default()); // empty: trivially a no-op
+        deltas
+    }
+
+    /// Reference improvements: serial probe of every delta against the
+    /// engine's base mapping, exactly like the seed inner loop would.
+    fn reference_delta_improvements(
+        g: &TaskGraph,
+        p: &Platform,
+        eng: &CandidateBatch<'_>,
+        deltas: &[DeltaOp],
+    ) -> Vec<f64> {
+        let mut ev = Evaluator::new(g, p);
+        let mut mapping = eng.mapping().clone();
+        let cur = eng.current_makespan();
+        deltas
+            .iter()
+            .map(|delta| {
+                let undo: Vec<(NodeId, DeviceId)> = delta
+                    .changes
+                    .iter()
+                    .filter_map(|&(v, d)| {
+                        let old = mapping.device(v);
+                        (old != d).then_some((v, old))
+                    })
+                    .collect();
+                if undo.is_empty() {
+                    return f64::NEG_INFINITY;
+                }
+                for &(v, d) in &delta.changes {
+                    mapping.set(v, d);
+                }
+                let imp = match ev.makespan_bfs(&mapping) {
+                    Some(ms) => cur - ms,
+                    None => f64::NEG_INFINITY,
+                };
+                for &(v, old) in undo.iter().rev() {
+                    mapping.set(v, old);
+                }
+                imp
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unpruned_delta_batch_matches_serial_probe_bitwise() {
+        for seed in [1u64, 6, 12] {
+            let (g, p) = setup(seed);
+            let mut eng = engine(
+                &g,
+                &p,
+                EngineConfig {
+                    threads: Some(4),
+                    memo: false,
+                    prune: false,
+                    ..EngineConfig::default()
+                },
+            );
+            let deltas = delta_zoo(&g, &p);
+            let batch = eng.evaluate_deltas(&deltas, false);
+            let reference = reference_delta_improvements(&g, &p, &eng, &deltas);
+            assert_eq!(batch, reference, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pruned_delta_batch_preserves_the_winning_candidate() {
+        for seed in [3u64, 9] {
+            let (g, p) = setup(seed);
+            let mut eng =
+                engine(&g, &p, EngineConfig { threads: Some(4), ..Default::default() });
+            let deltas = delta_zoo(&g, &p);
+            let pruned = eng.evaluate_deltas(&deltas, true);
+            let reference = reference_delta_improvements(&g, &p, &eng, &deltas);
+            let threshold = eng.current_makespan() * REL_EPS;
+            let pick = |d: &[f64]| {
+                d.iter()
+                    .enumerate()
+                    .filter(|(_, &x)| x > threshold)
+                    .fold(None::<(usize, f64)>, |best, (i, &x)| {
+                        if best.is_none_or(|(_, b)| x > b) {
+                            Some((i, x))
+                        } else {
+                            best
+                        }
+                    })
+            };
+            assert_eq!(pick(&pruned), pick(&reference), "seed {seed}");
+            for (i, (&a, &b)) in pruned.iter().zip(&reference).enumerate() {
+                if a != f64::NEG_INFINITY {
+                    assert_eq!(a, b, "delta {i} seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_batch_memoizes_and_commits_interoperate() {
+        // Deltas and single ops share the memos: evaluating the single
+        // ops first must answer matching deltas from the memo.
+        let (g, p) = setup(4);
+        let mut eng = engine(&g, &p, EngineConfig { threads: Some(2), ..Default::default() });
+        let ops: Vec<OpId> = (0..eng.op_count()).collect();
+        let op_deltas = eng.evaluate_ops(&ops, false);
+        // Build deltas mirroring the first few ops exactly.
+        let deltas: Vec<DeltaOp> = ops
+            .iter()
+            .take(12)
+            .map(|&op| {
+                let (sub, d) = eng.op_parts(op);
+                DeltaOp::new(sub.iter().map(|&v| (v, d)).collect())
+            })
+            .collect();
+        let hits_before = eng.stats().memo_hits;
+        let got = eng.evaluate_deltas(&deltas, false);
+        assert!(
+            eng.stats().memo_hits > hits_before,
+            "op-path results must answer identical deltas"
+        );
+        for (i, (&a, &b)) in got.iter().zip(&op_deltas).enumerate() {
+            assert_eq!(a, b, "delta {i} disagrees with its op twin");
+        }
+    }
+
+    #[test]
+    fn tiny_memo_capacity_is_respected_and_exact() {
+        for seed in [2u64, 8] {
+            let (g, p) = setup(seed);
+            let run = |capacity: usize| {
+                let mut eng = engine(
+                    &g,
+                    &p,
+                    EngineConfig {
+                        threads: Some(2),
+                        memo_capacity: capacity,
+                        ..EngineConfig::default()
+                    },
+                );
+                let ops: Vec<OpId> = (0..eng.op_count()).collect();
+                let mut all = Vec::new();
+                for _ in 0..3 {
+                    all.push(eng.evaluate_ops(&ops, false));
+                }
+                (all, eng.stats(), eng.memo_len())
+            };
+            let (unbounded, _, _) = run(0);
+            let (tiny, stats, len) = run(8);
+            assert_eq!(unbounded, tiny, "seed {seed}: eviction changed a delta");
+            assert!(stats.memo_evictions > 0, "seed {seed}: capacity 8 must evict");
+            assert!(len <= 8, "seed {seed}: memo above capacity ({len})");
+            assert!(stats.memo_peak <= 8, "seed {seed}: peak above capacity ({stats:?})");
+        }
+    }
+
+    #[test]
+    fn report_mode_memo_capacity_is_respected_and_exact() {
+        let (g, p) = setup(5);
+        let k = 3;
+        let run = |capacity: usize| {
+            let mut eng = report_engine(
+                &g,
+                &p,
+                EngineConfig {
+                    threads: Some(2),
+                    memo_capacity: capacity,
+                    ..EngineConfig::default()
+                },
+                k,
+                9,
+            );
+            let ops: Vec<OpId> = (0..eng.op_count()).collect();
+            let mut all = Vec::new();
+            for _ in 0..3 {
+                all.push(eng.evaluate_ops(&ops, false));
+            }
+            (all, eng.stats(), eng.memo_len(), eng.sched_memo_len())
+        };
+        let (unbounded, _, _, _) = run(0);
+        let (tiny, stats, len, sched_len) = run(16);
+        assert_eq!(unbounded, tiny, "eviction changed a report-mode delta");
+        assert!(
+            stats.memo_evictions > 0 || stats.sched_memo_evictions > 0,
+            "capacity 16 must evict in one of the memos: {stats:?}"
+        );
+        assert!(len <= 16 && sched_len <= 16, "a memo exceeded its capacity");
+        assert!(stats.memo_peak <= 16 && stats.sched_memo_peak <= 16);
+    }
+
+    #[test]
+    fn bounded_memo_is_lru_and_bounded() {
+        let mut memo: BoundedMemo<u64> = BoundedMemo::new(4);
+        for k in 0..4u64 {
+            memo.insert(k, k as f64);
+        }
+        assert_eq!(memo.len(), 4);
+        // Touch 0 and 1, then insert new keys: 2 and 3 must go first.
+        assert_eq!(memo.get(&0), Some(0.0));
+        assert_eq!(memo.get(&1), Some(1.0));
+        memo.insert(4, 4.0);
+        assert!(memo.len() <= 4);
+        assert_eq!(memo.get(&2), None, "LRU entry must be evicted");
+        assert_eq!(memo.get(&1), Some(1.0), "recently used entry survives");
+        assert!(memo.evictions() > 0);
+        assert!(memo.peak() <= 4);
+        // Unbounded: never evicts.
+        let mut unbounded: BoundedMemo<u64> = BoundedMemo::new(0);
+        for k in 0..1000u64 {
+            unbounded.insert(k, 0.0);
+        }
+        assert_eq!(unbounded.len(), 1000);
+        assert_eq!(unbounded.evictions(), 0);
     }
 
     #[test]

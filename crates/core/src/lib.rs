@@ -41,11 +41,15 @@
 
 pub mod batch;
 pub mod mapper;
+pub mod population;
 pub mod threshold;
 
-pub use batch::{BatchStats, CandidateBatch, EngineConfig, MAX_SCHEDULES};
+pub use batch::{
+    BatchStats, CandidateBatch, DeltaOp, EngineConfig, DEFAULT_MEMO_CAPACITY, MAX_SCHEDULES,
+};
 pub use mapper::{
     decomposition_map, decomposition_map_reference, try_decomposition_map,
     try_decomposition_map_reference, CostModel, MapperConfig, MapperError, MapperResult, OpId,
     SearchHeuristic, SubgraphStrategy,
 };
+pub use population::{DeltaCandidate, PopBase, PopulationConfig, PopulationEval, PopulationStats};

@@ -18,12 +18,29 @@
 //! meaningless; survivor selection is therefore the (µ + λ) elitist
 //! truncation of the combined parent/offspring population — which is
 //! exactly what NSGA-II does when every front is a singleton chain.
+//!
+//! ## Two implementations, one result
+//!
+//! [`nsga2_map`] scores every generation through the incremental +
+//! parallel population engine (`spmap_core::PopulationEval`): offspring
+//! are described as deltas against their prefix parent (fingerprints
+//! maintained in `O(k)` per child), fitness values memoize across
+//! generations under the mapping-content memo, children of a shared
+//! base replay only the schedule suffix their changed genes can affect,
+//! and surviving simulations run in parallel.  None of that can change
+//! a fitness bit — the simulator is a pure function of the mapping — so
+//! the run is **bit-identical per seed** to [`nsga2_map_reference`],
+//! the original strictly serial implementation kept as the executable
+//! specification (one full simulation per fitness call).  The
+//! equivalence suite (`tests/equivalence.rs`) proves it across seeds
+//! and thread counts.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use spmap_core::{DeltaCandidate, PopBase, PopulationConfig, PopulationEval, PopulationStats};
 use spmap_graph::{ops, NodeId, TaskGraph};
-use spmap_model::{DeviceId, Evaluator, Mapping, Platform};
+use spmap_model::{DeviceId, Evaluator, Mapping, MappingFingerprint, Platform};
 
 /// NSGA-II parameters (defaults = the paper's §IV-A values).
 #[derive(Clone, Debug)]
@@ -38,6 +55,13 @@ pub struct GaConfig {
     pub mutation_rate: Option<f64>,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads of the engine-backed [`nsga2_map`]; `None` reads
+    /// `SPMAP_THREADS` / machine parallelism.  Ignored by the serial
+    /// reference path.
+    pub threads: Option<usize>,
+    /// Fitness-memo entry cap of the engine-backed path
+    /// (generation-stamped LRU; `0` = unbounded).
+    pub memo_capacity: usize,
 }
 
 impl Default for GaConfig {
@@ -48,6 +72,8 @@ impl Default for GaConfig {
             crossover_rate: 0.9,
             mutation_rate: None,
             seed: 0,
+            threads: None,
+            memo_capacity: spmap_core::DEFAULT_MEMO_CAPACITY,
         }
     }
 }
@@ -72,10 +98,15 @@ pub struct GaResult {
     pub makespan: f64,
     /// Makespan of the all-CPU default mapping.
     pub cpu_only_makespan: f64,
-    /// Total number of model evaluations.
+    /// Total number of model evaluations.  For the engine-backed path
+    /// this counts actual simulations (full, windowed and trail runs);
+    /// memo-answered fitness calls run none.
     pub evaluations: u64,
     /// Best fitness after each generation (non-increasing).
     pub best_per_generation: Vec<f64>,
+    /// Population-engine decision counters (zero for the serial
+    /// reference path).
+    pub engine: PopulationStats,
 }
 
 impl GaResult {
@@ -85,12 +116,113 @@ impl GaResult {
     }
 }
 
-struct Individual {
-    genome: Vec<u8>,
-    fitness: f64,
+/// Write `genome` into `mapping` (position `i` = task `topo[i]`); every
+/// task is assigned, so any previous content is fully overwritten — the
+/// buffer is reusable across decodes (no per-fitness-call allocation).
+fn decode_into(mapping: &mut Mapping, genome: &[u8], topo: &[NodeId]) {
+    for (i, &gene) in genome.iter().enumerate() {
+        mapping.set(topo[i], DeviceId(gene as u32));
+    }
 }
 
-/// Run the single-objective NSGA-II mapper.
+/// Repair: evict tasks from over-full FPGAs, largest area first, until
+/// the budget holds.  Deterministic, so equal seeds give equal runs.
+fn repair(
+    graph: &TaskGraph,
+    platform: &Platform,
+    topo: &[NodeId],
+    default_gene: u8,
+    genome: &mut [u8],
+) {
+    for d in platform.device_ids() {
+        if !platform.is_fpga(d) {
+            continue;
+        }
+        let cap = platform.device(d).area_capacity();
+        let mut used: f64 = genome
+            .iter()
+            .enumerate()
+            .filter(|&(_, &gene)| gene as u32 == d.0)
+            .map(|(i, _)| graph.task(topo[i]).area)
+            .sum();
+        while used > cap + 1e-9 {
+            let (worst, area) = genome
+                .iter()
+                .enumerate()
+                .filter(|&(_, &gene)| gene as u32 == d.0)
+                .map(|(i, _)| (i, graph.task(topo[i]).area))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("over-full device has at least one task");
+            genome[worst] = default_gene;
+            used -= area;
+        }
+    }
+}
+
+/// How many of the fittest population members (beyond the two parents)
+/// the window-base search considers per child.
+const WINDOW_BASE_POOL: usize = 20;
+
+/// Probe budget of the capped shortlisting walk (the winner gets one
+/// uncapped walk for its exact window start).
+const WINDOW_WALK_CAP: usize = 96;
+
+/// A sound window start for `genome` against `base`: a breadth-first
+/// pop position such that the two mappings agree on every task read
+/// before it.  Walks positions in ascending earliest-read order, so
+/// the first difference yields the *exact* (latest sound) start;
+/// hitting the probe `cap` without a difference yields a conservative
+/// lower bound instead (all diffs lie at later-read positions).
+fn window_start(
+    genome: &[u8],
+    base: &[u8],
+    scan_order: &[u32],
+    earliest_read: &[usize],
+    cap: usize,
+) -> usize {
+    let lim = cap.min(scan_order.len());
+    for &i in &scan_order[..lim] {
+        let i = i as usize;
+        if genome[i] != base[i] {
+            return earliest_read[i];
+        }
+    }
+    if lim < scan_order.len() {
+        earliest_read[scan_order[lim] as usize]
+    } else {
+        genome.len()
+    }
+}
+
+/// Binary tournament over a fitness slice: two uniform picks, the
+/// better (lower) fitness wins, ties to the first pick.
+fn tournament(fitness: &[f64], rng: &mut StdRng) -> usize {
+    let a = rng.gen_range(0..fitness.len());
+    let b = rng.gen_range(0..fitness.len());
+    if fitness[a] <= fitness[b] {
+        a
+    } else {
+        b
+    }
+}
+
+/// One individual of the engine-backed population: genome, fitness, and
+/// the decoded mapping with its content fingerprint (maintained
+/// incrementally, so offspring cost `O(k)` fingerprint work).
+struct EngineIndividual {
+    genome: Vec<u8>,
+    fitness: f64,
+    mapping: Mapping,
+    fp: MappingFingerprint,
+}
+
+/// Run the single-objective NSGA-II mapper through the population
+/// evaluation engine.
+///
+/// Bit-identical per seed to [`nsga2_map_reference`] in mapping,
+/// makespan, baseline and per-generation history (the engine only
+/// changes *how much work* each fitness value costs, never its bits);
+/// `evaluations` counts actual simulations and is therefore lower.
 pub fn nsga2_map(graph: &TaskGraph, platform: &Platform, cfg: &GaConfig) -> GaResult {
     assert!(cfg.population >= 2, "population must be >= 2");
     assert!(
@@ -100,79 +232,87 @@ pub fn nsga2_map(graph: &TaskGraph, platform: &Platform, cfg: &GaConfig) -> GaRe
     let n = graph.node_count();
     let m = platform.device_count() as u8;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut evaluator = Evaluator::new(graph, platform);
+    let mut engine = PopulationEval::new(
+        graph,
+        platform,
+        PopulationConfig {
+            threads: cfg.threads,
+            memo_capacity: cfg.memo_capacity,
+        },
+    );
     let mutation_rate = cfg.mutation_rate.unwrap_or(1.0 / n.max(1) as f64);
-
-    // Genome position i corresponds to task topo[i]: crossover points cut
-    // the genome into a topological prefix and suffix, giving crossover a
-    // locality meaning on the DAG (paper: "topologically sorted genome").
     let topo: Vec<NodeId> = ops::topo_order(graph).expect("task graphs are DAGs");
     let default_gene = platform.default_device().0 as u8;
 
-    let decode = |genome: &[u8]| -> Mapping {
-        let mut mapping = Mapping::uniform(n, platform.default_device());
-        for (i, &gene) in genome.iter().enumerate() {
-            mapping.set(topo[i], DeviceId(gene as u32));
-        }
-        mapping
-    };
-
-    // Repair: evict tasks from over-full FPGAs, largest area first, until
-    // the budget holds.  Deterministic, so equal seeds give equal runs.
-    let repair = |genome: &mut [u8]| {
-        for d in platform.device_ids() {
-            if !platform.is_fpga(d) {
-                continue;
-            }
-            let cap = platform.device(d).area_capacity();
-            let mut used: f64 = genome
-                .iter()
-                .enumerate()
-                .filter(|&(_, &gene)| gene as u32 == d.0)
-                .map(|(i, _)| graph.task(topo[i]).area)
-                .sum();
-            while used > cap + 1e-9 {
-                let (worst, area) = genome
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &gene)| gene as u32 == d.0)
-                    .map(|(i, _)| (i, graph.task(topo[i]).area))
-                    .max_by(|a, b| a.1.total_cmp(&b.1))
-                    .expect("over-full device has at least one task");
-                genome[worst] = default_gene;
-                used -= area;
-            }
-        }
-    };
-
-    let fitness_of = |genome: &[u8], ev: &mut Evaluator<'_>| -> f64 {
-        ev.makespan_bfs(&decode(genome))
-            .expect("repaired genomes are area-feasible")
-    };
-
-    // Initial population: the pure-CPU individual plus random genomes.
-    let mut pop: Vec<Individual> = Vec::with_capacity(cfg.population);
-    {
-        let genome = vec![default_gene; n];
-        let fitness = fitness_of(&genome, &mut evaluator);
-        pop.push(Individual { genome, fitness });
-    }
-    let cpu_only_makespan = pop[0].fitness;
-    while pop.len() < cfg.population {
+    // Initial population: the pure-CPU individual plus random genomes
+    // (identical RNG consumption to the reference — fitness evaluation
+    // never draws from the stream, so batching it is invisible).
+    let mut genomes: Vec<Vec<u8>> = Vec::with_capacity(cfg.population);
+    genomes.push(vec![default_gene; n]);
+    while genomes.len() < cfg.population {
         let mut genome: Vec<u8> = (0..n).map(|_| rng.gen_range(0..m)).collect();
-        repair(&mut genome);
-        let fitness = fitness_of(&genome, &mut evaluator);
-        pop.push(Individual { genome, fitness });
+        repair(graph, platform, &topo, default_gene, &mut genome);
+        genomes.push(genome);
     }
+    let mut pop: Vec<EngineIndividual> = genomes
+        .into_iter()
+        .map(|genome| {
+            let mut mapping = Mapping::uniform(n, platform.default_device());
+            decode_into(&mut mapping, &genome, &topo);
+            let fp = MappingFingerprint::of(&mapping);
+            EngineIndividual {
+                genome,
+                fitness: f64::NAN,
+                mapping,
+                fp,
+            }
+        })
+        .collect();
+    {
+        let cands: Vec<DeltaCandidate<'_>> = pop
+            .iter()
+            .map(|ind| DeltaCandidate {
+                mapping: &ind.mapping,
+                fingerprint: ind.fp.value(),
+                base: None,
+                window_start: 0,
+            })
+            .collect();
+        let fits = engine.evaluate(&[], &cands);
+        drop(cands);
+        for (ind, f) in pop.iter_mut().zip(fits) {
+            ind.fitness = f.expect("repaired genomes are area-feasible");
+        }
+    }
+    // Earliest-read position per *genome position* (gene `i` is task
+    // `topo[i]`), plus genome positions sorted by ascending earliest
+    // read: walking two genomes in that order, the first differing
+    // position *is* their shared window start — so the nearest-base
+    // search pays only one short walk per dissimilar base.
+    let earliest_read: Vec<usize> = topo
+        .iter()
+        .map(|&v| engine.tables().earliest_read_pos(v))
+        .collect();
+    let mut scan_order: Vec<u32> = (0..n as u32).collect();
+    scan_order.sort_by_key(|&i| (earliest_read[i as usize], i));
+    let cpu_only_makespan = pop[0].fitness;
     pop.sort_by(|a, b| a.fitness.total_cmp(&b.fitness));
 
+    // Recycled buffers: mappings of truncated individuals become the
+    // next generation's offspring buffers — zero steady-state
+    // allocation of mapping storage.
+    let mut spare: Vec<Mapping> = Vec::new();
+    let mut fitness_view: Vec<f64> = Vec::with_capacity(cfg.population);
     let mut best_per_generation = Vec::with_capacity(cfg.generations);
     for _ in 0..cfg.generations {
-        // Variation: binary tournaments, single-point crossover, mutation.
-        let mut offspring: Vec<Individual> = Vec::with_capacity(cfg.population);
-        while offspring.len() < cfg.population {
-            let pa = tournament(&pop, &mut rng);
-            let pb = tournament(&pop, &mut rng);
+        // Variation: binary tournaments, single-point crossover,
+        // mutation — the exact RNG stream of the reference loop.
+        fitness_view.clear();
+        fitness_view.extend(pop.iter().map(|i| i.fitness));
+        let mut staged: Vec<(Vec<u8>, usize, usize)> = Vec::with_capacity(cfg.population);
+        while staged.len() < cfg.population {
+            let pa = tournament(&fitness_view, &mut rng);
+            let pb = tournament(&fitness_view, &mut rng);
             let (mut ca, mut cb) = if n >= 2 && rng.gen_bool(cfg.crossover_rate) {
                 let cut = rng.gen_range(1..n);
                 let mut ca = pop[pa].genome.clone();
@@ -190,11 +330,221 @@ pub fn nsga2_map(graph: &TaskGraph, platform: &Platform, cfg: &GaConfig) -> GaRe
                         *gene = rng.gen_range(0..m);
                     }
                 }
-                repair(child);
+                repair(graph, platform, &topo, default_gene, child);
+            }
+            for (genome, prefix_parent, suffix_parent) in [(ca, pa, pb), (cb, pb, pa)] {
+                if staged.len() < cfg.population {
+                    staged.push((genome, prefix_parent, suffix_parent));
+                }
+            }
+        }
+        // Decode offspring as parent-relative deltas: mapping copy +
+        // O(k) fingerprint toggles from the prefix parent, plus the
+        // best window base among {prefix parent, suffix parent, the
+        // incumbent pop[0]} — the one whose diff is first read latest
+        // in the breadth-first schedule.  The choice only affects how
+        // much of the schedule is replayed, never a fitness bit.
+        let mut off: Vec<EngineIndividual> = Vec::with_capacity(staged.len());
+        let mut off_base: Vec<usize> = Vec::with_capacity(staged.len());
+        let mut off_pos: Vec<usize> = Vec::with_capacity(staged.len());
+        for (genome, prefix_parent, suffix_parent) in staged {
+            let parent = &pop[prefix_parent];
+            let mut mapping = match spare.pop() {
+                Some(mut buf) => {
+                    buf.copy_from(&parent.mapping);
+                    buf
+                }
+                None => parent.mapping.clone(),
+            };
+            let mut fp = parent.fp;
+            for i in 0..n {
+                if genome[i] != parent.genome[i] {
+                    let v = topo[i];
+                    fp.toggle(
+                        v,
+                        DeviceId(parent.genome[i] as u32),
+                        DeviceId(genome[i] as u32),
+                    );
+                    mapping.set(v, DeviceId(genome[i] as u32));
+                }
+            }
+            // Window base: the nearest neighbor (latest first-read
+            // difference) among both parents and the fittest survivors
+            // — converged populations cluster around the elite, so an
+            // elite trail windows most children late.  Capped walks
+            // shortlist; only the winner pays an uncapped walk for its
+            // exact window start.
+            let mut short: [(usize, usize); 2] = [(0, prefix_parent), (0, suffix_parent)];
+            for b in (0..pop.len().min(WINDOW_BASE_POOL)).chain([prefix_parent, suffix_parent]) {
+                let pos = window_start(
+                    &genome,
+                    &pop[b].genome,
+                    &scan_order,
+                    &earliest_read,
+                    WINDOW_WALK_CAP,
+                );
+                if pos > short[0].0 {
+                    short[1] = short[0];
+                    short[0] = (pos, b);
+                } else if pos > short[1].0 && b != short[0].1 {
+                    short[1] = (pos, b);
+                }
+            }
+            let mut base = short[0].1;
+            let mut exact_pos =
+                window_start(&genome, &pop[base].genome, &scan_order, &earliest_read, usize::MAX);
+            if short[1].1 != base {
+                let second = window_start(
+                    &genome,
+                    &pop[short[1].1].genome,
+                    &scan_order,
+                    &earliest_read,
+                    usize::MAX,
+                );
+                if second > exact_pos {
+                    base = short[1].1;
+                    exact_pos = second;
+                }
+            }
+            off.push(EngineIndividual {
+                genome,
+                fitness: f64::NAN,
+                mapping,
+                fp,
+            });
+            off_base.push(base);
+            off_pos.push(exact_pos);
+        }
+        {
+            let bases: Vec<PopBase<'_>> = pop
+                .iter()
+                .map(|i| PopBase {
+                    mapping: &i.mapping,
+                    fingerprint: i.fp.value(),
+                })
+                .collect();
+            let cands: Vec<DeltaCandidate<'_>> = off
+                .iter()
+                .zip(&off_base)
+                .zip(&off_pos)
+                .map(|((ind, &b), &pos)| DeltaCandidate {
+                    mapping: &ind.mapping,
+                    fingerprint: ind.fp.value(),
+                    base: Some(b),
+                    window_start: pos,
+                })
+                .collect();
+            let fits = engine.evaluate(&bases, &cands);
+            drop(cands);
+            for (ind, f) in off.iter_mut().zip(fits) {
+                ind.fitness = f.expect("repaired genomes are area-feasible");
+            }
+        }
+        // (µ + λ) elitist truncation — single-objective NSGA-II survivor
+        // selection (stable sort: identical key sequence => identical
+        // permutation as the reference).
+        pop.append(&mut off);
+        pop.sort_by(|a, b| a.fitness.total_cmp(&b.fitness));
+        spare.extend(pop.drain(cfg.population..).map(|i| i.mapping));
+        best_per_generation.push(pop[0].fitness);
+    }
+
+    let best = &pop[0];
+    GaResult {
+        mapping: best.mapping.clone(),
+        makespan: best.fitness,
+        cpu_only_makespan,
+        evaluations: engine.evaluations(),
+        best_per_generation,
+        engine: engine.stats(),
+    }
+}
+
+struct Individual {
+    genome: Vec<u8>,
+    fitness: f64,
+}
+
+/// Run the single-objective NSGA-II mapper through the original strictly
+/// serial loop — one full model simulation per fitness call, no
+/// memoization, no windows, no threads.
+///
+/// This is the executable specification [`nsga2_map`] is verified
+/// against (`tests/equivalence.rs`: identical mapping, makespan and
+/// per-generation history for every seed), and the baseline
+/// `perf_report --quick`'s `ga` rows measure speedups from.
+pub fn nsga2_map_reference(graph: &TaskGraph, platform: &Platform, cfg: &GaConfig) -> GaResult {
+    assert!(cfg.population >= 2, "population must be >= 2");
+    assert!(
+        platform.device_count() <= u8::MAX as usize,
+        "genome encodes devices as u8"
+    );
+    let n = graph.node_count();
+    let m = platform.device_count() as u8;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut evaluator = Evaluator::new(graph, platform);
+    let mutation_rate = cfg.mutation_rate.unwrap_or(1.0 / n.max(1) as f64);
+
+    // Genome position i corresponds to task topo[i]: crossover points cut
+    // the genome into a topological prefix and suffix, giving crossover a
+    // locality meaning on the DAG (paper: "topologically sorted genome").
+    let topo: Vec<NodeId> = ops::topo_order(graph).expect("task graphs are DAGs");
+    let default_gene = platform.default_device().0 as u8;
+
+    // One reusable decode buffer for every fitness call of the run (the
+    // hot loop used to allocate a fresh mapping per call).
+    let mut scratch = Mapping::uniform(n, platform.default_device());
+    let fitness_of = |genome: &[u8], ev: &mut Evaluator<'_>, scratch: &mut Mapping| -> f64 {
+        decode_into(scratch, genome, &topo);
+        ev.makespan_bfs(scratch)
+            .expect("repaired genomes are area-feasible")
+    };
+
+    // Initial population: the pure-CPU individual plus random genomes.
+    let mut pop: Vec<Individual> = Vec::with_capacity(cfg.population);
+    {
+        let genome = vec![default_gene; n];
+        let fitness = fitness_of(&genome, &mut evaluator, &mut scratch);
+        pop.push(Individual { genome, fitness });
+    }
+    let cpu_only_makespan = pop[0].fitness;
+    while pop.len() < cfg.population {
+        let mut genome: Vec<u8> = (0..n).map(|_| rng.gen_range(0..m)).collect();
+        repair(graph, platform, &topo, default_gene, &mut genome);
+        let fitness = fitness_of(&genome, &mut evaluator, &mut scratch);
+        pop.push(Individual { genome, fitness });
+    }
+    pop.sort_by(|a, b| a.fitness.total_cmp(&b.fitness));
+
+    let mut best_per_generation = Vec::with_capacity(cfg.generations);
+    for _ in 0..cfg.generations {
+        // Variation: binary tournaments, single-point crossover, mutation.
+        let mut offspring: Vec<Individual> = Vec::with_capacity(cfg.population);
+        while offspring.len() < cfg.population {
+            let pa = tournament_ref(&pop, &mut rng);
+            let pb = tournament_ref(&pop, &mut rng);
+            let (mut ca, mut cb) = if n >= 2 && rng.gen_bool(cfg.crossover_rate) {
+                let cut = rng.gen_range(1..n);
+                let mut ca = pop[pa].genome.clone();
+                let mut cb = pop[pb].genome.clone();
+                for i in cut..n {
+                    std::mem::swap(&mut ca[i], &mut cb[i]);
+                }
+                (ca, cb)
+            } else {
+                (pop[pa].genome.clone(), pop[pb].genome.clone())
+            };
+            for child in [&mut ca, &mut cb] {
+                for gene in child.iter_mut() {
+                    if rng.gen_bool(mutation_rate) {
+                        *gene = rng.gen_range(0..m);
+                    }
+                }
+                repair(graph, platform, &topo, default_gene, child);
             }
             for genome in [ca, cb] {
                 if offspring.len() < cfg.population {
-                    let fitness = fitness_of(&genome, &mut evaluator);
+                    let fitness = fitness_of(&genome, &mut evaluator, &mut scratch);
                     offspring.push(Individual { genome, fitness });
                 }
             }
@@ -208,16 +558,19 @@ pub fn nsga2_map(graph: &TaskGraph, platform: &Platform, cfg: &GaConfig) -> GaRe
     }
 
     let best = &pop[0];
+    let mut mapping = Mapping::uniform(n, platform.default_device());
+    decode_into(&mut mapping, &best.genome, &topo);
     GaResult {
-        mapping: decode(&best.genome),
+        mapping,
         makespan: best.fitness,
         cpu_only_makespan,
         evaluations: evaluator.stats().evaluations,
         best_per_generation,
+        engine: PopulationStats::default(),
     }
 }
 
-fn tournament(pop: &[Individual], rng: &mut StdRng) -> usize {
+fn tournament_ref(pop: &[Individual], rng: &mut StdRng) -> usize {
     let a = rng.gen_range(0..pop.len());
     let b = rng.gen_range(0..pop.len());
     if pop[a].fitness <= pop[b].fitness {
@@ -299,6 +652,30 @@ mod tests {
     }
 
     #[test]
+    fn engine_ga_matches_reference_bitwise() {
+        // The headline guarantee in miniature (the full matrix lives in
+        // tests/equivalence.rs): the engine-backed GA reproduces the
+        // serial reference per seed, bit for bit.
+        let p = Platform::reference();
+        let mut g = random_sp_graph(&SpGenConfig::new(26, 13));
+        augment(&mut g, &AugmentConfig::default(), 13);
+        for seed in [0u64, 9] {
+            let cfg = small_cfg(seed);
+            let fast = nsga2_map(&g, &p, &cfg);
+            let slow = nsga2_map_reference(&g, &p, &cfg);
+            assert_eq!(fast.mapping, slow.mapping, "seed {seed}");
+            assert_eq!(fast.makespan, slow.makespan, "seed {seed}");
+            assert_eq!(fast.best_per_generation, slow.best_per_generation, "seed {seed}");
+            assert_eq!(fast.cpu_only_makespan, slow.cpu_only_makespan, "seed {seed}");
+            assert!(
+                fast.engine.memo_hits > 0,
+                "a converging GA must produce memo hits: {:?}",
+                fast.engine
+            );
+        }
+    }
+
+    #[test]
     fn repair_handles_oversized_tasks() {
         // All tasks love the FPGA but only a few fit: repaired genomes
         // must stay feasible throughout.
@@ -326,10 +703,20 @@ mod tests {
         let mut g = random_sp_graph(&SpGenConfig::new(15, 2));
         augment(&mut g, &AugmentConfig::default(), 2);
         let cfg = small_cfg(4);
-        let r = nsga2_map(&g, &p, &cfg);
-        // Initial population + offspring per generation.
+        // The reference pays exactly one simulation per fitness call:
+        // initial population + offspring per generation.
+        let r = nsga2_map_reference(&g, &p, &cfg);
         let expect = (cfg.population * (cfg.generations + 1)) as u64;
         assert_eq!(r.evaluations, expect);
+        // The engine never pays more (memoization can only subtract
+        // simulations; trail recordings are gated to pay for themselves).
+        let e = nsga2_map(&g, &p, &cfg);
+        assert!(
+            e.evaluations <= expect,
+            "engine ran more simulations than the reference: {} > {expect}",
+            e.evaluations
+        );
+        assert_eq!(e.makespan, r.makespan);
     }
 
     #[test]

@@ -826,6 +826,19 @@ impl ScheduleCheckpoints {
         }
     }
 
+    /// A store holding only the all-zero snapshot at position 0 for an
+    /// `n`-task, `m`-device shape.  The zero state is the initial state
+    /// of *every* simulation, so windowing from position 0 against this
+    /// store replays the whole schedule through the precomputed pop
+    /// order — bit-identical to the heap-driven run, but without paying
+    /// the ready-heap's `O(log V)` per pop
+    /// ([`EvalTables::makespan_order_window`] with `from_pos = 0`).
+    pub fn zeroed(n: usize, m: usize, every: usize) -> Self {
+        let mut s = Self::new(every);
+        s.reset(n, m);
+        s
+    }
+
     /// An interval balancing snapshot memory (`~n/every` snapshots of
     /// `O(n)` state) against replay length, for an `n`-task graph.
     pub fn auto_interval(n: usize) -> usize {

@@ -55,7 +55,7 @@ pub mod prelude {
     pub use spmap_decomp::{
         decompose_forest, series_parallel_subgraphs, single_node_subgraphs, CutPolicy,
     };
-    pub use spmap_ga::{nsga2_map, GaConfig};
+    pub use spmap_ga::{nsga2_map, nsga2_map_reference, GaConfig};
     pub use spmap_graph::{
         almost_sp_graph, augment,
         gen::{chain, diamond, fig1_graph, fig2_graph, fork_join},

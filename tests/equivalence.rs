@@ -14,6 +14,13 @@
 //! reference serial sweep — one full `Evaluator::report_makespan` per
 //! candidate per iteration — bit for bit, across thread counts and
 //! schedule counts.
+//!
+//! And to the NSGA-II baseline: the engine-backed GA (`nsga2_map` —
+//! fitness memoization, base-trail windowed replays, parallel
+//! population simulation) must reproduce the kept serial reference
+//! (`nsga2_map_reference`) per seed, bit for bit, across thread counts
+//! and memo-capacity corners (tiny capacities force evictions; results
+//! must not move).
 
 use spmap::prelude::*;
 use spmap_core::{decomposition_map_reference, CostModel, EngineConfig};
@@ -234,6 +241,122 @@ fn report_results_and_stats_are_thread_invariant() {
             assert_eq!(r.history, runs[0].history, "case {case}");
             assert_eq!(r.batch, runs[0].batch, "case {case}: stats drifted");
             assert_eq!(r.evaluations, runs[0].evaluations, "case {case}");
+        }
+    }
+}
+
+/// The GA headline property: the engine-backed NSGA-II reproduces the
+/// serial reference per seed — final mapping, best makespan, baseline
+/// and the full per-generation history, bit for bit — for every worker
+/// count (`SPMAP_THREADS`-style overrides 1, 3 and 8).
+#[test]
+fn engine_ga_matches_serial_reference_across_threads() {
+    for case in 0..4u64 {
+        let g = graph_case(case + 800);
+        let p = platform_case(case);
+        let cfg = |threads: Option<usize>| GaConfig {
+            population: 20,
+            generations: 25,
+            seed: 11 + case,
+            threads,
+            ..GaConfig::default()
+        };
+        let slow = nsga2_map_reference(&g, &p, &cfg(None));
+        for threads in [1usize, 3, 8] {
+            let fast = nsga2_map(&g, &p, &cfg(Some(threads)));
+            let tag = format!("case {case} t{threads}");
+            assert_eq!(fast.mapping, slow.mapping, "{tag}: final mapping differs");
+            assert_eq!(fast.makespan, slow.makespan, "{tag}: makespan differs");
+            assert_eq!(
+                fast.best_per_generation, slow.best_per_generation,
+                "{tag}: history differs"
+            );
+            assert_eq!(
+                fast.cpu_only_makespan, slow.cpu_only_makespan,
+                "{tag}: baseline differs"
+            );
+        }
+    }
+}
+
+/// Memo-capacity corners: a tiny fitness-memo capacity forces constant
+/// evictions; the GA's results must not move by a bit, and the memo
+/// must never exceed its capacity (observed via the engine statistics).
+#[test]
+fn ga_memo_capacity_corners_are_exact_and_bounded() {
+    for case in 0..3u64 {
+        let g = graph_case(case + 900);
+        let p = platform_case(case);
+        let cfg = |memo_capacity: usize| GaConfig {
+            population: 16,
+            generations: 20,
+            seed: 5 + case,
+            threads: Some(3),
+            memo_capacity,
+            ..GaConfig::default()
+        };
+        let slow = nsga2_map_reference(&g, &p, &cfg(0));
+        for capacity in [0usize, 7, 64] {
+            let fast = nsga2_map(&g, &p, &cfg(capacity));
+            let tag = format!("case {case} capacity {capacity}");
+            assert_eq!(fast.makespan, slow.makespan, "{tag}: makespan differs");
+            assert_eq!(
+                fast.best_per_generation, slow.best_per_generation,
+                "{tag}: history differs"
+            );
+            assert_eq!(fast.mapping, slow.mapping, "{tag}: mapping differs");
+            if capacity > 0 {
+                assert!(
+                    fast.engine.memo_peak <= capacity as u64,
+                    "{tag}: memo grew past its capacity ({:?})",
+                    fast.engine
+                );
+            }
+            if capacity == 7 {
+                assert!(
+                    fast.engine.memo_evictions > 0,
+                    "{tag}: a 7-entry memo over 20 generations must evict"
+                );
+            }
+        }
+    }
+}
+
+/// The mapper engine's memos obey the same capacity contract: a tiny
+/// `EngineConfig::memo_capacity` forces evictions without moving any
+/// result, and the peak sizes never exceed the configured cap.
+#[test]
+fn mapper_memo_capacity_corners_are_exact_and_bounded() {
+    for case in 0..3u64 {
+        let g = graph_case(case + 1000);
+        let p = platform_case(case);
+        let base = MapperConfig::series_parallel();
+        let reference = decomposition_map_reference(&g, &p, &base);
+        for capacity in [16usize, 0] {
+            let fast = decomposition_map(
+                &g,
+                &p,
+                &MapperConfig {
+                    engine: EngineConfig {
+                        threads: Some(4),
+                        memo_capacity: capacity,
+                        ..EngineConfig::default()
+                    },
+                    ..base
+                },
+            );
+            let tag = format!("case {case} capacity {capacity}");
+            assert_eq!(fast.mapping, reference.mapping, "{tag}");
+            assert_eq!(fast.makespan, reference.makespan, "{tag}");
+            assert_eq!(fast.history, reference.history, "{tag}");
+            if capacity > 0 {
+                assert!(
+                    fast.batch.memo_peak <= capacity as u64
+                        && fast.batch.sched_memo_peak <= capacity as u64,
+                    "{tag}: a memo outgrew its capacity ({:?})",
+                    fast.batch
+                );
+            }
         }
     }
 }

@@ -194,6 +194,95 @@ fn every_report_schedule_is_a_valid_topological_order() {
     }
 }
 
+/// Multi-move delta windows are sound: for random multi-assignment
+/// deltas under every report schedule, the window start — the minimum
+/// earliest-read position over all changed nodes — never exceeds any
+/// changed node's earliest read position, and a windowed replay from it
+/// reproduces the from-scratch simulation bit for bit (i.e. the window
+/// covers every position at which the delta can first be observed).
+#[test]
+fn multi_move_delta_window_covers_every_changed_node() {
+    use spmap::model::{
+        CheckpointSet, EvalScratch, EvalTables, ReportSchedules, WindowSim,
+    };
+
+    let p = Platform::reference();
+    for case in 0..12u64 {
+        let nodes = 10 + (case * 9 % 40) as usize;
+        let seed = case * 61 + 7;
+        let mut g = match case % 2 {
+            0 => random_sp_graph(&SpGenConfig::new(nodes, seed)),
+            _ => almost_sp_graph(&SpGenConfig::new(nodes, seed), (case % 5) as usize),
+        };
+        augment(&mut g, &AugmentConfig::default(), seed);
+        let n = g.node_count();
+        let tables = EvalTables::new(&g, &p);
+        let mut scratch = EvalScratch::for_tables(&tables);
+        let schedules = ReportSchedules::new(&g, 2, seed ^ 0xfeed);
+        let mut ckpts = CheckpointSet::for_schedules(&schedules, n);
+        let base = Mapping::all_default(&g, &p);
+        for s in 0..schedules.len() {
+            tables
+                .makespan_order_checkpointed(
+                    &mut scratch,
+                    &base,
+                    schedules.order(s),
+                    ckpts.get_mut(s),
+                )
+                .expect("default mapping is feasible");
+        }
+        // Random multi-assignment deltas: k nodes to varying devices.
+        for trial in 0..8u64 {
+            let k = 1 + (trial % 4) as usize;
+            let mut candidate = base.clone();
+            let mut changed = Vec::new();
+            for j in 0..k {
+                let v = NodeId(((trial * 31 + j as u64 * 17 + case * 7) % n as u64) as u32);
+                let d = DeviceId((1 + (trial + j as u64) % 2) as u32);
+                if candidate.device(v) != d && !changed.contains(&v) {
+                    candidate.set(v, d);
+                    changed.push(v);
+                }
+            }
+            if changed.is_empty() || !candidate.is_area_feasible(&g, &p) {
+                continue;
+            }
+            for s in 0..schedules.len() {
+                let order = schedules.order(s);
+                let from_pos = changed
+                    .iter()
+                    .map(|&v| order.earliest_read_pos(v))
+                    .min()
+                    .expect("non-empty delta");
+                // The window start covers (is at or before) every
+                // changed node's earliest read position.
+                for &v in &changed {
+                    assert!(
+                        from_pos <= order.earliest_read_pos(v),
+                        "case {case} trial {trial} schedule {s}: window misses {v:?}"
+                    );
+                }
+                let full = tables
+                    .makespan_with_ranks(&mut scratch, &candidate, order.ranks())
+                    .expect("area-feasible");
+                let windowed = tables.makespan_order_window(
+                    &mut scratch,
+                    &candidate,
+                    order,
+                    ckpts.get(s),
+                    from_pos,
+                    f64::INFINITY,
+                );
+                assert_eq!(
+                    windowed,
+                    WindowSim::Done(full),
+                    "case {case} trial {trial} schedule {s}: windowed replay drifted"
+                );
+            }
+        }
+    }
+}
+
 /// HEFT and PEFT schedules respect precedence and the area budget on
 /// arbitrary workflow shapes.
 #[test]
