@@ -87,9 +87,7 @@ impl Timeline {
 
     /// Reserve `[start, start + len)`.
     pub fn insert(&mut self, start: f64, len: f64) {
-        let pos = self
-            .slots
-            .partition_point(|&(s, _)| s < start);
+        let pos = self.slots.partition_point(|&(s, _)| s < start);
         self.slots.insert(pos, (start, start + len));
         debug_assert!(
             self.slots.windows(2).all(|w| w[0].1 <= w[1].0 + 1e-12),
@@ -181,8 +179,7 @@ pub(crate) fn run_list_scheduler(
                 best = Some((d, start, score));
             }
         }
-        let (d, start, _) =
-            best.expect("at least the default device is always available");
+        let (d, start, _) = best.expect("at least the default device is always available");
         let len = ct.exec(v, d);
         timelines[d.index()].insert(start, len);
         if p.is_fpga(d) {

@@ -153,8 +153,14 @@ mod tests {
             augment(&mut g, &AugmentConfig::default(), seed);
             let mut ev = Evaluator::new(&g, &p);
             let cpu = ev.cpu_only_makespan();
-            let hm = ev.makespan_bfs(&heft(&g, &p).mapping).unwrap_or(cpu).min(cpu);
-            let qm = ev.makespan_bfs(&peft(&g, &p).mapping).unwrap_or(cpu).min(cpu);
+            let hm = ev
+                .makespan_bfs(&heft(&g, &p).mapping)
+                .unwrap_or(cpu)
+                .min(cpu);
+            let qm = ev
+                .makespan_bfs(&peft(&g, &p).mapping)
+                .unwrap_or(cpu)
+                .min(cpu);
             heft_sum += (cpu - hm) / cpu;
             peft_sum += (cpu - qm) / cpu;
         }

@@ -73,9 +73,7 @@ fn bench_mappers(c: &mut Criterion) {
         ("sn_first_fit", MapperConfig::sn_first_fit()),
         ("sp_first_fit", MapperConfig::sp_first_fit()),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| decomposition_map(&g, &platform, &cfg))
-        });
+        group.bench_function(name, |b| b.iter(|| decomposition_map(&g, &platform, &cfg)));
     }
     group.finish();
 }
@@ -128,7 +126,10 @@ fn bench_candidate_scan(c: &mut Criterion) {
         // a sweep of k+1 simulations — serial reference vs the engine's
         // per-schedule windowed sweep with running cutoffs.
         let report_cfg = MapperConfig {
-            cost: CostModel::Report { schedules: 4, seed: 42 },
+            cost: CostModel::Report {
+                schedules: 4,
+                seed: 42,
+            },
             ..MapperConfig::series_parallel()
         };
         group.bench_with_input(BenchmarkId::new("report_serial", n), &n, |b, _| {

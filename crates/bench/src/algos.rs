@@ -79,23 +79,42 @@ pub struct RunOutcome {
     pub cpu_only: f64,
     /// Wall-clock execution time of the mapping algorithm itself.
     pub exec_time: Duration,
+    /// How the cell's parallel batches were dispatched (serial fast
+    /// path / scoped spawns / persistent-pool wakes).  Zero for
+    /// algorithms that never dispatch a batch (HEFT/PEFT/MILP); when
+    /// the cell itself runs inside a harness worker, nested engine
+    /// batches are demoted to the serial path and show up in
+    /// `serial_batches`/`nested_serial`.
+    pub dispatch: spmap_par::DispatchStats,
 }
 
 /// Run `algo` on `graph`/`platform`, timing the algorithm and evaluating
 /// the produced mapping with the paper's reporting metric.
 pub fn run_algo(algo: &Algo, graph: &TaskGraph, platform: &Platform, seed: u64) -> RunOutcome {
+    let dispatch_base = spmap_par::dispatch_stats();
     let start = Instant::now();
     let mapping: Mapping = match algo {
         Algo::Heft => heft(graph, platform).mapping,
         Algo::Peft => peft(graph, platform).mapping,
-        Algo::SingleNode => decomposition_map(graph, platform, &MapperConfig::single_node()).mapping,
+        Algo::SingleNode => {
+            decomposition_map(graph, platform, &MapperConfig::single_node()).mapping
+        }
         Algo::SeriesParallel => {
             decomposition_map(graph, platform, &MapperConfig::series_parallel()).mapping
         }
-        Algo::SnFirstFit => decomposition_map(graph, platform, &MapperConfig::sn_first_fit()).mapping,
-        Algo::SpFirstFit => decomposition_map(graph, platform, &MapperConfig::sp_first_fit()).mapping,
+        Algo::SnFirstFit => {
+            decomposition_map(graph, platform, &MapperConfig::sn_first_fit()).mapping
+        }
+        Algo::SpFirstFit => {
+            decomposition_map(graph, platform, &MapperConfig::sp_first_fit()).mapping
+        }
         Algo::Nsga2 { generations } => {
-            nsga2_map(graph, platform, &GaConfig::with_generations(*generations, seed)).mapping
+            nsga2_map(
+                graph,
+                platform,
+                &GaConfig::with_generations(*generations, seed),
+            )
+            .mapping
         }
         Algo::WgdpDevice { time_limit_ms } => {
             solve_wgdp_device(graph, platform, &milp_opts(*time_limit_ms)).mapping
@@ -108,10 +127,15 @@ pub fn run_algo(algo: &Algo, graph: &TaskGraph, platform: &Platform, seed: u64) 
         }
     };
     let exec_time = start.elapsed();
+    let dispatch = spmap_par::dispatch_stats().since(&dispatch_base);
 
     let mut ev = Evaluator::new(graph, platform);
     let cpu_only = ev
-        .report_makespan(&Mapping::all_default(graph, platform), REPORT_SCHEDULES, seed)
+        .report_makespan(
+            &Mapping::all_default(graph, platform),
+            REPORT_SCHEDULES,
+            seed,
+        )
         .expect("default mapping feasible");
     let makespan = ev
         .report_makespan(&mapping, REPORT_SCHEDULES, seed)
@@ -121,6 +145,7 @@ pub fn run_algo(algo: &Algo, graph: &TaskGraph, platform: &Platform, seed: u64) 
         makespan: makespan.min(cpu_only),
         cpu_only,
         exec_time,
+        dispatch,
     }
 }
 
@@ -150,9 +175,15 @@ mod tests {
             Algo::SnFirstFit,
             Algo::SpFirstFit,
             Algo::Nsga2 { generations: 10 },
-            Algo::WgdpDevice { time_limit_ms: 2000 },
-            Algo::WgdpTime { time_limit_ms: 2000 },
-            Algo::ZhouLiu { time_limit_ms: 2000 },
+            Algo::WgdpDevice {
+                time_limit_ms: 2000,
+            },
+            Algo::WgdpTime {
+                time_limit_ms: 2000,
+            },
+            Algo::ZhouLiu {
+                time_limit_ms: 2000,
+            },
         ] {
             let out = run_algo(&algo, &g, &p, 7);
             assert!(
@@ -161,7 +192,30 @@ mod tests {
                 algo.name(),
                 out.improvement
             );
-            assert!(out.makespan <= out.cpu_only * (1.0 + 1e-9), "{}", algo.name());
+            assert!(
+                out.makespan <= out.cpu_only * (1.0 + 1e-9),
+                "{}",
+                algo.name()
+            );
+            match algo {
+                // The list schedulers and MILP solvers never dispatch a
+                // parallel-map batch.
+                Algo::Heft
+                | Algo::Peft
+                | Algo::WgdpDevice { .. }
+                | Algo::WgdpTime { .. }
+                | Algo::ZhouLiu { .. } => {
+                    assert_eq!(out.dispatch, Default::default(), "{}", algo.name());
+                }
+                // The engine-backed cells dispatch at least one batch
+                // (the first exhaustive sweep / first generation).
+                _ => assert!(
+                    out.dispatch.serial_batches + out.dispatch.parallel_batches() > 0,
+                    "{}: no dispatches recorded ({:?})",
+                    algo.name(),
+                    out.dispatch
+                ),
+            }
         }
     }
 

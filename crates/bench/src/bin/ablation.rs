@@ -26,8 +26,14 @@ fn main() {
     let tasks = if opts.quick { 40 } else { 100 };
     let graphs = sp_workload(opts.seed ^ 0xab1, tasks, replicates);
     let variants: Vec<(String, SearchHeuristic)> = vec![
-        ("FirstFit (γ=1)".into(), SearchHeuristic::GammaThreshold { gamma: 1.0 }),
-        ("γ=1.5".into(), SearchHeuristic::GammaThreshold { gamma: 1.5 }),
+        (
+            "FirstFit (γ=1)".into(),
+            SearchHeuristic::GammaThreshold { gamma: 1.0 },
+        ),
+        (
+            "γ=1.5".into(),
+            SearchHeuristic::GammaThreshold { gamma: 1.5 },
+        ),
         ("γ=2".into(), SearchHeuristic::GammaThreshold { gamma: 2.0 }),
         ("γ=4".into(), SearchHeuristic::GammaThreshold { gamma: 4.0 }),
         ("basic (exhaustive)".into(), SearchHeuristic::Exhaustive),
@@ -46,7 +52,11 @@ fn main() {
         let improvement = mean(runs.iter().map(|r| r.0));
         let evals = mean(runs.iter().map(|r| r.1));
         t.row(vec![name.clone(), pct(improvement), format!("{evals:.0}")]);
-        csv.row(vec![name.clone(), format!("{improvement:.6}"), format!("{evals:.0}")]);
+        csv.row(vec![
+            name.clone(),
+            format!("{improvement:.6}"),
+            format!("{evals:.0}"),
+        ]);
     }
     println!("\nAblation 1 — γ-threshold sweep (SeriesParallel mapper, {tasks}-task SP graphs, {replicates} graphs)");
     t.print();
@@ -77,7 +87,11 @@ fn main() {
         let improvement = mean(runs.iter().map(|r| r.0));
         let subs = mean(runs.iter().map(|r| r.1));
         t.row(vec![name.into(), pct(improvement), format!("{subs:.0}")]);
-        csv.row(vec![name.into(), format!("{improvement:.6}"), format!("{subs:.0}")]);
+        csv.row(vec![
+            name.into(),
+            format!("{improvement:.6}"),
+            format!("{subs:.0}"),
+        ]);
     }
     println!(
         "Ablation 2 — Alg. 1 cut policy (SPFirstFit, {tasks}-task graphs + {extra} conflicting edges, {replicates} graphs)"

@@ -55,7 +55,10 @@ fn main() {
         &points,
         &algos,
         &result,
-        ("Fig. 3a (random SP graphs, MILPs vs decomposition)", "Fig. 3b"),
+        (
+            "Fig. 3a (random SP graphs, MILPs vs decomposition)",
+            "Fig. 3b",
+        ),
     );
     println!("\nNote: ZhouLiu cells beyond {zhou_max} tasks and WGDP-Time cells beyond {wgdp_time_max} tasks are skipped");
     println!("(paper: 5-min Gurobi timeouts beyond 20 resp. minutes-long solves at 30-40; our simplex scales lower).");

@@ -40,12 +40,12 @@ fn main() {
     for (ai, &g) in gens.iter().enumerate() {
         let imp = result.improvement[0][ai].unwrap();
         let ex = result.exec_seconds[0][ai].unwrap();
-        t.row(vec![g.to_string(), pct(imp), dur(Duration::from_secs_f64(ex))]);
-        csv.row(vec![
+        t.row(vec![
             g.to_string(),
-            format!("{imp:.6}"),
-            format!("{ex:.6}"),
+            pct(imp),
+            dur(Duration::from_secs_f64(ex)),
         ]);
+        csv.row(vec![g.to_string(), format!("{imp:.6}"), format!("{ex:.6}")]);
     }
     for (k, name) in ["SNFirstFit", "SPFirstFit"].iter().enumerate() {
         let ai = gens.len() + k;

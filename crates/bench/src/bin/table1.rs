@@ -98,5 +98,8 @@ fn main() {
     );
     table.print();
     let p = csv.write_csv("table1.csv");
-    println!("\nCSV (improvement/total_seconds per cell): {}", p.display());
+    println!(
+        "\nCSV (improvement/total_seconds per cell): {}",
+        p.display()
+    );
 }

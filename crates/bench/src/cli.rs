@@ -60,7 +60,10 @@ impl Opts {
                     opts.step = it.next().and_then(|v| v.parse().ok());
                 }
                 "--threads" => {
-                    opts.threads = it.next().and_then(|v| v.parse().ok()).map(|t: usize| t.max(1));
+                    opts.threads = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .map(|t: usize| t.max(1));
                 }
                 "--report-schedules" => {
                     opts.report_schedules = it.next().and_then(|v| v.parse().ok());
@@ -136,8 +139,15 @@ mod tests {
     #[test]
     fn report_schedules_flag() {
         assert_eq!(parse(&[]).report_schedules, None);
-        assert_eq!(parse(&["--report-schedules", "4"]).report_schedules, Some(4));
-        assert_eq!(parse(&["--report-schedules", "0"]).report_schedules, Some(0), "0 = skip");
+        assert_eq!(
+            parse(&["--report-schedules", "4"]).report_schedules,
+            Some(4)
+        );
+        assert_eq!(
+            parse(&["--report-schedules", "0"]).report_schedules,
+            Some(0),
+            "0 = skip"
+        );
         assert_eq!(parse(&["--report-schedules", "x"]).report_schedules, None);
     }
 }

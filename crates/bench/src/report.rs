@@ -152,7 +152,10 @@ mod tests {
 
     #[test]
     fn csv_written() {
-        std::env::set_var("SPMAP_RESULTS", std::env::temp_dir().join("spmap-test-results"));
+        std::env::set_var(
+            "SPMAP_RESULTS",
+            std::env::temp_dir().join("spmap-test-results"),
+        );
         let mut t = Table::new(&["x", "y"]);
         t.row(vec!["1".into(), "2".into()]);
         let path = t.write_csv("unit-test.csv");

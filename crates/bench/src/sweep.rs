@@ -79,10 +79,8 @@ pub fn run_sweep(
                 continue;
             }
             improvement[pi][ai] = Some(mean(group.iter().map(|o| o.improvement)));
-            exec_seconds[pi][ai] =
-                Some(mean(group.iter().map(|o| o.exec_time.as_secs_f64())));
-            exec_sum_seconds[pi][ai] =
-                Some(group.iter().map(|o| o.exec_time.as_secs_f64()).sum());
+            exec_seconds[pi][ai] = Some(mean(group.iter().map(|o| o.exec_time.as_secs_f64())));
+            exec_sum_seconds[pi][ai] = Some(group.iter().map(|o| o.exec_time.as_secs_f64()).sum());
         }
     }
     SweepResult {

@@ -57,7 +57,7 @@ use spmap_model::{
     CheckpointSet, DeviceId, EvalScratch, EvalTables, Mapping, MappingFingerprint, Platform,
     ReportSchedules, WindowSim,
 };
-use spmap_par::{par_map_with_threads, WorkerStates};
+use spmap_par::{par_map_with_threads, DispatchStats, WorkerStates};
 
 use crate::mapper::{CostModel, OpId, REL_EPS};
 
@@ -411,6 +411,10 @@ pub struct CandidateBatch<'g> {
     target: Vec<DeviceId>,
     mark_gen: u64,
     stats: BatchStats,
+    /// The engine thread's `spmap_par` dispatch counters at
+    /// construction; [`Self::dispatch`] diffs against this to report how
+    /// this run's batches were dispatched (serial / scoped / pool).
+    dispatch_base: DispatchStats,
 }
 
 impl<'g> CandidateBatch<'g> {
@@ -483,6 +487,7 @@ impl<'g> CandidateBatch<'g> {
             target: vec![DeviceId(0); n],
             mark_gen: 0,
             stats: BatchStats::default(),
+            dispatch_base: spmap_par::dispatch_stats(),
             tables,
             schedules,
             subgraphs,
@@ -493,9 +498,7 @@ impl<'g> CandidateBatch<'g> {
             mapping,
         };
         engine.rebuild_aggregates();
-        engine.cur = engine
-            .simulate_base()
-            .expect("default mapping is feasible");
+        engine.cur = engine.simulate_base().expect("default mapping is feasible");
         engine.memoize_base();
         engine
     }
@@ -560,6 +563,17 @@ impl<'g> CandidateBatch<'g> {
         s
     }
 
+    /// How this engine's parallel batches were dispatched so far
+    /// (serial fast path / scoped spawns / persistent-pool wakes) —
+    /// the calling thread's `spmap_par` counters since construction.
+    /// Unlike [`Self::stats`], these counters *do* vary with the thread
+    /// count and backend; that variation is their purpose (they price
+    /// the dispatch overhead a configuration paid), which is why they
+    /// live beside, not inside, the thread-invariant [`BatchStats`].
+    pub fn dispatch(&self) -> DispatchStats {
+        spmap_par::dispatch_stats().since(&self.dispatch_base)
+    }
+
     /// Current entry count of the full-mapping memo.
     pub fn memo_len(&self) -> usize {
         self.memo.len()
@@ -572,7 +586,10 @@ impl<'g> CandidateBatch<'g> {
 
     /// Total full simulations run so far (all workers).
     pub fn evaluations(&self) -> u64 {
-        self.workers.iter().map(|w| w.scratch.stats().evaluations).sum()
+        self.workers
+            .iter()
+            .map(|w| w.scratch.stats().evaluations)
+            .sum()
     }
 
     /// Evaluate the improvement delta of every operation in `ops`
@@ -1024,7 +1041,8 @@ impl<'g> CandidateBatch<'g> {
             }
         }
         let bound = if prune {
-            self.cur - self.candidate_lower_bound(delta.changes.iter().copied()) * (1.0 - BOUND_SLACK)
+            self.cur
+                - self.candidate_lower_bound(delta.changes.iter().copied()) * (1.0 - BOUND_SLACK)
         } else {
             f64::INFINITY
         };
@@ -1322,7 +1340,8 @@ impl<'g> CandidateBatch<'g> {
             } else {
                 self.tables.exec_time(v, d)
             };
-            self.path_scores.push((self.tables.path_floor(v) + span, v.0));
+            self.path_scores
+                .push((self.tables.path_floor(v) + span, v.0));
         }
         self.path_scores
             .sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
@@ -1458,11 +1477,7 @@ mod tests {
         (g, Platform::reference())
     }
 
-    fn engine<'g>(
-        g: &'g TaskGraph,
-        p: &'g Platform,
-        cfg: EngineConfig,
-    ) -> CandidateBatch<'g> {
+    fn engine<'g>(g: &'g TaskGraph, p: &'g Platform, cfg: EngineConfig) -> CandidateBatch<'g> {
         let subgraphs = series_parallel_subgraphs(g, CutPolicy::default())
             .subgraphs()
             .to_vec();
@@ -1472,11 +1487,7 @@ mod tests {
 
     /// Reference deltas: serial probe of every op, exactly like the seed
     /// mapper's inner loop.
-    fn reference_deltas(
-        g: &TaskGraph,
-        p: &Platform,
-        eng: &CandidateBatch<'_>,
-    ) -> Vec<f64> {
+    fn reference_deltas(g: &TaskGraph, p: &Platform, eng: &CandidateBatch<'_>) -> Vec<f64> {
         let mut ev = Evaluator::new(g, p);
         let mut mapping = eng.mapping().clone();
         let cur = eng.current_makespan();
@@ -1533,22 +1544,29 @@ mod tests {
     fn pruned_batch_preserves_the_winning_candidate() {
         for seed in [2, 6, 11] {
             let (g, p) = setup(seed);
-            let mut eng = engine(&g, &p, EngineConfig { threads: Some(4), ..Default::default() });
+            let mut eng = engine(
+                &g,
+                &p,
+                EngineConfig {
+                    threads: Some(4),
+                    ..Default::default()
+                },
+            );
             let ops: Vec<OpId> = (0..eng.op_count()).collect();
             let pruned = eng.evaluate_ops(&ops, true);
             let reference = reference_deltas(&g, &p, &eng);
             let threshold = eng.current_makespan() * REL_EPS;
             let pick = |d: &[f64]| {
-                d.iter()
-                    .enumerate()
-                    .filter(|(_, &x)| x > threshold)
-                    .fold(None::<(usize, f64)>, |best, (i, &x)| {
+                d.iter().enumerate().filter(|(_, &x)| x > threshold).fold(
+                    None::<(usize, f64)>,
+                    |best, (i, &x)| {
                         if best.map_or(true, |(_, b)| x > b) {
                             Some((i, x))
                         } else {
                             best
                         }
-                    })
+                    },
+                )
             };
             assert_eq!(pick(&pruned), pick(&reference), "seed {seed}");
             assert!(eng.stats().pruned > 0, "pruning fired (seed {seed})");
@@ -1564,21 +1582,35 @@ mod tests {
     #[test]
     fn memo_hits_after_commit_are_exact() {
         let (g, p) = setup(3);
-        let mut eng = engine(&g, &p, EngineConfig { threads: Some(2), ..Default::default() });
+        let mut eng = engine(
+            &g,
+            &p,
+            EngineConfig {
+                threads: Some(2),
+                ..Default::default()
+            },
+        );
         let ops: Vec<OpId> = (0..eng.op_count()).collect();
         let deltas = eng.evaluate_ops(&ops, false);
         let threshold = eng.current_makespan() * REL_EPS;
-        let (best_op, best_delta) = deltas
-            .iter()
-            .enumerate()
-            .fold((0, f64::NEG_INFINITY), |acc, (i, &d)| {
-                if d > acc.1 {
-                    (i, d)
-                } else {
-                    acc
-                }
-            });
-        assert!(best_delta > threshold, "test graph must have an improvement");
+        let (best_op, best_delta) =
+            deltas
+                .iter()
+                .enumerate()
+                .fold(
+                    (0, f64::NEG_INFINITY),
+                    |acc, (i, &d)| {
+                        if d > acc.1 {
+                            (i, d)
+                        } else {
+                            acc
+                        }
+                    },
+                );
+        assert!(
+            best_delta > threshold,
+            "test graph must have an improvement"
+        );
         let before = eng.current_makespan();
         eng.commit(best_op);
         let expected = before - best_delta;
@@ -1602,7 +1634,14 @@ mod tests {
         // bound >= true delta (equivalently LB <= true makespan).
         for seed in [4, 7, 13] {
             let (g, p) = setup(seed);
-            let mut eng = engine(&g, &p, EngineConfig { threads: Some(1), ..Default::default() });
+            let mut eng = engine(
+                &g,
+                &p,
+                EngineConfig {
+                    threads: Some(1),
+                    ..Default::default()
+                },
+            );
             let reference = reference_deltas(&g, &p, &eng);
             for op in 0..eng.op_count() {
                 let verdict = eng.classify(op, true);
@@ -1714,7 +1753,10 @@ mod tests {
             let mut eng = report_engine(
                 &g,
                 &p,
-                EngineConfig { threads: Some(4), ..Default::default() },
+                EngineConfig {
+                    threads: Some(4),
+                    ..Default::default()
+                },
                 k,
                 seed,
             );
@@ -1723,16 +1765,16 @@ mod tests {
             let reference = reference_report_deltas(&g, &p, &eng, k, seed);
             let threshold = eng.current_makespan() * REL_EPS;
             let pick = |d: &[f64]| {
-                d.iter()
-                    .enumerate()
-                    .filter(|(_, &x)| x > threshold)
-                    .fold(None::<(usize, f64)>, |best, (i, &x)| {
+                d.iter().enumerate().filter(|(_, &x)| x > threshold).fold(
+                    None::<(usize, f64)>,
+                    |best, (i, &x)| {
                         if best.is_none_or(|(_, b)| x > b) {
                             Some((i, x))
                         } else {
                             best
                         }
-                    })
+                    },
+                )
             };
             assert_eq!(pick(&pruned), pick(&reference), "seed {seed} k {k}");
             for (i, (&a, &b)) in pruned.iter().zip(&reference).enumerate() {
@@ -1750,24 +1792,34 @@ mod tests {
         let mut eng = report_engine(
             &g,
             &p,
-            EngineConfig { threads: Some(2), ..Default::default() },
+            EngineConfig {
+                threads: Some(2),
+                ..Default::default()
+            },
             k,
             77,
         );
         let ops: Vec<OpId> = (0..eng.op_count()).collect();
         let deltas = eng.evaluate_ops(&ops, false);
         let threshold = eng.current_makespan() * REL_EPS;
-        let (best_op, best_delta) = deltas
-            .iter()
-            .enumerate()
-            .fold((0, f64::NEG_INFINITY), |acc, (i, &d)| {
-                if d > acc.1 {
-                    (i, d)
-                } else {
-                    acc
-                }
-            });
-        assert!(best_delta > threshold, "test graph must have an improvement");
+        let (best_op, best_delta) =
+            deltas
+                .iter()
+                .enumerate()
+                .fold(
+                    (0, f64::NEG_INFINITY),
+                    |acc, (i, &d)| {
+                        if d > acc.1 {
+                            (i, d)
+                        } else {
+                            acc
+                        }
+                    },
+                );
+        assert!(
+            best_delta > threshold,
+            "test graph must have an improvement"
+        );
         eng.commit(best_op);
         // Re-evaluating after the commit must again match the serial
         // sweep bitwise, and the banked (fingerprint, schedule) values
@@ -1790,7 +1842,10 @@ mod tests {
             let mut eng = report_engine(
                 &g,
                 &p,
-                EngineConfig { threads: Some(threads), ..Default::default() },
+                EngineConfig {
+                    threads: Some(threads),
+                    ..Default::default()
+                },
                 3,
                 8,
             );
@@ -1903,23 +1958,29 @@ mod tests {
     fn pruned_delta_batch_preserves_the_winning_candidate() {
         for seed in [3u64, 9] {
             let (g, p) = setup(seed);
-            let mut eng =
-                engine(&g, &p, EngineConfig { threads: Some(4), ..Default::default() });
+            let mut eng = engine(
+                &g,
+                &p,
+                EngineConfig {
+                    threads: Some(4),
+                    ..Default::default()
+                },
+            );
             let deltas = delta_zoo(&g, &p);
             let pruned = eng.evaluate_deltas(&deltas, true);
             let reference = reference_delta_improvements(&g, &p, &eng, &deltas);
             let threshold = eng.current_makespan() * REL_EPS;
             let pick = |d: &[f64]| {
-                d.iter()
-                    .enumerate()
-                    .filter(|(_, &x)| x > threshold)
-                    .fold(None::<(usize, f64)>, |best, (i, &x)| {
+                d.iter().enumerate().filter(|(_, &x)| x > threshold).fold(
+                    None::<(usize, f64)>,
+                    |best, (i, &x)| {
                         if best.is_none_or(|(_, b)| x > b) {
                             Some((i, x))
                         } else {
                             best
                         }
-                    })
+                    },
+                )
             };
             assert_eq!(pick(&pruned), pick(&reference), "seed {seed}");
             for (i, (&a, &b)) in pruned.iter().zip(&reference).enumerate() {
@@ -1935,7 +1996,14 @@ mod tests {
         // Deltas and single ops share the memos: evaluating the single
         // ops first must answer matching deltas from the memo.
         let (g, p) = setup(4);
-        let mut eng = engine(&g, &p, EngineConfig { threads: Some(2), ..Default::default() });
+        let mut eng = engine(
+            &g,
+            &p,
+            EngineConfig {
+                threads: Some(2),
+                ..Default::default()
+            },
+        );
         let ops: Vec<OpId> = (0..eng.op_count()).collect();
         let op_deltas = eng.evaluate_ops(&ops, false);
         // Build deltas mirroring the first few ops exactly.
@@ -1982,9 +2050,15 @@ mod tests {
             let (unbounded, _, _) = run(0);
             let (tiny, stats, len) = run(8);
             assert_eq!(unbounded, tiny, "seed {seed}: eviction changed a delta");
-            assert!(stats.memo_evictions > 0, "seed {seed}: capacity 8 must evict");
+            assert!(
+                stats.memo_evictions > 0,
+                "seed {seed}: capacity 8 must evict"
+            );
             assert!(len <= 8, "seed {seed}: memo above capacity ({len})");
-            assert!(stats.memo_peak <= 8, "seed {seed}: peak above capacity ({stats:?})");
+            assert!(
+                stats.memo_peak <= 8,
+                "seed {seed}: peak above capacity ({stats:?})"
+            );
         }
     }
 
@@ -2055,7 +2129,10 @@ mod tests {
             let mut eng = engine(
                 &g,
                 &p,
-                EngineConfig { threads: Some(threads), ..Default::default() },
+                EngineConfig {
+                    threads: Some(threads),
+                    ..Default::default()
+                },
             );
             let ops: Vec<OpId> = (0..eng.op_count()).collect();
             let deltas = eng.evaluate_ops(&ops, true);

@@ -53,3 +53,7 @@ pub use mapper::{
     SearchHeuristic, SubgraphStrategy,
 };
 pub use population::{DeltaCandidate, PopBase, PopulationConfig, PopulationEval, PopulationStats};
+// Dispatch-counter surface of the parallel runtime, re-exported so
+// downstream crates (e.g. `spmap-ga`) can carry the counters on their
+// results without a direct `spmap-par` dependency.
+pub use spmap_par::DispatchStats;

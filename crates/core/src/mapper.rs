@@ -11,6 +11,7 @@ use std::fmt;
 use spmap_decomp::{series_parallel_subgraphs, single_node_subgraphs, CutPolicy};
 use spmap_graph::{NodeId, TaskGraph};
 use spmap_model::{DeviceId, Evaluator, Mapping, Platform};
+use spmap_par::DispatchStats;
 
 use crate::batch::{BatchStats, CandidateBatch, EngineConfig};
 use crate::threshold::gamma_threshold_search;
@@ -188,8 +189,18 @@ pub struct MapperResult {
     /// Makespan after each applied iteration (strictly decreasing).
     pub history: Vec<f64>,
     /// Candidate-engine decision counters (zero for the serial
-    /// reference path).
+    /// reference path).  Thread-count-invariant — pinned by the
+    /// equivalence suite.
     pub batch: BatchStats,
+    /// How the engine's parallel batches were dispatched (serial fast
+    /// path / scoped spawns / persistent-pool wakes; zero for the
+    /// serial reference path).  Unlike [`MapperResult::batch`] these
+    /// counters intentionally vary with the thread count and the
+    /// `SPMAP_POOL` backend: they price the dispatch overhead the run
+    /// paid.  Covers every search path — exhaustive sweeps and the
+    /// γ-threshold speculative waves both dispatch through the same
+    /// engine.
+    pub dispatch: DispatchStats,
 }
 
 impl MapperResult {
@@ -249,6 +260,7 @@ pub fn try_decomposition_map(
         subgraph_count: engine.subgraphs().len(),
         history,
         batch: engine.stats(),
+        dispatch: engine.dispatch(),
         mapping: engine.mapping().clone(),
     })
 }
@@ -344,6 +356,7 @@ pub fn try_decomposition_map_reference(
         subgraph_count,
         history,
         batch: BatchStats::default(),
+        dispatch: DispatchStats::default(),
         mapping: ctx.mapping,
     })
 }
@@ -388,7 +401,8 @@ impl RefCtx<'_> {
         match self.cost {
             CostModel::Bfs => self.evaluator.makespan_bfs(&self.mapping),
             CostModel::Report { schedules, seed } => {
-                self.evaluator.report_makespan(&self.mapping, schedules, seed)
+                self.evaluator
+                    .report_makespan(&self.mapping, schedules, seed)
             }
         }
     }
@@ -474,7 +488,11 @@ impl RefCtx<'_> {
     /// The original serial γ-threshold search (see `crate::threshold` for
     /// the algorithm description; the engine version replays exactly this
     /// decision sequence).
-    fn gamma_threshold(&mut self, cap: usize, gamma: f64) -> Result<(usize, Vec<f64>), MapperError> {
+    fn gamma_threshold(
+        &mut self,
+        cap: usize,
+        gamma: f64,
+    ) -> Result<(usize, Vec<f64>), MapperError> {
         use crate::threshold::Key;
         use std::collections::BinaryHeap;
 
@@ -602,8 +620,14 @@ mod tests {
         let r = decomposition_map(&g, &p, &MapperConfig::single_node());
         assert!(r.relative_improvement() > 0.1);
         // At least one middle task lands on the GPU.
-        let on_gpu = (1..5).filter(|&v| r.mapping.device(NodeId(v)) == GPU).count();
-        assert!(on_gpu >= 1, "expected GPU offload, mapping: {:?}", r.mapping);
+        let on_gpu = (1..5)
+            .filter(|&v| r.mapping.device(NodeId(v)) == GPU)
+            .count();
+        assert!(
+            on_gpu >= 1,
+            "expected GPU offload, mapping: {:?}",
+            r.mapping
+        );
     }
 
     #[test]
@@ -679,7 +703,10 @@ mod tests {
         let mut g = random_sp_graph(&SpGenConfig::new(35, 6));
         augment(&mut g, &AugmentConfig::default(), 6);
         let p = Platform::reference();
-        for cfg in [MapperConfig::series_parallel(), MapperConfig::sp_first_fit()] {
+        for cfg in [
+            MapperConfig::series_parallel(),
+            MapperConfig::sp_first_fit(),
+        ] {
             let a = decomposition_map(&g, &p, &cfg);
             let b = decomposition_map(&g, &p, &cfg);
             assert_eq!(a.mapping, b.mapping);

@@ -41,7 +41,7 @@ use std::sync::RwLock;
 
 use spmap_graph::TaskGraph;
 use spmap_model::{EvalScratch, EvalTables, Mapping, Platform, ScheduleCheckpoints, WindowSim};
-use spmap_par::{par_map_with_threads, WorkerStates};
+use spmap_par::{par_map_with_threads, DispatchStats, WorkerStates};
 
 use crate::batch::{BoundedMemo, DEFAULT_MEMO_CAPACITY};
 
@@ -235,6 +235,9 @@ pub struct PopulationEval<'g> {
     /// simulation but without the ready-heap's `O(log V)` per pop.
     zero_trail: ScheduleCheckpoints,
     stats: PopulationStats,
+    /// The engine thread's `spmap_par` dispatch counters at
+    /// construction; [`Self::dispatch`] diffs against this.
+    dispatch_base: DispatchStats,
 }
 
 impl<'g> PopulationEval<'g> {
@@ -264,6 +267,7 @@ impl<'g> PopulationEval<'g> {
                 graph.node_count() + 1,
             ),
             stats: PopulationStats::default(),
+            dispatch_base: spmap_par::dispatch_stats(),
             tables,
         }
     }
@@ -286,6 +290,16 @@ impl<'g> PopulationEval<'g> {
         s.memo_peak = self.memo.peak() as u64;
         s.trail_evictions = self.trails.evictions;
         s
+    }
+
+    /// How this evaluator's parallel batches were dispatched so far
+    /// (serial fast path / scoped spawns / persistent-pool wakes) —
+    /// the calling thread's `spmap_par` counters since construction.
+    /// Lives beside, not inside, the thread-invariant
+    /// [`PopulationStats`]: dispatch counters vary with the thread
+    /// count and `SPMAP_POOL` backend by design.
+    pub fn dispatch(&self) -> DispatchStats {
+        spmap_par::dispatch_stats().since(&self.dispatch_base)
     }
 
     /// Current entry count of the fitness memo.
@@ -397,7 +411,10 @@ impl<'g> PopulationEval<'g> {
                 aliases.push((b, slot));
                 continue;
             }
-            if let Some(slot) = self.trails.reserve(bases[b].fingerprint, every, &mut pinned) {
+            if let Some(slot) = self
+                .trails
+                .reserve(bases[b].fingerprint, every, &mut pinned)
+            {
                 pinned[slot] = true;
                 record.push((b, slot));
             }

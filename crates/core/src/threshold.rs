@@ -128,7 +128,12 @@ const WAVE_SHRINK_AT: f64 = 0.35;
 impl WaveController {
     pub(crate) fn new(threads: usize) -> Self {
         if threads <= 1 {
-            Self { size: 1, min: 1, max: 1, accept: 1.0 }
+            Self {
+                size: 1,
+                min: 1,
+                max: 1,
+                accept: 1.0,
+            }
         } else {
             // The floor (one wave slot per worker) takes precedence over
             // the waste ceiling on absurdly wide machines, so the wave
@@ -279,7 +284,12 @@ mod tests {
 
     #[test]
     fn key_orders_like_f64_with_infinities() {
-        let mut keys = vec![key(1.0), key(f64::NEG_INFINITY), key(f64::INFINITY), key(0.5)];
+        let mut keys = vec![
+            key(1.0),
+            key(f64::NEG_INFINITY),
+            key(f64::INFINITY),
+            key(0.5),
+        ];
         keys.sort();
         let vals: Vec<f64> = keys.iter().map(|k| k.get()).collect();
         assert_eq!(vals, vec![f64::NEG_INFINITY, 0.5, 1.0, f64::INFINITY]);
@@ -292,8 +302,14 @@ mod tests {
         // must refuse it instead of silently misordering.
         assert_eq!(Key::new(f64::NAN), Err(NanKey));
         assert_eq!(Key::new(-f64::NAN), Err(NanKey));
-        assert!(Key::new(f64::INFINITY).is_ok(), "+inf is a legal initial expectation");
-        assert!(Key::new(f64::NEG_INFINITY).is_ok(), "-inf is the no-op sentinel");
+        assert!(
+            Key::new(f64::INFINITY).is_ok(),
+            "+inf is a legal initial expectation"
+        );
+        assert!(
+            Key::new(f64::NEG_INFINITY).is_ok(),
+            "-inf is the no-op sentinel"
+        );
         assert!(Key::new(0.0).is_ok());
     }
 

@@ -31,8 +31,7 @@ use spmap_graph::{ops, NodeId, TaskGraph};
 use crate::sptree::{SpForest, SpTreeId};
 
 /// How to choose the subtree to cut from a stuck wavefront.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum CutPolicy {
     /// Cut the active subtree with the fewest edges (default; keeps large
     /// decompositions intact — the paper's "arguably better" choice).
@@ -50,7 +49,6 @@ pub enum CutPolicy {
         seed: u64,
     },
 }
-
 
 /// Output of [`decompose_forest`].
 #[derive(Clone, Debug)]
@@ -293,7 +291,10 @@ mod tests {
 
     fn forest_of(g: &TaskGraph, policy: CutPolicy) -> ForestResult {
         let norm = ops::normalize_terminals(g);
-        assert!(!norm.virtual_source && !norm.virtual_sink, "test fixture is 2-terminal");
+        assert!(
+            !norm.virtual_source && !norm.virtual_sink,
+            "test fixture is 2-terminal"
+        );
         decompose_forest(g, norm.source, norm.sink, policy)
     }
 
@@ -372,7 +373,10 @@ mod tests {
         let nested = r.forest.node(left).children[1];
         let nested_node = r.forest.node(nested);
         assert_eq!(nested_node.op, SpOp::Parallel);
-        assert_eq!((nested_node.source, nested_node.sink), (NodeId(1), NodeId(3)));
+        assert_eq!(
+            (nested_node.source, nested_node.sink),
+            (NodeId(1), NodeId(3))
+        );
         r.forest.validate(&g);
     }
 
@@ -462,8 +466,7 @@ mod tests {
 
             let almost = almost_sp_graph(&SpGenConfig::new(40, seed), 6);
             let norm = ops::normalize_terminals(&almost);
-            let r =
-                decompose_forest(&norm.graph, norm.source, norm.sink, CutPolicy::default());
+            let r = decompose_forest(&norm.graph, norm.source, norm.sink, CutPolicy::default());
             assert_eq!(
                 r.is_series_parallel(),
                 is_two_terminal_sp(&norm.graph),
@@ -473,7 +476,10 @@ mod tests {
                 checked_non_sp += 1;
             }
         }
-        assert!(checked_sp > 0 && checked_non_sp > 0, "both classes exercised");
+        assert!(
+            checked_sp > 0 && checked_non_sp > 0,
+            "both classes exercised"
+        );
     }
 
     #[test]
@@ -555,4 +561,3 @@ mod tests {
         r.forest.validate(&g);
     }
 }
-

@@ -50,14 +50,14 @@ pub fn is_two_terminal_sp(g: &TaskGraph) -> bool {
     // Insert an edge, performing an immediate parallel reduction if the
     // ordered pair already exists.
     let add_edge = |u: u32,
-                        v: u32,
-                        edges: &mut Vec<E>,
-                        out_adj: &mut [Vec<usize>],
-                        in_adj: &mut [Vec<usize>],
-                        outdeg: &mut [u32],
-                        indeg: &mut [u32],
-                        pair: &mut HashMap<(u32, u32), usize>,
-                        live: &mut usize| {
+                    v: u32,
+                    edges: &mut Vec<E>,
+                    out_adj: &mut [Vec<usize>],
+                    in_adj: &mut [Vec<usize>],
+                    outdeg: &mut [u32],
+                    indeg: &mut [u32],
+                    pair: &mut HashMap<(u32, u32), usize>,
+                    live: &mut usize| {
         if let Some(&i) = pair.get(&(u, v)) {
             if edges[i].alive {
                 return; // parallel reduction: merged away
@@ -80,8 +80,15 @@ pub fn is_two_terminal_sp(g: &TaskGraph) -> bool {
     for e in g.edge_ids() {
         let edge = g.edge(e);
         add_edge(
-            edge.src.0, edge.dst.0, &mut edges, &mut out_adj, &mut in_adj, &mut outdeg,
-            &mut indeg, &mut pair, &mut live,
+            edge.src.0,
+            edge.dst.0,
+            &mut edges,
+            &mut out_adj,
+            &mut in_adj,
+            &mut outdeg,
+            &mut indeg,
+            &mut pair,
+            &mut live,
         );
     }
 
@@ -115,7 +122,14 @@ pub fn is_two_terminal_sp(g: &TaskGraph) -> bool {
         // Add the bypass edge (u, w) — with parallel merge on collision.
         let before = live;
         add_edge(
-            u, w, &mut edges, &mut out_adj, &mut in_adj, &mut outdeg, &mut indeg, &mut pair,
+            u,
+            w,
+            &mut edges,
+            &mut out_adj,
+            &mut in_adj,
+            &mut outdeg,
+            &mut indeg,
+            &mut pair,
             &mut live,
         );
         let _merged = live == before;

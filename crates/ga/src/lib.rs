@@ -38,7 +38,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use spmap_core::{DeltaCandidate, PopBase, PopulationConfig, PopulationEval, PopulationStats};
+use spmap_core::{
+    DeltaCandidate, DispatchStats, PopBase, PopulationConfig, PopulationEval, PopulationStats,
+};
 use spmap_graph::{ops, NodeId, TaskGraph};
 use spmap_model::{DeviceId, Evaluator, Mapping, MappingFingerprint, Platform};
 
@@ -105,8 +107,16 @@ pub struct GaResult {
     /// Best fitness after each generation (non-increasing).
     pub best_per_generation: Vec<f64>,
     /// Population-engine decision counters (zero for the serial
-    /// reference path).
+    /// reference path).  Thread-count-invariant — pinned by the
+    /// equivalence suite.
     pub engine: PopulationStats,
+    /// How the engine's parallel batches were dispatched (serial fast
+    /// path / scoped spawns / persistent-pool wakes; zero for the
+    /// serial reference path).  Varies with the thread count and the
+    /// `SPMAP_POOL` backend by design — the GA dispatches roughly one
+    /// small batch per generation, so these counters are exactly the
+    /// spawn overhead the persistent pool exists to amortize.
+    pub dispatch: DispatchStats,
 }
 
 impl GaResult {
@@ -391,8 +401,13 @@ pub fn nsga2_map(graph: &TaskGraph, platform: &Platform, cfg: &GaConfig) -> GaRe
                 }
             }
             let mut base = short[0].1;
-            let mut exact_pos =
-                window_start(&genome, &pop[base].genome, &scan_order, &earliest_read, usize::MAX);
+            let mut exact_pos = window_start(
+                &genome,
+                &pop[base].genome,
+                &scan_order,
+                &earliest_read,
+                usize::MAX,
+            );
             if short[1].1 != base {
                 let second = window_start(
                     &genome,
@@ -457,6 +472,7 @@ pub fn nsga2_map(graph: &TaskGraph, platform: &Platform, cfg: &GaConfig) -> GaRe
         evaluations: engine.evaluations(),
         best_per_generation,
         engine: engine.stats(),
+        dispatch: engine.dispatch(),
     }
 }
 
@@ -567,6 +583,7 @@ pub fn nsga2_map_reference(graph: &TaskGraph, platform: &Platform, cfg: &GaConfi
         evaluations: evaluator.stats().evaluations,
         best_per_generation,
         engine: PopulationStats::default(),
+        dispatch: DispatchStats::default(),
     }
 }
 
@@ -646,9 +663,7 @@ mod tests {
         let c = nsga2_map(&g, &p, &small_cfg(8));
         // Different seeds explore differently (makespans may coincide, but
         // almost never across the full generation history).
-        assert!(
-            a.best_per_generation != c.best_per_generation || a.mapping == c.mapping
-        );
+        assert!(a.best_per_generation != c.best_per_generation || a.mapping == c.mapping);
     }
 
     #[test]
@@ -665,8 +680,14 @@ mod tests {
             let slow = nsga2_map_reference(&g, &p, &cfg);
             assert_eq!(fast.mapping, slow.mapping, "seed {seed}");
             assert_eq!(fast.makespan, slow.makespan, "seed {seed}");
-            assert_eq!(fast.best_per_generation, slow.best_per_generation, "seed {seed}");
-            assert_eq!(fast.cpu_only_makespan, slow.cpu_only_makespan, "seed {seed}");
+            assert_eq!(
+                fast.best_per_generation, slow.best_per_generation,
+                "seed {seed}"
+            );
+            assert_eq!(
+                fast.cpu_only_makespan, slow.cpu_only_makespan,
+                "seed {seed}"
+            );
             assert!(
                 fast.engine.memo_hits > 0,
                 "a converging GA must produce memo hits: {:?}",

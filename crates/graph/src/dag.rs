@@ -230,12 +230,16 @@ impl TaskGraph {
 
     /// Iterator over the direct successors of `n` (with multiplicity).
     pub fn successors(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.out_adj[n.index()].iter().map(|&e| self.edges[e.index()].dst)
+        self.out_adj[n.index()]
+            .iter()
+            .map(|&e| self.edges[e.index()].dst)
     }
 
     /// Iterator over the direct predecessors of `n` (with multiplicity).
     pub fn predecessors(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.in_adj[n.index()].iter().map(|&e| self.edges[e.index()].src)
+        self.in_adj[n.index()]
+            .iter()
+            .map(|&e| self.edges[e.index()].src)
     }
 
     /// `true` if a direct edge `u -> v` exists.
@@ -336,7 +340,11 @@ impl GraphBuilder {
             return Err(GraphError::InvalidNode(v));
         }
         let id = EdgeId(self.edges.len() as u32);
-        self.edges.push(Some(Edge { src: u, dst: v, bytes }));
+        self.edges.push(Some(Edge {
+            src: u,
+            dst: v,
+            bytes,
+        }));
         Ok(id)
     }
 

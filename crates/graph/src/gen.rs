@@ -59,7 +59,10 @@ pub fn random_sp_graph(cfg: &SpGenConfig) -> TaskGraph {
     let mut edges: Vec<(u32, u32)> = vec![(0, 1)];
     let mut node_count: u32 = 2;
     let total_weight = cfg.series_weight + cfg.parallel_weight;
-    assert!(total_weight > 0, "series/parallel weights must not both be 0");
+    assert!(
+        total_weight > 0,
+        "series/parallel weights must not both be 0"
+    );
     while (node_count as usize) < cfg.nodes {
         let i = rng.gen_range(0..edges.len());
         if rng.gen_range(0..total_weight) < cfg.series_weight {
@@ -122,7 +125,8 @@ pub fn almost_sp_graph(cfg: &SpGenConfig, extra_edges: usize) -> TaskGraph {
         b.add_edge(u, v, cfg.edge_bytes).expect("endpoints valid");
         added += 1;
     }
-    b.build().expect("edges follow a topological order, so acyclic")
+    b.build()
+        .expect("edges follow a topological order, so acyclic")
 }
 
 /// A uniformly seeded random topological order: repeatedly pick a random

@@ -320,7 +320,9 @@ mod tests {
             // Two random ≤ rows and one ≥ row.
             let mut weights = vec![];
             for _ in 0..3 {
-                let w: Vec<f64> = (0..nb).map(|_| rng.gen_range(0.0..5.0_f64).round()).collect();
+                let w: Vec<f64> = (0..nb)
+                    .map(|_| rng.gen_range(0.0..5.0_f64).round())
+                    .collect();
                 weights.push(w);
             }
             let terms = |w: &[f64]| -> Vec<(crate::model::VarId, f64)> {

@@ -77,10 +77,7 @@ impl<'g> Inst<'g> {
                 .fold(0.0, f64::max);
             horizon += worst;
         }
-        let cpu_only = exec
-            .iter()
-            .map(|row| row[p.default_device().index()])
-            .sum();
+        let cpu_only = exec.iter().map(|row| row[p.default_device().index()]).sum();
         Self {
             g,
             p,
@@ -190,8 +187,7 @@ pub fn solve_wgdp_device(g: &TaskGraph, p: &Platform, opts: &SolveOptions) -> Mi
     let makespan = m.add_continuous(0.0, inst.horizon, 1.0);
     for d in 0..dev {
         // Σ_t exec(t,d) y[t][d] − makespan ≤ 0
-        let mut terms: Vec<(VarId, f64)> =
-            (0..n).map(|t| (y[t][d], inst.exec[t][d])).collect();
+        let mut terms: Vec<(VarId, f64)> = (0..n).map(|t| (y[t][d], inst.exec[t][d])).collect();
         terms.push((makespan, -1.0));
         m.add_constraint(&terms, Sense::Le, 0.0);
     }
@@ -247,10 +243,7 @@ pub fn solve_wgdp_time(g: &TaskGraph, p: &Platform, opts: &SolveOptions) -> Milp
         // Streaming floor (valid unconditionally): σ_v ≥ σ_u + φ·w_u with
         // φ the fill fraction of the (single) FPGA, and the finish-order
         // bound σ_v ≥ σ_u + w_u − (1−φ)·w_v.
-        let phi = fpgas
-            .first()
-            .map(|&f| p.fill_fraction(f))
-            .unwrap_or(0.0);
+        let phi = fpgas.first().map(|&f| p.fill_fraction(f)).unwrap_or(0.0);
         if !fpgas.is_empty() {
             let mut floor = vec![(sigma[v], 1.0), (sigma[u], -1.0)];
             floor.extend(exec_terms(&inst, &y, u, -phi));
@@ -339,8 +332,7 @@ pub fn solve_zhou_liu(g: &TaskGraph, p: &Platform, opts: &SolveOptions) -> MilpM
             (0..dev)
                 .map(|d| {
                     let yv = m.add_continuous(0.0, 1.0, 0.0);
-                    let mut terms: Vec<(VarId, f64)> =
-                        x[t][d].iter().map(|&v| (v, 1.0)).collect();
+                    let mut terms: Vec<(VarId, f64)> = x[t][d].iter().map(|&v| (v, 1.0)).collect();
                     terms.push((yv, -1.0));
                     m.add_constraint(&terms, Sense::Eq, 0.0);
                     yv
@@ -440,10 +432,7 @@ pub fn solve_zhou_liu(g: &TaskGraph, p: &Platform, opts: &SolveOptions) -> MilpM
 fn finish(inst: Inst<'_>, y: Vec<Vec<VarId>>, result: crate::branch::MilpResult) -> MilpMapping {
     let (mapping, objective) = match &result.values {
         Some(values) => (inst.decode(&y, values), result.objective.unwrap()),
-        None => (
-            Mapping::all_default(inst.g, inst.p),
-            inst.cpu_only,
-        ),
+        None => (Mapping::all_default(inst.g, inst.p), inst.cpu_only),
     };
     MilpMapping {
         mapping,
@@ -505,7 +494,10 @@ mod tests {
         parallel_tasks(&mut g);
         let p = Platform::reference();
         let r = solve_wgdp_device(&g, &p, &opts(20));
-        assert!(matches!(r.status, MilpStatus::Optimal | MilpStatus::Feasible));
+        assert!(matches!(
+            r.status,
+            MilpStatus::Optimal | MilpStatus::Feasible
+        ));
         let cpu_only: f64 = (0..6)
             .map(|t| cost::exec_time(&p, DeviceId(0), g.task(NodeId(t))))
             .sum();
@@ -518,7 +510,8 @@ mod tests {
         // Objective equals the max per-device load of the mapping.
         let mut load = vec![0.0f64; p.device_count()];
         for t in g.nodes() {
-            load[r.mapping.device(t).index()] += cost::exec_time(&p, r.mapping.device(t), g.task(t));
+            load[r.mapping.device(t).index()] +=
+                cost::exec_time(&p, r.mapping.device(t), g.task(t));
         }
         let max_load = load.iter().cloned().fold(0.0, f64::max);
         assert!((r.objective - max_load).abs() < 1e-6 * max_load.max(1.0));
@@ -594,7 +587,10 @@ mod tests {
         parallel_tasks(&mut g);
         let p = Platform::reference();
         let r = solve_zhou_liu(&g, &p, &opts(30));
-        assert!(matches!(r.status, MilpStatus::Optimal | MilpStatus::Feasible));
+        assert!(matches!(
+            r.status,
+            MilpStatus::Optimal | MilpStatus::Feasible
+        ));
         // Mapping must be feasible and no worse than all-CPU internally.
         let cpu_only: f64 = (0..4)
             .map(|t| cost::exec_time(&p, DeviceId(0), g.task(NodeId(t))))

@@ -1,6 +1,7 @@
-#![allow(clippy::needless_range_loop)] // dense tableau code indexes several
-                                       // parallel arrays per loop; index form
-                                       // is the readable one here
+#![allow(clippy::needless_range_loop)]
+// dense tableau code indexes several
+// parallel arrays per loop; index form
+// is the readable one here
 //! # spmap-milp — MILP solver substrate and the paper's MILP baselines
 //!
 //! The paper solves three mixed-integer linear programs with Gurobi; this

@@ -121,11 +121,7 @@ impl Model {
 
     /// Objective value of an assignment (no feasibility check).
     pub fn objective_value(&self, x: &[f64]) -> f64 {
-        self.vars
-            .iter()
-            .zip(x)
-            .map(|(v, &xi)| v.obj * xi)
-            .sum()
+        self.vars.iter().zip(x).map(|(v, &xi)| v.obj * xi).sum()
     }
 
     /// Maximum constraint violation of an assignment (0 = feasible).

@@ -191,7 +191,16 @@ pub fn solve_relaxation_deadline(
                 }
             }
         }
-        let status = pivot_loop(&mut t, &mut obj, &mut basis, m, width, usize::MAX, iter_limit, deadline);
+        let status = pivot_loop(
+            &mut t,
+            &mut obj,
+            &mut basis,
+            m,
+            width,
+            usize::MAX,
+            iter_limit,
+            deadline,
+        );
         let phase1_obj = -obj[width - 1];
         if status != LpStatus::Optimal || phase1_obj > FEAS_TOL {
             return LpResult {
@@ -208,9 +217,7 @@ pub fn solve_relaxation_deadline(
         for i in 0..m {
             if basis[i] >= art_start {
                 let row_start = i * width;
-                if let Some(c) = (0..art_start)
-                    .find(|&c| t[row_start + c].abs() > PIVOT_TOL)
-                {
+                if let Some(c) = (0..art_start).find(|&c| t[row_start + c].abs() > PIVOT_TOL) {
                     pivot(&mut t, &mut obj, m, width, i, c);
                     basis[i] = c;
                 }
@@ -240,7 +247,9 @@ pub fn solve_relaxation_deadline(
             }
         }
     }
-    let status = pivot_loop(&mut t, &mut obj, &mut basis, m, width, art_start, iter_limit, deadline);
+    let status = pivot_loop(
+        &mut t, &mut obj, &mut basis, m, width, art_start, iter_limit, deadline,
+    );
 
     // Extract the solution.
     let mut x_shifted = vec![0.0f64; ncols];

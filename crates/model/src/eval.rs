@@ -236,7 +236,10 @@ impl<'g> EvalTables<'g> {
             indeg_init: graph.nodes().map(|v| graph.in_degree(v) as u32).collect(),
             area: graph.nodes().map(|v| graph.task(v).area).collect(),
             any_fpga: is_fpga.iter().any(|&f| f),
-            fill: platform.device_ids().map(|d| platform.fill_fraction(d)).collect(),
+            fill: platform
+                .device_ids()
+                .map(|d| platform.fill_fraction(d))
+                .collect(),
             area_cap: platform
                 .device_ids()
                 .map(|d| platform.device(d).area_capacity())
@@ -410,7 +413,11 @@ impl<'g> EvalTables<'g> {
         debug_assert_eq!(mapping.len(), n);
         debug_assert_eq!(ranks.len(), n);
         debug_assert_eq!(scratch.indeg.len(), n, "scratch sized for this graph");
-        debug_assert_eq!(scratch.device_free.len(), m, "scratch sized for this platform");
+        debug_assert_eq!(
+            scratch.device_free.len(),
+            m,
+            "scratch sized for this platform"
+        );
         scratch.stats.evaluations += 1;
         if !self.area_feasible(mapping) {
             return None;
@@ -883,8 +890,12 @@ impl ScheduleCheckpoints {
     fn restore(&self, from_pos: usize, scratch: &mut EvalScratch) -> usize {
         let j = (from_pos / self.every).min(self.count - 1);
         let (n, m) = (self.n, self.m);
-        scratch.data_ready.copy_from_slice(&self.data_ready[j * n..(j + 1) * n]);
-        scratch.device_free.copy_from_slice(&self.device_free[j * m..(j + 1) * m]);
+        scratch
+            .data_ready
+            .copy_from_slice(&self.data_ready[j * n..(j + 1) * n]);
+        scratch
+            .device_free
+            .copy_from_slice(&self.device_free[j * m..(j + 1) * m]);
         scratch
             .link_free
             .copy_from_slice(&self.link_free[j * m * m..(j + 1) * m * m]);
@@ -911,9 +922,14 @@ pub struct CheckpointSet {
 impl CheckpointSet {
     /// One empty snapshot store per schedule, all with interval `every`.
     pub fn new(schedules: usize, every: usize) -> Self {
-        assert!(schedules > 0, "a schedule set is never empty (BFS is always present)");
+        assert!(
+            schedules > 0,
+            "a schedule set is never empty (BFS is always present)"
+        );
         Self {
-            stores: (0..schedules).map(|_| ScheduleCheckpoints::new(every)).collect(),
+            stores: (0..schedules)
+                .map(|_| ScheduleCheckpoints::new(every))
+                .collect(),
         }
     }
 
@@ -1053,14 +1069,17 @@ impl<'g> Evaluator<'g> {
         mapping: &Mapping,
         schedules: &ReportSchedules,
     ) -> Option<f64> {
-        let mut best = self
-            .tables
-            .makespan_with_ranks(&mut self.scratch, mapping, schedules.order(0).ranks())?;
+        let mut best = self.tables.makespan_with_ranks(
+            &mut self.scratch,
+            mapping,
+            schedules.order(0).ranks(),
+        )?;
         for s in 1..schedules.len() {
-            if let Some(ms) =
-                self.tables
-                    .makespan_with_ranks(&mut self.scratch, mapping, schedules.order(s).ranks())
-            {
+            if let Some(ms) = self.tables.makespan_with_ranks(
+                &mut self.scratch,
+                mapping,
+                schedules.order(s).ranks(),
+            ) {
                 best = best.min(ms);
             }
         }
@@ -1194,8 +1213,8 @@ mod tests {
         let mid_time = ev.exec_time(NodeId(1), FPGA);
         let tr = p.transfer_time(100e6, CPU, FPGA);
         // Source + transfer + four serialized mids + transfer + sink.
-        let expect = ev.exec_time(NodeId(0), CPU) + tr + 4.0 * mid_time + tr
-            + ev.exec_time(NodeId(5), CPU);
+        let expect =
+            ev.exec_time(NodeId(0), CPU) + tr + 4.0 * mid_time + tr + ev.exec_time(NodeId(5), CPU);
         assert!(
             (ms - expect).abs() < 1e-9,
             "serialized makespan {ms} vs {expect}"
@@ -1432,7 +1451,10 @@ mod tests {
         let sched = ev.simulate(&m, SchedulePolicy::Bfs).unwrap();
         let (s1, f1) = (sched.start[1], sched.finish[1]);
         let (s2, f2) = (sched.start[2], sched.finish[2]);
-        assert!(f1 <= s2 || f2 <= s1, "GPU tasks overlap: [{s1},{f1}] [{s2},{f2}]");
+        assert!(
+            f1 <= s2 || f2 <= s1,
+            "GPU tasks overlap: [{s1},{f1}] [{s2},{f2}]"
+        );
     }
 
     #[test]

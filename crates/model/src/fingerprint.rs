@@ -105,17 +105,23 @@ mod tests {
         let m = Mapping::uniform(10, DeviceId(0));
         let base = MappingFingerprint::of(&m);
         // Applying and reverting restores the fingerprint.
-        let fp = base
-            .with(NodeId(1), DeviceId(0), DeviceId(2))
-            .with(NodeId(1), DeviceId(2), DeviceId(0));
+        let fp = base.with(NodeId(1), DeviceId(0), DeviceId(2)).with(
+            NodeId(1),
+            DeviceId(2),
+            DeviceId(0),
+        );
         assert_eq!(fp, base);
         // Disjoint toggles commute.
-        let ab = base
-            .with(NodeId(1), DeviceId(0), DeviceId(2))
-            .with(NodeId(4), DeviceId(0), DeviceId(1));
-        let ba = base
-            .with(NodeId(4), DeviceId(0), DeviceId(1))
-            .with(NodeId(1), DeviceId(0), DeviceId(2));
+        let ab = base.with(NodeId(1), DeviceId(0), DeviceId(2)).with(
+            NodeId(4),
+            DeviceId(0),
+            DeviceId(1),
+        );
+        let ba = base.with(NodeId(4), DeviceId(0), DeviceId(1)).with(
+            NodeId(1),
+            DeviceId(0),
+            DeviceId(2),
+        );
         assert_eq!(ab, ba);
     }
 

@@ -167,7 +167,10 @@ mod tests {
         );
         // A mid-chart failure (header fits, body doesn't) also propagates.
         let mut w = FailingWriter { budget: 48 };
-        assert_eq!(write_gantt(&mut w, &g, &p, &m, &sched, 60), Err(std::fmt::Error));
+        assert_eq!(
+            write_gantt(&mut w, &g, &p, &m, &sched, 60),
+            Err(std::fmt::Error)
+        );
         // And the infallible wrapper still works.
         assert!(render_gantt(&g, &p, &m, &sched, 60).contains("makespan"));
     }
@@ -190,6 +193,9 @@ mod tests {
         // Streaming pipeline: tasks overlap, so the FPGA needs >1 lane —
         // count the rows between the header and the end.
         let lanes = out.lines().filter(|l| l.contains('|')).count();
-        assert!(lanes > 3, "expected extra FPGA lanes, got {lanes} rows:\n{out}");
+        assert!(
+            lanes > 3,
+            "expected extra FPGA lanes, got {lanes} rows:\n{out}"
+        );
     }
 }

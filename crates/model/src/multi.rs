@@ -129,11 +129,15 @@ mod tests {
         let mut ev = Evaluator::new(&g, &p);
         // Same FPGA: streams (consumer starts before producer finishes).
         let same = Mapping::from_vec(vec![DeviceId(3), DeviceId(3)]);
-        let s1 = ev.simulate(&same, crate::schedule::SchedulePolicy::Bfs).unwrap();
+        let s1 = ev
+            .simulate(&same, crate::schedule::SchedulePolicy::Bfs)
+            .unwrap();
         assert!(s1.start[1] < s1.finish[0], "must stream");
         // Different FPGAs: a real transfer, no streaming.
         let cross = Mapping::from_vec(vec![DeviceId(3), DeviceId(4)]);
-        let s2 = ev.simulate(&cross, crate::schedule::SchedulePolicy::Bfs).unwrap();
+        let s2 = ev
+            .simulate(&cross, crate::schedule::SchedulePolicy::Bfs)
+            .unwrap();
         assert!(s2.start[1] >= s2.finish[0], "cross-FPGA must not stream");
     }
 

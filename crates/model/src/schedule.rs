@@ -347,7 +347,10 @@ mod tests {
         assert_eq!(set.len(), 4);
         assert_eq!(set.random_schedules(), 3);
         assert_eq!(set.seed(), 42);
-        assert_eq!(set.order(0).ranks(), priority_ranks(&g, SchedulePolicy::Bfs));
+        assert_eq!(
+            set.order(0).ranks(),
+            priority_ranks(&g, SchedulePolicy::Bfs)
+        );
         for i in 0..3u64 {
             assert_eq!(
                 set.order(1 + i as usize).ranks(),
@@ -366,6 +369,9 @@ mod tests {
         let set = ReportSchedules::bfs_only(&g);
         assert_eq!(set.len(), 1);
         assert!(!set.is_empty());
-        assert_eq!(set.order(0).ranks(), priority_ranks(&g, SchedulePolicy::Bfs));
+        assert_eq!(
+            set.order(0).ranks(),
+            priority_ranks(&g, SchedulePolicy::Bfs)
+        );
     }
 }

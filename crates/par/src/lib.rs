@@ -9,21 +9,46 @@
 //!   evaluation scratch ([`par_map_with`] + [`WorkerStates`]).
 //!
 //! Work items are claimed through a shared atomic counter, so long-running
-//! items (e.g. a MILP solve) do not stall the remaining workers.  Threads
-//! are `std::thread::scope` scoped — no global pool, no dependencies —
-//! while the expensive part of a worker, its state `S`, lives in a
-//! [`WorkerStates`] arena that is reused across any number of calls.
+//! items (e.g. a MILP solve) do not stall the remaining workers.  The
+//! expensive part of a worker, its state `S`, lives in a [`WorkerStates`]
+//! arena that is reused across any number of calls.
+//!
+//! Two execution backends share that exact work-distribution logic:
+//!
+//! * **pool** (default) — a process-wide [persistent worker
+//!   pool](crate::pool): threads are created once, park between batches
+//!   and are woken by submission.  Small batches — the search loops
+//!   dispatch roughly one per GA generation or candidate wave — no
+//!   longer pay a spawn/join per call.
+//! * **scoped** (`SPMAP_POOL=0`) — per-call `std::thread::scope` spawns,
+//!   the original implementation, kept as the executable specification
+//!   ([`par_map_with_threads_scoped`]).
+//!
+//! Results are bit-identical across {serial, scoped, pool} × thread
+//! counts: both backends claim items from the same atomic counter,
+//! restore input order the same way, and hand participant `k` exclusive
+//! `&mut` access to state slot `k`.  [`with_backend`] overrides the env
+//! selection for the current thread (benchmarks, tests).
 //!
 //! `SPMAP_THREADS=1` (or a single-item input) is a true serial fast path:
 //! the closure runs on the calling thread and **zero** threads are
-//! spawned.
+//! spawned or woken.
+//!
+//! Per-thread [`DispatchStats`] counters record how batches were
+//! dispatched (serial / scoped spawns / pool wakes); the engines in
+//! `spmap-core` surface them per run.
 //!
 //! Measurement note: per-item *execution times* reported by the harness
 //! are measured inside the item closure, so wall-clock parallelism of the
 //! sweep does not distort per-algorithm timing (beyond the usual
 //! multi-core interference, which also affected the paper's C++ harness).
 
+pub mod pool;
+
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub use pool::{global as global_pool, in_pool_worker, Pool};
 
 /// Number of worker threads to use: `SPMAP_THREADS` if set, otherwise the
 /// machine's available parallelism.
@@ -50,6 +75,159 @@ pub fn num_threads() -> usize {
         },
         None => machine(),
     }
+}
+
+/// Which execution backend [`par_map_with_threads`] uses for batches
+/// that actually go parallel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ParBackend {
+    /// The persistent worker pool (parked threads, woken per batch).
+    #[default]
+    Pool,
+    /// Per-call `std::thread::scope` spawns — the executable spec.
+    Scoped,
+}
+
+thread_local! {
+    static BACKEND_OVERRIDE: Cell<Option<ParBackend>> = const { Cell::new(None) };
+    static DISPATCH: Cell<DispatchStats> = const { Cell::new(DispatchStats::new()) };
+}
+
+/// The backend the current thread's `par_map` calls will use: the
+/// [`with_backend`] override if one is active, otherwise `SPMAP_POOL`
+/// (`0`/`off`/`false`/`no` = scoped; `1`/`on`/`true`/`yes` = pool;
+/// unset/empty = pool).  Like `SPMAP_THREADS`, a configured-but-garbage
+/// value clamps to the *conservative* interpretation — the scoped
+/// executable-spec path — instead of being ignored.
+pub fn backend() -> ParBackend {
+    if let Some(b) = BACKEND_OVERRIDE.with(Cell::get) {
+        return b;
+    }
+    match std::env::var_os("SPMAP_POOL") {
+        Some(v) => match v.to_str() {
+            Some(s) => parse_pool(s).unwrap_or(ParBackend::Scoped),
+            None => ParBackend::Scoped,
+        },
+        None => ParBackend::Pool,
+    }
+}
+
+/// Interpret one `SPMAP_POOL` value:
+///
+/// * `0`, `off`, `false`, `no` (any case) select [`ParBackend::Scoped`],
+/// * `1`, `on`, `true`, `yes` select [`ParBackend::Pool`],
+/// * an empty / whitespace-only value is `None` — treated as unset
+///   (the pool default applies),
+/// * anything else clamps to `Scoped`: an explicitly configured but
+///   unparseable override means the operator tried to turn the pool
+///   *off*-or-*on*; the scoped path is the conservative reading.
+pub fn parse_pool(raw: &str) -> Option<ParBackend> {
+    let t = raw.trim();
+    if t.is_empty() {
+        return None;
+    }
+    Some(match t.to_ascii_lowercase().as_str() {
+        "1" | "on" | "true" | "yes" | "pool" => ParBackend::Pool,
+        _ => ParBackend::Scoped,
+    })
+}
+
+/// Run `f` with the current thread's backend pinned to `backend`,
+/// overriding `SPMAP_POOL`; restored afterwards (panic-safe).  Used by
+/// benchmarks (pool-vs-scoped rows) and the equivalence suite.
+pub fn with_backend<R>(backend: ParBackend, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<ParBackend>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            BACKEND_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(BACKEND_OVERRIDE.with(|c| c.replace(Some(backend))));
+    f()
+}
+
+/// How this thread's `par_map` batches were dispatched, accumulated
+/// since thread start.  Callers snapshot before/after a run and diff
+/// with [`DispatchStats::since`]; the engines in `spmap-core` surface
+/// the per-run deltas on their results.
+///
+/// Deliberately **not** part of the engines' decision-counter structs:
+/// decision counters are thread-count-invariant (pinned by the
+/// equivalence suite), dispatch counters intentionally are not — they
+/// exist to show the spawn overhead a given configuration paid.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Batches run entirely on the calling thread (1 worker, ≤ 1 item,
+    /// or a nested call demoted to serial).
+    pub serial_batches: u64,
+    /// Nested calls demoted to serial (subset of `serial_batches`):
+    /// `par_map` from inside a pool worker or a batch-driving thread.
+    pub nested_serial: u64,
+    /// Batches dispatched through per-call scoped spawns.
+    pub scoped_batches: u64,
+    /// Threads spawned by scoped batches (`workers − 1` each — the
+    /// caller is always worker 0).
+    pub scoped_spawns: u64,
+    /// Batches dispatched through the persistent pool.
+    pub pool_batches: u64,
+    /// Parked pool workers engaged across pool batches (`workers − 1`
+    /// per batch; wakes, not spawns).
+    pub pool_dispatches: u64,
+    /// Pool worker threads created (amortized across the pool's whole
+    /// lifetime — this is the count scoped dispatch would pay per call).
+    pub pool_workers_spawned: u64,
+}
+
+impl DispatchStats {
+    const fn new() -> Self {
+        Self {
+            serial_batches: 0,
+            nested_serial: 0,
+            scoped_batches: 0,
+            scoped_spawns: 0,
+            pool_batches: 0,
+            pool_dispatches: 0,
+            pool_workers_spawned: 0,
+        }
+    }
+
+    /// Field-wise `self − earlier`: the dispatches between two
+    /// [`dispatch_stats`] snapshots of the same thread.  Saturating:
+    /// counters are thread-local, so diffing a snapshot taken on a
+    /// *different* thread (e.g. an engine constructed on one thread and
+    /// driven on another) yields zeros instead of underflowing.
+    pub fn since(&self, earlier: &DispatchStats) -> DispatchStats {
+        DispatchStats {
+            serial_batches: self.serial_batches.saturating_sub(earlier.serial_batches),
+            nested_serial: self.nested_serial.saturating_sub(earlier.nested_serial),
+            scoped_batches: self.scoped_batches.saturating_sub(earlier.scoped_batches),
+            scoped_spawns: self.scoped_spawns.saturating_sub(earlier.scoped_spawns),
+            pool_batches: self.pool_batches.saturating_sub(earlier.pool_batches),
+            pool_dispatches: self.pool_dispatches.saturating_sub(earlier.pool_dispatches),
+            pool_workers_spawned: self
+                .pool_workers_spawned
+                .saturating_sub(earlier.pool_workers_spawned),
+        }
+    }
+
+    /// All batches that went parallel (either backend).
+    pub fn parallel_batches(&self) -> u64 {
+        self.scoped_batches + self.pool_batches
+    }
+}
+
+/// The calling thread's dispatch counters so far.
+pub fn dispatch_stats() -> DispatchStats {
+    DISPATCH.with(Cell::get)
+}
+
+/// Apply `f` to the calling thread's dispatch counters.
+pub(crate) fn bump_dispatch(f: impl FnOnce(&mut DispatchStats)) {
+    DISPATCH.with(|c| {
+        let mut d = c.get();
+        f(&mut d);
+        c.set(d);
+    });
 }
 
 /// Interpret one `SPMAP_THREADS` value:
@@ -117,10 +295,41 @@ impl<S> WorkerStates<S> {
     }
 }
 
+/// Run the whole batch on the calling thread with state slot 0 — the
+/// shared serial fast path of every backend.
+pub(crate) fn serial_map<S, T, R, F>(states: &mut WorkerStates<S>, items: &[T], f: F) -> Vec<R>
+where
+    F: Fn(&mut S, usize, &T) -> R,
+{
+    let s = states.first_mut();
+    items.iter().enumerate().map(|(i, t)| f(s, i, t)).collect()
+}
+
+/// Restore input order from per-participant `(index, result)` parts —
+/// the shared order-restoring tail of every parallel backend.
+pub(crate) fn merge_parts<R>(len: usize, parts: Vec<Vec<(usize, R)>>) -> Vec<R> {
+    let mut out: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    for part in parts {
+        for (i, r) in part {
+            debug_assert!(out[i].is_none());
+            out[i] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("every index claimed exactly once"))
+        .collect()
+}
+
 /// Apply `f(state, index, item)` to every item with `threads` workers,
 /// preserving input order in the result.  Worker count is further capped
 /// by the item count and the number of state slots.  `threads <= 1` runs
-/// entirely on the calling thread with `states` slot 0 and spawns nothing.
+/// entirely on the calling thread with `states` slot 0 and spawns
+/// nothing.
+///
+/// Parallel batches are executed by the [`backend`] selected for this
+/// thread: the persistent [`pool`] by default, per-call scoped spawns
+/// under `SPMAP_POOL=0` ([`par_map_with_threads_scoped`]).  Results are
+/// bit-identical either way.
 pub fn par_map_with_threads<S, T, R, F>(
     threads: usize,
     states: &mut WorkerStates<S>,
@@ -135,9 +344,43 @@ where
 {
     let threads = threads.min(items.len().max(1)).min(states.len());
     if threads <= 1 || items.len() <= 1 {
-        let s = states.first_mut();
-        return items.iter().enumerate().map(|(i, t)| f(s, i, t)).collect();
+        bump_dispatch(|d| d.serial_batches += 1);
+        return serial_map(states, items, f);
     }
+    match backend() {
+        ParBackend::Pool => pool::global().par_map_with_threads(threads, states, items, f),
+        ParBackend::Scoped => par_map_with_threads_scoped(threads, states, items, f),
+    }
+}
+
+/// [`par_map_with_threads`] on per-call `std::thread::scope` spawns —
+/// the original implementation, kept as the executable specification
+/// the pool backend is verified against (`tests/equivalence.rs` pins
+/// bit-identical results across {serial, scoped, pool} × thread
+/// counts).  Scoped dispatch still wins for a handful of long batches
+/// where spawn cost is noise and parked workers would only hold memory;
+/// the search loops' many small batches belong on the pool.
+pub fn par_map_with_threads_scoped<S, T, R, F>(
+    threads: usize,
+    states: &mut WorkerStates<S>,
+    items: &[T],
+    f: F,
+) -> Vec<R>
+where
+    S: Send,
+    T: Sync,
+    R: Send,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let threads = threads.min(items.len().max(1)).min(states.len());
+    if threads <= 1 || items.len() <= 1 {
+        bump_dispatch(|d| d.serial_batches += 1);
+        return serial_map(states, items, f);
+    }
+    bump_dispatch(|d| {
+        d.scoped_batches += 1;
+        d.scoped_spawns += (threads - 1) as u64;
+    });
     let next = AtomicUsize::new(0);
     let worker = |s: &mut S| {
         let mut local: Vec<(usize, R)> = Vec::new();
@@ -160,19 +403,33 @@ where
         // The calling thread is worker 0 — one fewer spawn per call.
         parts.push(worker(&mut mine[0]));
         for h in handles {
-            parts.push(h.join().expect("worker panicked"));
+            // Re-raise a worker's panic with its *original* payload —
+            // the same observable behavior as the pool backend (which
+            // captures the first payload and resumes it on the caller).
+            match h.join() {
+                Ok(part) => parts.push(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
-    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    for part in parts {
-        for (i, r) in part {
-            debug_assert!(out[i].is_none());
-            out[i] = Some(r);
-        }
-    }
-    out.into_iter()
-        .map(|r| r.expect("every index claimed exactly once"))
-        .collect()
+    merge_parts(items.len(), parts)
+}
+
+/// [`par_map_with_threads`] forced onto the process-wide persistent
+/// pool, regardless of the thread's [`backend`] selection.
+pub fn par_map_with_threads_pooled<S, T, R, F>(
+    threads: usize,
+    states: &mut WorkerStates<S>,
+    items: &[T],
+    f: F,
+) -> Vec<R>
+where
+    S: Send,
+    T: Sync,
+    R: Send,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    pool::global().par_map_with_threads(threads, states, items, f)
 }
 
 /// [`par_map_with_threads`] with the environment-configured thread count.
@@ -267,7 +524,11 @@ mod tests {
         assert_eq!(parse_threads("-3"), Some(1));
         assert_eq!(parse_threads("1.5"), Some(1));
         assert_eq!(parse_threads("8 threads"), Some(1));
-        assert_eq!(parse_threads("99999999999999999999999999"), Some(1), "overflow is garbage");
+        assert_eq!(
+            parse_threads("99999999999999999999999999"),
+            Some(1),
+            "overflow is garbage"
+        );
     }
 
     #[test]
@@ -309,7 +570,10 @@ mod tests {
         });
         let (slot0, others) = {
             let mut it = states.iter();
-            (it.next().unwrap().clone(), it.map(|v| v.len()).sum::<usize>())
+            (
+                it.next().unwrap().clone(),
+                it.map(|v| v.len()).sum::<usize>(),
+            )
         };
         assert_eq!(slot0.len(), 50, "all items on slot 0");
         assert!(slot0.iter().all(|&id| id == me), "no thread was spawned");
@@ -328,6 +592,128 @@ mod tests {
             std::thread::current().id()
         });
         assert!(ids.iter().any(|&id| id != me), "expected a spawned worker");
+    }
+
+    #[test]
+    fn both_backends_propagate_the_original_panic_payload() {
+        // A panicking item must surface its *own* payload to the caller
+        // under either backend — not a synthesized join-failure string.
+        // (Regression: the scoped path used `join().expect(..)`, which
+        // destroyed the payload the pool backend preserves.)
+        for b in [ParBackend::Scoped, ParBackend::Pool] {
+            let items: Vec<u32> = (0..64).collect();
+            let mut states = WorkerStates::new(4, |_| ());
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                with_backend(b, || {
+                    par_map_with_threads(4, &mut states, &items, |_, _, &x| {
+                        if x == 21 {
+                            panic!("payload {x}");
+                        }
+                        x
+                    })
+                })
+            }));
+            let payload = caught.expect_err("panic must propagate");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(
+                msg.contains("payload 21"),
+                "{b:?}: payload lost, got {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_pool_selects_backends() {
+        assert_eq!(parse_pool("0"), Some(ParBackend::Scoped));
+        assert_eq!(parse_pool("off"), Some(ParBackend::Scoped));
+        assert_eq!(parse_pool("False"), Some(ParBackend::Scoped));
+        assert_eq!(parse_pool("no"), Some(ParBackend::Scoped));
+        assert_eq!(parse_pool("1"), Some(ParBackend::Pool));
+        assert_eq!(parse_pool("on"), Some(ParBackend::Pool));
+        assert_eq!(parse_pool("TRUE"), Some(ParBackend::Pool));
+        assert_eq!(
+            parse_pool(" pool "),
+            Some(ParBackend::Pool),
+            "whitespace tolerated"
+        );
+    }
+
+    #[test]
+    fn parse_pool_garbage_clamps_to_scoped_and_empty_is_unset() {
+        // A configured-but-broken override means the operator reached
+        // for the switch: the conservative executable-spec path wins,
+        // mirroring SPMAP_THREADS' clamp-to-serial philosophy.
+        assert_eq!(parse_pool("banana"), Some(ParBackend::Scoped));
+        assert_eq!(parse_pool("2"), Some(ParBackend::Scoped));
+        assert_eq!(parse_pool(""), None);
+        assert_eq!(parse_pool("   "), None);
+    }
+
+    #[test]
+    fn with_backend_overrides_and_restores() {
+        let before = backend();
+        with_backend(ParBackend::Scoped, || {
+            assert_eq!(backend(), ParBackend::Scoped);
+            with_backend(ParBackend::Pool, || {
+                assert_eq!(backend(), ParBackend::Pool);
+            });
+            assert_eq!(backend(), ParBackend::Scoped, "inner override restored");
+        });
+        assert_eq!(backend(), before, "outer override restored");
+    }
+
+    #[test]
+    fn with_backend_restores_on_panic() {
+        let before = backend();
+        let caught = std::panic::catch_unwind(|| {
+            with_backend(ParBackend::Scoped, || panic!("interrupted"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(backend(), before, "override must not leak past a panic");
+    }
+
+    #[test]
+    fn dispatch_stats_count_each_backend() {
+        let items: Vec<u32> = (0..64).collect();
+        let mut states = WorkerStates::new(3, |_| ());
+
+        let base = dispatch_stats();
+        par_map_with_threads(1, &mut states, &items, |_, _, &x| x);
+        let serial = dispatch_stats().since(&base);
+        assert_eq!(serial.serial_batches, 1);
+        assert_eq!(serial.parallel_batches(), 0);
+
+        let base = dispatch_stats();
+        with_backend(ParBackend::Scoped, || {
+            par_map_with_threads(3, &mut states, &items, |_, _, &x| x);
+        });
+        let scoped = dispatch_stats().since(&base);
+        assert_eq!(scoped.scoped_batches, 1);
+        assert_eq!(
+            scoped.scoped_spawns, 2,
+            "workers - 1 spawns per scoped batch"
+        );
+        assert_eq!(scoped.pool_batches, 0);
+
+        let base = dispatch_stats();
+        with_backend(ParBackend::Pool, || {
+            par_map_with_threads(3, &mut states, &items, |_, _, &x| x);
+            par_map_with_threads(3, &mut states, &items, |_, _, &x| x);
+        });
+        let pooled = dispatch_stats().since(&base);
+        assert_eq!(pooled.pool_batches, 2);
+        assert_eq!(
+            pooled.pool_dispatches, 4,
+            "workers - 1 wakes per pool batch"
+        );
+        assert_eq!(pooled.scoped_batches, 0);
+        assert!(
+            pooled.pool_workers_spawned <= 2,
+            "pool threads are created at most once, then reused"
+        );
     }
 
     #[test]

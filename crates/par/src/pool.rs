@@ -1,0 +1,638 @@
+//! Persistent deterministic worker pool.
+//!
+//! [`par_map_with_threads_scoped`](crate::par_map_with_threads_scoped)
+//! spawns its workers with `std::thread::scope` on **every** call.  That
+//! is the right shape for a handful of large batches (the experiment
+//! harness), but the search loops dispatch *many small* batches — the GA
+//! submits roughly one per generation, for hundreds of generations — and
+//! there the per-call spawn/join cost dominates the useful work.  This
+//! module keeps the workers alive instead: threads are created once
+//! (lazily, growing to the largest batch ever requested), park on a
+//! condvar between batches, and are woken by batch submission.
+//!
+//! ## Determinism
+//!
+//! A pooled batch reuses the *exact* work-distribution logic of the
+//! scoped path: items are claimed from a shared atomic counter, every
+//! participant collects `(index, result)` pairs, and the caller restores
+//! input order afterwards.  Participant `k` of a call receives exclusive
+//! `&mut` access to state slot `k` of the caller's [`WorkerStates`]
+//! arena — the same slot-exclusivity contract as the scoped path — and
+//! the caller itself is participant 0, so the serial fast path and slot
+//! 0 semantics are unchanged.  Which OS thread executes which item can
+//! differ run to run (exactly as with scoped spawns); everything
+//! observable — results, their order, slot exclusivity — is identical,
+//! which is why the engines built on top stay bit-identical across
+//! {serial, scoped, pool} × thread counts (`tests/equivalence.rs`).
+//!
+//! ## Panic protocol
+//!
+//! A panicking item poisons the **batch**, not the pool: the panic
+//! payload is captured on the worker, the batch is drained (remaining
+//! items may still run), and the payload is re-raised on the calling
+//! thread once every participant has finished — the same observable
+//! behavior as a scoped spawn whose join propagates the panic.  The
+//! workers themselves return to their parking loop and the pool stays
+//! usable for the next batch.
+//!
+//! ## Nesting
+//!
+//! A `par_map` call *from inside* a pooled worker (or re-entrantly from
+//! a caller that is itself driving a pooled batch) falls back to the
+//! serial path instead of submitting: the pool's workers are already
+//! busy, and blocking on them from within would deadlock.  Results are
+//! unaffected — the serial path is the specification.
+//!
+//! ## Shutdown
+//!
+//! Dropping a [`Pool`] wakes every parked worker with a shutdown flag
+//! and joins them all; no thread outlives its pool.  The process-wide
+//! [`global`] pool intentionally lives for the whole process.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+use crate::{bump_dispatch, serial_map, WorkerStates};
+
+thread_local! {
+    /// Set for the whole lifetime of a pool worker thread.
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Set on a caller thread while it is driving a pooled batch.
+    static DRIVING_BATCH: Cell<bool> = const { Cell::new(false) };
+}
+
+/// `true` on threads that may not submit pooled batches: pool workers
+/// (always), and callers currently driving a pooled batch (submission
+/// is re-entrant work — the pool is already saturated).  Nested
+/// `par_map` calls on such threads run serially instead of deadlocking.
+pub fn in_pool_worker() -> bool {
+    IN_POOL_WORKER.get() || DRIVING_BATCH.get()
+}
+
+/// A type-erased batch runner: `run(data, participant_index)`.
+///
+/// `data` points at a stack-allocated, fully concrete `MapCtx` in the
+/// submitting call; the function pointer re-instantiates the generics.
+type RunFn = unsafe fn(*const (), usize);
+
+/// One posted batch.  The raw pointer is only dereferenced between
+/// submission and the caller's completion wait, during which the caller
+/// is blocked inside the same call that owns the pointee — that
+/// discipline is what the manual `Send` asserts.
+struct Job {
+    run: RunFn,
+    data: *const (),
+    /// Pool-side participants (the caller is participant 0 on top).
+    participants: usize,
+}
+
+// SAFETY: `data` outlives the batch (the submitting call blocks until
+// every participant has finished before its context drops), and the
+// participant index hands each worker a disjoint state slot.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    job: Option<Job>,
+    /// Participant slots of the current job already claimed.
+    claimed: usize,
+    /// Participants still running (claimed or not yet claimed).
+    active: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers park here between batches.
+    work_cv: Condvar,
+    /// The submitting caller parks here until `active == 0`.
+    done_cv: Condvar,
+}
+
+/// Survive mutex poisoning: the protected state is a counter protocol
+/// whose invariants are maintained before any user code runs, so a
+/// poisoned lock (a panic on another thread mid-batch) is still sound
+/// to read — and refusing would wedge the pool forever.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(g).unwrap_or_else(|e| e.into_inner())
+}
+
+/// A persistent worker pool.  Workers are spawned lazily on first use
+/// and grow to the widest batch ever submitted; between batches they
+/// park on a condvar.  Dropping the pool joins every worker.
+pub struct Pool {
+    shared: Arc<Shared>,
+    /// Serializes batch submission: one batch in flight at a time.
+    submission: Mutex<()>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pool {
+    /// An empty pool; workers are spawned on demand by the first batch.
+    pub fn new() -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                state: Mutex::new(PoolState {
+                    job: None,
+                    claimed: 0,
+                    active: 0,
+                    shutdown: false,
+                }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+            }),
+            submission: Mutex::new(()),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of worker threads currently alive (grows on demand, never
+    /// shrinks before `Drop`).
+    pub fn worker_count(&self) -> usize {
+        lock(&self.handles).len()
+    }
+
+    /// Grow the pool to at least `needed` workers; returns how many are
+    /// actually available (spawn failure degrades the batch width
+    /// instead of wedging it).
+    fn ensure_workers(&self, needed: usize) -> usize {
+        let mut handles = lock(&self.handles);
+        while handles.len() < needed {
+            let shared = Arc::clone(&self.shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("spmap-pool-{}", handles.len()))
+                .spawn(move || worker_loop(shared));
+            match spawned {
+                Ok(h) => {
+                    handles.push(h);
+                    bump_dispatch(|d| d.pool_workers_spawned += 1);
+                }
+                Err(_) => break,
+            }
+        }
+        handles.len().min(needed)
+    }
+
+    /// Post one batch for `requested` pool-side participants, run
+    /// `caller_work` (participant 0) on this thread, and block until
+    /// every pool-side participant has finished.  Returns the number of
+    /// pool participants actually engaged.
+    fn run_batch(
+        &self,
+        requested: usize,
+        run: RunFn,
+        data: *const (),
+        caller_work: impl FnOnce(),
+    ) -> usize {
+        let _submission = lock(&self.submission);
+        let participants = self.ensure_workers(requested);
+        if participants == 0 {
+            caller_work();
+            return 0;
+        }
+        {
+            let mut st = lock(&self.shared.state);
+            debug_assert!(st.job.is_none() && st.active == 0, "batches are serialized");
+            st.job = Some(Job {
+                run,
+                data,
+                participants,
+            });
+            st.claimed = 0;
+            st.active = participants;
+            self.shared.work_cv.notify_all();
+        }
+        caller_work();
+        let mut st = lock(&self.shared.state);
+        while st.active > 0 {
+            st = wait(&self.shared.done_cv, st);
+        }
+        participants
+    }
+
+    /// [`crate::par_map_with_threads`] executed on this pool: identical
+    /// chunk claiming, order restoration and `WorkerStates` slot
+    /// exclusivity as the scoped path, with parked persistent workers
+    /// instead of per-call spawns.  Calls from inside a pool worker (or
+    /// re-entrant calls from a batch-driving thread) run serially — see
+    /// the module docs on nesting.
+    pub fn par_map_with_threads<S, T, R, F>(
+        &self,
+        threads: usize,
+        states: &mut WorkerStates<S>,
+        items: &[T],
+        f: F,
+    ) -> Vec<R>
+    where
+        S: Send,
+        T: Sync,
+        R: Send,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        let threads = threads.min(items.len().max(1)).min(states.len());
+        if threads <= 1 || items.len() <= 1 {
+            bump_dispatch(|d| d.serial_batches += 1);
+            return serial_map(states, items, f);
+        }
+        if in_pool_worker() {
+            bump_dispatch(|d| {
+                d.serial_batches += 1;
+                d.nested_serial += 1;
+            });
+            return serial_map(states, items, f);
+        }
+
+        let next = AtomicUsize::new(0);
+        let parts: Vec<Mutex<Vec<(usize, R)>>> =
+            (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+        let panic_slot: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+        let ctx = MapCtx {
+            next: &next,
+            items,
+            f: &f,
+            states: states.states.as_mut_ptr(),
+            parts: &parts,
+            panic: &panic_slot,
+        };
+        let data = &raw const ctx as *const ();
+        let run = run_participant::<S, T, R, F> as RunFn;
+        // The caller is participant 0 (state slot 0), pool workers take
+        // participants 1..threads.  `DRIVING_BATCH` makes re-entrant
+        // par_map calls from inside `f` on this thread fall back to
+        // serial instead of self-deadlocking on the submission lock.
+        DRIVING_BATCH.with(|flag| {
+            debug_assert!(!flag.get());
+            flag.set(true);
+        });
+        let engaged = self.run_batch(threads - 1, run, data, || {
+            // SAFETY: participant 0 is never handed to a pool worker,
+            // so slot 0 is exclusively ours; `ctx` outlives `run_batch`.
+            unsafe { run(data, 0) };
+        });
+        DRIVING_BATCH.with(|flag| flag.set(false));
+        bump_dispatch(|d| {
+            d.pool_batches += 1;
+            d.pool_dispatches += engaged as u64;
+        });
+
+        // A panic anywhere in the batch (worker or caller) surfaces here,
+        // after every participant finished — batch poisoned, pool intact.
+        if let Some(payload) = lock(&panic_slot).take() {
+            resume_unwind(payload);
+        }
+        let parts: Vec<Vec<(usize, R)>> = parts
+            .into_iter()
+            .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+            .collect();
+        crate::merge_parts(items.len(), parts)
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in lock(&self.handles).drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The process-wide pool used by [`crate::par_map_with_threads`] when
+/// the pool backend is selected.  Created on first use; its workers
+/// live for the rest of the process.
+pub fn global() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(Pool::new)
+}
+
+/// The fully concrete batch context a `RunFn` re-interprets.  Lives on
+/// the submitting call's stack; every reference outlives the batch
+/// because the caller blocks until all participants finish.
+struct MapCtx<'a, S, T, R, F> {
+    next: &'a AtomicUsize,
+    items: &'a [T],
+    f: &'a F,
+    /// Base pointer of the caller's `WorkerStates` slots; participant
+    /// `k` exclusively uses slot `k` (`k < threads <= states.len()`).
+    states: *mut S,
+    parts: &'a [Mutex<Vec<(usize, R)>>],
+    panic: &'a Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// Run one participant of a posted batch: claim items from the shared
+/// counter until exhaustion, collecting `(index, result)` pairs —
+/// exactly the scoped path's worker loop.
+///
+/// # Safety
+///
+/// `data` must point at a live `MapCtx<S, T, R, F>` of matching type
+/// parameters, and `part` must be a participant index unique within the
+/// current batch and `< states.len()` of the submitting call.
+unsafe fn run_participant<S, T, R, F>(data: *const (), part: usize)
+where
+    S: Send,
+    T: Sync,
+    R: Send,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let ctx = unsafe { &*(data as *const MapCtx<'_, S, T, R, F>) };
+    // SAFETY: participant indices are unique per batch, so this slot is
+    // not aliased for the duration of the participant's run.
+    let state = unsafe { &mut *ctx.states.add(part) };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut local: Vec<(usize, R)> = Vec::new();
+        loop {
+            let i = ctx.next.fetch_add(1, Ordering::Relaxed);
+            if i >= ctx.items.len() {
+                break;
+            }
+            local.push((i, (ctx.f)(state, i, &ctx.items[i])));
+        }
+        local
+    }));
+    match outcome {
+        Ok(local) => *lock(&ctx.parts[part]) = local,
+        Err(payload) => {
+            let mut slot = lock(ctx.panic);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+    }
+}
+
+/// The parked-worker loop: wait for a job, claim a participant slot,
+/// run it, signal completion, park again — until shutdown.
+fn worker_loop(shared: Arc<Shared>) {
+    IN_POOL_WORKER.with(|flag| flag.set(true));
+    loop {
+        let (run, data, part) = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(job) = st.job.as_ref() {
+                    let (run, data, participants) = (job.run, job.data, job.participants);
+                    let part = st.claimed + 1; // participant 0 is the caller
+                    st.claimed += 1;
+                    if st.claimed == participants {
+                        // Fully claimed: clear the slot so late wakers
+                        // (and this worker, once done) park again.
+                        st.job = None;
+                    }
+                    break (run, data, part);
+                }
+                st = wait(&shared.work_cv, st);
+            }
+        };
+        // SAFETY: the submitting caller blocks until `active` drains, so
+        // `data` is alive; `part` was claimed exclusively above.  The
+        // participant fn catches panics internally, so `active` is
+        // always decremented and the protocol cannot wedge.
+        unsafe { run(data, part) };
+        let mut st = lock(&shared.state);
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{par_map_with_threads_scoped, ParBackend};
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn pooled_matches_scoped_bit_for_bit() {
+        let pool = Pool::new();
+        let items: Vec<u64> = (0..500).collect();
+        for threads in [2usize, 3, 4, 8] {
+            let mut sp = WorkerStates::new(threads, |_| 0u64);
+            let mut pp = WorkerStates::new(threads, |_| 0u64);
+            let f = |s: &mut u64, i: usize, &x: &u64| {
+                *s += 1;
+                x.wrapping_mul(31).wrapping_add(i as u64)
+            };
+            let scoped = par_map_with_threads_scoped(threads, &mut sp, &items, f);
+            let pooled = pool.par_map_with_threads(threads, &mut pp, &items, f);
+            assert_eq!(scoped, pooled, "t{threads}");
+            assert_eq!(
+                sp.iter().sum::<u64>(),
+                pp.iter().sum::<u64>(),
+                "every item processed exactly once either way"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_reuses_workers_across_batches() {
+        let pool = Pool::new();
+        let items: Vec<u32> = (0..64).collect();
+        let mut states = WorkerStates::new(4, |_| ());
+        for round in 0..10u32 {
+            let out = pool.par_map_with_threads(4, &mut states, &items, |_, _, &x| x + round);
+            assert_eq!(out[10], 10 + round);
+        }
+        assert_eq!(pool.worker_count(), 3, "threads-1 workers, created once");
+    }
+
+    #[test]
+    fn worker_state_slots_stay_exclusive_and_persistent() {
+        let pool = Pool::new();
+        let mut states = WorkerStates::new(4, |_| 0usize);
+        let items: Vec<u32> = (0..100).collect();
+        let out = pool.par_map_with_threads(4, &mut states, &items, |s, i, &x| {
+            *s += 1;
+            (i as u32, x + 1)
+        });
+        for (i, &(idx, v)) in out.iter().enumerate() {
+            assert_eq!(idx as usize, i);
+            assert_eq!(v, i as u32 + 1);
+        }
+        assert_eq!(states.iter().sum::<usize>(), 100);
+        pool.par_map_with_threads(4, &mut states, &items, |s, _, _| *s += 1);
+        assert_eq!(
+            states.iter().sum::<usize>(),
+            200,
+            "arena survives across batches"
+        );
+    }
+
+    #[test]
+    fn drop_joins_every_worker() {
+        let pool = Pool::new();
+        let items: Vec<u32> = (0..32).collect();
+        let mut states = WorkerStates::new(6, |_| ());
+        pool.par_map_with_threads(6, &mut states, &items, |_, _, &x| x);
+        assert_eq!(pool.worker_count(), 5);
+        let weak = Arc::downgrade(&pool.shared);
+        drop(pool);
+        // Every worker held a strong reference to the shared state; a
+        // dead weak pointer proves they all exited and were joined.
+        assert_eq!(weak.strong_count(), 0, "a worker outlived Drop");
+    }
+
+    #[test]
+    fn panic_poisons_the_batch_but_not_the_pool() {
+        let pool = Pool::new();
+        let items: Vec<u32> = (0..64).collect();
+        let mut states = WorkerStates::new(4, |_| ());
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map_with_threads(4, &mut states, &items, |_, _, &x| {
+                if x == 13 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        }));
+        let payload = caught.expect_err("the panicking item must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("boom at 13"),
+            "original payload preserved: {msg}"
+        );
+        // The pool must stay fully usable for the next batch.
+        let out = pool.par_map_with_threads(4, &mut states, &items, |_, _, &x| x * 2);
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[20], 40);
+    }
+
+    #[test]
+    fn caller_side_panic_is_also_contained() {
+        // Participant 0 runs on the calling thread; its panic must wait
+        // for the pool-side participants before unwinding (they borrow
+        // the caller's stack) and the pool must survive.
+        let pool = Pool::new();
+        let items: Vec<u32> = (0..256).collect();
+        let mut states = WorkerStates::new(2, |_| ());
+        for _ in 0..3 {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                pool.par_map_with_threads(2, &mut states, &items, |_, i, &x| {
+                    if i == 0 {
+                        panic!("first item");
+                    }
+                    x
+                })
+            }));
+            assert!(caught.is_err());
+        }
+        let ok = pool.par_map_with_threads(2, &mut states, &items, |_, _, &x| x);
+        assert_eq!(ok, items);
+    }
+
+    #[test]
+    fn nested_par_map_inside_a_pooled_worker_runs_serial() {
+        let pool = Pool::new();
+        let items: Vec<u32> = (0..16).collect();
+        let mut states = WorkerStates::new(4, |_| ());
+        let nested_parallel = AtomicU64::new(0);
+        let out = pool.par_map_with_threads(4, &mut states, &items, |_, _, &x| {
+            // A pool-backend inner call must complete (no deadlock) and
+            // must stay on the current thread (serial fallback).  The
+            // backend is pinned because the ambient `SPMAP_POOL` may
+            // select scoped spawns (CI matrix), where nested calls are
+            // legitimately allowed to go parallel — only the pool must
+            // demote them.
+            let me = std::thread::current().id();
+            crate::with_backend(ParBackend::Pool, || {
+                let inner: Vec<u32> = crate::par_map(&[1u32, 2, 3, 4, 5, 6, 7, 8], |_, &y| {
+                    if std::thread::current().id() != me {
+                        nested_parallel.fetch_add(1, Ordering::Relaxed);
+                    }
+                    y * 10
+                });
+                assert_eq!(inner, vec![10, 20, 30, 40, 50, 60, 70, 80]);
+            });
+            x
+        });
+        assert_eq!(out, items);
+        assert_eq!(
+            nested_parallel.load(Ordering::Relaxed),
+            0,
+            "nested calls must not escape the current thread"
+        );
+    }
+
+    #[test]
+    fn nested_call_through_the_global_pool_does_not_deadlock() {
+        // Same property through the public dispatcher with the pool
+        // backend forced: outer pooled batch, inner par_map from every
+        // participant (including the batch-driving caller thread).
+        crate::with_backend(ParBackend::Pool, || {
+            let items: Vec<u32> = (0..12).collect();
+            let out = crate::par_map(&items, |_, &x| {
+                let inner: u32 = crate::par_map(&[x, x + 1], |_, &y| y).iter().sum();
+                inner
+            });
+            assert_eq!(out[3], 3 + 4);
+        });
+    }
+
+    #[test]
+    fn worker_count_capped_by_state_slots_and_items() {
+        let pool = Pool::new();
+        let mut states = WorkerStates::new(2, |_| 0usize);
+        let items: Vec<u32> = (0..40).collect();
+        let out = pool.par_map_with_threads(8, &mut states, &items, |s, _, &x| {
+            *s += 1;
+            x
+        });
+        assert_eq!(out, items);
+        assert_eq!(states.iter().sum::<usize>(), 40);
+        assert!(
+            pool.worker_count() <= 1,
+            "2 effective workers -> at most 1 spawned"
+        );
+    }
+
+    #[test]
+    fn odd_thread_counts_work() {
+        let pool = Pool::new();
+        for threads in [3usize, 5, 7] {
+            let mut states = WorkerStates::new(threads, |_| ());
+            let items: Vec<u64> = (0..101).collect();
+            let out = pool.par_map_with_threads(threads, &mut states, &items, |_, _, &x| x + 7);
+            assert_eq!(out.len(), 101);
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, i as u64 + 7);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs_stay_serial() {
+        let pool = Pool::new();
+        let mut states = WorkerStates::new(4, |_| ());
+        let empty: Vec<u32> = vec![];
+        assert!(pool
+            .par_map_with_threads(4, &mut states, &empty, |_, _, &x| x)
+            .is_empty());
+        assert_eq!(
+            pool.par_map_with_threads(4, &mut states, &[9u32], |_, _, &x| x + 1),
+            vec![10]
+        );
+        assert_eq!(pool.worker_count(), 0, "serial fast path spawns nothing");
+    }
+}

@@ -108,12 +108,7 @@ impl Family {
 
 /// Helper used by the recipes: create a task with type-specific magnitude
 /// and a deterministic lognormal jitter.
-pub(crate) fn typed_task(
-    rng: &mut StdRng,
-    name: &str,
-    complexity: f64,
-    data_mb: f64,
-) -> Task {
+pub(crate) fn typed_task(rng: &mut StdRng, name: &str, complexity: f64, data_mb: f64) -> Task {
     let jitter = lognormal(rng, 0.0, 0.25);
     Task {
         name: name.to_string(),
@@ -186,7 +181,12 @@ pub fn tier_sizes(family: Family, tier: SizeTier) -> usize {
 /// Build a benchmark set in the spirit of ref. 29: `seeds_per_size`
 /// seeded instances per family for every tier up to `max_tier`.
 pub fn benchmark_set(max_tier: SizeTier, seeds_per_size: usize, seed: u64) -> Vec<BenchInstance> {
-    let tiers = [SizeTier::Small, SizeTier::Medium, SizeTier::Large, SizeTier::Huge];
+    let tiers = [
+        SizeTier::Small,
+        SizeTier::Medium,
+        SizeTier::Large,
+        SizeTier::Huge,
+    ];
     let mut out = Vec::new();
     for family in Family::all() {
         for &tier in tiers.iter().filter(|&&t| t <= max_tier) {

@@ -31,7 +31,8 @@ pub fn montage(tasks: usize, seed: u64) -> TaskGraph {
         for stride in [1usize, 2] {
             let d = b.add_task(typed_task(&mut rng, "mDiffFit", 3.0, 30.0));
             b.add_edge(projects[i], d, 120.0 * MB).unwrap();
-            b.add_edge(projects[(i + stride) % w], d, 120.0 * MB).unwrap();
+            b.add_edge(projects[(i + stride) % w], d, 120.0 * MB)
+                .unwrap();
             b.add_edge(d, concat, 5.0 * MB).unwrap();
             diffs.push(d);
         }
@@ -128,7 +129,12 @@ pub fn blast(tasks: usize, seed: u64) -> TaskGraph {
     let cat_blast = b.add_task(typed_task(&mut rng, "cat_blast", 1.0, 30.0));
     let cat = b.add_task(typed_task(&mut rng, "cat_all", 1.0, 30.0));
     for _ in 0..w {
-        let blastall = b.add_task(typed_task(&mut rng, "blastall", 15.0, 60.0 / w as f64 + 20.0));
+        let blastall = b.add_task(typed_task(
+            &mut rng,
+            "blastall",
+            15.0,
+            60.0 / w as f64 + 20.0,
+        ));
         b.add_edge(split, blastall, (60.0 / w as f64) * MB).unwrap();
         b.add_edge(blastall, cat_blast, 10.0 * MB).unwrap();
     }

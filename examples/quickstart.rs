@@ -28,7 +28,10 @@ fn main() {
         graph.edge_count(),
         cpu_only
     );
-    println!("{:<22} {:>12} {:>14} {:>12}", "algorithm", "makespan", "improvement", "time");
+    println!(
+        "{:<22} {:>12} {:>14} {:>12}",
+        "algorithm", "makespan", "improvement", "time"
+    );
 
     let mut show = |name: &str, mapping: &Mapping, elapsed: std::time::Duration| {
         let ms = evaluator

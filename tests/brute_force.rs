@@ -9,7 +9,10 @@ use spmap::prelude::*;
 fn brute_force_optimum(graph: &TaskGraph, platform: &Platform) -> (f64, Mapping) {
     let n = graph.node_count();
     let m = platform.device_count();
-    assert!(m.pow(n as u32) <= 4_000_000, "instance too large to enumerate");
+    assert!(
+        m.pow(n as u32) <= 4_000_000,
+        "instance too large to enumerate"
+    );
     let mut ev = Evaluator::new(graph, platform);
     let mut best = (
         ev.cpu_only_makespan(),
@@ -17,9 +20,7 @@ fn brute_force_optimum(graph: &TaskGraph, platform: &Platform) -> (f64, Mapping)
     );
     let mut devices = vec![0usize; n];
     loop {
-        let mapping = Mapping::from_vec(
-            devices.iter().map(|&d| DeviceId(d as u32)).collect(),
-        );
+        let mapping = Mapping::from_vec(devices.iter().map(|&d| DeviceId(d as u32)).collect());
         if let Some(ms) = ev.makespan_bfs(&mapping) {
             if ms < best.0 {
                 best = (ms, mapping);

@@ -16,12 +16,16 @@ fn full_pipeline_on_random_sp_graphs() {
         let peft_res = peft(&graph, &platform);
         let sn = decomposition_map(&graph, &platform, &MapperConfig::sn_first_fit());
         let sp = decomposition_map(&graph, &platform, &MapperConfig::sp_first_fit());
-        let ga = nsga2_map(&graph, &platform, &GaConfig {
-            population: 30,
-            generations: 40,
-            seed,
-            ..GaConfig::default()
-        });
+        let ga = nsga2_map(
+            &graph,
+            &platform,
+            &GaConfig {
+                population: 30,
+                generations: 40,
+                seed,
+                ..GaConfig::default()
+            },
+        );
 
         // Every algorithm produces a feasible mapping the model can score.
         for (name, mapping) in [

@@ -22,6 +22,7 @@
 //! and memo-capacity corners (tiny capacities force evictions; results
 //! must not move).
 
+use spmap::par::{with_backend, ParBackend};
 use spmap::prelude::*;
 use spmap_core::{decomposition_map_reference, CostModel, EngineConfig};
 
@@ -67,7 +68,13 @@ fn engine_cfg(base: MapperConfig, threads: usize, prune: bool, memo: bool) -> Ma
     }
 }
 
-fn assert_equivalent(g: &TaskGraph, p: &Platform, fast: &MapperConfig, slow: &MapperConfig, tag: &str) {
+fn assert_equivalent(
+    g: &TaskGraph,
+    p: &Platform,
+    fast: &MapperConfig,
+    slow: &MapperConfig,
+    tag: &str,
+) {
     let a = decomposition_map(g, p, fast);
     let b = decomposition_map_reference(g, p, slow);
     assert_eq!(a.mapping, b.mapping, "{tag}: final mapping differs");
@@ -355,6 +362,146 @@ fn mapper_memo_capacity_corners_are_exact_and_bounded() {
                         && fast.batch.sched_memo_peak <= capacity as u64,
                     "{tag}: a memo outgrew its capacity ({:?})",
                     fast.batch
+                );
+            }
+        }
+    }
+}
+
+/// The worker-pool runtime's headline property: for every execution
+/// backend in {serial reference, scoped spawns, persistent pool} and
+/// every `SPMAP_THREADS`-style worker count in {1, 3, 8}, the mapper
+/// produces the identical mapping, makespan, history, iteration count
+/// and baseline, bit for bit — and the engine's decision statistics
+/// agree between the scoped and pooled backends at equal thread counts
+/// (the backend only changes *which threads* run the simulations, never
+/// what is simulated).
+#[test]
+fn pool_scoped_serial_bit_identity_across_thread_counts() {
+    for case in 0..5u64 {
+        let g = graph_case(case + 1100);
+        let p = platform_case(case);
+        for base in [
+            MapperConfig::series_parallel(),
+            MapperConfig {
+                heuristic: SearchHeuristic::GammaThreshold { gamma: 2.0 },
+                ..MapperConfig::series_parallel()
+            },
+        ] {
+            let reference = decomposition_map_reference(&g, &p, &base);
+            for threads in [1usize, 3, 8] {
+                let cfg = engine_cfg(base, threads, true, true);
+                let scoped = with_backend(ParBackend::Scoped, || decomposition_map(&g, &p, &cfg));
+                let pooled = with_backend(ParBackend::Pool, || decomposition_map(&g, &p, &cfg));
+                for (tag, r) in [("scoped", &scoped), ("pool", &pooled)] {
+                    let tag = format!("case {case} t{threads} {tag} {:?}", base.heuristic);
+                    assert_eq!(r.mapping, reference.mapping, "{tag}: mapping differs");
+                    assert_eq!(r.makespan, reference.makespan, "{tag}: makespan differs");
+                    assert_eq!(r.history, reference.history, "{tag}: history differs");
+                    assert_eq!(
+                        r.iterations, reference.iterations,
+                        "{tag}: iterations differ"
+                    );
+                    assert_eq!(
+                        r.cpu_only_makespan, reference.cpu_only_makespan,
+                        "{tag}: baseline differs"
+                    );
+                }
+                assert_eq!(
+                    scoped.batch, pooled.batch,
+                    "case {case} t{threads}: decision stats must not depend on the backend"
+                );
+                assert_eq!(
+                    scoped.evaluations, pooled.evaluations,
+                    "case {case} t{threads}"
+                );
+                if threads > 1 {
+                    // The dispatch counters must prove the intended
+                    // backend actually ran the parallel batches.
+                    assert_eq!(scoped.dispatch.pool_batches, 0, "case {case} t{threads}");
+                    assert_eq!(pooled.dispatch.scoped_batches, 0, "case {case} t{threads}");
+                    assert_eq!(
+                        scoped.dispatch.parallel_batches(),
+                        pooled.dispatch.parallel_batches(),
+                        "case {case} t{threads}: same batches, different transport"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Same burden for the report-mode sweep: {scoped, pool} × {1, 3, 8}
+/// reproduce the reference serial multi-schedule sweep bit for bit.
+#[test]
+fn report_pool_scoped_serial_bit_identity() {
+    for case in 0..3u64 {
+        let g = graph_case(case + 1200);
+        let p = platform_case(case);
+        let base = MapperConfig {
+            cost: CostModel::Report {
+                schedules: 3,
+                seed: 0xfeed + case,
+            },
+            ..MapperConfig::series_parallel()
+        };
+        let reference = decomposition_map_reference(&g, &p, &base);
+        for threads in [1usize, 3, 8] {
+            let cfg = engine_cfg(base, threads, true, true);
+            for (tag, backend) in [("scoped", ParBackend::Scoped), ("pool", ParBackend::Pool)] {
+                let r = with_backend(backend, || decomposition_map(&g, &p, &cfg));
+                let tag = format!("report case {case} t{threads} {tag}");
+                assert_eq!(r.mapping, reference.mapping, "{tag}");
+                assert_eq!(r.makespan, reference.makespan, "{tag}");
+                assert_eq!(r.history, reference.history, "{tag}");
+            }
+        }
+    }
+}
+
+/// And for the GA: the engine-backed NSGA-II reproduces the serial
+/// reference per seed under both parallel backends at every worker
+/// count, with backend-invariant engine statistics.
+#[test]
+fn ga_pool_scoped_serial_bit_identity() {
+    for case in 0..3u64 {
+        let g = graph_case(case + 1300);
+        let p = platform_case(case);
+        let cfg = |threads: Option<usize>| GaConfig {
+            population: 16,
+            generations: 20,
+            seed: 3 + case,
+            threads,
+            ..GaConfig::default()
+        };
+        let reference = nsga2_map_reference(&g, &p, &cfg(None));
+        for threads in [1usize, 3, 8] {
+            let scoped = with_backend(ParBackend::Scoped, || {
+                nsga2_map(&g, &p, &cfg(Some(threads)))
+            });
+            let pooled = with_backend(ParBackend::Pool, || nsga2_map(&g, &p, &cfg(Some(threads))));
+            for (tag, r) in [("scoped", &scoped), ("pool", &pooled)] {
+                let tag = format!("ga case {case} t{threads} {tag}");
+                assert_eq!(r.mapping, reference.mapping, "{tag}: mapping differs");
+                assert_eq!(r.makespan, reference.makespan, "{tag}: makespan differs");
+                assert_eq!(
+                    r.best_per_generation, reference.best_per_generation,
+                    "{tag}: history differs"
+                );
+                assert_eq!(
+                    r.cpu_only_makespan, reference.cpu_only_makespan,
+                    "{tag}: baseline differs"
+                );
+            }
+            assert_eq!(
+                scoped.engine, pooled.engine,
+                "ga case {case} t{threads}: decision stats must not depend on the backend"
+            );
+            if threads > 1 {
+                assert_eq!(scoped.dispatch.pool_batches, 0, "ga case {case} t{threads}");
+                assert_eq!(
+                    pooled.dispatch.scoped_batches, 0,
+                    "ga case {case} t{threads}"
                 );
             }
         }

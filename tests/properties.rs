@@ -45,7 +45,12 @@ fn forest_agrees_with_oracle() {
             is_two_terminal_sp(&norm.graph),
             "nodes {nodes} extra {extra} seed {seed}"
         );
-        let total: u32 = r.forest.roots.iter().map(|&t| r.forest.node(t).edge_count).sum();
+        let total: u32 = r
+            .forest
+            .roots
+            .iter()
+            .map(|&t| r.forest.node(t).edge_count)
+            .sum();
         assert_eq!(total as usize, norm.graph.edge_count());
     }
 }
@@ -68,7 +73,10 @@ fn mapper_invariants() {
         assert!(r.mapping.is_area_feasible(&g, &p));
         let mut prev = r.cpu_only_makespan;
         for &h in &r.history {
-            assert!(h < prev, "history not decreasing (nodes {nodes} seed {seed})");
+            assert!(
+                h < prev,
+                "history not decreasing (nodes {nodes} seed {seed})"
+            );
             prev = h;
         }
     }
@@ -92,7 +100,11 @@ fn evaluator_bounds() {
         // Lower bound: the longest single task on its fastest device.
         let lb = g
             .nodes()
-            .map(|v| p.device_ids().map(|d| ev.exec_time(v, d)).fold(f64::INFINITY, f64::min))
+            .map(|v| {
+                p.device_ids()
+                    .map(|d| ev.exec_time(v, d))
+                    .fold(f64::INFINITY, f64::min)
+            })
             .fold(0.0, f64::max);
         assert!(ms + 1e-9 >= lb, "nodes {nodes} seed {seed}");
         let imp = relative_improvement(cpu_only, ms.min(cpu_only));
@@ -139,7 +151,8 @@ fn random_topo_order_is_deterministic_across_call_sites() {
             let ranks = priority_ranks(&g, SchedulePolicy::RandomTopo { seed: order_seed });
             for (i, &v) in a.iter().enumerate() {
                 assert_eq!(
-                    ranks[v.index()] as usize, i,
+                    ranks[v.index()] as usize,
+                    i,
                     "case {case} order_seed {order_seed}: rank/order mismatch at {i}"
                 );
             }
@@ -176,7 +189,10 @@ fn every_report_schedule_is_a_valid_topological_order() {
             assert_eq!(order.len(), g.node_count(), "case {case} schedule {s}");
             let mut seen = vec![false; g.node_count()];
             for &v in order.pop_order() {
-                assert!(!seen[v as usize], "case {case} schedule {s}: duplicate pop {v}");
+                assert!(
+                    !seen[v as usize],
+                    "case {case} schedule {s}: duplicate pop {v}"
+                );
                 seen[v as usize] = true;
             }
             for e in g.edge_ids() {
@@ -202,9 +218,7 @@ fn every_report_schedule_is_a_valid_topological_order() {
 /// covers every position at which the delta can first be observed).
 #[test]
 fn multi_move_delta_window_covers_every_changed_node() {
-    use spmap::model::{
-        CheckpointSet, EvalScratch, EvalTables, ReportSchedules, WindowSim,
-    };
+    use spmap::model::{CheckpointSet, EvalScratch, EvalTables, ReportSchedules, WindowSim};
 
     let p = Platform::reference();
     for case in 0..12u64 {
@@ -296,7 +310,10 @@ fn list_schedulers_are_safe_on_workflows() {
         let mut g = family.generate(tasks, seed);
         augment_ps(&mut g, seed);
         for r in [heft(&g, &p), peft(&g, &p)] {
-            assert!(r.mapping.is_area_feasible(&g, &p), "tasks {tasks} seed {seed}");
+            assert!(
+                r.mapping.is_area_feasible(&g, &p),
+                "tasks {tasks} seed {seed}"
+            );
             let mut pos = vec![0usize; g.node_count()];
             for (i, &v) in r.order.iter().enumerate() {
                 pos[v.index()] = i;
