@@ -10,11 +10,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use spmap_baselines::{heft, peft};
 use spmap_core::{
-    decomposition_map, decomposition_map_reference, CostModel, EngineConfig, MapperConfig,
+    decomposition_map, decomposition_map_reference, CostModel, EngineConfig, EvalOrder,
+    MapperConfig,
 };
 use spmap_decomp::{decompose_forest, CutPolicy};
 use spmap_ga::{nsga2_map, GaConfig};
-use spmap_graph::gen::{random_sp_graph, SpGenConfig};
+use spmap_graph::gen::{layered_random, random_sp_graph, LayeredConfig, SpGenConfig};
 use spmap_graph::{augment, ops, AugmentConfig, TaskGraph};
 use spmap_model::{Evaluator, Mapping, Platform};
 
@@ -137,6 +138,37 @@ fn bench_candidate_scan(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("report_batch", n), &n, |b, _| {
             b.iter(|| decomposition_map(&g, &platform, &report_cfg))
+        });
+    }
+    // The GA population engine's evaluation orders head to head at the
+    // perf_report sweep shapes: the flat PR 3 nearest-base policy
+    // against the prefix-sharing trie walk (rolling checkpoint trails
+    // over the genome trie's DFS order).  Both produce bit-identical
+    // per-seed GA runs; only the replayed schedule suffix per offspring
+    // differs.
+    for n in [256usize, 506] {
+        let width = (n as f64).sqrt().round() as usize;
+        let mut g = layered_random(&LayeredConfig {
+            layers: n.div_ceil(width),
+            width,
+            density: 0.25,
+            seed: 2025,
+            edge_bytes: 50e6,
+        });
+        augment(&mut g, &AugmentConfig::default(), 2025);
+        let ga = |order: EvalOrder| GaConfig {
+            population: 100,
+            generations: 40,
+            seed: 2025,
+            threads: Some(1),
+            eval_order: order,
+            ..GaConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("ga_flat", n), &n, |b, _| {
+            b.iter(|| nsga2_map(&g, &platform, &ga(EvalOrder::NearestBase)))
+        });
+        group.bench_with_input(BenchmarkId::new("ga_trie", n), &n, |b, _| {
+            b.iter(|| nsga2_map(&g, &platform, &ga(EvalOrder::PrefixTrie)))
         });
     }
     group.finish();

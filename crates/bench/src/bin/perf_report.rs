@@ -39,14 +39,35 @@
 //! and the binary **fails** if the pooled row loses to the scoped row
 //! (beyond a small timer-noise allowance) — the pool CI perf gate.
 //!
+//! The GA is also measured under **both evaluation orders** of the
+//! population engine: the prefix-sharing trie order (default; rolling
+//! checkpoint trails over the genome trie's DFS walk) against the flat
+//! PR 3 nearest-base order kept as the executable spec.  Results are
+//! asserted bit-identical, per-row `windowed_skip_rate` /
+//! `trie_depth_mean` / `prefix_shared_positions` land on stdout and in
+//! the JSON, and the binary **fails** if the trie order *steps more
+//! schedule positions* than the nearest-base order (a deterministic,
+//! noise-free counter — the quantity the ordering optimizes; the trie
+//! steps 1.03–1.12x fewer), if its wall-clock loses by more than a
+//! loose 25 % backstop on the ≥200-node rows (both sides timed twice,
+//! minimum taken; the ~10 % position saving sits inside shared-runner
+//! timer noise, so wall-clock alone cannot carry a tight gate), or if
+//! the windowed skip rate drops below 30 % on the 500-node row (PR 3's
+//! flat order measured ~26 %; the trie holds ~34 %, the
+//! mutation-bounded ceiling — see docs/PERF.md) — the trie CI perf
+//! gates.
+//! `--ga-only` runs just the GA rows (and their gates) at the standard
+//! sizes: the cheap CI entry point for the trie gates.
+//!
 //! Usage: `cargo run --release -p spmap-bench --bin perf_report
-//!         [--quick] [--full] [--threads 8] [--seed 2025]
+//!         [--quick] [--full] [--ga-only] [--threads 8] [--seed 2025]
 //!         [--report-schedules 4]`
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use spmap_bench::cli::Opts;
+use spmap_core::EvalOrder;
 use spmap_core::{
     decomposition_map, decomposition_map_reference, CostModel, EngineConfig, MapperConfig,
 };
@@ -208,10 +229,21 @@ struct GaMeasurement {
     /// The same N-thread row on per-call scoped spawns — what the pool
     /// is gated against.
     scoped_seconds: f64,
+    /// The same N-thread pooled row under the flat PR 3 nearest-base
+    /// evaluation order — what the trie order is gated against.
+    nearest_seconds: f64,
+    /// Schedule positions the trie row actually stepped vs the
+    /// nearest-base row — the work ratio behind the wall-clock gate.
+    positions: u64,
+    nearest_positions: u64,
     batchn_evaluations: u64,
     full_sims: u64,
     windowed_sims: u64,
     windowed_skip: u64,
+    rolling_sims: u64,
+    prefix_shared_positions: u64,
+    trie_members: u64,
+    trie_lcp_positions: u64,
     memo_hits: u64,
     batch_dups: u64,
     trails_recorded: u64,
@@ -239,6 +271,34 @@ impl GaMeasurement {
         self.scoped_seconds / self.batchn_seconds
     }
 
+    /// How much the trie evaluation order wins over the flat
+    /// nearest-base order (> 1 = trie faster).
+    fn trie_vs_nearest(&self) -> f64 {
+        self.nearest_seconds / self.batchn_seconds
+    }
+
+    /// Mean fraction of schedule positions a windowed replay skipped —
+    /// the ROADMAP metric the trie order exists to lift (PR 3 measured
+    /// ~26 % at 506 nodes).
+    fn windowed_skip_rate(&self) -> f64 {
+        let denom = self.windowed_sims * self.nodes as u64;
+        if denom == 0 {
+            0.0
+        } else {
+            self.windowed_skip as f64 / denom as f64
+        }
+    }
+
+    /// Mean LCP window depth (in pop positions) the trie walk
+    /// discovered between chained DFS neighbors.
+    fn trie_depth_mean(&self) -> f64 {
+        if self.trie_members == 0 {
+            0.0
+        } else {
+            self.trie_lcp_positions as f64 / self.trie_members as f64
+        }
+    }
+
     fn memo_hit_rate(&self) -> f64 {
         let denom = self.full_sims + self.windowed_sims + self.memo_hits + self.batch_dups;
         if denom == 0 {
@@ -252,34 +312,56 @@ impl GaMeasurement {
 fn measure_ga(nodes: usize, seed: u64, threads: usize, generations: usize) -> GaMeasurement {
     let g = layered_dag(nodes, seed);
     let p = Platform::reference();
-    let cfg = |t: Option<usize>| GaConfig {
+    let cfg = |t: Option<usize>, order: EvalOrder| GaConfig {
         generations,
         seed,
         threads: t,
+        eval_order: order,
         ..GaConfig::default()
     };
+    let trie = |t: Option<usize>| cfg(t, EvalOrder::PrefixTrie);
+
+    // Gated rows are timed twice and keep the minimum: the gates
+    // compare ~5 % margins, and single runs on shared CI boxes swing
+    // more than that.  Runs are bit-identical by construction, so
+    // re-running only steadies the clock.
+    fn timed2<T>(mut f: impl FnMut() -> T) -> (f64, T) {
+        let t0 = Instant::now();
+        let _ = f();
+        let s0 = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let out = f();
+        (s0.min(t1.elapsed().as_secs_f64()), out)
+    }
 
     let t0 = Instant::now();
-    let serial = nsga2_map_reference(&g, &p, &cfg(None));
+    let serial = nsga2_map_reference(&g, &p, &trie(None));
     let serial_seconds = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
-    let batch1 = nsga2_map(&g, &p, &cfg(Some(1)));
+    let batch1 = nsga2_map(&g, &p, &trie(Some(1)));
     let batch1_seconds = t1.elapsed().as_secs_f64();
     // The N-thread row, once per parallel backend.  Scoped first so the
     // pool's lazily spawned workers cannot warm anything for it.
-    let ts = Instant::now();
-    let scoped = with_backend(ParBackend::Scoped, || {
-        nsga2_map(&g, &p, &cfg(Some(threads)))
+    let (scoped_seconds, scoped) = timed2(|| {
+        with_backend(ParBackend::Scoped, || {
+            nsga2_map(&g, &p, &trie(Some(threads)))
+        })
     });
-    let scoped_seconds = ts.elapsed().as_secs_f64();
-    let tn = Instant::now();
-    let batchn = with_backend(ParBackend::Pool, || nsga2_map(&g, &p, &cfg(Some(threads))));
-    let batchn_seconds = tn.elapsed().as_secs_f64();
+    let (batchn_seconds, batchn) =
+        timed2(|| with_backend(ParBackend::Pool, || nsga2_map(&g, &p, &trie(Some(threads)))));
+    // The same pooled N-thread row under the flat PR 3 nearest-base
+    // order: the baseline the trie evaluation order is gated against.
+    let (nearest_seconds, nearest) = timed2(|| {
+        with_backend(ParBackend::Pool, || {
+            nsga2_map(&g, &p, &cfg(Some(threads), EvalOrder::NearestBase))
+        })
+    });
 
     for (tag, r) in [
         ("1 thread", &batch1),
         ("N threads scoped", &scoped),
         ("N threads pool", &batchn),
+        ("N threads nearest-base", &nearest),
     ] {
         assert_eq!(serial.mapping, r.mapping, "GA engine must be exact ({tag})");
         assert_eq!(
@@ -325,13 +407,20 @@ fn measure_ga(nodes: usize, seed: u64, threads: usize, generations: usize) -> Ga
         batch1_seconds,
         batchn_seconds,
         scoped_seconds,
+        nearest_seconds,
         pool_batches: batchn.dispatch.pool_batches,
         pool_dispatches: batchn.dispatch.pool_dispatches,
         scoped_spawns: scoped.dispatch.scoped_spawns,
         batchn_evaluations: batchn.evaluations,
+        positions: batchn.positions,
+        nearest_positions: nearest.positions,
         full_sims: batchn.engine.full_sims,
         windowed_sims: batchn.engine.windowed_sims,
         windowed_skip: batchn.engine.windowed_skip,
+        rolling_sims: batchn.engine.rolling_sims,
+        prefix_shared_positions: batchn.engine.prefix_shared_positions,
+        trie_members: batchn.engine.trie_members,
+        trie_lcp_positions: batchn.engine.trie_lcp_positions,
         memo_hits: batchn.engine.memo_hits,
         batch_dups: batchn.engine.batch_dups,
         trails_recorded: batchn.engine.trails_recorded,
@@ -364,6 +453,24 @@ fn print_ga_row(m: &GaMeasurement) {
         m.pool_batches,
         m.pool_dispatches,
         m.scoped_spawns,
+    );
+    println!(
+        "       trie {:>6.2}s vs nearest-base {:>6.2}s = {:>5.2}x  \
+         (skip rate {:.1}%, {} rolling sims, {:.0} mean trie depth, \
+          {} prefix-shared positions)",
+        m.batchn_seconds,
+        m.nearest_seconds,
+        m.trie_vs_nearest(),
+        100.0 * m.windowed_skip_rate(),
+        m.rolling_sims,
+        m.trie_depth_mean(),
+        m.prefix_shared_positions,
+    );
+    println!(
+        "       positions {} vs {} nearest ({:.2}x fewer steps)",
+        m.positions,
+        m.nearest_positions,
+        m.nearest_positions as f64 / m.positions.max(1) as f64,
     );
 }
 
@@ -414,24 +521,26 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for &nodes in sizes {
-        let m = measure(nodes, opts.seed, threads, CostModel::Bfs);
-        print_row(&m);
-        rows.push(m);
-    }
-    if report_k > 0 {
+    if !opts.ga_only {
         for &nodes in sizes {
-            let m = measure(
-                nodes,
-                opts.seed,
-                threads,
-                CostModel::Report {
-                    schedules: report_k,
-                    seed: opts.seed,
-                },
-            );
+            let m = measure(nodes, opts.seed, threads, CostModel::Bfs);
             print_row(&m);
             rows.push(m);
+        }
+        if report_k > 0 {
+            for &nodes in sizes {
+                let m = measure(
+                    nodes,
+                    opts.seed,
+                    threads,
+                    CostModel::Report {
+                        schedules: report_k,
+                        seed: opts.seed,
+                    },
+                );
+                print_row(&m);
+                rows.push(m);
+            }
         }
     }
     // The GA baseline, same treatment.  `--full` adds the sweep points
@@ -452,20 +561,22 @@ fn main() {
         ga_rows.push(m);
     }
 
-    let bfs_head = rows
-        .iter()
-        .rev()
-        .find(|m| m.mode == "bfs")
-        .expect("at least one BFS size");
-    println!(
-        "\nbfs headline ({} nodes, {} threads): {:.2}x vs seed serial path \
-         ({:.1} ns/eval serial, {:.1} ns/candidate batched)",
-        bfs_head.nodes,
-        threads,
-        bfs_head.speedup_nt(),
-        bfs_head.serial_ns_per_eval(),
-        bfs_head.batch_ns_per_candidate(),
+    let bfs_head = rows.iter().rev().find(|m| m.mode == "bfs");
+    assert!(
+        opts.ga_only || bfs_head.is_some(),
+        "at least one BFS size outside --ga-only"
     );
+    if let Some(head) = bfs_head {
+        println!(
+            "\nbfs headline ({} nodes, {} threads): {:.2}x vs seed serial path \
+             ({:.1} ns/eval serial, {:.1} ns/candidate batched)",
+            head.nodes,
+            threads,
+            head.speedup_nt(),
+            head.serial_ns_per_eval(),
+            head.batch_ns_per_candidate(),
+        );
+    }
     let report_head = rows.iter().rev().find(|m| m.mode == "report");
     if let Some(head) = report_head {
         println!(
@@ -499,8 +610,7 @@ fn main() {
         ga_head.speedup_nt(),
         ga_head.full_sims,
         ga_head.windowed_sims,
-        100.0 * ga_head.windowed_skip as f64
-            / (ga_head.windowed_sims.max(1) * ga_head.nodes as u64) as f64,
+        100.0 * ga_head.windowed_skip_rate(),
         ga_head.memo_hits,
         ga_head.trails_recorded,
     );
@@ -556,6 +666,82 @@ fn main() {
         pool_head.pool_batches,
         pool_head.pool_dispatches,
         pool_head.scoped_spawns,
+    );
+    // The trie-order perf gates.  The algorithmic claim — per
+    // candidate the trie windows from `max(LCP, base window)`, so it
+    // replays no more of the schedule than the flat PR 3 nearest-base
+    // order — is gated on the *deterministic* stepped-position
+    // counters: bit-reproducible per (graph, seed), immune to timer
+    // noise, and exactly the quantity the ordering optimizes (the trie
+    // steps 1.03–1.12x fewer positions on the standard sizes).  The
+    // guarantee leans on the engine's canonical trail-cache lookup
+    // order (identical cache evolution across orders) and the default
+    // effectively-unbounded fitness memo both rows run with.
+    for m in ga_rows.iter() {
+        assert!(
+            m.positions <= m.nearest_positions,
+            "trie order stepped more schedule positions than the nearest-base order \
+             ({} nodes): {} vs {}",
+            m.nodes,
+            m.positions,
+            m.nearest_positions,
+        );
+    }
+    // Wall-clock is gated loosely (25 %) as a backstop against
+    // catastrophic bookkeeping regressions only: the ~10 % position
+    // saving at the headline size is *smaller* than a loaded shared
+    // box's observed run-to-run swing (ratios of 0.85–1.06 were
+    // measured for identical binaries), so any tighter wall gate
+    // flakes without measuring anything the deterministic position
+    // gate does not already pin (docs/PERF.md, "when the flat order
+    // still wins").
+    const TRIE_GATE_MIN_NODES: usize = 200;
+    for m in ga_rows
+        .iter()
+        .filter(|m| (TRIE_GATE_MIN_NODES..=POOL_GATE_MAX_NODES).contains(&m.nodes))
+    {
+        assert!(
+            m.batchn_seconds <= m.nearest_seconds * 1.25,
+            "trie evaluation order lost badly to the nearest-base order ({} nodes): \
+             trie {:.3}s vs nearest {:.3}s ({:.2}x)",
+            m.nodes,
+            m.batchn_seconds,
+            m.nearest_seconds,
+            m.trie_vs_nearest(),
+        );
+    }
+    // The skip-rate floor: the ROADMAP item this order exists for.
+    // PR 3's nearest-base windows averaged ~26 % skipped positions at
+    // 506 nodes; the trie order holds ~34 % — the structural ceiling
+    // for prefix windows under the paper's GA parameterization (the
+    // window depth of a crossover+mutation offspring is bounded by
+    // E[min(cut, mutation)] ≈ n/3; docs/PERF.md).  The 30 % floor sits
+    // between the two: it catches any regression of the trie machinery
+    // while leaving headroom for graph-shape noise.
+    if let Some(m) = ga_rows
+        .iter()
+        .rfind(|m| (500..=POOL_GATE_MAX_NODES).contains(&m.nodes))
+    {
+        assert!(
+            m.windowed_skip_rate() >= 0.30,
+            "GA windowed skip rate regressed below the 30 % floor at {} nodes: {:.1}%",
+            m.nodes,
+            100.0 * m.windowed_skip_rate(),
+        );
+    }
+    let trie_head = ga_rows.last().expect("at least one GA size");
+    println!(
+        "ga trie-vs-nearest ({} nodes, {} generations): trie {:.2}s vs nearest {:.2}s = {:.2}x \
+         (skip rate {:.1}%, mean trie depth {:.0}/{} positions, {} rolling sims)",
+        trie_head.nodes,
+        trie_head.generations,
+        trie_head.batchn_seconds,
+        trie_head.nearest_seconds,
+        trie_head.trie_vs_nearest(),
+        100.0 * trie_head.windowed_skip_rate(),
+        trie_head.trie_depth_mean(),
+        trie_head.nodes,
+        trie_head.rolling_sims,
     );
 
     // ---- machine-readable report ----
@@ -628,6 +814,12 @@ fn main() {
         let _ = writeln!(json, "      \"batchn_seconds\": {:.6},", m.batchn_seconds);
         let _ = writeln!(json, "      \"scoped_seconds\": {:.6},", m.scoped_seconds);
         let _ = writeln!(json, "      \"pool_vs_scoped\": {:.3},", m.pool_vs_scoped());
+        let _ = writeln!(json, "      \"nearest_seconds\": {:.6},", m.nearest_seconds);
+        let _ = writeln!(
+            json,
+            "      \"trie_vs_nearest\": {:.3},",
+            m.trie_vs_nearest()
+        );
         let _ = writeln!(json, "      \"pool_batches\": {},", m.pool_batches);
         let _ = writeln!(json, "      \"pool_dispatches\": {},", m.pool_dispatches);
         let _ = writeln!(json, "      \"scoped_spawns\": {},", m.scoped_spawns);
@@ -636,12 +828,34 @@ fn main() {
             "      \"batchn_evaluations\": {},",
             m.batchn_evaluations
         );
+        let _ = writeln!(json, "      \"positions\": {},", m.positions);
+        let _ = writeln!(
+            json,
+            "      \"nearest_positions\": {},",
+            m.nearest_positions
+        );
         let _ = writeln!(json, "      \"full_sims\": {},", m.full_sims);
         let _ = writeln!(json, "      \"windowed_sims\": {},", m.windowed_sims);
         let _ = writeln!(
             json,
             "      \"windowed_skip_positions\": {},",
             m.windowed_skip
+        );
+        let _ = writeln!(
+            json,
+            "      \"windowed_skip_rate\": {:.4},",
+            m.windowed_skip_rate()
+        );
+        let _ = writeln!(json, "      \"rolling_sims\": {},", m.rolling_sims);
+        let _ = writeln!(
+            json,
+            "      \"prefix_shared_positions\": {},",
+            m.prefix_shared_positions
+        );
+        let _ = writeln!(
+            json,
+            "      \"trie_depth_mean\": {:.1},",
+            m.trie_depth_mean()
         );
         let _ = writeln!(json, "      \"memo_hits\": {},", m.memo_hits);
         let _ = writeln!(json, "      \"batch_dups\": {},", m.batch_dups);
@@ -671,12 +885,26 @@ fn main() {
         "  \"ga_pool_vs_scoped\": {:.3},",
         pool_head.pool_vs_scoped()
     );
-    let _ = writeln!(json, "  \"headline_nodes\": {},", bfs_head.nodes);
     let _ = writeln!(
         json,
-        "  \"headline_speedup\": {:.3},",
-        bfs_head.speedup_nt()
+        "  \"ga_trie_vs_nearest\": {:.3},",
+        trie_head.trie_vs_nearest()
     );
+    let _ = writeln!(
+        json,
+        "  \"ga_windowed_skip_rate\": {:.4},",
+        trie_head.windowed_skip_rate()
+    );
+    match bfs_head {
+        Some(head) => {
+            let _ = writeln!(json, "  \"headline_nodes\": {},", head.nodes);
+            let _ = writeln!(json, "  \"headline_speedup\": {:.3},", head.speedup_nt());
+        }
+        None => {
+            let _ = writeln!(json, "  \"headline_nodes\": null,");
+            let _ = writeln!(json, "  \"headline_speedup\": null,");
+        }
+    }
     match report_head {
         Some(head) => {
             let _ = writeln!(json, "  \"report_headline_nodes\": {},", head.nodes);

@@ -11,7 +11,10 @@
 //!   parallel speedups (e.g. `perf_report`; clamped to ≥ 1),
 //! * `--report-schedules <k>` — random schedules of the
 //!   `report_makespan` cost model for binaries that sweep it
-//!   (`perf_report`; `0` skips the report-mode measurements).
+//!   (`perf_report`; `0` skips the report-mode measurements),
+//! * `--ga-only` — skip everything but the GA measurements
+//!   (`perf_report`: the CI gates on the trie evaluation order run the
+//!   full-size GA rows without paying for the mapper sweeps).
 
 /// Parsed common options.
 #[derive(Clone, Copy, Debug)]
@@ -31,6 +34,9 @@ pub struct Opts {
     /// Random-schedule count for `report_makespan`-mode measurements
     /// (`None` = binary default; `Some(0)` = skip report mode).
     pub report_schedules: Option<usize>,
+    /// GA-only run (`perf_report`: full-size GA rows and their gates,
+    /// no mapper sweeps).
+    pub ga_only: bool,
 }
 
 impl Opts {
@@ -49,6 +55,7 @@ impl Opts {
             seed: 2025,
             threads: None,
             report_schedules: None,
+            ga_only: false,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -75,6 +82,7 @@ impl Opts {
                 }
                 "--full" => opts.full = true,
                 "--quick" => opts.quick = true,
+                "--ga-only" => opts.ga_only = true,
                 other => eprintln!("warning: ignoring unknown flag {other}"),
             }
         }
@@ -134,6 +142,12 @@ mod tests {
     fn presets() {
         assert_eq!(parse(&["--quick"]).replicates(10, 3, 30), 3);
         assert_eq!(parse(&["--full"]).replicates(10, 3, 30), 30);
+    }
+
+    #[test]
+    fn ga_only_flag() {
+        assert!(!parse(&[]).ga_only);
+        assert!(parse(&["--ga-only"]).ga_only);
     }
 
     #[test]

@@ -1373,12 +1373,7 @@ fn sweep_candidate(
             continue;
         }
         let order = schedules.order(s);
-        let from_pos = w
-            .undo
-            .iter()
-            .map(|&(v, _)| order.earliest_read_pos(v))
-            .min()
-            .unwrap_or(0);
+        let from_pos = order.window_start_over(w.undo.iter().map(|&(v, _)| v));
         let running = if best < cutoff { best } else { cutoff };
         match tables.makespan_order_window(
             &mut w.scratch,

@@ -52,7 +52,10 @@ pub use mapper::{
     try_decomposition_map_reference, CostModel, MapperConfig, MapperError, MapperResult, OpId,
     SearchHeuristic, SubgraphStrategy,
 };
-pub use population::{DeltaCandidate, PopBase, PopulationConfig, PopulationEval, PopulationStats};
+pub use population::{
+    trie_order, DeltaCandidate, EvalOrder, PopBase, PopulationConfig, PopulationEval,
+    PopulationStats,
+};
 // Dispatch-counter surface of the parallel runtime, re-exported so
 // downstream crates (e.g. `spmap-ga`) can carry the counters on their
 // results without a direct `spmap-par` dependency.

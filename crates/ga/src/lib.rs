@@ -25,9 +25,13 @@
 //! parallel population engine (`spmap_core::PopulationEval`): offspring
 //! are described as deltas against their prefix parent (fingerprints
 //! maintained in `O(k)` per child), fitness values memoize across
-//! generations under the mapping-content memo, children of a shared
-//! base replay only the schedule suffix their changed genes can affect,
-//! and surviving simulations run in parallel.  None of that can change
+//! generations under the mapping-content memo, and the engine walks
+//! each generation's offspring in a prefix-sharing genome-trie order
+//! (`EvalOrder::PrefixTrie`) — siblings sharing a genome prefix replay
+//! only their divergent schedule suffix off one rolling checkpoint
+//! trail, falling back to the nearest cached base trail wherever that
+//! windows deeper — and surviving simulations run in parallel over the
+//! trie's subtrees.  None of that can change
 //! a fitness bit — the simulator is a pure function of the mapping — so
 //! the run is **bit-identical per seed** to [`nsga2_map_reference`],
 //! the original strictly serial implementation kept as the executable
@@ -39,7 +43,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use spmap_core::{
-    DeltaCandidate, DispatchStats, PopBase, PopulationConfig, PopulationEval, PopulationStats,
+    DeltaCandidate, DispatchStats, EvalOrder, PopBase, PopulationConfig, PopulationEval,
+    PopulationStats,
 };
 use spmap_graph::{ops, NodeId, TaskGraph};
 use spmap_model::{DeviceId, Evaluator, Mapping, MappingFingerprint, Platform};
@@ -64,6 +69,16 @@ pub struct GaConfig {
     /// Fitness-memo entry cap of the engine-backed path
     /// (generation-stamped LRU; `0` = unbounded).
     pub memo_capacity: usize,
+    /// Trail-cache slot cap of the engine-backed path (`0` = the
+    /// engine's memory-budget heuristic).  Eviction only ever costs
+    /// re-simulation — it cannot change a result.
+    pub trail_cache_capacity: usize,
+    /// Evaluation-order policy of the engine-backed path: the
+    /// prefix-sharing trie order (default) or the flat nearest-base
+    /// order kept as the PR 3 executable spec.  Either way every
+    /// fitness bit matches [`nsga2_map_reference`]; only the amount of
+    /// schedule replayed per offspring differs.
+    pub eval_order: EvalOrder,
 }
 
 impl Default for GaConfig {
@@ -76,6 +91,8 @@ impl Default for GaConfig {
             seed: 0,
             threads: None,
             memo_capacity: spmap_core::DEFAULT_MEMO_CAPACITY,
+            trail_cache_capacity: 0,
+            eval_order: EvalOrder::PrefixTrie,
         }
     }
 }
@@ -104,6 +121,11 @@ pub struct GaResult {
     /// this counts actual simulations (full, windowed and trail runs);
     /// memo-answered fitness calls run none.
     pub evaluations: u64,
+    /// Total schedule positions those evaluations stepped (each full
+    /// simulation steps `n`; windowed replays step only their suffix
+    /// after the restored snapshot) — the honest work measure of the
+    /// windowing machinery.
+    pub positions: u64,
     /// Best fitness after each generation (non-increasing).
     pub best_per_generation: Vec<f64>,
     /// Population-engine decision counters (zero for the serial
@@ -248,6 +270,8 @@ pub fn nsga2_map(graph: &TaskGraph, platform: &Platform, cfg: &GaConfig) -> GaRe
         PopulationConfig {
             threads: cfg.threads,
             memo_capacity: cfg.memo_capacity,
+            trail_cache_capacity: cfg.trail_cache_capacity,
+            order: cfg.eval_order,
         },
     );
     let mutation_rate = cfg.mutation_rate.unwrap_or(1.0 / n.max(1) as f64);
@@ -470,6 +494,7 @@ pub fn nsga2_map(graph: &TaskGraph, platform: &Platform, cfg: &GaConfig) -> GaRe
         makespan: best.fitness,
         cpu_only_makespan,
         evaluations: engine.evaluations(),
+        positions: engine.positions(),
         best_per_generation,
         engine: engine.stats(),
         dispatch: engine.dispatch(),
@@ -581,6 +606,7 @@ pub fn nsga2_map_reference(graph: &TaskGraph, platform: &Platform, cfg: &GaConfi
         makespan: best.fitness,
         cpu_only_makespan,
         evaluations: evaluator.stats().evaluations,
+        positions: evaluator.stats().positions,
         best_per_generation,
         engine: PopulationStats::default(),
         dispatch: DispatchStats::default(),

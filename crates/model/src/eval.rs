@@ -76,6 +76,12 @@ use crate::DeviceId;
 pub struct EvalStats {
     /// Number of complete makespan evaluations performed.
     pub evaluations: u64,
+    /// Schedule positions actually stepped (a full simulation steps
+    /// `n`; a windowed replay steps only its suffix after the restored
+    /// snapshot).  `evaluations * n - positions` is the work the
+    /// windowing machinery really saved, *after* snapshot-granularity
+    /// rounding.
+    pub positions: u64,
 }
 
 /// Detailed simulation result for inspection (examples, Gantt output).
@@ -422,6 +428,7 @@ impl<'g> EvalTables<'g> {
         if !self.area_feasible(mapping) {
             return None;
         }
+        scratch.stats.positions += n as u64;
         // Reset scratch.
         scratch.indeg.copy_from_slice(&self.indeg_init);
         scratch.data_ready.iter_mut().for_each(|t| *t = 0.0);
@@ -526,7 +533,11 @@ impl<'g> EvalTables<'g> {
     /// arithmetic is the exact sequence of [`Self::makespan_with_ranks`],
     /// so heap-driven, checkpointed and windowed runs agree bit for bit
     /// — for any fixed schedule, not just the breadth-first one.
-    #[inline]
+    ///
+    /// `inline(always)`: every window/replay variant spends its whole
+    /// life in this step; an out-of-line call (the inliner bails on the
+    /// two-loop recording replay) costs measurable ns/position.
+    #[inline(always)]
     fn sim_step(
         &self,
         scratch: &mut EvalScratch,
@@ -614,6 +625,7 @@ impl<'g> EvalTables<'g> {
         if !self.area_feasible(mapping) {
             return None;
         }
+        scratch.stats.positions += n as u64;
         scratch.reset_times();
         out.reset(n, m);
         let devices = mapping.as_slice();
@@ -676,10 +688,92 @@ impl<'g> EvalTables<'g> {
         for i in start_pos..n {
             let (v, fin) = self.sim_step(scratch, devices, pop_order, i, &mut makespan);
             if fin + self.up_min[v] > cutoff {
+                // Charge only what actually ran: aborted replays must
+                // not inflate the stepped-position counter.
+                scratch.stats.positions += (i + 1 - start_pos) as u64;
                 return WindowSim::Cutoff;
             }
         }
+        scratch.stats.positions += (n - start_pos) as u64;
         WindowSim::Done(makespan)
+    }
+
+    /// Windowed replay that *extends a rolling checkpoint trail* while
+    /// it simulates: restore the snapshot covering `from_pos` from
+    /// `src` — or from `rolling` itself when `src` is `None` — then
+    /// replay the suffix, re-recording into `rolling` exactly the
+    /// snapshots listed in `record` (ascending indices on `rolling`'s
+    /// interval grid, all within the replayed range).
+    ///
+    /// This is the primitive behind the population engine's
+    /// prefix-sharing trie order (docs/PERF.md): a depth-first chain of
+    /// candidates keeps one rolling trail per branch.  *Truncate to
+    /// position* on backtrack is implicit — stale suffix snapshots are
+    /// only ever read after being re-recorded (the engine's serial
+    /// planner proves which snapshots are live for which candidate) —
+    /// and *extend in place* costs one `O(V)` memcpy per listed
+    /// snapshot instead of a fresh full trail.
+    ///
+    /// Exactness: the replay runs the exact single-step arithmetic of
+    /// [`Self::makespan_with_ranks`], so the result is bit-identical to
+    /// a from-scratch simulation of `mapping` whenever the restored
+    /// snapshot's originating mapping agrees with `mapping` on every
+    /// task read before `from_pos`.  The caller must precheck FPGA-area
+    /// feasibility and guarantee that agreement; `rolling` must be
+    /// shaped for this graph/platform (e.g. via
+    /// [`ScheduleCheckpoints::zeroed`]).  There is no cutoff — the
+    /// population engine's fitness calls always complete.
+    #[allow(clippy::too_many_arguments)]
+    pub fn makespan_order_window_recording(
+        &self,
+        scratch: &mut EvalScratch,
+        mapping: &Mapping,
+        order: &OrderTables,
+        src: Option<&ScheduleCheckpoints>,
+        rolling: &mut ScheduleCheckpoints,
+        from_pos: usize,
+        record: &[u32],
+    ) -> f64 {
+        let n = self.node_count();
+        debug_assert_eq!(mapping.len(), n);
+        debug_assert!(self.area_feasible(mapping), "caller prechecks area");
+        scratch.stats.evaluations += 1;
+        let (start_pos, mut makespan) = match src {
+            Some(t) => {
+                let s = t.restore(from_pos, scratch);
+                (s, t.makespan[s / t.every])
+            }
+            None => {
+                let s = rolling.restore(from_pos, scratch);
+                (s, rolling.makespan[s / rolling.every])
+            }
+        };
+        scratch.stats.positions += (n - start_pos) as u64;
+        let devices = mapping.as_slice();
+        let pop_order = order.pop_order();
+        let every = rolling.every;
+        // Segment-wise replay: between two listed snapshots the inner
+        // loop is exactly the plain window loop — no per-position
+        // record check at all (record lists are short; most replays
+        // list zero or one snapshot).
+        let mut i = start_pos;
+        for &j in record {
+            let rpos = (j as usize) * every;
+            debug_assert!(
+                (start_pos..n).contains(&rpos),
+                "record list reaches outside the replayed range"
+            );
+            while i < rpos {
+                self.sim_step(scratch, devices, pop_order, i, &mut makespan);
+                i += 1;
+            }
+            rolling.record(j as usize, scratch, makespan);
+        }
+        while i < n {
+            self.sim_step(scratch, devices, pop_order, i, &mut makespan);
+            i += 1;
+        }
+        makespan
     }
 
     /// Breadth-first [`Self::makespan_order_window`].
@@ -857,6 +951,20 @@ impl ScheduleCheckpoints {
         self.every
     }
 
+    /// Number of snapshot slots of the current shape.
+    pub fn snapshot_count(&self) -> usize {
+        self.count
+    }
+
+    /// The snapshot index a restore at `from_pos` resolves to — the
+    /// latest snapshot at or before that pop position.  Planners (the
+    /// population engine's trie order) use this to predict restore
+    /// points without touching the store.
+    #[inline]
+    pub fn snapshot_index(&self, from_pos: usize) -> usize {
+        (from_pos / self.every).min(self.count - 1)
+    }
+
     /// Size the store for an `n`-task, `m`-device run.
     fn reset(&mut self, n: usize, m: usize) {
         self.n = n;
@@ -888,7 +996,7 @@ impl ScheduleCheckpoints {
     /// Restore the latest snapshot at or before `from_pos` into
     /// `scratch`; returns the pop position simulation must resume from.
     fn restore(&self, from_pos: usize, scratch: &mut EvalScratch) -> usize {
-        let j = (from_pos / self.every).min(self.count - 1);
+        let j = self.snapshot_index(from_pos);
         let (n, m) = (self.n, self.m);
         scratch
             .data_ready

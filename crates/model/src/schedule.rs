@@ -163,6 +163,20 @@ impl OrderTables {
         self.earliest_read[n.index()] as usize
     }
 
+    /// The exact (latest sound) window start of a candidate that
+    /// differs from a base mapping in exactly the nodes of `changed`:
+    /// the minimum earliest-read position over them.  The base
+    /// schedule's state is bit-identical before that position, so a
+    /// windowed replay from it reproduces a from-scratch simulation.
+    /// An empty delta yields `0` (replay everything — always sound).
+    #[inline]
+    pub fn window_start_over(&self, changed: impl Iterator<Item = NodeId>) -> usize {
+        changed
+            .map(|v| self.earliest_read_pos(v))
+            .min()
+            .unwrap_or(0)
+    }
+
     /// Number of tasks this order schedules.
     #[inline]
     pub fn len(&self) -> usize {

@@ -24,7 +24,7 @@
 
 use spmap::par::{with_backend, ParBackend};
 use spmap::prelude::*;
-use spmap_core::{decomposition_map_reference, CostModel, EngineConfig};
+use spmap_core::{decomposition_map_reference, CostModel, EngineConfig, EvalOrder};
 
 /// Deterministic graph zoo: SP graphs, almost-SP graphs and layered
 /// non-SP DAGs, with the paper's attribute augmentation.
@@ -502,6 +502,110 @@ fn ga_pool_scoped_serial_bit_identity() {
                 assert_eq!(
                     pooled.dispatch.scoped_batches, 0,
                     "ga case {case} t{threads}"
+                );
+            }
+        }
+    }
+}
+
+/// The trie-order rows of the GA matrix: for *both* evaluation orders
+/// of the population engine — the prefix-sharing trie walk (default)
+/// and the flat nearest-base policy kept as the PR 3 executable spec —
+/// and for every `SPMAP_THREADS`-style worker count {1, 3, 8} ×
+/// `SPMAP_POOL`-style backend {scoped, pool}, the engine-backed GA
+/// reproduces the serial reference per seed bit for bit, with
+/// order-specific engine statistics that are themselves invariant
+/// across threads and backends (the whole trie plan lives on the
+/// serial path).
+#[test]
+fn ga_trie_order_bit_identity_across_threads_and_backends() {
+    for case in 0..3u64 {
+        let g = graph_case(case + 1400);
+        let p = platform_case(case);
+        let cfg = |threads: Option<usize>, order: EvalOrder| GaConfig {
+            population: 16,
+            generations: 20,
+            seed: 17 + case,
+            threads,
+            eval_order: order,
+            ..GaConfig::default()
+        };
+        let reference = nsga2_map_reference(&g, &p, &cfg(None, EvalOrder::PrefixTrie));
+        for order in [EvalOrder::PrefixTrie, EvalOrder::NearestBase] {
+            let mut stats = None;
+            for threads in [1usize, 3, 8] {
+                for (tag, backend) in [("scoped", ParBackend::Scoped), ("pool", ParBackend::Pool)] {
+                    let r = with_backend(backend, || nsga2_map(&g, &p, &cfg(Some(threads), order)));
+                    let tag = format!("case {case} {order:?} t{threads} {tag}");
+                    assert_eq!(r.mapping, reference.mapping, "{tag}: mapping differs");
+                    assert_eq!(r.makespan, reference.makespan, "{tag}: makespan differs");
+                    assert_eq!(
+                        r.best_per_generation, reference.best_per_generation,
+                        "{tag}: history differs"
+                    );
+                    assert_eq!(
+                        r.cpu_only_makespan, reference.cpu_only_makespan,
+                        "{tag}: baseline differs"
+                    );
+                    match &stats {
+                        None => stats = Some(r.engine),
+                        Some(s) => assert_eq!(
+                            r.engine, *s,
+                            "{tag}: engine stats must not depend on threads or backend"
+                        ),
+                    }
+                }
+            }
+            if order == EvalOrder::PrefixTrie {
+                let s = stats.expect("at least one run");
+                assert!(
+                    s.trie_members > 0,
+                    "case {case}: the trie walk never chained a candidate: {s:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Trail-cache capacity corners: a tiny `GaConfig::trail_cache_capacity`
+/// forces constant trail eviction; the GA's results must not move by a
+/// bit, the cache must never outgrow the cap (observed via
+/// `trail_peak`), and eviction must actually happen.
+#[test]
+fn ga_trail_cache_capacity_corners_are_exact_and_bounded() {
+    for case in 0..3u64 {
+        let g = graph_case(case + 1500);
+        let p = platform_case(case);
+        let cfg = |trail_cache_capacity: usize| GaConfig {
+            population: 16,
+            generations: 25,
+            seed: 29 + case,
+            threads: Some(3),
+            trail_cache_capacity,
+            ..GaConfig::default()
+        };
+        let reference = nsga2_map_reference(&g, &p, &cfg(0));
+        for capacity in [0usize, 2, 8] {
+            let fast = nsga2_map(&g, &p, &cfg(capacity));
+            let tag = format!("case {case} trail capacity {capacity}");
+            assert_eq!(fast.mapping, reference.mapping, "{tag}: mapping differs");
+            assert_eq!(fast.makespan, reference.makespan, "{tag}: makespan differs");
+            assert_eq!(
+                fast.best_per_generation, reference.best_per_generation,
+                "{tag}: history differs"
+            );
+            if capacity > 0 {
+                assert!(
+                    fast.engine.trail_peak <= capacity as u64,
+                    "{tag}: trail cache outgrew its capacity ({:?})",
+                    fast.engine
+                );
+            }
+            if capacity == 2 && fast.engine.trails_recorded > 2 {
+                assert!(
+                    fast.engine.trail_evictions > 0,
+                    "{tag}: recording more trails than slots must evict ({:?})",
+                    fast.engine
                 );
             }
         }
