@@ -58,10 +58,26 @@
 //! gates.
 //! `--ga-only` runs just the GA rows (and their gates) at the standard
 //! sizes: the cheap CI entry point for the trie gates.
+//! `--sizes a,b,..` replaces the built-in size lists of both the mapper
+//! and GA loops (including the `--full` 1024/2048 GA extension, which
+//! used to be hardcoded).
+//!
+//! `--xl` switches to the **scale tier**: 10k/50k/100k-node layered
+//! DAGs with constant average degree, measuring (a) the per-position
+//! cost of the cache-conscious pop-order simulation kernel against a
+//! 500-node baseline of the same shape (CI gate: ≤ 2x at the first XL
+//! size — schedule-order renumbering keeps successor updates
+//! near-sequential, so the kernel must stay close to its in-cache
+//! figure when the tables outgrow L2), (b) a bounded `sp_first_fit`
+//! mapper row per size (the 100k row proves the engine completes at
+//! scale), and (c) a small GA row at the first size exercising rolling
+//! suffix-sparse trails + the trail cache.  Every row reports its peak
+//! checkpoint bytes, gated against the 32 MiB per-trail budget.
+//! `--xl --quick` keeps only the first size — the CI smoke.
 //!
 //! Usage: `cargo run --release -p spmap-bench --bin perf_report
-//!         [--quick] [--full] [--ga-only] [--threads 8] [--seed 2025]
-//!         [--report-schedules 4]`
+//!         [--quick] [--full] [--ga-only] [--xl] [--threads 8]
+//!         [--seed 2025] [--report-schedules 4] [--sizes a,b,..]`
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -74,7 +90,10 @@ use spmap_core::{
 use spmap_ga::{nsga2_map, nsga2_map_reference, GaConfig};
 use spmap_graph::gen::{layered_random, LayeredConfig};
 use spmap_graph::{augment, AugmentConfig, TaskGraph};
-use spmap_model::Platform;
+use spmap_model::{
+    EvalScratch, EvalTables, Mapping, Platform, ScheduleCheckpoints,
+    DEFAULT_CHECKPOINT_BUDGET_BYTES,
+};
 use spmap_par::{with_backend, ParBackend};
 
 /// GA generation budget of the `ga` rows: the paper's §IV-A default in
@@ -96,6 +115,354 @@ fn layered_dag(nodes: usize, seed: u64) -> TaskGraph {
     });
     augment(&mut g, &AugmentConfig::default(), seed);
     g
+}
+
+// ---- the XL scale tier (`--xl`) ----
+
+/// XL graph sizes; `--quick` keeps only the first (the CI smoke) and
+/// `--sizes` overrides the list outright.
+const XL_SIZES: [usize; 3] = [10_000, 50_000, 100_000];
+
+/// Baseline size of the per-position gate: the standard tier's largest
+/// row re-generated in the XL shape, so the gate compares memory
+/// layouts rather than graph families.
+const XL_BASELINE_NODES: usize = 500;
+
+/// The kernel CI gate: the first XL size's per-position time may cost
+/// at most this multiple of the baseline's.  Schedule-order renumbering
+/// makes the successor updates near-sequential, so the kernel should
+/// stay close to its in-cache figure even once the tables leave L2.
+const XL_KERNEL_GATE_RATIO: f64 = 2.0;
+
+/// GA parameters of the XL GA row: enough generations to exercise the
+/// rolling suffix-sparse trails and the trail cache at scale without
+/// turning the smoke into a soak (the standard tier already measures
+/// GA throughput).
+const XL_GA_POPULATION: usize = 24;
+const XL_GA_GENERATIONS: usize = 10;
+
+/// A layered DAG with *constant* average out-degree (≈ 4 edges/node)
+/// instead of the standard tier's constant `density` — whose degree
+/// grows as `0.25·√n` and would change the per-position work itself at
+/// 10k–100k nodes.  The kernel gate is about memory layout, not edge
+/// count, so the XL shape holds the per-node work fixed across sizes.
+fn xl_layered_dag(nodes: usize, seed: u64) -> TaskGraph {
+    let width = (nodes as f64).sqrt().round() as usize;
+    let layers = nodes.div_ceil(width);
+    let mut g = layered_random(&LayeredConfig {
+        layers,
+        width,
+        density: 4.0 / width as f64,
+        seed,
+        edge_bytes: 50e6,
+    });
+    augment(&mut g, &AugmentConfig::default(), seed);
+    g
+}
+
+struct XlKernelRow {
+    nodes: usize,
+    edges: usize,
+    /// Minimum observed wall time of one pop-order replay, per node.
+    ns_per_position: f64,
+    /// Snapshot payload of the checkpointed replay (suffix-sparse under
+    /// the default pop-order numbering) — gated against the budget.
+    checkpoint_bytes: usize,
+    snapshot_every: usize,
+}
+
+/// Per-position cost of the cache-conscious simulation kernel: the
+/// pop-order checkpointed replay (the exact path every windowed replay
+/// and rolling trail runs), timed on the all-default mapping, minimum
+/// of a few repetitions to steady the clock.
+fn measure_xl_kernel(g: &TaskGraph, p: &Platform) -> XlKernelRow {
+    let n = g.node_count();
+    let tables = EvalTables::new(g, p);
+    let mut scratch = EvalScratch::for_tables(&tables);
+    let mapping = Mapping::all_default(g, p);
+    let every = ScheduleCheckpoints::auto_interval_for(n, 0);
+    let mut ckpt = ScheduleCheckpoints::new(every);
+    // The warm-up run also shapes the checkpoint store.
+    let warm = tables
+        .makespan_bfs_checkpointed(&mut scratch, &mapping, &mut ckpt)
+        .expect("the all-default mapping simulates");
+    let reps = (1_000_000 / n.max(1)).clamp(3, 50);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let ms = tables
+            .makespan_bfs_checkpointed(&mut scratch, &mapping, &mut ckpt)
+            .expect("the all-default mapping simulates");
+        best = best.min(t.elapsed().as_secs_f64());
+        assert_eq!(ms, warm, "kernel must be deterministic");
+    }
+    XlKernelRow {
+        nodes: n,
+        edges: g.edge_count(),
+        ns_per_position: best * 1e9 / n as f64,
+        checkpoint_bytes: ckpt.byte_len(),
+        snapshot_every: every,
+    }
+}
+
+struct XlMapperRow {
+    seconds: f64,
+    iterations: usize,
+    evaluations: u64,
+    checkpoint_peak_bytes: u64,
+    improvement: f64,
+}
+
+/// A bounded mapper row: `sp_first_fit` under the BFS cost model with
+/// an iteration cap of 2 — enough to push full batches of windowed
+/// candidate evaluations through the engine at 10k–100k nodes (the
+/// completion proof the tier exists for) without an open-ended greedy
+/// descent.
+fn measure_xl_mapper(g: &TaskGraph, p: &Platform, threads: usize) -> XlMapperRow {
+    let cfg = MapperConfig {
+        cost: CostModel::Bfs,
+        iteration_cap: Some(2),
+        engine: EngineConfig {
+            threads: Some(threads),
+            ..EngineConfig::default()
+        },
+        ..MapperConfig::sp_first_fit()
+    };
+    let t = Instant::now();
+    let r = decomposition_map(g, p, &cfg);
+    XlMapperRow {
+        seconds: t.elapsed().as_secs_f64(),
+        iterations: r.iterations,
+        evaluations: r.evaluations,
+        checkpoint_peak_bytes: r.checkpoint_peak_bytes,
+        improvement: r.relative_improvement(),
+    }
+}
+
+struct XlGaRow {
+    nodes: usize,
+    edges: usize,
+    seconds: f64,
+    evaluations: u64,
+    positions: u64,
+    checkpoint_peak_bytes: u64,
+}
+
+/// A small GA row at the first XL size: rolling trails, the trail
+/// cache, and windowed replays all run at a node count where a dense
+/// snapshot trail would cost ~8x the suffix-sparse one.
+fn measure_xl_ga(g: &TaskGraph, p: &Platform, threads: usize, seed: u64) -> XlGaRow {
+    let cfg = GaConfig {
+        population: XL_GA_POPULATION,
+        generations: XL_GA_GENERATIONS,
+        seed,
+        threads: Some(threads),
+        ..GaConfig::default()
+    };
+    let t = Instant::now();
+    let r = nsga2_map(g, p, &cfg);
+    XlGaRow {
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        seconds: t.elapsed().as_secs_f64(),
+        evaluations: r.evaluations,
+        positions: r.positions,
+        checkpoint_peak_bytes: r.checkpoint_peak_bytes,
+    }
+}
+
+/// The `--xl` entry point: measure, gate, write `BENCH_mapper.json`.
+fn run_xl(opts: &Opts) {
+    let threads = opts.threads.unwrap_or(8);
+    let sizes: Vec<usize> = match &opts.sizes {
+        Some(s) => s.clone(),
+        None if opts.quick => vec![XL_SIZES[0]],
+        None => XL_SIZES.to_vec(),
+    };
+    let budget = DEFAULT_CHECKPOINT_BUDGET_BYTES;
+
+    println!(
+        "perf_report --xl: scale tier, pop-order kernel + suffix-sparse checkpoints \
+         ({threads} threads; per-trail budget {} MiB)\n",
+        budget >> 20
+    );
+    println!(
+        "{:>7} {:>8} {:>9} {:>9} {:>11} {:>10} {:>9} {:>9}",
+        "nodes", "edges", "ns/pos", "vs base", "ckpt bytes", "mapper", "iters", "peak MB"
+    );
+
+    let p = Platform::reference();
+    let baseline = measure_xl_kernel(&xl_layered_dag(XL_BASELINE_NODES, opts.seed), &p);
+    println!(
+        "{:>7} {:>8} {:>9.1} {:>9} {:>11} {:>10} {:>9} {:>9}",
+        baseline.nodes,
+        baseline.edges,
+        baseline.ns_per_position,
+        "1.00x",
+        baseline.checkpoint_bytes,
+        "baseline",
+        "-",
+        "-"
+    );
+
+    let mut rows: Vec<(XlKernelRow, XlMapperRow)> = Vec::new();
+    let mut ga_row = None;
+    for (i, &nodes) in sizes.iter().enumerate() {
+        let g = xl_layered_dag(nodes, opts.seed);
+        let k = measure_xl_kernel(&g, &p);
+        let m = measure_xl_mapper(&g, &p, threads);
+        println!(
+            "{:>7} {:>8} {:>9.1} {:>8.2}x {:>11} {:>9.2}s {:>9} {:>9.2}",
+            k.nodes,
+            k.edges,
+            k.ns_per_position,
+            k.ns_per_position / baseline.ns_per_position,
+            k.checkpoint_bytes,
+            m.seconds,
+            m.iterations,
+            m.checkpoint_peak_bytes as f64 / (1 << 20) as f64,
+        );
+        if i == 0 {
+            ga_row = Some(measure_xl_ga(&g, &p, threads, opts.seed));
+        }
+        rows.push((k, m));
+    }
+    let ga = ga_row.expect("--xl needs at least one size");
+    println!(
+        "\nga xl row ({} nodes, pop {}, {} generations): {:.2}s, {} evaluations, \
+         {} positions, peak trail {:.2} MB",
+        ga.nodes,
+        XL_GA_POPULATION,
+        XL_GA_GENERATIONS,
+        ga.seconds,
+        ga.evaluations,
+        ga.positions,
+        ga.checkpoint_peak_bytes as f64 / (1 << 20) as f64,
+    );
+
+    // The kernel CI gate: per-position time at the first XL size within
+    // 2x of the same-shape 500-node baseline.  A miss means the
+    // renumbered layout stopped paying — per-position work is constant
+    // by construction (fixed average degree), so only memory behavior
+    // can move this ratio.
+    let head = &rows[0].0;
+    let ratio = head.ns_per_position / baseline.ns_per_position;
+    println!(
+        "xl kernel gate ({} nodes): {:.1} ns/position vs {:.1} baseline = {:.2}x (max {:.1}x)",
+        head.nodes, head.ns_per_position, baseline.ns_per_position, ratio, XL_KERNEL_GATE_RATIO,
+    );
+    assert!(
+        ratio <= XL_KERNEL_GATE_RATIO,
+        "per-position kernel cost at {} nodes regressed to {:.2}x the {}-node baseline \
+         ({:.1} vs {:.1} ns/position; gate {:.1}x)",
+        head.nodes,
+        ratio,
+        baseline.nodes,
+        head.ns_per_position,
+        baseline.ns_per_position,
+        XL_KERNEL_GATE_RATIO,
+    );
+    // The byte-budget CI gate: every snapshot trail the tier touched —
+    // the raw kernel's checkpoint store, the mapper engine's per-trail
+    // peak, the GA's rolling trails + trail cache — fits the per-trail
+    // budget.  `auto_interval_for` widens the snapshot interval to make
+    // this hold by construction; the gate catches that math drifting
+    // from the stores it is supposed to bound.
+    for (k, m) in &rows {
+        assert!(
+            k.checkpoint_bytes <= budget,
+            "kernel checkpoint store at {} nodes exceeds the per-trail budget: {} > {budget}",
+            k.nodes,
+            k.checkpoint_bytes,
+        );
+        assert!(
+            (m.checkpoint_peak_bytes as usize) <= budget,
+            "mapper engine checkpoint peak at {} nodes exceeds the per-trail budget: {} > {budget}",
+            k.nodes,
+            m.checkpoint_peak_bytes,
+        );
+    }
+    assert!(
+        (ga.checkpoint_peak_bytes as usize) <= budget,
+        "GA checkpoint peak at {} nodes exceeds the per-trail budget: {} > {budget}",
+        ga.nodes,
+        ga.checkpoint_peak_bytes,
+    );
+
+    // ---- machine-readable report ----
+    let mut json = String::from("{\n  \"benchmark\": \"xl_scale_tier\",\n");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"quick\": {},", opts.quick);
+    let _ = writeln!(json, "  \"seed\": {},", opts.seed);
+    let _ = writeln!(json, "  \"checkpoint_budget_bytes\": {budget},");
+    let _ = writeln!(json, "  \"kernel_gate_ratio_max\": {XL_KERNEL_GATE_RATIO},");
+    let _ = writeln!(json, "  \"baseline\": {{");
+    let _ = writeln!(json, "    \"nodes\": {},", baseline.nodes);
+    let _ = writeln!(json, "    \"edges\": {},", baseline.edges);
+    let _ = writeln!(
+        json,
+        "    \"kernel_ns_per_position\": {:.2},",
+        baseline.ns_per_position
+    );
+    let _ = writeln!(
+        json,
+        "    \"checkpoint_bytes\": {},",
+        baseline.checkpoint_bytes
+    );
+    let _ = writeln!(json, "    \"snapshot_every\": {}", baseline.snapshot_every);
+    let _ = writeln!(json, "  }},");
+    json.push_str("  \"xl_runs\": [\n");
+    for (i, (k, m)) in rows.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"nodes\": {},", k.nodes);
+        let _ = writeln!(json, "      \"edges\": {},", k.edges);
+        let _ = writeln!(
+            json,
+            "      \"kernel_ns_per_position\": {:.2},",
+            k.ns_per_position
+        );
+        let _ = writeln!(
+            json,
+            "      \"kernel_vs_baseline\": {:.3},",
+            k.ns_per_position / baseline.ns_per_position
+        );
+        let _ = writeln!(json, "      \"checkpoint_bytes\": {},", k.checkpoint_bytes);
+        let _ = writeln!(json, "      \"snapshot_every\": {},", k.snapshot_every);
+        let _ = writeln!(json, "      \"mapper_seconds\": {:.6},", m.seconds);
+        let _ = writeln!(json, "      \"mapper_iterations\": {},", m.iterations);
+        let _ = writeln!(json, "      \"mapper_evaluations\": {},", m.evaluations);
+        let _ = writeln!(
+            json,
+            "      \"mapper_checkpoint_peak_bytes\": {},",
+            m.checkpoint_peak_bytes
+        );
+        let _ = writeln!(
+            json,
+            "      \"mapper_relative_improvement\": {:.6}",
+            m.improvement
+        );
+        let _ = writeln!(json, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"ga_xl\": {{");
+    let _ = writeln!(json, "    \"nodes\": {},", ga.nodes);
+    let _ = writeln!(json, "    \"edges\": {},", ga.edges);
+    let _ = writeln!(json, "    \"population\": {XL_GA_POPULATION},");
+    let _ = writeln!(json, "    \"generations\": {XL_GA_GENERATIONS},");
+    let _ = writeln!(json, "    \"seconds\": {:.6},", ga.seconds);
+    let _ = writeln!(json, "    \"evaluations\": {},", ga.evaluations);
+    let _ = writeln!(json, "    \"positions\": {},", ga.positions);
+    let _ = writeln!(
+        json,
+        "    \"checkpoint_peak_bytes\": {}",
+        ga.checkpoint_peak_bytes
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"kernel_gate_nodes\": {},", head.nodes);
+    let _ = writeln!(json, "  \"kernel_vs_baseline\": {ratio:.3}");
+    json.push_str("}\n");
+    std::fs::write("BENCH_mapper.json", &json).expect("write BENCH_mapper.json");
+    println!("\nwrote BENCH_mapper.json");
 }
 
 struct Measurement {
@@ -493,13 +860,23 @@ fn print_row(m: &Measurement) {
 
 fn main() {
     let opts = Opts::parse();
+    if opts.xl {
+        // The scale tier is its own report: different graph shape,
+        // different gates, its own JSON schema.
+        run_xl(&opts);
+        return;
+    }
     let threads = opts.threads.unwrap_or(8);
     let report_k = opts.report_schedules.unwrap_or(4);
-    let sizes: &[usize] = if opts.quick {
+    let default_sizes: &[usize] = if opts.quick {
         &[60, 120]
     } else {
         &[120, 250, 500]
     };
+    // `--sizes` replaces the built-in sweep for the mapper *and* GA
+    // loops (below it also suppresses the `--full` GA extension).
+    let sizes: Vec<usize> = opts.sizes.clone().unwrap_or_else(|| default_sizes.to_vec());
+    let sizes: &[usize] = &sizes;
 
     println!(
         "perf_report: SeriesParallel mapper, serial seed path vs candidate engine \
@@ -551,7 +928,9 @@ fn main() {
         GA_GENERATIONS
     };
     let mut ga_sizes: Vec<usize> = sizes.to_vec();
-    if opts.full {
+    if opts.full && opts.sizes.is_none() {
+        // The former hardcoded `--full` extension; an explicit `--sizes`
+        // list is taken literally instead.
         ga_sizes.extend([1024, 2048]);
     }
     let mut ga_rows = Vec::new();
@@ -651,22 +1030,23 @@ fn main() {
             m.pool_vs_scoped(),
         );
     }
-    let pool_head = ga_rows
-        .iter()
-        .rfind(|m| m.nodes <= POOL_GATE_MAX_NODES)
-        .expect("at least one gated GA size");
-    println!(
-        "ga pool-vs-scoped ({} nodes, {} generations): pool {:.2}s vs scoped {:.2}s = {:.2}x \
-         ({} pool batches / {} wakes vs {} thread spawns)",
-        pool_head.nodes,
-        pool_head.generations,
-        pool_head.batchn_seconds,
-        pool_head.scoped_seconds,
-        pool_head.pool_vs_scoped(),
-        pool_head.pool_batches,
-        pool_head.pool_dispatches,
-        pool_head.scoped_spawns,
-    );
+    // With an explicit `--sizes` list every row may sit above the pool
+    // gate's node ceiling — then there is no gated row to headline.
+    let pool_head = ga_rows.iter().rfind(|m| m.nodes <= POOL_GATE_MAX_NODES);
+    if let Some(pool_head) = pool_head {
+        println!(
+            "ga pool-vs-scoped ({} nodes, {} generations): pool {:.2}s vs scoped {:.2}s = {:.2}x \
+             ({} pool batches / {} wakes vs {} thread spawns)",
+            pool_head.nodes,
+            pool_head.generations,
+            pool_head.batchn_seconds,
+            pool_head.scoped_seconds,
+            pool_head.pool_vs_scoped(),
+            pool_head.pool_batches,
+            pool_head.pool_dispatches,
+            pool_head.scoped_spawns,
+        );
+    }
     // The trie-order perf gates.  The algorithmic claim — per
     // candidate the trie windows from `max(LCP, base window)`, so it
     // replays no more of the schedule than the flat PR 3 nearest-base
@@ -879,12 +1259,16 @@ fn main() {
         "  \"ga_headline_speedup\": {:.3},",
         ga_head.speedup_nt()
     );
-    let _ = writeln!(json, "  \"ga_pool_gate_nodes\": {},", pool_head.nodes);
-    let _ = writeln!(
-        json,
-        "  \"ga_pool_vs_scoped\": {:.3},",
-        pool_head.pool_vs_scoped()
-    );
+    match pool_head {
+        Some(h) => {
+            let _ = writeln!(json, "  \"ga_pool_gate_nodes\": {},", h.nodes);
+            let _ = writeln!(json, "  \"ga_pool_vs_scoped\": {:.3},", h.pool_vs_scoped());
+        }
+        None => {
+            let _ = writeln!(json, "  \"ga_pool_gate_nodes\": null,");
+            let _ = writeln!(json, "  \"ga_pool_vs_scoped\": null,");
+        }
+    }
     let _ = writeln!(
         json,
         "  \"ga_trie_vs_nearest\": {:.3},",

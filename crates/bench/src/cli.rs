@@ -14,10 +14,16 @@
 //!   (`perf_report`; `0` skips the report-mode measurements),
 //! * `--ga-only` — skip everything but the GA measurements
 //!   (`perf_report`: the CI gates on the trie evaluation order run the
-//!   full-size GA rows without paying for the mapper sweeps).
+//!   full-size GA rows without paying for the mapper sweeps),
+//! * `--xl` — scale-tier run (`perf_report`: 10k–100k-node layered
+//!   DAGs exercising the cache-conscious kernel and suffix-sparse
+//!   checkpoints; combines with `--quick` for a 10k-only smoke),
+//! * `--sizes <a,b,..>` — comma-separated task-count override for
+//!   binaries that sweep graph sizes (`perf_report`: replaces the
+//!   built-in mapper/GA size lists, including the `--full` extension).
 
 /// Parsed common options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Opts {
     /// Replicates per data point.
     pub graphs: Option<usize>,
@@ -37,6 +43,10 @@ pub struct Opts {
     /// GA-only run (`perf_report`: full-size GA rows and their gates,
     /// no mapper sweeps).
     pub ga_only: bool,
+    /// Scale-tier run (`perf_report`: 10k–100k-node rows).
+    pub xl: bool,
+    /// Explicit task-count list (`None` = binary default sweep).
+    pub sizes: Option<Vec<usize>>,
 }
 
 impl Opts {
@@ -56,6 +66,8 @@ impl Opts {
             threads: None,
             report_schedules: None,
             ga_only: false,
+            xl: false,
+            sizes: None,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -80,9 +92,24 @@ impl Opts {
                         opts.seed = v;
                     }
                 }
+                "--sizes" => {
+                    opts.sizes = it.next().map(|v| {
+                        v.split(',')
+                            .filter(|s| !s.is_empty())
+                            .filter_map(|s| s.trim().parse().ok())
+                            .collect()
+                    });
+                    // An unparsable list should not silently select the
+                    // default sweep — treat it as "no sizes requested".
+                    if opts.sizes.as_deref() == Some(&[]) {
+                        eprintln!("warning: --sizes parsed to an empty list; ignoring");
+                        opts.sizes = None;
+                    }
+                }
                 "--full" => opts.full = true,
                 "--quick" => opts.quick = true,
                 "--ga-only" => opts.ga_only = true,
+                "--xl" => opts.xl = true,
                 other => eprintln!("warning: ignoring unknown flag {other}"),
             }
         }
@@ -148,6 +175,27 @@ mod tests {
     fn ga_only_flag() {
         assert!(!parse(&[]).ga_only);
         assert!(parse(&["--ga-only"]).ga_only);
+    }
+
+    #[test]
+    fn xl_flag() {
+        assert!(!parse(&[]).xl);
+        assert!(parse(&["--xl"]).xl);
+        let o = parse(&["--xl", "--quick"]);
+        assert!(o.xl && o.quick, "--xl combines with --quick");
+    }
+
+    #[test]
+    fn sizes_flag() {
+        assert_eq!(parse(&[]).sizes, None);
+        assert_eq!(parse(&["--sizes", "100"]).sizes, Some(vec![100]));
+        assert_eq!(
+            parse(&["--sizes", "100,250, 506"]).sizes,
+            Some(vec![100, 250, 506]),
+            "comma list with stray spaces"
+        );
+        assert_eq!(parse(&["--sizes", "x,y"]).sizes, None, "garbage ignored");
+        assert_eq!(parse(&["--sizes"]).sizes, None, "missing value ignored");
     }
 
     #[test]

@@ -54,8 +54,8 @@ use std::collections::HashMap;
 
 use spmap_graph::{NodeId, TaskGraph};
 use spmap_model::{
-    CheckpointSet, DeviceId, EvalScratch, EvalTables, Mapping, MappingFingerprint, Platform,
-    ReportSchedules, WindowSim,
+    CheckpointSet, DeviceId, EvalScratch, EvalTables, Mapping, MappingFingerprint, Numbering,
+    Platform, ReportSchedules, WindowSim,
 };
 use spmap_par::{par_map_with_threads, DispatchStats, WorkerStates};
 
@@ -189,6 +189,20 @@ pub struct EngineConfig {
     /// LRU eviction; `0` = unbounded.  Eviction only ever costs
     /// re-simulation — it cannot change any result.
     pub memo_capacity: usize,
+    /// Node numbering of the evaluation tables' per-node arrays.  A pure
+    /// layout choice — results are bit-identical either way; the
+    /// pop-order default keeps the simulation kernel near-sequential at
+    /// 10k–100k nodes (see docs/PERF.md "Scale tier").
+    pub numbering: Numbering,
+    /// Pin every checkpoint store to the dense snapshot layout even when
+    /// the numbering would allow suffix-sparse snapshots (ablation /
+    /// bit-identity test cells; dense costs ~2× the snapshot bytes).
+    pub dense_checkpoints: bool,
+    /// Per-trail checkpoint byte budget: the snapshot interval widens
+    /// until one schedule's snapshot trail fits (`0` = the 32 MiB
+    /// default, [`spmap_model::DEFAULT_CHECKPOINT_BUDGET_BYTES`]).
+    /// Purely a memory/replay-length trade — never affects results.
+    pub checkpoint_budget_bytes: usize,
 }
 
 impl Default for EngineConfig {
@@ -199,6 +213,9 @@ impl Default for EngineConfig {
             prune: true,
             memo: true,
             memo_capacity: DEFAULT_MEMO_CAPACITY,
+            numbering: Numbering::default(),
+            dense_checkpoints: false,
+            checkpoint_budget_bytes: 0,
         }
     }
 }
@@ -442,7 +459,7 @@ impl<'g> CandidateBatch<'g> {
         cfg: EngineConfig,
         cost: CostModel,
     ) -> Self {
-        let tables = EvalTables::new(graph, platform);
+        let tables = EvalTables::with_numbering(graph, platform, cfg.numbering);
         let schedules = match cost {
             CostModel::Bfs => ReportSchedules::bfs_only(graph),
             CostModel::Report { schedules, seed } => {
@@ -481,7 +498,12 @@ impl<'g> CandidateBatch<'g> {
             area_used: Vec::new(),
             max_min_exec,
             path_scores: Vec::new(),
-            checkpoints: CheckpointSet::for_schedules(&schedules, n),
+            checkpoints: CheckpointSet::for_schedules_budgeted(
+                &schedules,
+                n,
+                cfg.checkpoint_budget_bytes,
+                cfg.dense_checkpoints,
+            ),
             expected: vec![f64::INFINITY; op_count],
             mark: vec![0; n],
             target: vec![DeviceId(0); n],
@@ -572,6 +594,14 @@ impl<'g> CandidateBatch<'g> {
     /// live beside, not inside, the thread-invariant [`BatchStats`].
     pub fn dispatch(&self) -> DispatchStats {
         spmap_par::dispatch_stats().since(&self.dispatch_base)
+    }
+
+    /// Largest single checkpoint trail currently held (bytes) — the
+    /// per-trail number [`EngineConfig::checkpoint_budget_bytes`]
+    /// gates.  Shapes are fixed once the base schedules are recorded,
+    /// so "current" is also the peak.
+    pub fn checkpoint_peak_bytes(&self) -> u64 {
+        self.checkpoints.max_store_bytes() as u64
     }
 
     /// Current entry count of the full-mapping memo.

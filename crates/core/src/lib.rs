@@ -60,3 +60,6 @@ pub use population::{
 // downstream crates (e.g. `spmap-ga`) can carry the counters on their
 // results without a direct `spmap-par` dependency.
 pub use spmap_par::DispatchStats;
+// Table-layout knob of the evaluation kernel, re-exported so engine
+// configs can be built without a direct `spmap-model` dependency.
+pub use spmap_model::Numbering;

@@ -201,6 +201,11 @@ pub struct MapperResult {
     /// γ-threshold speculative waves both dispatch through the same
     /// engine.
     pub dispatch: DispatchStats,
+    /// Largest single checkpoint trail the engine held (bytes; zero for
+    /// the serial reference path, which keeps no snapshot trails).  The
+    /// number `EngineConfig::checkpoint_budget_bytes` gates; purely
+    /// informational for results — snapshot layout never changes bits.
+    pub checkpoint_peak_bytes: u64,
 }
 
 impl MapperResult {
@@ -261,6 +266,7 @@ pub fn try_decomposition_map(
         history,
         batch: engine.stats(),
         dispatch: engine.dispatch(),
+        checkpoint_peak_bytes: engine.checkpoint_peak_bytes(),
         mapping: engine.mapping().clone(),
     })
 }
@@ -357,6 +363,7 @@ pub fn try_decomposition_map_reference(
         history,
         batch: BatchStats::default(),
         dispatch: DispatchStats::default(),
+        checkpoint_peak_bytes: 0,
         mapping: ctx.mapping,
     })
 }

@@ -57,7 +57,9 @@ use std::collections::HashMap;
 use std::sync::RwLock;
 
 use spmap_graph::{NodeId, TaskGraph};
-use spmap_model::{EvalScratch, EvalTables, Mapping, Platform, ScheduleCheckpoints, WindowSim};
+use spmap_model::{
+    EvalScratch, EvalTables, Mapping, Numbering, Platform, ScheduleCheckpoints, WindowSim,
+};
 use spmap_par::{par_map_with_threads, DispatchStats, WorkerStates};
 
 use crate::batch::{BoundedMemo, DEFAULT_MEMO_CAPACITY};
@@ -92,6 +94,16 @@ pub struct PopulationConfig {
     pub trail_cache_capacity: usize,
     /// Evaluation-order policy (see [`EvalOrder`]).
     pub order: EvalOrder,
+    /// Node numbering of the evaluation tables (layout only; results
+    /// are bit-identical — see `spmap_model::Numbering`).
+    pub numbering: Numbering,
+    /// Pin all checkpoint trails (cached base trails and the rolling
+    /// trie trails) to the dense snapshot layout (ablation /
+    /// bit-identity cells; ~2× the snapshot bytes of suffix-sparse).
+    pub dense_checkpoints: bool,
+    /// Per-trail checkpoint byte budget (`0` = the 32 MiB default);
+    /// widens the snapshot interval, never changes results.
+    pub checkpoint_budget_bytes: usize,
 }
 
 impl Default for PopulationConfig {
@@ -101,6 +113,9 @@ impl Default for PopulationConfig {
             memo_capacity: DEFAULT_MEMO_CAPACITY,
             trail_cache_capacity: 0,
             order: EvalOrder::PrefixTrie,
+            numbering: Numbering::default(),
+            dense_checkpoints: false,
+            checkpoint_budget_bytes: 0,
         }
     }
 }
@@ -194,15 +209,25 @@ struct PopWorker {
     rolling: ScheduleCheckpoints,
 }
 
-/// Trail-cache memory budget: each trail stores `~n/every` snapshots of
-/// `O(n)` state (~300·n bytes); the slot count is scaled so the cache
-/// stays within this budget on any graph size, clamped to `[16, 256]`.
+/// Trail-cache memory budget: the slot count is scaled so the cache
+/// stays within this budget on any graph size, clamped to `[4, 256]`
+/// slots.
 const TRAIL_CACHE_BYTES: usize = 64 << 20;
 
-/// Trail-cache slot count for an `n`-task graph (the
-/// `trail_cache_capacity = 0` heuristic).
-fn trail_cache_cap(n: usize) -> usize {
-    (TRAIL_CACHE_BYTES / (300 * n.max(1))).clamp(16, 256)
+/// Trail-cache slot count for an `n`-task graph at snapshot interval
+/// `every` (the `trail_cache_capacity = 0` heuristic).  Always sized
+/// from the *suffix-sparse* per-trail estimate
+/// (`~n²/(2·every)` f64 entries + 1 bit each + per-snapshot device/link
+/// state), deliberately ignoring the configured numbering/layout: the
+/// cap feeds eviction decisions, and those must stay identical across
+/// the bit-identity matrix (dense cells may overshoot the byte budget
+/// by ≤ 2×, which the docs call out).
+fn trail_cache_cap(n: usize, every: usize) -> usize {
+    let n = n.max(1);
+    let count = n / every.max(1) + 1;
+    let entries = count * n - every * (count * count.saturating_sub(1)) / 2;
+    let per_trail = entries * 8 + entries / 8 + count * (8 + 64 + 1) * 8;
+    (TRAIL_CACHE_BYTES / per_trail.max(1)).clamp(4, 256)
 }
 
 /// Record a new trail only when its batch's children skip at least one
@@ -233,10 +258,13 @@ struct TrailCache {
     clock: u64,
     evictions: u64,
     capacity: usize,
+    /// Pin newly reserved stores to the dense snapshot layout
+    /// (`PopulationConfig::dense_checkpoints`).
+    dense: bool,
 }
 
 impl TrailCache {
-    fn new(n: usize, capacity: usize) -> Self {
+    fn new(n: usize, every: usize, capacity: usize, dense: bool) -> Self {
         Self {
             slots: HashMap::new(),
             stores: Vec::new(),
@@ -244,11 +272,22 @@ impl TrailCache {
             clock: 0,
             evictions: 0,
             capacity: if capacity == 0 {
-                trail_cache_cap(n)
+                trail_cache_cap(n, every)
             } else {
                 capacity
             },
+            dense,
         }
+    }
+
+    /// Largest single trail currently held (bytes).  Shapes are fixed
+    /// at first recording, so this is monotone over a run.
+    fn peak_bytes(&self) -> usize {
+        self.stores
+            .iter()
+            .map(|s| s.read().unwrap().byte_len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// The slot of `fp`'s trail, refreshing its LRU stamp.
@@ -271,8 +310,12 @@ impl TrailCache {
     fn reserve(&mut self, fp: u128, every: usize, pinned: &mut Vec<bool>) -> Option<usize> {
         self.clock += 1;
         let slot = if self.stores.len() < self.capacity {
-            self.stores
-                .push(RwLock::new(ScheduleCheckpoints::new(every)));
+            let store = if self.dense {
+                ScheduleCheckpoints::new_dense(every)
+            } else {
+                ScheduleCheckpoints::new(every)
+            };
+            self.stores.push(RwLock::new(store));
             self.stamp.push(0);
             pinned.push(false);
             self.stores.len() - 1
@@ -502,7 +545,7 @@ pub struct PopulationEval<'g> {
 impl<'g> PopulationEval<'g> {
     /// Build the evaluator for one `(graph, platform)` pair.
     pub fn new(graph: &'g TaskGraph, platform: &'g Platform, cfg: PopulationConfig) -> Self {
-        let tables = EvalTables::new(graph, platform);
+        let tables = EvalTables::with_numbering(graph, platform, cfg.numbering);
         let threads = match cfg.threads {
             Some(n) => n.max(1),
             None => {
@@ -514,10 +557,14 @@ impl<'g> PopulationEval<'g> {
         };
         let n = graph.node_count();
         let m = platform.device_count();
-        let every = ScheduleCheckpoints::auto_interval(n);
+        let every = ScheduleCheckpoints::auto_interval_for(n, cfg.checkpoint_budget_bytes);
+        // Rolling trails and the zero trail may use the suffix-sparse
+        // layout whenever the tables are pop-order numbered — the
+        // population engine only ever replays the BFS order.
+        let suffix = tables.suffix_windows() && !cfg.dense_checkpoints;
         let workers = WorkerStates::new(threads, |_| PopWorker {
             scratch: EvalScratch::for_tables(&tables),
-            rolling: ScheduleCheckpoints::zeroed(n, m, every),
+            rolling: ScheduleCheckpoints::zeroed_with_layout(n, m, every, suffix),
         });
         let scan = scan_nodes(&tables);
         let scan_pos = scan
@@ -532,12 +579,12 @@ impl<'g> PopulationEval<'g> {
             threads,
             workers,
             memo: BoundedMemo::new(cfg.memo_capacity),
-            trails: TrailCache::new(n, cfg.trail_cache_capacity),
+            trails: TrailCache::new(n, every, cfg.trail_cache_capacity, cfg.dense_checkpoints),
             order: cfg.order,
             scan_pos,
             scan_rank,
-            roll_template: ScheduleCheckpoints::zeroed(n, m, every),
-            zero_trail: ScheduleCheckpoints::zeroed(n, m, n + 1),
+            roll_template: ScheduleCheckpoints::zeroed_with_layout(n, m, every, suffix),
+            zero_trail: ScheduleCheckpoints::zeroed_with_layout(n, m, n + 1, suffix),
             stats: PopulationStats::default(),
             dispatch_base: spmap_par::dispatch_stats(),
             tables,
@@ -578,6 +625,24 @@ impl<'g> PopulationEval<'g> {
     /// Current entry count of the fitness memo.
     pub fn memo_len(&self) -> usize {
         self.memo.len()
+    }
+
+    /// Largest single checkpoint trail (bytes) the engine currently
+    /// holds — cached base trails, per-worker rolling trails and the
+    /// zero trail.  Trail shapes are fixed once recorded, so this is
+    /// the run's peak; it is the per-trail number
+    /// `PopulationConfig::checkpoint_budget_bytes` gates.
+    pub fn checkpoint_peak_bytes(&self) -> u64 {
+        let rolling = self
+            .workers
+            .iter()
+            .map(|w| w.rolling.byte_len())
+            .max()
+            .unwrap_or(0);
+        self.trails
+            .peak_bytes()
+            .max(rolling)
+            .max(self.zero_trail.byte_len()) as u64
     }
 
     /// Total simulations run so far (all workers; trail recordings and
@@ -718,7 +783,7 @@ impl<'g> PopulationEval<'g> {
         for slot in trail_slot.iter().flatten() {
             pinned[*slot] = true;
         }
-        let every = ScheduleCheckpoints::auto_interval(n);
+        let every = self.roll_template.every();
         let mut record: Vec<(usize, usize)> = Vec::new(); // (base, slot)
         let mut aliases: Vec<(usize, usize)> = Vec::new(); // duplicate-fp bases
         for b in 0..bases.len() {

@@ -43,7 +43,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use spmap_core::{
-    DeltaCandidate, DispatchStats, EvalOrder, PopBase, PopulationConfig, PopulationEval,
+    DeltaCandidate, DispatchStats, EvalOrder, Numbering, PopBase, PopulationConfig, PopulationEval,
     PopulationStats,
 };
 use spmap_graph::{ops, NodeId, TaskGraph};
@@ -79,6 +79,17 @@ pub struct GaConfig {
     /// fitness bit matches [`nsga2_map_reference`]; only the amount of
     /// schedule replayed per offspring differs.
     pub eval_order: EvalOrder,
+    /// Node numbering of the engine's evaluation tables (layout only —
+    /// results are bit-identical; see `spmap_core::Numbering`).
+    pub numbering: Numbering,
+    /// Pin the engine's checkpoint trails to the dense snapshot layout
+    /// (ablation / bit-identity cells; suffix-sparse is the default
+    /// under pop-order numbering and halves trail bytes).
+    pub dense_checkpoints: bool,
+    /// Per-trail checkpoint byte budget of the engine-backed path
+    /// (`0` = the 32 MiB default).  Widens the snapshot interval —
+    /// a memory/replay-length trade that never changes results.
+    pub checkpoint_budget_bytes: usize,
 }
 
 impl Default for GaConfig {
@@ -93,6 +104,9 @@ impl Default for GaConfig {
             memo_capacity: spmap_core::DEFAULT_MEMO_CAPACITY,
             trail_cache_capacity: 0,
             eval_order: EvalOrder::PrefixTrie,
+            numbering: Numbering::default(),
+            dense_checkpoints: false,
+            checkpoint_budget_bytes: 0,
         }
     }
 }
@@ -139,6 +153,10 @@ pub struct GaResult {
     /// small batch per generation, so these counters are exactly the
     /// spawn overhead the persistent pool exists to amortize.
     pub dispatch: DispatchStats,
+    /// Largest single checkpoint trail the engine held (bytes; zero for
+    /// the serial reference path).  The number
+    /// `GaConfig::checkpoint_budget_bytes` gates.
+    pub checkpoint_peak_bytes: u64,
 }
 
 impl GaResult {
@@ -272,6 +290,9 @@ pub fn nsga2_map(graph: &TaskGraph, platform: &Platform, cfg: &GaConfig) -> GaRe
             memo_capacity: cfg.memo_capacity,
             trail_cache_capacity: cfg.trail_cache_capacity,
             order: cfg.eval_order,
+            numbering: cfg.numbering,
+            dense_checkpoints: cfg.dense_checkpoints,
+            checkpoint_budget_bytes: cfg.checkpoint_budget_bytes,
         },
     );
     let mutation_rate = cfg.mutation_rate.unwrap_or(1.0 / n.max(1) as f64);
@@ -498,6 +519,7 @@ pub fn nsga2_map(graph: &TaskGraph, platform: &Platform, cfg: &GaConfig) -> GaRe
         best_per_generation,
         engine: engine.stats(),
         dispatch: engine.dispatch(),
+        checkpoint_peak_bytes: engine.checkpoint_peak_bytes(),
     }
 }
 
@@ -610,6 +632,7 @@ pub fn nsga2_map_reference(graph: &TaskGraph, platform: &Platform, cfg: &GaConfi
         best_per_generation,
         engine: PopulationStats::default(),
         dispatch: DispatchStats::default(),
+        checkpoint_peak_bytes: 0,
     }
 }
 

@@ -232,13 +232,22 @@ pub fn layered_random(cfg: &LayeredConfig) -> TaskGraph {
     let mut b = GraphBuilder::with_capacity(n, n * 2);
     b.add_default_tasks(n);
     let id = |layer: usize, i: usize| NodeId((layer * cfg.width + i) as u32);
+    // Tracks which previous-layer nodes received an out-edge so the
+    // connectivity fixup is O(width) bookkeeping instead of an edge-list
+    // scan per node pair (`GraphBuilder::has_edge` is O(E); the scan
+    // made generation super-quadratic, ruinous at the XL tier's 100k
+    // nodes).  The RNG draw sequence and the emitted edges are
+    // unchanged: same draws in the same order, same fixup condition.
+    let mut has_out = vec![false; cfg.width];
     for layer in 1..cfg.layers {
+        has_out.fill(false);
         for i in 0..cfg.width {
             let mut has_in = false;
-            for j in 0..cfg.width {
+            for (j, out) in has_out.iter_mut().enumerate() {
                 if rng.gen_bool(cfg.density) {
                     b.add_edge(id(layer - 1, j), id(layer, i), cfg.edge_bytes)
                         .unwrap();
+                    *out = true;
                     has_in = true;
                 }
             }
@@ -246,11 +255,12 @@ pub fn layered_random(cfg: &LayeredConfig) -> TaskGraph {
                 let j = rng.gen_range(0..cfg.width);
                 b.add_edge(id(layer - 1, j), id(layer, i), cfg.edge_bytes)
                     .unwrap();
+                has_out[j] = true;
             }
         }
         // Ensure every node of the previous layer has an outgoing edge.
-        for j in 0..cfg.width {
-            if !(0..cfg.width).any(|i| b.has_edge(id(layer - 1, j), id(layer, i))) {
+        for (j, &out) in has_out.iter().enumerate() {
+            if !out {
                 let i = rng.gen_range(0..cfg.width);
                 b.add_edge(id(layer - 1, j), id(layer, i), cfg.edge_bytes)
                     .unwrap();
@@ -374,5 +384,60 @@ mod tests {
         assert_eq!(g.node_count(), 24);
         assert!(ops::topo_order(&g).is_some());
         assert!(ops::is_weakly_connected(&g));
+    }
+
+    /// The XL scale tier (`perf_report --xl`) generates 100k-node
+    /// graphs; generation itself must stay cheap at that size.  The
+    /// wall bound is deliberately generous — it catches an accidental
+    /// super-quadratic regression, not build-profile noise.
+    #[test]
+    fn layered_random_100k_nodes_generates_quickly() {
+        let nodes: usize = 100_000;
+        let width = (nodes as f64).sqrt().round() as usize;
+        let layers = nodes.div_ceil(width);
+        let t = std::time::Instant::now();
+        let g = layered_random(&LayeredConfig {
+            layers,
+            width,
+            // The XL shape: constant average out-degree of ~4.
+            density: 4.0 / width as f64,
+            seed: 2025,
+            edge_bytes: 50e6,
+        });
+        let elapsed = t.elapsed();
+        assert_eq!(g.node_count(), layers * width);
+        assert!(g.node_count() >= nodes);
+        // ~4 out-edges per non-terminal node, with connectivity fixups
+        // adding at most one edge per endpoint.
+        let e = g.edge_count();
+        assert!(
+            (2 * nodes..8 * nodes).contains(&e),
+            "unexpected edge count at 100k nodes: {e}"
+        );
+        assert!(
+            elapsed.as_secs() < 60,
+            "100k-node layered generation took {elapsed:?}"
+        );
+    }
+
+    /// Same guard for the series-parallel generator at 100k nodes.
+    #[test]
+    fn random_sp_graph_100k_nodes_generates_quickly() {
+        let nodes = 100_000;
+        let t = std::time::Instant::now();
+        let g = random_sp_graph(&SpGenConfig::new(nodes, 2025));
+        let elapsed = t.elapsed();
+        assert_eq!(g.node_count(), nodes);
+        // Every series step adds one node + one edge, every parallel
+        // step one edge: edges sit between n−1 and the step budget.
+        let e = g.edge_count();
+        assert!(
+            (nodes - 1..4 * nodes).contains(&e),
+            "unexpected edge count at 100k nodes: {e}"
+        );
+        assert!(
+            elapsed.as_secs() < 60,
+            "100k-node SP generation took {elapsed:?}"
+        );
     }
 }

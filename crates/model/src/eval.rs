@@ -95,6 +95,33 @@ pub struct Schedule {
     pub makespan: f64,
 }
 
+/// Node numbering of [`EvalTables`]' per-node arrays.
+///
+/// The numbering is a pure data-layout choice: results are bit-identical
+/// under either variant (the permutation is applied once at table build
+/// and inverted only at the [`Mapping`]/result boundary).  What changes
+/// is memory behaviour at scale.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Numbering {
+    /// External node ids — the graph's own numbering.  Per-node scratch
+    /// access follows the (arbitrary) id assignment of the generator.
+    Identity,
+    /// Breadth-first pop order: internal index = BFS pop position.  The
+    /// dominant simulation order (every optimizer inner loop replays the
+    /// BFS schedule) then touches `data_ready`/`start`/`finish` almost
+    /// sequentially, successor updates land a few cache lines ahead, and
+    /// a snapshot at pop position `p` only needs the `[p..n)` suffix of
+    /// the per-node state (see [`ScheduleCheckpoints`]).
+    #[default]
+    PopOrder,
+}
+
+/// Default per-trail checkpoint byte budget (32 MiB) for
+/// [`ScheduleCheckpoints::auto_interval_for`]: the snapshot interval
+/// widens beyond the replay-balance heuristic once one trail's snapshots
+/// would outgrow this.
+pub const DEFAULT_CHECKPOINT_BUDGET_BYTES: usize = 32 << 20;
+
 /// Immutable evaluation tables for one `(graph, platform)` pair.
 ///
 /// Building the tables costs `O(V·M + E)` once; afterwards any number of
@@ -103,9 +130,18 @@ pub struct Schedule {
 pub struct EvalTables<'g> {
     graph: &'g TaskGraph,
     platform: &'g Platform,
-    /// Execution-time table, node-major: `exec[n * m + d]`.
+    /// Layout of every internal per-node array (`exec`, CSR, scratch).
+    numbering: Numbering,
+    /// External id → internal index (`perm[v_ext] = v_int`); identity
+    /// under [`Numbering::Identity`].
+    perm: Vec<u32>,
+    /// Internal index → external id (`ext_of[v_int] = v_ext`).
+    ext_of: Vec<u32>,
+    /// Execution-time table, node-major: `exec[v_int * m + d]` —
+    /// *internal* numbering.
     exec: Vec<f64>,
     /// Per-task minimum execution time over all devices (lower bounds).
+    /// External numbering (bound accessors take `NodeId`s).
     min_exec: Vec<f64>,
     /// Per-task minimum *path span* over all devices: the least a task
     /// can contribute to any precedence path under any mapping —
@@ -116,6 +152,9 @@ pub struct EvalTables<'g> {
     down_min: Vec<f64>,
     /// Longest successor path out of `v` (exclusive), using `min_span`.
     up_min: Vec<f64>,
+    /// `up_min` permuted into internal numbering (the window cutoff test
+    /// runs on internal indices).
+    up_min_int: Vec<f64>,
     /// Pop tables of the breadth-first schedule.  Which task is popped
     /// next depends only on precedence structure and ranks — never on
     /// times or the mapping — so the whole sequence is precomputable.
@@ -123,14 +162,19 @@ pub struct EvalTables<'g> {
     /// for *any* fixed rank vector (see [`OrderTables`]), which is how
     /// the report schedules get the same treatment.
     bfs: OrderTables,
-    /// CSR out-adjacency: successors of `v` are
-    /// `out_dst[out_start[v]..out_start[v+1]]`, with parallel `out_bytes`.
+    /// CSR out-adjacency in *internal* numbering: successors of internal
+    /// node `v` are `out_dst[out_start[v]..out_start[v+1]]` (internal
+    /// indices), with parallel `out_bytes`.  The per-node edge order is
+    /// the graph's own out-edge order regardless of numbering — the FPGA
+    /// streaming grant goes to the *first* same-device out-edge, so
+    /// reordering edges would change semantics.
     out_start: Vec<u32>,
     out_dst: Vec<u32>,
     out_bytes: Vec<f64>,
-    /// Initial in-degree per node.
+    /// Initial in-degree per node (internal numbering).
     indeg_init: Vec<u32>,
-    /// Cached `task.area` per node.
+    /// Cached `task.area` per node (external numbering — area accounting
+    /// walks `Mapping::as_slice`).
     area: Vec<f64>,
     /// Per-device flags/parameters, indexed by device.
     is_fpga: Vec<bool>,
@@ -144,8 +188,22 @@ pub struct EvalTables<'g> {
 
 impl<'g> EvalTables<'g> {
     /// Pre-tabulate all `(task, device)` execution times, the breadth-first
-    /// priority ranks, and flat copies of adjacency and link parameters.
+    /// priority ranks, and flat copies of adjacency and link parameters,
+    /// using the default [`Numbering`] (pop order).
     pub fn new(graph: &'g TaskGraph, platform: &'g Platform) -> Self {
+        Self::with_numbering(graph, platform, Numbering::default())
+    }
+
+    /// [`Self::new`] with an explicit per-node array [`Numbering`].
+    /// Results are bit-identical under either numbering; `Identity`
+    /// keeps the graph's own id layout (and forces dense snapshots —
+    /// see [`ScheduleCheckpoints`]), `PopOrder` lays the arrays out in
+    /// BFS pop order for near-sequential access at scale.
+    pub fn with_numbering(
+        graph: &'g TaskGraph,
+        platform: &'g Platform,
+        numbering: Numbering,
+    ) -> Self {
         let n = graph.node_count();
         let m = platform.device_count();
         // Several hot paths (area accounting here, the candidate
@@ -157,25 +215,53 @@ impl<'g> EvalTables<'g> {
             "platforms are limited to 8 devices (got {m}); widen the fixed-size \
              buffers in spmap-model/src/eval.rs and spmap-core/src/batch.rs to lift this"
         );
-        let mut exec = Vec::with_capacity(n * m);
+        // Execution times in *external* numbering first: the bound
+        // tables (min_exec, min_span, down/up_min) are external, and the
+        // permutation is not known until the BFS order exists.
+        let mut exec_ext = Vec::with_capacity(n * m);
         let mut min_exec = Vec::with_capacity(n);
         for v in graph.nodes() {
             let mut best = f64::INFINITY;
             for d in platform.device_ids() {
                 let e = exec_time(platform, d, graph.task(v));
                 best = best.min(e);
-                exec.push(e);
+                exec_ext.push(e);
             }
             min_exec.push(best);
         }
+        // Precompute the breadth-first pop order: Kahn's algorithm with
+        // the same (rank, id) min-heap the timed simulation uses — the
+        // pop sequence is identical because readiness is structural.
+        let bfs = OrderTables::for_policy(graph, SchedulePolicy::Bfs);
+        // The internal node numbering: identity, or the BFS pop order so
+        // the dominant replay order scans the per-node arrays forward.
+        let (perm, ext_of): (Vec<u32>, Vec<u32>) = match numbering {
+            Numbering::Identity => ((0..n as u32).collect(), (0..n as u32).collect()),
+            Numbering::PopOrder => {
+                let ext_of = bfs.pop_order().to_vec();
+                let mut perm = vec![0u32; n];
+                for (i, &v) in ext_of.iter().enumerate() {
+                    perm[v as usize] = i as u32;
+                }
+                (perm, ext_of)
+            }
+        };
+        let mut exec = vec![0.0; n * m];
+        for (vi, &ve) in ext_of.iter().enumerate() {
+            let ve = ve as usize;
+            exec[vi * m..(vi + 1) * m].copy_from_slice(&exec_ext[ve * m..(ve + 1) * m]);
+        }
+        // CSR rows in internal numbering, destinations translated.  The
+        // edges *within* one row keep the graph's out-edge order (the
+        // FPGA streaming grant is order-sensitive).
         let mut out_start = Vec::with_capacity(n + 1);
         let mut out_dst = Vec::with_capacity(graph.edge_count());
         let mut out_bytes = Vec::with_capacity(graph.edge_count());
         out_start.push(0);
-        for v in graph.nodes() {
-            for &e in graph.out_edges(v) {
+        for &ve in &ext_of {
+            for &e in graph.out_edges(NodeId(ve)) {
                 let edge = graph.edge(e);
-                out_dst.push(edge.dst.0);
+                out_dst.push(perm[edge.dst.index()]);
                 out_bytes.push(edge.bytes);
             }
             out_start.push(out_dst.len() as u32);
@@ -196,7 +282,7 @@ impl<'g> EvalTables<'g> {
         for v in graph.nodes() {
             let mut best = f64::INFINITY;
             for d in platform.device_ids() {
-                let e = exec[v.index() * m + d.index()];
+                let e = exec_ext[v.index() * m + d.index()];
                 let span = if is_fpga[d.index()] {
                     platform.fill_fraction(d) * e
                 } else {
@@ -225,21 +311,26 @@ impl<'g> EvalTables<'g> {
                 }
             }
         }
-        // Precompute the breadth-first pop order: Kahn's algorithm with
-        // the same (rank, id) min-heap the timed simulation uses — the
-        // pop sequence is identical because readiness is structural.
-        let bfs = OrderTables::for_policy(graph, SchedulePolicy::Bfs);
+        let up_min_int = ext_of.iter().map(|&v| up_min[v as usize]).collect();
+        let indeg_init = ext_of
+            .iter()
+            .map(|&v| graph.in_degree(NodeId(v)) as u32)
+            .collect();
         Self {
+            numbering,
             exec,
             min_exec,
             min_span,
             down_min,
             up_min,
+            up_min_int,
             bfs,
             out_start,
             out_dst,
             out_bytes,
-            indeg_init: graph.nodes().map(|v| graph.in_degree(v) as u32).collect(),
+            indeg_init,
+            perm,
+            ext_of,
             area: graph.nodes().map(|v| graph.task(v).area).collect(),
             any_fpga: is_fpga.iter().any(|&f| f),
             fill: platform
@@ -285,13 +376,67 @@ impl<'g> EvalTables<'g> {
     /// Tabulated execution time of task `n` on device `d`.
     #[inline]
     pub fn exec_time(&self, n: NodeId, d: DeviceId) -> f64 {
-        self.exec[n.index() * self.device_count() + d.index()]
+        self.exec[self.perm[n.index()] as usize * self.device_count() + d.index()]
     }
 
-    /// The full execution-time table, node-major (`[n * m + d]`).
+    /// The full execution-time table, node-major (`[v_int * m + d]`) —
+    /// **internal** numbering; translate external ids through
+    /// [`Self::internal_index`].
     #[inline]
     pub fn exec_table(&self) -> &[f64] {
         &self.exec
+    }
+
+    /// The numbering these tables were built with.
+    #[inline]
+    pub fn numbering(&self) -> Numbering {
+        self.numbering
+    }
+
+    /// Internal array index of task `n` under this table's numbering.
+    #[inline]
+    pub fn internal_index(&self, n: NodeId) -> usize {
+        self.perm[n.index()] as usize
+    }
+
+    /// `true` when BFS-schedule snapshots against these tables may use
+    /// the suffix-sparse layout: under pop-order numbering, "not yet
+    /// popped at position `p`" is exactly "internal index `>= p`", so a
+    /// snapshot needs only the `[p..n)` suffix of the per-node state.
+    #[inline]
+    pub fn suffix_windows(&self) -> bool {
+        matches!(self.numbering, Numbering::PopOrder)
+    }
+
+    /// `true` when replaying `order` against these tables is a straight
+    /// sequential scan over the internal arrays (pop position == internal
+    /// index) — the precondition for suffix-sparse snapshots under this
+    /// order.
+    #[inline]
+    fn seq_order(&self, order: &OrderTables) -> bool {
+        self.suffix_windows() && order.is_bfs()
+    }
+
+    /// Gather `mapping` into internal numbering for positions
+    /// `from..n`, using `buf` as storage.  Under `Identity` the mapping
+    /// slice *is* internal and is returned directly (no copy).
+    #[inline]
+    fn internal_devices<'a>(
+        &self,
+        buf: &'a mut [DeviceId],
+        mapping: &'a Mapping,
+        from: usize,
+    ) -> &'a [DeviceId] {
+        match self.numbering {
+            Numbering::Identity => mapping.as_slice(),
+            Numbering::PopOrder => {
+                let ext = mapping.as_slice();
+                for (slot, &ve) in buf[from..].iter_mut().zip(&self.ext_of[from..]) {
+                    *slot = ext[ve as usize];
+                }
+                buf
+            }
+        }
     }
 
     /// Minimum execution time of task `n` over all devices.
@@ -438,18 +583,24 @@ impl<'g> EvalTables<'g> {
         scratch.device_free.iter_mut().for_each(|t| *t = 0.0);
         scratch.link_free.iter_mut().for_each(|t| *t = 0.0);
         scratch.heap.clear();
-        for (v, &deg) in scratch.indeg.iter().enumerate() {
+        // The ready heap stays keyed on *external* `(rank, id)` — the
+        // pop sequence (and thus every bit of the result) is a function
+        // of the rank vector alone, independent of the table numbering.
+        // All keys are distinct (the id breaks ties), so heap contents
+        // determine the pop order regardless of push order.
+        for (vi, &deg) in scratch.indeg.iter().enumerate() {
             if deg == 0 {
-                scratch.heap.push(Reverse((ranks[v], v as u32)));
+                let ve = self.ext_of[vi];
+                scratch.heap.push(Reverse((ranks[ve as usize], ve)));
             }
         }
         let devices = mapping.as_slice();
         let mut makespan: f64 = 0.0;
         let mut scheduled = 0usize;
-        while let Some(Reverse((_, vi))) = scratch.heap.pop() {
-            let v = vi as usize;
+        while let Some(Reverse((_, ve))) = scratch.heap.pop() {
+            let v = self.perm[ve as usize] as usize;
             scheduled += 1;
-            let d = devices[v];
+            let d = devices[ve as usize];
             let ev = self.exec[v * m + d.index()];
             let spatial = self.is_fpga[d.index()];
             let start = if spatial {
@@ -483,7 +634,8 @@ impl<'g> EvalTables<'g> {
             let hi = self.out_start[v + 1] as usize;
             for k in lo..hi {
                 let w = self.out_dst[k] as usize;
-                let dw = devices[w];
+                let we = self.ext_of[w] as usize;
+                let dw = devices[we];
                 let ready = if dw == d {
                     if spatial {
                         // Streaming: the consumer's data arrives after the
@@ -513,7 +665,7 @@ impl<'g> EvalTables<'g> {
                 }
                 scratch.indeg[w] -= 1;
                 if scratch.indeg[w] == 0 {
-                    scratch.heap.push(Reverse((ranks[w], w as u32)));
+                    scratch.heap.push(Reverse((ranks[we], we as u32)));
                 }
             }
         }
@@ -528,8 +680,9 @@ impl<'g> EvalTables<'g> {
         self.makespan_with_ranks(scratch, mapping, self.bfs.ranks())
     }
 
-    /// One pop-order simulation step: process the task at pop position
-    /// `i` of `pop_order` and fold its finish time into `makespan`.  The
+    /// One pop-order simulation step: process the task at *internal*
+    /// index `v` and fold its finish time into `makespan`.  `devices`
+    /// must be internal-numbered (see [`Self::internal_devices`]).  The
     /// arithmetic is the exact sequence of [`Self::makespan_with_ranks`],
     /// so heap-driven, checkpointed and windowed runs agree bit for bit
     /// — for any fixed schedule, not just the breadth-first one.
@@ -542,12 +695,10 @@ impl<'g> EvalTables<'g> {
         &self,
         scratch: &mut EvalScratch,
         devices: &[DeviceId],
-        pop_order: &[u32],
-        i: usize,
+        v: usize,
         makespan: &mut f64,
-    ) -> (usize, f64) {
+    ) -> f64 {
         let m = self.device_count();
-        let v = pop_order[i] as usize;
         let d = devices[v];
         let ev = self.exec[v * m + d.index()];
         let spatial = self.is_fpga[d.index()];
@@ -600,7 +751,19 @@ impl<'g> EvalTables<'g> {
                 scratch.data_ready[w] = ready;
             }
         }
-        (v, fin)
+        fin
+    }
+
+    /// Internal index of the task at pop position `i` of `order`: the
+    /// position itself on the sequential fast path (pop-order numbering
+    /// replaying BFS), a permuted lookup otherwise.
+    #[inline(always)]
+    fn pop_internal(&self, seq: bool, pop_order: &[u32], i: usize) -> usize {
+        if seq {
+            i
+        } else {
+            self.perm[pop_order[i] as usize] as usize
+        }
     }
 
     /// Makespan under schedule `order` via its precomputed pop order,
@@ -627,16 +790,20 @@ impl<'g> EvalTables<'g> {
         }
         scratch.stats.positions += n as u64;
         scratch.reset_times();
-        out.reset(n, m);
-        let devices = mapping.as_slice();
+        let seq = self.seq_order(order);
+        out.reset_shape(n, m, seq);
         let pop_order = order.pop_order();
+        let mut dev_buf = std::mem::take(&mut scratch.devices);
+        let devices = self.internal_devices(&mut dev_buf, mapping, 0);
         let mut makespan: f64 = 0.0;
         for i in 0..n {
             if i % out.every == 0 {
                 out.record(i / out.every, scratch, makespan);
             }
-            self.sim_step(scratch, devices, pop_order, i, &mut makespan);
+            let v = self.pop_internal(seq, pop_order, i);
+            self.sim_step(scratch, devices, v, &mut makespan);
         }
+        scratch.devices = dev_buf;
         Some(makespan)
     }
 
@@ -680,22 +847,37 @@ impl<'g> EvalTables<'g> {
         let n = self.node_count();
         debug_assert_eq!(mapping.len(), n);
         debug_assert!(self.area_feasible(mapping), "caller prechecks area");
+        let seq = self.seq_order(order);
+        assert!(
+            !ckpt.suffix || seq,
+            "suffix-sparse snapshots can only replay the tables' own pop order"
+        );
         scratch.stats.evaluations += 1;
         let start_pos = ckpt.restore(from_pos, scratch);
         let mut makespan = ckpt.makespan[start_pos / ckpt.every];
-        let devices = mapping.as_slice();
         let pop_order = order.pop_order();
+        let mut dev_buf = std::mem::take(&mut scratch.devices);
+        // A sequential replay only reads internal indices >= start_pos;
+        // any other order may read anywhere.
+        let gather_from = if seq { start_pos } else { 0 };
+        let devices = self.internal_devices(&mut dev_buf, mapping, gather_from);
+        let mut result = None;
         for i in start_pos..n {
-            let (v, fin) = self.sim_step(scratch, devices, pop_order, i, &mut makespan);
-            if fin + self.up_min[v] > cutoff {
+            let v = self.pop_internal(seq, pop_order, i);
+            let fin = self.sim_step(scratch, devices, v, &mut makespan);
+            if fin + self.up_min_int[v] > cutoff {
                 // Charge only what actually ran: aborted replays must
                 // not inflate the stepped-position counter.
                 scratch.stats.positions += (i + 1 - start_pos) as u64;
-                return WindowSim::Cutoff;
+                result = Some(WindowSim::Cutoff);
+                break;
             }
         }
-        scratch.stats.positions += (n - start_pos) as u64;
-        WindowSim::Done(makespan)
+        scratch.devices = dev_buf;
+        result.unwrap_or_else(|| {
+            scratch.stats.positions += (n - start_pos) as u64;
+            WindowSim::Done(makespan)
+        })
     }
 
     /// Windowed replay that *extends a rolling checkpoint trail* while
@@ -737,6 +919,17 @@ impl<'g> EvalTables<'g> {
         let n = self.node_count();
         debug_assert_eq!(mapping.len(), n);
         debug_assert!(self.area_feasible(mapping), "caller prechecks area");
+        let seq = self.seq_order(order);
+        assert!(
+            !rolling.suffix || seq,
+            "suffix-sparse trails can only record the tables' own pop order"
+        );
+        if let Some(t) = src {
+            assert!(
+                !t.suffix || seq,
+                "suffix-sparse snapshots can only replay the tables' own pop order"
+            );
+        }
         scratch.stats.evaluations += 1;
         let (start_pos, mut makespan) = match src {
             Some(t) => {
@@ -749,8 +942,10 @@ impl<'g> EvalTables<'g> {
             }
         };
         scratch.stats.positions += (n - start_pos) as u64;
-        let devices = mapping.as_slice();
         let pop_order = order.pop_order();
+        let mut dev_buf = std::mem::take(&mut scratch.devices);
+        let gather_from = if seq { start_pos } else { 0 };
+        let devices = self.internal_devices(&mut dev_buf, mapping, gather_from);
         let every = rolling.every;
         // Segment-wise replay: between two listed snapshots the inner
         // loop is exactly the plain window loop — no per-position
@@ -764,15 +959,18 @@ impl<'g> EvalTables<'g> {
                 "record list reaches outside the replayed range"
             );
             while i < rpos {
-                self.sim_step(scratch, devices, pop_order, i, &mut makespan);
+                let v = self.pop_internal(seq, pop_order, i);
+                self.sim_step(scratch, devices, v, &mut makespan);
                 i += 1;
             }
             rolling.record(j as usize, scratch, makespan);
         }
         while i < n {
-            self.sim_step(scratch, devices, pop_order, i, &mut makespan);
+            let v = self.pop_internal(seq, pop_order, i);
+            self.sim_step(scratch, devices, v, &mut makespan);
             i += 1;
         }
+        scratch.devices = dev_buf;
         makespan
     }
 
@@ -820,6 +1018,9 @@ pub struct EvalScratch {
     /// `link_free[from * m + to]` — next time the directed link is idle.
     link_free: Vec<f64>,
     stream_input: Vec<bool>,
+    /// Gather buffer for the mapping permuted into the tables' internal
+    /// numbering (pop-order paths; unused under identity numbering).
+    devices: Vec<DeviceId>,
     heap: BinaryHeap<Reverse<(u32, u32)>>,
     stats: EvalStats,
 }
@@ -835,6 +1036,7 @@ impl EvalScratch {
             device_free: vec![0.0; devices],
             link_free: vec![0.0; devices * devices],
             stream_input: vec![false; nodes],
+            devices: vec![DeviceId(0); nodes],
             heap: BinaryHeap::with_capacity(nodes),
             stats: EvalStats::default(),
         }
@@ -856,13 +1058,17 @@ impl EvalScratch {
         self.link_free.iter_mut().for_each(|t| *t = 0.0);
     }
 
-    /// Start time per task of the most recent complete evaluation.
+    /// Start time per task of the most recent complete evaluation,
+    /// indexed by the tables' *internal* numbering (translate with
+    /// [`EvalTables::internal_index`]; [`Evaluator::simulate`] returns
+    /// externally-indexed copies).
     #[inline]
     pub fn start_times(&self) -> &[f64] {
         &self.start
     }
 
-    /// Finish time per task of the most recent complete evaluation.
+    /// Finish time per task of the most recent complete evaluation
+    /// (internal numbering, like [`Self::start_times`]).
     #[inline]
     pub fn finish_times(&self) -> &[f64] {
         &self.finish
@@ -894,16 +1100,48 @@ pub enum WindowSim {
 /// a candidate that first affects the schedule at position `p` shares the
 /// base schedule's exact state before `p`; restoring the latest snapshot
 /// at or before `p` replaces the `O(V + E)` prefix with an `O(V)` memcpy.
+///
+/// ## Snapshot layouts
+///
+/// Per-node state (`data_ready`, packed `stream_input` bits) is stored in
+/// one of two layouts, chosen when the recording run shapes the store:
+///
+/// * **dense** — every snapshot holds all `n` entries.  Always sound.
+/// * **suffix-sparse** — snapshot `j` holds only internal indices
+///   `[j·every .. n)`.  Sound exactly when the replayed order is a
+///   sequential scan of the tables' internal numbering
+///   ([`Numbering::PopOrder`] replaying the BFS order): from position
+///   `p` onward the simulation reads and writes per-node state only at
+///   internal indices `>= p` — the popped task *is* index `i >= p`, and
+///   every successor pops later, so its index is `> i`.  Total bytes
+///   drop from `count·n` to `Σ_j (n − j·every) ≈ n²/(2·every)` — half —
+///   and restores become suffix memcpys.
+///
+/// The `O(m + m²)` device/link state and the running makespan are dense
+/// per snapshot in both layouts.  `stream_input` is bit-packed (1
+/// bit/node instead of 1 byte/node) in both layouts.
 #[derive(Clone, Debug)]
 pub struct ScheduleCheckpoints {
     every: usize,
     n: usize,
     m: usize,
     count: usize,
+    /// `true`: suffix-sparse per-node layout (see type docs).
+    suffix: bool,
+    /// `true`: never adopt the suffix layout, even when the recording
+    /// order would allow it (ablation / bit-identity test cells).
+    dense_only: bool,
+    /// Per-snapshot start offsets into `data_ready` (`count + 1`
+    /// entries; snapshot `j` owns `data_ready[off[j]..off[j+1]]`).
+    off: Vec<usize>,
+    /// Per-snapshot start offsets into `stream_words`.
+    woff: Vec<usize>,
     data_ready: Vec<f64>,
     device_free: Vec<f64>,
     link_free: Vec<f64>,
-    stream_input: Vec<bool>,
+    /// Bit-packed `stream_input`: bit `k` of snapshot `j`'s words is
+    /// node `lo_j + k` (`lo_j` = the snapshot's first stored index).
+    stream_words: Vec<u64>,
     makespan: Vec<f64>,
 }
 
@@ -912,19 +1150,33 @@ pub struct ScheduleCheckpoints {
 pub type BfsCheckpoints = ScheduleCheckpoints;
 
 impl ScheduleCheckpoints {
-    /// An empty snapshot store with a fixed interval.
+    /// An empty snapshot store with a fixed interval.  The layout is
+    /// chosen by the first recording run: suffix-sparse when the order
+    /// allows it, dense otherwise.
     pub fn new(every: usize) -> Self {
         Self {
             every: every.max(1),
             n: 0,
             m: 0,
             count: 0,
+            suffix: false,
+            dense_only: false,
+            off: Vec::new(),
+            woff: Vec::new(),
             data_ready: Vec::new(),
             device_free: Vec::new(),
             link_free: Vec::new(),
-            stream_input: Vec::new(),
+            stream_words: Vec::new(),
             makespan: Vec::new(),
         }
+    }
+
+    /// [`Self::new`], pinned to the dense layout regardless of the
+    /// recording order (the bit-identity matrix's dense cells).
+    pub fn new_dense(every: usize) -> Self {
+        let mut s = Self::new(every);
+        s.dense_only = true;
+        s
     }
 
     /// A store holding only the all-zero snapshot at position 0 for an
@@ -935,15 +1187,55 @@ impl ScheduleCheckpoints {
     /// the ready-heap's `O(log V)` per pop
     /// ([`EvalTables::makespan_order_window`] with `from_pos = 0`).
     pub fn zeroed(n: usize, m: usize, every: usize) -> Self {
+        Self::zeroed_with_layout(n, m, every, false)
+    }
+
+    /// [`Self::zeroed`] with an explicit layout: `suffix = true` shapes
+    /// the store suffix-sparse, for rolling trails that will be
+    /// re-recorded in place by sequential replays
+    /// ([`EvalTables::makespan_order_window_recording`] asserts the
+    /// compatibility).
+    pub fn zeroed_with_layout(n: usize, m: usize, every: usize, suffix: bool) -> Self {
         let mut s = Self::new(every);
-        s.reset(n, m);
+        s.dense_only = !suffix;
+        s.reset_shape(n, m, suffix);
         s
     }
 
     /// An interval balancing snapshot memory (`~n/every` snapshots of
     /// `O(n)` state) against replay length, for an `n`-task graph.
+    ///
+    /// The interval scales with the graph (`n/32`, so ~32 snapshots per
+    /// trail regardless of size): a fixed ceiling would make the
+    /// snapshot *count* — and with it the recording bandwidth per pop
+    /// position — grow linearly with `n`, and at the XL sizes that
+    /// copy traffic would dominate the simulation kernel itself.  The
+    /// 4096 ceiling only caps replay length beyond ~131k tasks, where
+    /// the byte budget ([`Self::auto_interval_for`]) takes over anyway.
     pub fn auto_interval(n: usize) -> usize {
-        (n / 32).clamp(8, 128)
+        (n / 32).clamp(8, 4096)
+    }
+
+    /// Budget-aware [`Self::auto_interval`]: the balance heuristic's
+    /// interval, widened until one trail's snapshot bytes fit
+    /// `budget_bytes` (`0` ⇒ [`DEFAULT_CHECKPOINT_BUDGET_BYTES`]).
+    ///
+    /// Sized against the *dense* estimate `~8.125·n²/every` bytes
+    /// (`count·n` f64 entries plus 1 bit each), so the budget holds for
+    /// both layouts; suffix-sparse stores land near half of it.  An
+    /// eighth of the budget is reserved for the dense device/link state
+    /// and the `+1` partial snapshot.
+    pub fn auto_interval_for(n: usize, budget_bytes: usize) -> usize {
+        let budget = if budget_bytes == 0 {
+            DEFAULT_CHECKPOINT_BUDGET_BYTES
+        } else {
+            budget_bytes
+        };
+        let budget = (budget - budget / 8).max(1) as u64;
+        // count * n * (8 + 1/8) bytes <= budget, count ~ n/every.
+        let need = (n as u64) * (n as u64) * 65 / 8;
+        let widened = need.div_ceil(budget) as usize;
+        Self::auto_interval(n).max(widened)
     }
 
     /// Snapshot interval in pop positions.
@@ -956,6 +1248,24 @@ impl ScheduleCheckpoints {
         self.count
     }
 
+    /// `true` when the store currently uses the suffix-sparse layout.
+    #[inline]
+    pub fn is_suffix(&self) -> bool {
+        self.suffix
+    }
+
+    /// Heap bytes of the snapshot payload at the current shape — the
+    /// number the checkpoint byte budget gates.
+    pub fn byte_len(&self) -> usize {
+        (self.data_ready.len()
+            + self.device_free.len()
+            + self.link_free.len()
+            + self.stream_words.len()
+            + self.makespan.len())
+            * 8
+            + (self.off.len() + self.woff.len()) * std::mem::size_of::<usize>()
+    }
+
     /// The snapshot index a restore at `from_pos` resolves to — the
     /// latest snapshot at or before that pop position.  Planners (the
     /// population engine's trie order) use this to predict restore
@@ -965,19 +1275,49 @@ impl ScheduleCheckpoints {
         (from_pos / self.every).min(self.count - 1)
     }
 
-    /// Size the store for an `n`-task, `m`-device run.
-    fn reset(&mut self, n: usize, m: usize) {
+    /// First per-node index stored by snapshot `j`.
+    #[inline]
+    fn snap_lo(&self, j: usize) -> usize {
+        if self.suffix {
+            (j * self.every).min(self.n)
+        } else {
+            0
+        }
+    }
+
+    /// Size the store for an `n`-task, `m`-device run; `suffix` is the
+    /// layout the recording order permits (ignored when the store is
+    /// pinned dense).
+    fn reset_shape(&mut self, n: usize, m: usize, suffix: bool) {
         self.n = n;
         self.m = m;
+        self.suffix = suffix && !self.dense_only;
         self.count = (n / self.every + 1).max(1);
+        self.off.clear();
+        self.woff.clear();
+        let mut dr = 0usize;
+        let mut w = 0usize;
+        self.off.push(0);
+        self.woff.push(0);
+        for j in 0..self.count {
+            let lo = if self.suffix {
+                (j * self.every).min(n)
+            } else {
+                0
+            };
+            dr += n - lo;
+            w += (n - lo).div_ceil(64);
+            self.off.push(dr);
+            self.woff.push(w);
+        }
         self.data_ready.clear();
-        self.data_ready.resize(self.count * n, 0.0);
+        self.data_ready.resize(dr, 0.0);
         self.device_free.clear();
         self.device_free.resize(self.count * m, 0.0);
         self.link_free.clear();
         self.link_free.resize(self.count * m * m, 0.0);
-        self.stream_input.clear();
-        self.stream_input.resize(self.count * n, false);
+        self.stream_words.clear();
+        self.stream_words.resize(w, 0);
         self.makespan.clear();
         self.makespan.resize(self.count, 0.0);
     }
@@ -985,32 +1325,65 @@ impl ScheduleCheckpoints {
     /// Record snapshot `j` (state after `j * every` pops).
     fn record(&mut self, j: usize, scratch: &EvalScratch, makespan: f64) {
         debug_assert!(j < self.count);
-        let (n, m) = (self.n, self.m);
-        self.data_ready[j * n..(j + 1) * n].copy_from_slice(&scratch.data_ready);
+        let m = self.m;
+        let lo = self.snap_lo(j);
+        self.data_ready[self.off[j]..self.off[j + 1]].copy_from_slice(&scratch.data_ready[lo..]);
         self.device_free[j * m..(j + 1) * m].copy_from_slice(&scratch.device_free);
         self.link_free[j * m * m..(j + 1) * m * m].copy_from_slice(&scratch.link_free);
-        self.stream_input[j * n..(j + 1) * n].copy_from_slice(&scratch.stream_input);
+        pack_bits(
+            &scratch.stream_input[lo..],
+            &mut self.stream_words[self.woff[j]..self.woff[j + 1]],
+        );
         self.makespan[j] = makespan;
     }
 
     /// Restore the latest snapshot at or before `from_pos` into
     /// `scratch`; returns the pop position simulation must resume from.
+    ///
+    /// Under the suffix layout only `scratch` indices `>= j·every` are
+    /// written — exactly the range a sequential replay resuming at that
+    /// position may touch; the stale prefix is never read.
     fn restore(&self, from_pos: usize, scratch: &mut EvalScratch) -> usize {
         let j = self.snapshot_index(from_pos);
-        let (n, m) = (self.n, self.m);
-        scratch
-            .data_ready
-            .copy_from_slice(&self.data_ready[j * n..(j + 1) * n]);
+        let m = self.m;
+        let lo = self.snap_lo(j);
+        scratch.data_ready[lo..].copy_from_slice(&self.data_ready[self.off[j]..self.off[j + 1]]);
         scratch
             .device_free
             .copy_from_slice(&self.device_free[j * m..(j + 1) * m]);
         scratch
             .link_free
             .copy_from_slice(&self.link_free[j * m * m..(j + 1) * m * m]);
-        scratch
-            .stream_input
-            .copy_from_slice(&self.stream_input[j * n..(j + 1) * n]);
+        unpack_bits(
+            &self.stream_words[self.woff[j]..self.woff[j + 1]],
+            &mut scratch.stream_input[lo..],
+        );
         j * self.every
+    }
+}
+
+/// Pack `bools` into `words` little-endian (bit `k` of `words[k / 64]`
+/// is `bools[k]`); trailing bits of the last word are zero.
+#[inline]
+fn pack_bits(bools: &[bool], words: &mut [u64]) {
+    debug_assert_eq!(words.len(), bools.len().div_ceil(64));
+    for (word, chunk) in words.iter_mut().zip(bools.chunks(64)) {
+        let mut w = 0u64;
+        for (b, &set) in chunk.iter().enumerate() {
+            w |= (set as u64) << b;
+        }
+        *word = w;
+    }
+}
+
+/// Inverse of [`pack_bits`].
+#[inline]
+fn unpack_bits(words: &[u64], bools: &mut [bool]) {
+    debug_assert_eq!(words.len(), bools.len().div_ceil(64));
+    for (&w, chunk) in words.iter().zip(bools.chunks_mut(64)) {
+        for (b, slot) in chunk.iter_mut().enumerate() {
+            *slot = (w >> b) & 1 != 0;
+        }
     }
 }
 
@@ -1042,9 +1415,40 @@ impl CheckpointSet {
     }
 
     /// A set shaped for `schedules` with the automatic interval for an
-    /// `n`-task graph.
+    /// `n`-task graph (default byte budget, automatic layout).
     pub fn for_schedules(schedules: &ReportSchedules, n: usize) -> Self {
-        Self::new(schedules.len(), ScheduleCheckpoints::auto_interval(n))
+        Self::for_schedules_budgeted(schedules, n, 0, false)
+    }
+
+    /// [`Self::for_schedules`] with an explicit per-trail byte budget
+    /// (`0` ⇒ default; see
+    /// [`ScheduleCheckpoints::auto_interval_for`]) and, when `dense` is
+    /// set, every store pinned to the dense snapshot layout.
+    pub fn for_schedules_budgeted(
+        schedules: &ReportSchedules,
+        n: usize,
+        budget_bytes: usize,
+        dense: bool,
+    ) -> Self {
+        let every = ScheduleCheckpoints::auto_interval_for(n, budget_bytes);
+        let mut set = Self::new(schedules.len(), every);
+        if dense {
+            for s in &mut set.stores {
+                s.dense_only = true;
+            }
+        }
+        set
+    }
+
+    /// Total snapshot bytes across all stores at their current shapes.
+    pub fn byte_len(&self) -> usize {
+        self.stores.iter().map(|s| s.byte_len()).sum()
+    }
+
+    /// Largest single store (bytes) — the per-trail number the
+    /// checkpoint budget gates.
+    pub fn max_store_bytes(&self) -> usize {
+        self.stores.iter().map(|s| s.byte_len()).max().unwrap_or(0)
     }
 
     /// Number of per-schedule stores.
@@ -1195,12 +1599,22 @@ impl<'g> Evaluator<'g> {
     }
 
     /// Full start/finish detail under a policy (allocates; not for the hot
-    /// loop).
+    /// loop).  The returned vectors are indexed by *external* node id —
+    /// this is the result boundary where the tables' internal numbering
+    /// is inverted.
     pub fn simulate(&mut self, mapping: &Mapping, policy: SchedulePolicy) -> Option<Schedule> {
         let makespan = self.makespan(mapping, policy)?;
+        let n = self.tables.node_count();
+        let mut start = vec![0.0; n];
+        let mut finish = vec![0.0; n];
+        for (v, (s, f)) in start.iter_mut().zip(finish.iter_mut()).enumerate() {
+            let vi = self.tables.internal_index(NodeId(v as u32));
+            *s = self.scratch.start_times()[vi];
+            *f = self.scratch.finish_times()[vi];
+        }
         Some(Schedule {
-            start: self.scratch.start_times().to_vec(),
-            finish: self.scratch.finish_times().to_vec(),
+            start,
+            finish,
             makespan,
         })
     }

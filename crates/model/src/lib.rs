@@ -34,7 +34,7 @@ pub mod schedule;
 
 pub use eval::{
     relative_improvement, BfsCheckpoints, CheckpointSet, EvalScratch, EvalStats, EvalTables,
-    Evaluator, ScheduleCheckpoints, WindowSim,
+    Evaluator, Numbering, ScheduleCheckpoints, WindowSim, DEFAULT_CHECKPOINT_BUDGET_BYTES,
 };
 pub use fingerprint::MappingFingerprint;
 pub use gantt::{render_gantt, write_gantt};

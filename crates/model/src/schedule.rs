@@ -87,6 +87,12 @@ pub struct OrderTables {
     /// (a predecessor's out-edge loop reads the consumer's device for the
     /// transfer).
     earliest_read: Vec<u32>,
+    /// `true` when this order was built from [`SchedulePolicy::Bfs`].
+    /// The pop order of the BFS policy is deterministic per graph, so
+    /// any BFS-flagged order equals the one `EvalTables` renumbers its
+    /// arrays by — which is what lets the evaluator run BFS replays as
+    /// a straight sequential scan and store suffix-sparse snapshots.
+    is_bfs: bool,
 }
 
 impl OrderTables {
@@ -130,12 +136,26 @@ impl OrderTables {
             pop_order,
             pop_pos,
             earliest_read,
+            is_bfs: false,
         }
     }
 
     /// Pop tables for `policy` on `graph`.
     pub fn for_policy(graph: &TaskGraph, policy: SchedulePolicy) -> Self {
-        Self::new(graph, priority_ranks(graph, policy))
+        let mut t = Self::new(graph, priority_ranks(graph, policy));
+        t.is_bfs = matches!(policy, SchedulePolicy::Bfs);
+        t
+    }
+
+    /// `true` when this order is the deterministic breadth-first
+    /// schedule (built via [`Self::for_policy`] with
+    /// [`SchedulePolicy::Bfs`]).  A raw [`Self::new`] never carries the
+    /// flag, even for BFS-equal ranks — the flag is a *capability*
+    /// marker (sequential replay, suffix snapshots), and losing it only
+    /// costs speed, never correctness.
+    #[inline]
+    pub fn is_bfs(&self) -> bool {
+        self.is_bfs
     }
 
     /// The priority-rank vector this order was built from.

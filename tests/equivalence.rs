@@ -612,6 +612,176 @@ fn ga_trail_cache_capacity_corners_are_exact_and_bounded() {
     }
 }
 
+/// The scale-tier matrix: evaluation-table numbering {identity,
+/// pop-order} × checkpoint layout {dense, suffix-sparse} are pure
+/// layout choices — the mapper (both cost models) reproduces the serial
+/// reference bit for bit in every cell, across worker counts {1, 3, 8}
+/// and both parallel backends, with decision statistics that are
+/// invariant across the whole matrix (layout must not change what the
+/// engine computes, only where the bytes live).  A starved checkpoint
+/// byte budget (which can only widen the snapshot interval) must not
+/// move a result either, and the suffix-sparse layout must never hold
+/// more snapshot bytes than dense.
+#[test]
+fn mapper_numbering_and_checkpoint_layout_matrix_bit_identity() {
+    use spmap_core::Numbering;
+
+    // (numbering, dense_checkpoints, checkpoint_budget_bytes)
+    let cells = [
+        (Numbering::Identity, false, 0usize),
+        (Numbering::Identity, true, 0),
+        (Numbering::PopOrder, true, 0),
+        (Numbering::PopOrder, false, 0), // suffix-sparse, the default
+        (Numbering::PopOrder, false, 4096), // starved per-trail budget
+    ];
+    for case in 0..3u64 {
+        let g = graph_case(case + 1600);
+        let p = platform_case(case);
+        for cost in [
+            CostModel::Bfs,
+            CostModel::Report {
+                schedules: 3,
+                seed: 0xcafe + case,
+            },
+        ] {
+            let base = MapperConfig {
+                cost,
+                ..MapperConfig::series_parallel()
+            };
+            let reference = decomposition_map_reference(&g, &p, &base);
+            let mut stats = None;
+            let mut dense_peak = 0u64;
+            let mut suffix_peak = u64::MAX;
+            for &(numbering, dense, budget) in &cells {
+                for threads in [1usize, 3, 8] {
+                    for (btag, backend) in
+                        [("scoped", ParBackend::Scoped), ("pool", ParBackend::Pool)]
+                    {
+                        let cfg = MapperConfig {
+                            engine: EngineConfig {
+                                threads: Some(threads),
+                                numbering,
+                                dense_checkpoints: dense,
+                                checkpoint_budget_bytes: budget,
+                                ..EngineConfig::default()
+                            },
+                            ..base
+                        };
+                        let r = with_backend(backend, || decomposition_map(&g, &p, &cfg));
+                        let tag = format!(
+                            "case {case} {cost:?} {numbering:?} dense={dense} \
+                             budget={budget} t{threads} {btag}"
+                        );
+                        assert_eq!(r.mapping, reference.mapping, "{tag}: mapping differs");
+                        assert_eq!(r.makespan, reference.makespan, "{tag}: makespan differs");
+                        assert_eq!(r.history, reference.history, "{tag}: history differs");
+                        match &stats {
+                            None => stats = Some(r.batch),
+                            Some(s) => assert_eq!(
+                                r.batch, *s,
+                                "{tag}: decision stats must not depend on layout, \
+                                 threads or backend"
+                            ),
+                        }
+                        if numbering == Numbering::PopOrder && budget == 0 {
+                            if dense {
+                                dense_peak = dense_peak.max(r.checkpoint_peak_bytes);
+                            } else {
+                                suffix_peak = suffix_peak.min(r.checkpoint_peak_bytes);
+                            }
+                        }
+                    }
+                }
+            }
+            assert!(
+                suffix_peak <= dense_peak,
+                "case {case} {cost:?}: suffix-sparse snapshots held more bytes than \
+                 dense ({suffix_peak} vs {dense_peak})"
+            );
+        }
+    }
+}
+
+/// Same matrix for the GA: every numbering × layout × budget cell, at
+/// every worker count and under both parallel backends, reproduces the
+/// serial reference GA per seed bit for bit with matrix-invariant
+/// engine statistics.
+#[test]
+fn ga_numbering_and_checkpoint_layout_matrix_bit_identity() {
+    use spmap_core::Numbering;
+
+    let cells = [
+        (Numbering::Identity, false, 0usize),
+        (Numbering::Identity, true, 0),
+        (Numbering::PopOrder, true, 0),
+        (Numbering::PopOrder, false, 0),
+        (Numbering::PopOrder, false, 4096),
+    ];
+    for case in 0..3u64 {
+        let g = graph_case(case + 1700);
+        let p = platform_case(case);
+        let cfg =
+            |threads: Option<usize>, numbering: Numbering, dense: bool, budget: usize| GaConfig {
+                population: 14,
+                generations: 15,
+                seed: 41 + case,
+                threads,
+                numbering,
+                dense_checkpoints: dense,
+                checkpoint_budget_bytes: budget,
+                ..GaConfig::default()
+            };
+        let reference = nsga2_map_reference(&g, &p, &cfg(None, Numbering::default(), false, 0));
+        let mut stats = None;
+        let mut dense_peak = 0u64;
+        let mut suffix_peak = u64::MAX;
+        for &(numbering, dense, budget) in &cells {
+            for threads in [1usize, 3, 8] {
+                for (btag, backend) in [("scoped", ParBackend::Scoped), ("pool", ParBackend::Pool)]
+                {
+                    let r = with_backend(backend, || {
+                        nsga2_map(&g, &p, &cfg(Some(threads), numbering, dense, budget))
+                    });
+                    let tag = format!(
+                        "ga case {case} {numbering:?} dense={dense} budget={budget} \
+                         t{threads} {btag}"
+                    );
+                    assert_eq!(r.mapping, reference.mapping, "{tag}: mapping differs");
+                    assert_eq!(r.makespan, reference.makespan, "{tag}: makespan differs");
+                    assert_eq!(
+                        r.best_per_generation, reference.best_per_generation,
+                        "{tag}: history differs"
+                    );
+                    assert_eq!(
+                        r.cpu_only_makespan, reference.cpu_only_makespan,
+                        "{tag}: baseline differs"
+                    );
+                    match &stats {
+                        None => stats = Some(r.engine),
+                        Some(s) => assert_eq!(
+                            r.engine, *s,
+                            "{tag}: engine stats must not depend on layout, threads \
+                             or backend"
+                        ),
+                    }
+                    if numbering == Numbering::PopOrder && budget == 0 {
+                        if dense {
+                            dense_peak = dense_peak.max(r.checkpoint_peak_bytes);
+                        } else {
+                            suffix_peak = suffix_peak.min(r.checkpoint_peak_bytes);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            suffix_peak <= dense_peak,
+            "ga case {case}: suffix-sparse trails held more bytes than dense \
+             ({suffix_peak} vs {dense_peak})"
+        );
+    }
+}
+
 /// Thread count is not allowed to influence anything observable — runs
 /// with 1, 3 and 8 workers must agree with each other in every field,
 /// including the engine statistics.

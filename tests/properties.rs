@@ -479,6 +479,188 @@ fn rolling_trail_truncate_extend_roundtrips_bitwise() {
     }
 }
 
+/// Suffix-sparse snapshots are a pure storage change: a windowed replay
+/// restoring from a suffix-sparse checkpoint store reproduces the same
+/// replay from a dense store bit for bit — same makespan, same
+/// start/finish arrays — at arbitrary window positions.
+#[test]
+fn suffix_sparse_restores_match_dense_bitwise() {
+    use spmap::model::{EvalScratch, EvalTables, ScheduleCheckpoints, WindowSim};
+
+    let p = Platform::reference();
+    for case in 0..10u64 {
+        let nodes = 12 + (case * 11 % 44) as usize;
+        let seed = case * 67 + 9;
+        let mut g = match case % 2 {
+            0 => random_sp_graph(&SpGenConfig::new(nodes, seed)),
+            _ => {
+                use spmap::graph::gen::{layered_random, LayeredConfig};
+                layered_random(&LayeredConfig {
+                    layers: 3 + (case % 4) as usize,
+                    width: 3 + (case % 3) as usize,
+                    density: 0.4,
+                    seed,
+                    edge_bytes: 20e6,
+                })
+            }
+        };
+        augment(&mut g, &AugmentConfig::default(), seed);
+        let n = g.node_count();
+        let m = p.device_count();
+        // Suffix layouts need the pop-order tables (the default).
+        let tables = EvalTables::new(&g, &p);
+        assert!(tables.suffix_windows(), "pop-order numbering is default");
+        let every = (n / 6).max(2);
+        let mut dense = ScheduleCheckpoints::zeroed(n, m, every);
+        let mut suffix = ScheduleCheckpoints::zeroed_with_layout(n, m, every, true);
+        let mut s_dense = EvalScratch::for_tables(&tables);
+        let mut s_suffix = EvalScratch::for_tables(&tables);
+        let base = Mapping::all_default(&g, &p);
+        let ms_d = tables
+            .makespan_bfs_checkpointed(&mut s_dense, &base, &mut dense)
+            .expect("default mapping is feasible");
+        let ms_s = tables
+            .makespan_bfs_checkpointed(&mut s_suffix, &base, &mut suffix)
+            .expect("default mapping is feasible");
+        assert_eq!(ms_d, ms_s, "case {case}: layouts drifted on record");
+        assert!(!dense.is_suffix() && suffix.is_suffix(), "case {case}");
+        assert!(
+            suffix.byte_len() < dense.byte_len(),
+            "case {case}: suffix layout must shrink the store \
+             ({} vs {} bytes)",
+            suffix.byte_len(),
+            dense.byte_len()
+        );
+        for trial in 0..8u64 {
+            // A random single-move delta and a random *valid* window
+            // position: anywhere at or before the delta's earliest
+            // effect (extra replayed prefix must not change bits).
+            let v = NodeId(((trial * 29 + case * 13) % n as u64) as u32);
+            let mut cand = base.clone();
+            cand.set(v, DeviceId((1 + trial % 2) as u32));
+            if cand.device(v) == base.device(v) || !cand.is_area_feasible(&g, &p) {
+                continue;
+            }
+            let latest = tables.earliest_read_pos(v);
+            let from_pos = ((trial * 37 + case * 19) % (latest as u64 + 1)) as usize;
+            let wd = tables.makespan_order_window(
+                &mut s_dense,
+                &cand,
+                tables.bfs_order(),
+                &dense,
+                from_pos,
+                f64::INFINITY,
+            );
+            let ws = tables.makespan_order_window(
+                &mut s_suffix,
+                &cand,
+                tables.bfs_order(),
+                &suffix,
+                from_pos,
+                f64::INFINITY,
+            );
+            assert_eq!(
+                wd, ws,
+                "case {case} trial {trial} from {from_pos}: layouts disagree"
+            );
+            // Both scratches went through identical operation
+            // sequences, so the full per-node arrays — replayed suffix
+            // and untouched prefix alike — must match exactly.
+            assert_eq!(
+                s_dense.start_times(),
+                s_suffix.start_times(),
+                "case {case} trial {trial} from {from_pos}: start drift"
+            );
+            assert_eq!(
+                s_dense.finish_times(),
+                s_suffix.finish_times(),
+                "case {case} trial {trial} from {from_pos}: finish drift"
+            );
+            // And the replay itself is exact against a fresh full sim.
+            let mut fresh = EvalScratch::for_tables(&tables);
+            let full = tables
+                .makespan_bfs(&mut fresh, &cand)
+                .expect("area-feasible");
+            assert_eq!(
+                wd,
+                WindowSim::Done(full),
+                "case {case} trial {trial} from {from_pos}: replay drifted"
+            );
+        }
+    }
+}
+
+/// Schedule-order renumbering is a pure layout change: simulations on
+/// pop-order-numbered tables reproduce identity-numbered tables bit for
+/// bit — under the BFS schedule and under every random report schedule
+/// (the heap path) — for random layered and series-parallel graphs.
+#[test]
+fn renumbered_tables_match_identity_bitwise() {
+    use spmap::model::{EvalScratch, EvalTables, Numbering, ReportSchedules};
+
+    let p = Platform::reference();
+    for case in 0..12u64 {
+        let nodes = 10 + (case * 9 % 46) as usize;
+        let seed = case * 53 + 5;
+        let mut g = match case % 2 {
+            0 => random_sp_graph(&SpGenConfig::new(nodes, seed)),
+            _ => {
+                use spmap::graph::gen::{layered_random, LayeredConfig};
+                layered_random(&LayeredConfig {
+                    layers: 3 + (case % 5) as usize,
+                    width: 2 + (case % 4) as usize,
+                    density: 0.35,
+                    seed,
+                    edge_bytes: 30e6,
+                })
+            }
+        };
+        augment(&mut g, &AugmentConfig::default(), seed);
+        let n = g.node_count();
+        let t_id = EvalTables::with_numbering(&g, &p, Numbering::Identity);
+        let t_pop = EvalTables::with_numbering(&g, &p, Numbering::PopOrder);
+        let mut s_id = EvalScratch::for_tables(&t_id);
+        let mut s_pop = EvalScratch::for_tables(&t_pop);
+        // Per-task execution times are translated at the boundary.
+        for v in g.nodes() {
+            for d in p.device_ids() {
+                assert_eq!(
+                    t_id.exec_time(v, d),
+                    t_pop.exec_time(v, d),
+                    "case {case}: exec_time({v:?}, {d:?}) drifted"
+                );
+            }
+        }
+        let schedules = ReportSchedules::new(&g, 3, seed ^ 0xab1e);
+        let mut mappings = vec![Mapping::all_default(&g, &p), heft(&g, &p).mapping];
+        for trial in 0..4u64 {
+            let mut m = mappings[0].clone();
+            for j in 0..(1 + trial % 3) {
+                let v = NodeId(((trial * 23 + j * 11 + case * 7) % n as u64) as u32);
+                m.set(v, DeviceId(((trial + j) % 2 + 1) as u32));
+            }
+            if m.is_area_feasible(&g, &p) {
+                mappings.push(m);
+            }
+        }
+        for (k, mapping) in mappings.iter().enumerate() {
+            assert_eq!(
+                t_id.makespan_bfs(&mut s_id, mapping),
+                t_pop.makespan_bfs(&mut s_pop, mapping),
+                "case {case} mapping {k}: BFS makespan drifted"
+            );
+            for s in 0..schedules.len() {
+                let ranks = schedules.order(s).ranks();
+                assert_eq!(
+                    t_id.makespan_with_ranks(&mut s_id, mapping, ranks),
+                    t_pop.makespan_with_ranks(&mut s_pop, mapping, ranks),
+                    "case {case} mapping {k} schedule {s}: makespan drifted"
+                );
+            }
+        }
+    }
+}
+
 /// HEFT and PEFT schedules respect precedence and the area budget on
 /// arbitrary workflow shapes.
 #[test]
