@@ -6,6 +6,7 @@ use std::time::Duration;
 
 /// Directory for CSV outputs (`SPMAP_RESULTS` env var or `./results`).
 pub fn results_dir() -> PathBuf {
+    // lint:allow(no-env-outside-config): CSV output-directory plumbing — never read on a decision path.
     let dir = std::env::var("SPMAP_RESULTS").unwrap_or_else(|_| "results".to_string());
     let path = PathBuf::from(dir);
     fs::create_dir_all(&path).expect("create results directory");

@@ -132,6 +132,15 @@ impl<K: std::hash::Hash + Eq + Copy> BoundedMemo<K> {
         if self.map.len() > self.peak {
             self.peak = self.map.len();
         }
+        // The "never exceeds capacity, not even transiently" contract
+        // above (docs/DETERMINISM.md).
+        #[cfg(feature = "strict-invariants")]
+        assert!(
+            self.capacity == 0 || self.map.len() <= self.capacity,
+            "strict-invariants: memo grew past its capacity ({} > {})",
+            self.map.len(),
+            self.capacity
+        );
     }
 
     /// Drop the oldest entries so a new insert still fits: only the
@@ -141,8 +150,25 @@ impl<K: std::hash::Hash + Eq + Copy> BoundedMemo<K> {
     fn evict(&mut self) {
         let keep = (self.capacity / 2).min(self.capacity - 1);
         let drop = self.map.len() - keep;
+        // lint:allow(no-unordered-iteration): collecting stamps to select an exact cutoff — any visit order yields the same multiset, and stamps are unique.
         let mut stamps: Vec<u64> = self.map.values().map(|&(_, s)| s).collect();
+        // Stamp uniqueness is what makes the eviction cutoff exact and
+        // iteration-order-independent; a duplicate would make the set of
+        // survivors depend on hash order (docs/DETERMINISM.md).
+        #[cfg(feature = "strict-invariants")]
+        {
+            let mut sorted = stamps.clone();
+            sorted.sort_unstable();
+            let n = sorted.len();
+            sorted.dedup();
+            assert_eq!(
+                sorted.len(),
+                n,
+                "strict-invariants: duplicate LRU stamps in memo eviction"
+            );
+        }
         let (_, &mut cutoff, _) = stamps.select_nth_unstable(drop - 1);
+        // lint:allow(no-unordered-iteration): retain by a pure per-entry stamp predicate — the surviving set is order-independent.
         self.map.retain(|_, &mut (_, s)| s > cutoff);
         debug_assert_eq!(self.map.len(), keep);
         self.evictions += drop as u64;
@@ -2144,6 +2170,83 @@ mod tests {
         }
         assert_eq!(unbounded.len(), 1000);
         assert_eq!(unbounded.evictions(), 0);
+    }
+
+    /// Eviction must not depend on `HashMap` iteration order: replaying
+    /// one access sequence against a hash-free oracle (a `Vec` with the
+    /// same stamp bookkeeping and the same oldest-half cutoff) must give
+    /// identical hits, misses, survivors and eviction counts at every
+    /// step.  Guards the unique-stamp `select_nth_unstable` argument in
+    /// `BoundedMemo::evict` (docs/DETERMINISM.md).
+    #[test]
+    fn bounded_memo_eviction_is_hash_order_independent() {
+        const CAPACITY: usize = 16;
+
+        struct Oracle {
+            entries: Vec<(u64, f64, u64)>, // (key, value, stamp)
+            clock: u64,
+            evictions: u64,
+        }
+        impl Oracle {
+            fn get(&mut self, k: u64) -> Option<f64> {
+                self.clock += 1;
+                let clock = self.clock;
+                self.entries.iter_mut().find(|e| e.0 == k).map(|e| {
+                    e.2 = clock;
+                    e.1
+                })
+            }
+            fn insert(&mut self, k: u64, v: f64) {
+                self.clock += 1;
+                let known = self.entries.iter().any(|e| e.0 == k);
+                if self.entries.len() >= CAPACITY && !known {
+                    let keep = (CAPACITY / 2).min(CAPACITY - 1);
+                    let drop = self.entries.len() - keep;
+                    let mut stamps: Vec<u64> = self.entries.iter().map(|e| e.2).collect();
+                    stamps.sort_unstable();
+                    let cutoff = stamps[drop - 1];
+                    self.entries.retain(|e| e.2 > cutoff);
+                    self.evictions += drop as u64;
+                }
+                match self.entries.iter_mut().find(|e| e.0 == k) {
+                    Some(e) => {
+                        e.1 = v;
+                        e.2 = self.clock;
+                    }
+                    None => self.entries.push((k, v, self.clock)),
+                }
+            }
+        }
+
+        let mut memo: BoundedMemo<u64> = BoundedMemo::new(CAPACITY);
+        let mut oracle = Oracle {
+            entries: Vec::new(),
+            clock: 0,
+            evictions: 0,
+        };
+        // Deterministic mixed get/insert stream over a key space ~4x the
+        // capacity so eviction fires many times.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for step in 0..4000u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = (state >> 33) % (4 * CAPACITY as u64);
+            if state & 1 == 0 {
+                assert_eq!(memo.get(&key), oracle.get(key), "step {step} key {key}");
+            } else {
+                let v = step as f64;
+                memo.insert(key, v);
+                oracle.insert(key, v);
+            }
+            assert_eq!(memo.len(), oracle.entries.len(), "step {step}");
+            assert_eq!(memo.evictions(), oracle.evictions, "step {step}");
+        }
+        // Final sweep: every key agrees on membership and value.
+        for key in 0..4 * CAPACITY as u64 {
+            assert_eq!(memo.get(&key), oracle.get(key), "final key {key}");
+        }
+        assert!(memo.evictions() > 0, "stream must have forced evictions");
     }
 
     #[test]

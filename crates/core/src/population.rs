@@ -327,12 +327,39 @@ impl TrailCache {
                 .filter(|&(s, _)| !pinned[s])
                 .min_by_key(|&(_, &st)| st)
                 .map(|(s, _)| s)?;
+            // lint:allow(no-unordered-iteration): retain by a pure value predicate (drop the one fingerprint mapped to the evicted slot) — order-independent.
             self.slots.retain(|_, &mut s| s != slot);
             self.evictions += 1;
             slot
         };
         self.slots.insert(fp, slot);
         self.stamp[slot] = self.clock;
+        #[cfg(feature = "strict-invariants")]
+        {
+            assert!(
+                self.stores.len() <= self.capacity,
+                "strict-invariants: trail cache grew past its capacity ({} > {})",
+                self.stores.len(),
+                self.capacity
+            );
+            assert_eq!(
+                self.stamp.len(),
+                self.stores.len(),
+                "strict-invariants: trail cache stamp/store length mismatch"
+            );
+            // Slot exclusivity: at most one live fingerprint per store,
+            // or two bases would window against each other's prefixes.
+            // lint:allow(no-unordered-iteration): collecting slot indices for a uniqueness check — any visit order yields the same sorted multiset.
+            let mut owned: Vec<usize> = self.slots.values().copied().collect();
+            owned.sort_unstable();
+            let n = owned.len();
+            owned.dedup();
+            assert_eq!(
+                owned.len(),
+                n,
+                "strict-invariants: two fingerprints share a trail cache slot"
+            );
+        }
         Some(slot)
     }
 

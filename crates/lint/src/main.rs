@@ -1,0 +1,57 @@
+//! CLI for the workspace determinism & unsafe-discipline analyzer.
+//!
+//! ```text
+//! spmap-lint [ROOT]
+//! ```
+//!
+//! With no argument the workspace root is found by ascending from the
+//! current directory to the first `Cargo.toml` with a `[workspace]`
+//! section.  Violations print as `file:line: rule: message`; the exit
+//! code is non-zero when any are found, so `cargo run -p spmap-lint`
+//! is the CI gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let root = match args.next() {
+        Some(flag) if flag == "--help" || flag == "-h" => {
+            println!("usage: spmap-lint [ROOT]");
+            println!("rules: {}", spmap_lint::RULE_NAMES.join(", "));
+            println!("pragma: // lint:allow(<rule>): <reason>");
+            return ExitCode::SUCCESS;
+        }
+        Some(path) => PathBuf::from(path),
+        None => {
+            let cwd = std::env::current_dir().expect("current dir");
+            match spmap_lint::find_workspace_root(&cwd) {
+                Some(root) => root,
+                None => {
+                    eprintln!("spmap-lint: no workspace root above {}", cwd.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let (violations, files) = match spmap_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("spmap-lint: {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("spmap-lint: clean ({files} files scanned)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "spmap-lint: {} violation(s) across {files} files",
+            violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,14 @@
+/// Configuration arrives through the sanctioned parse helpers, never
+/// read ambiently here.
+pub fn threads(configured: Option<usize>) -> usize {
+    configured.unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_set_and_read_env() {
+        std::env::set_var("SPMAP_FIXTURE", "1");
+        assert_eq!(std::env::var("SPMAP_FIXTURE").as_deref(), Ok("1"));
+    }
+}

@@ -1,0 +1,6 @@
+pub fn threads() -> usize {
+    std::env::var("SPMAP_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,4 @@
+pub fn results_dir() -> String {
+    // lint:allow(no-env-outside-config): output-directory plumbing, never read on decision paths.
+    std::env::var("SPMAP_RESULTS").unwrap_or_else(|_| "results".to_string())
+}

@@ -1,0 +1,28 @@
+use std::collections::{BTreeMap, HashMap};
+
+/// Point lookups never observe iteration order.
+pub fn lookup(m: &HashMap<u32, u32>, k: u32) -> Option<u32> {
+    m.get(&k).copied()
+}
+
+/// BTree iteration is ordered — always fine.
+pub fn sum_values(ordered: &BTreeMap<u32, u32>) -> u32 {
+    let mut acc = 0;
+    for (_, v) in ordered {
+        acc += v;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let mut s = HashSet::new();
+        s.insert(1u32);
+        let xs: Vec<u32> = s.iter().copied().collect();
+        assert_eq!(xs.len(), 1);
+    }
+}

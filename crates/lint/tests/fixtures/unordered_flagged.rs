@@ -1,0 +1,17 @@
+use std::collections::{HashMap, HashSet};
+
+pub fn sum_values(m: &HashMap<u32, u32>) -> u32 {
+    let mut acc = 0;
+    for (_, v) in m {
+        acc += v;
+    }
+    acc
+}
+
+pub fn collect_keys(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect()
+}
+
+pub fn drain_set(s: &mut HashSet<u32>) -> Vec<u32> {
+    s.drain().collect()
+}

@@ -1,0 +1,11 @@
+use std::collections::HashMap;
+
+pub fn survivors(m: &mut HashMap<u32, u32>, cutoff: u32) -> usize {
+    // lint:allow(no-unordered-iteration): retain by a pure value predicate — order-independent.
+    m.retain(|_, &mut v| v > cutoff);
+    m.len()
+}
+
+pub fn max_value(m: &HashMap<u32, u32>) -> Option<u32> {
+    m.values().copied().max() // lint:allow(no-unordered-iteration): max is order-independent.
+}

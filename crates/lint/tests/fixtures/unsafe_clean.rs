@@ -1,0 +1,9 @@
+/// Dereference the first element.
+///
+/// # Safety
+///
+/// `xs` must be non-empty.
+pub unsafe fn first_unchecked(xs: &[u32]) -> u32 {
+    // SAFETY: non-emptiness is the function's own contract.
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,5 @@
+// A fixture, not workspace code: an `unsafe` block with no SAFETY
+// discipline at all must be flagged.
+pub fn first(xs: &[u32]) -> u32 {
+    unsafe { *xs.as_ptr() }
+}

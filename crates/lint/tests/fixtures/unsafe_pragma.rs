@@ -1,0 +1,4 @@
+pub fn first(xs: &[u32]) -> u32 {
+    // lint:allow(unsafe-needs-safety-comment): fixture exercising the pragma path.
+    unsafe { *xs.as_ptr() }
+}

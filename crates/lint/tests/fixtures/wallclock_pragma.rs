@@ -1,0 +1,7 @@
+// lint:allow(no-wallclock-in-decisions): deadline support is an explicit, documented API.
+use std::time::Instant;
+
+pub fn expired(deadline: Option<Instant>) -> bool { // lint:allow(no-wallclock-in-decisions): deadline support is an explicit, documented API.
+    // lint:allow(no-wallclock-in-decisions): deadline support is an explicit, documented API.
+    deadline.is_some_and(|d| Instant::now() > d)
+}

@@ -1,0 +1,34 @@
+//! The workspace self-check: `spmap-lint` must exit clean on this
+//! repository.  Running inside `cargo test` makes the lint a tier-1
+//! gate in every CI cell, not just the dedicated lint step.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").exists() && root.join("crates").is_dir(),
+        "workspace root detection broke: {}",
+        root.display()
+    );
+    let (violations, files) = spmap_lint::lint_workspace(&root).expect("walk workspace");
+    assert!(
+        files > 50,
+        "suspiciously few files scanned ({files}) — walker broke?"
+    );
+    assert!(
+        violations.is_empty(),
+        "workspace has {} lint violation(s):\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

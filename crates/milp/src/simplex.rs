@@ -49,6 +49,7 @@ pub fn solve_relaxation(model: &Model, bounds: &[(f64, f64)]) -> LpResult {
 pub fn solve_relaxation_deadline(
     model: &Model,
     bounds: &[(f64, f64)],
+    // lint:allow(no-wallclock-in-decisions): the deadline parameter of the explicit time-limit API (docs/DETERMINISM.md).
     deadline: Option<std::time::Instant>,
 ) -> LpResult {
     debug_assert_eq!(bounds.len(), model.var_count());
@@ -302,6 +303,7 @@ fn pivot_loop(
     width: usize,
     forbidden_from: usize,
     iter_limit: usize,
+    // lint:allow(no-wallclock-in-decisions): the deadline parameter of the explicit time-limit API (docs/DETERMINISM.md).
     deadline: Option<std::time::Instant>,
 ) -> LpStatus {
     let ncols_all = width - 1;
@@ -310,6 +312,7 @@ fn pivot_loop(
     for iter in 0..iter_limit {
         if iter % 64 == 0 {
             if let Some(d) = deadline {
+                // lint:allow(no-wallclock-in-decisions): the deadline check of the explicit time-limit API (docs/DETERMINISM.md).
                 if std::time::Instant::now() > d {
                     return LpStatus::IterLimit;
                 }

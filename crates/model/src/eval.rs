@@ -698,6 +698,16 @@ impl<'g> EvalTables<'g> {
         v: usize,
         makespan: &mut f64,
     ) -> f64 {
+        // Read-bound checker for suffix checkpoints: a windowed replay
+        // restored at `read_floor` must never touch per-node state below
+        // it (see `ScheduleCheckpoints::restore`).
+        #[cfg(feature = "strict-invariants")]
+        assert!(
+            v >= scratch.read_floor,
+            "strict-invariants: replay stepped position {v} below its restore \
+             floor {}",
+            scratch.read_floor
+        );
         let m = self.device_count();
         let d = devices[v];
         let ev = self.exec[v * m + d.index()];
@@ -727,6 +737,13 @@ impl<'g> EvalTables<'g> {
         let hi = self.out_start[v + 1] as usize;
         for k in lo..hi {
             let w = self.out_dst[k] as usize;
+            #[cfg(feature = "strict-invariants")]
+            assert!(
+                w >= scratch.read_floor,
+                "strict-invariants: replay updated successor {w} below its \
+                 restore floor {}",
+                scratch.read_floor
+            );
             let dw = devices[w];
             let ready = if dw == d {
                 if spatial {
@@ -1023,6 +1040,11 @@ pub struct EvalScratch {
     devices: Vec<DeviceId>,
     heap: BinaryHeap<Reverse<(u32, u32)>>,
     stats: EvalStats,
+    /// Lowest per-node index the current (windowed) replay may touch —
+    /// armed by [`ScheduleCheckpoints::restore`] under the suffix
+    /// layout, checked by `sim_step`/`record` (docs/DETERMINISM.md).
+    #[cfg(feature = "strict-invariants")]
+    read_floor: usize,
 }
 
 impl EvalScratch {
@@ -1039,6 +1061,8 @@ impl EvalScratch {
             devices: vec![DeviceId(0); nodes],
             heap: BinaryHeap::with_capacity(nodes),
             stats: EvalStats::default(),
+            #[cfg(feature = "strict-invariants")]
+            read_floor: 0,
         }
     }
 
@@ -1050,6 +1074,10 @@ impl EvalScratch {
     /// Zero every timing buffer (the pop-order paths need no in-degree
     /// or heap state).
     fn reset_times(&mut self) {
+        #[cfg(feature = "strict-invariants")]
+        {
+            self.read_floor = 0;
+        }
         self.data_ready.iter_mut().for_each(|t| *t = 0.0);
         self.start.iter_mut().for_each(|t| *t = 0.0);
         self.finish.iter_mut().for_each(|t| *t = 0.0);
@@ -1327,6 +1355,16 @@ impl ScheduleCheckpoints {
         debug_assert!(j < self.count);
         let m = self.m;
         let lo = self.snap_lo(j);
+        // A snapshot must only capture state the replay actually wrote:
+        // copying from below the restore floor would bake the stale
+        // prefix of a suffix restore into a checkpoint (see `restore`).
+        #[cfg(feature = "strict-invariants")]
+        assert!(
+            lo >= scratch.read_floor,
+            "strict-invariants: snapshot {j} captures below the restore floor \
+             ({lo} < {})",
+            scratch.read_floor
+        );
         self.data_ready[self.off[j]..self.off[j + 1]].copy_from_slice(&scratch.data_ready[lo..]);
         self.device_free[j * m..(j + 1) * m].copy_from_slice(&scratch.device_free);
         self.link_free[j * m * m..(j + 1) * m * m].copy_from_slice(&scratch.link_free);
@@ -1347,6 +1385,19 @@ impl ScheduleCheckpoints {
         let j = self.snapshot_index(from_pos);
         let m = self.m;
         let lo = self.snap_lo(j);
+        #[cfg(feature = "strict-invariants")]
+        {
+            assert!(
+                j * self.every <= from_pos,
+                "strict-invariants: snapshot_index returned a snapshot past from_pos"
+            );
+            // Arm the read-bound checker for the suffix layout: the
+            // exactness argument (docs/PERF.md "Scale tier") says a
+            // sequential replay resuming at `lo` never touches per-node
+            // state below `lo`.  `sim_step` and `record` assert against
+            // this floor instead of silently using the stale prefix.
+            scratch.read_floor = if self.suffix { lo } else { 0 };
+        }
         scratch.data_ready[lo..].copy_from_slice(&self.data_ready[self.off[j]..self.off[j + 1]]);
         scratch
             .device_free
@@ -2018,6 +2069,33 @@ mod tests {
             chunks.into_iter().flat_map(|h| h.join().unwrap()).collect()
         });
         assert_eq!(serial, parallel, "bit-identical across threads");
+    }
+
+    /// The `strict-invariants` read-bound checker must actually fire:
+    /// restoring a suffix snapshot at a positive position and then
+    /// stepping position 0 is exactly the stale-prefix read the suffix
+    /// layout forbids (docs/DETERMINISM.md).
+    #[cfg(feature = "strict-invariants")]
+    #[test]
+    #[should_panic(expected = "below its restore floor")]
+    fn strict_invariants_catch_replay_below_the_restore_floor() {
+        let mut g = chain(16, 100e6);
+        set_attrs(&mut g, 0.0, 1.0);
+        let p = ref_platform();
+        let tables = EvalTables::new(&g, &p);
+        let mut scratch = EvalScratch::for_tables(&tables);
+        let m = Mapping::all_default(&g, &p);
+        let mut ckpt = ScheduleCheckpoints::new(4);
+        tables
+            .makespan_bfs_checkpointed(&mut scratch, &m, &mut ckpt)
+            .unwrap();
+        assert!(ckpt.suffix, "pop-order tables must record suffix snapshots");
+        let from = ckpt.restore(8, &mut scratch);
+        assert!(from > 0, "restore must land on a positive snapshot");
+        let mut dev_buf = std::mem::take(&mut scratch.devices);
+        let devices = tables.internal_devices(&mut dev_buf, &m, 0);
+        let mut makespan = 0.0;
+        tables.sim_step(&mut scratch, devices, 0, &mut makespan);
     }
 
     #[test]

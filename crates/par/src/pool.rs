@@ -76,6 +76,10 @@ pub fn in_pool_worker() -> bool {
 ///
 /// `data` points at a stack-allocated, fully concrete `MapCtx` in the
 /// submitting call; the function pointer re-instantiates the generics.
+// SAFETY: calling a `RunFn` is sound only while the submitting call is
+// blocked (so the `MapCtx` behind `data` is alive and of the matching
+// concrete type) and with a participant index that is unique within
+// the batch and `< states.len()` — see `run_participant`.
 type RunFn = unsafe fn(*const (), usize);
 
 /// One posted batch.  The raw pointer is only dereferenced between
@@ -219,6 +223,20 @@ impl Pool {
         while st.active > 0 {
             st = wait(&self.shared.done_cv, st);
         }
+        // The SAFETY arguments of this module all lean on the drain
+        // protocol: once the caller wakes here, no participant can
+        // still hold the job or a claim on it.
+        #[cfg(feature = "strict-invariants")]
+        {
+            assert!(
+                st.job.is_none(),
+                "strict-invariants: drained batch still posted"
+            );
+            assert_eq!(
+                st.claimed, participants,
+                "strict-invariants: drained batch has unclaimed participants"
+            );
+        }
         participants
     }
 
@@ -258,6 +276,10 @@ impl Pool {
         let parts: Vec<Mutex<Vec<(usize, R)>>> =
             (0..threads).map(|_| Mutex::new(Vec::new())).collect();
         let panic_slot: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+        #[cfg(feature = "strict-invariants")]
+        let slot_live: Vec<std::sync::atomic::AtomicBool> = (0..threads)
+            .map(|_| std::sync::atomic::AtomicBool::new(false))
+            .collect();
         let ctx = MapCtx {
             next: &next,
             items,
@@ -265,6 +287,8 @@ impl Pool {
             states: states.states.as_mut_ptr(),
             parts: &parts,
             panic: &panic_slot,
+            #[cfg(feature = "strict-invariants")]
+            slot_live: &slot_live,
         };
         let data = &raw const ctx as *const ();
         let run = run_participant::<S, T, R, F> as RunFn;
@@ -333,6 +357,10 @@ struct MapCtx<'a, S, T, R, F> {
     states: *mut S,
     parts: &'a [Mutex<Vec<(usize, R)>>],
     panic: &'a Mutex<Option<Box<dyn Any + Send>>>,
+    /// Runtime check of the slot-exclusivity contract: flag `k` is
+    /// held for exactly the span participant `k` borrows slot `k`.
+    #[cfg(feature = "strict-invariants")]
+    slot_live: &'a [std::sync::atomic::AtomicBool],
 }
 
 /// Run one participant of a posted batch: claim items from the shared
@@ -351,10 +379,25 @@ where
     R: Send,
     F: Fn(&mut S, usize, &T) -> R + Sync,
 {
+    // SAFETY: the caller (pool submission or participant 0) passes a
+    // pointer to the submitting call's live `MapCtx` of exactly these
+    // type parameters, and that caller blocks until `active` drains —
+    // the pointee outlives every participant's run.
     let ctx = unsafe { &*(data as *const MapCtx<'_, S, T, R, F>) };
     // SAFETY: participant indices are unique per batch, so this slot is
     // not aliased for the duration of the participant's run.
     let state = unsafe { &mut *ctx.states.add(part) };
+    // Runtime proof of that uniqueness claim: entering a participant
+    // index that is already live means two threads share one `&mut`
+    // slot — abort loudly before any user code runs on it.
+    #[cfg(feature = "strict-invariants")]
+    {
+        let was = ctx.slot_live[part].swap(true, Ordering::SeqCst);
+        assert!(
+            !was,
+            "strict-invariants: state slot {part} claimed twice within one batch"
+        );
+    }
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let mut local: Vec<(usize, R)> = Vec::new();
         loop {
@@ -366,6 +409,8 @@ where
         }
         local
     }));
+    #[cfg(feature = "strict-invariants")]
+    ctx.slot_live[part].store(false, Ordering::SeqCst);
     match outcome {
         Ok(local) => *lock(&ctx.parts[part]) = local,
         Err(payload) => {
