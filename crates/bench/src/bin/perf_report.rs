@@ -75,9 +75,26 @@
 //! checkpoint bytes, gated against the 32 MiB per-trail budget.
 //! `--xl --quick` keeps only the first size — the CI smoke.
 //!
+//! `--service` switches to the **service tier**: a concurrent-client
+//! closed-loop load against the long-lived `MapService` (bounded
+//! admission + content-addressed artifact cache over the sharded
+//! worker pool).  It asserts bit-identity of every response against the
+//! direct mapper — across cache temperature, client concurrency and
+//! explicit 1/2-shard pools — then measures 1-client and 4-client
+//! phases and reports sustained mappings/sec, p50/p99 latency, cache
+//! hit rate and the per-shard batch histogram.  The CI gate (4 clients
+//! ≥ 1.5x 1 client) is enforced only when the box has ≥ 4 cores;
+//! identity is asserted unconditionally.
+//!
+//! Each mode writes its own report file — `BENCH_mapper.json`
+//! (standard), `BENCH_mapper_xl.json` (`--xl`), `BENCH_service.json`
+//! (`--service`) — so CI cells can upload all of them without
+//! clobbering; `--out <path>` overrides the destination.
+//!
 //! Usage: `cargo run --release -p spmap-bench --bin perf_report
-//!         [--quick] [--full] [--ga-only] [--xl] [--threads 8]
-//!         [--seed 2025] [--report-schedules 4] [--sizes a,b,..]`
+//!         [--quick] [--full] [--ga-only] [--xl] [--service]
+//!         [--threads 8] [--seed 2025] [--report-schedules 4]
+//!         [--sizes a,b,..] [--out <path>]`
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -100,6 +117,14 @@ use spmap_par::{with_backend, ParBackend};
 /// real runs, trimmed for the `--quick` CI smoke.
 const GA_GENERATIONS: usize = 500;
 const GA_GENERATIONS_QUICK: usize = 250;
+
+/// Write the mode's JSON report to its default file or the `--out`
+/// override.
+fn write_report(opts: &Opts, default_name: &str, json: &str) {
+    let path = opts.out.as_deref().unwrap_or(default_name);
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("\nwrote {path}");
+}
 
 /// A layered (non-series-parallel) DAG of ~`nodes` tasks with the
 /// paper's attribute augmentation — the mapper's stress shape.
@@ -271,7 +296,7 @@ fn measure_xl_ga(g: &TaskGraph, p: &Platform, threads: usize, seed: u64) -> XlGa
     }
 }
 
-/// The `--xl` entry point: measure, gate, write `BENCH_mapper.json`.
+/// The `--xl` entry point: measure, gate, write `BENCH_mapper_xl.json`.
 fn run_xl(opts: &Opts) {
     let threads = opts.threads.unwrap_or(8);
     let sizes: Vec<usize> = match &opts.sizes {
@@ -461,8 +486,203 @@ fn run_xl(opts: &Opts) {
     let _ = writeln!(json, "  \"kernel_gate_nodes\": {},", head.nodes);
     let _ = writeln!(json, "  \"kernel_vs_baseline\": {ratio:.3}");
     json.push_str("}\n");
-    std::fs::write("BENCH_mapper.json", &json).expect("write BENCH_mapper.json");
-    println!("\nwrote BENCH_mapper.json");
+    write_report(opts, "BENCH_mapper_xl.json", &json);
+}
+
+// ---- the service tier (`--service`) ----
+
+/// Throughput gate of the 4-client phase against the 1-client phase,
+/// enforced on boxes with at least [`SERVICE_GATE_MIN_CORES`] cores:
+/// with per-request engine parallelism held fixed, four concurrent
+/// clients dispatching through distinct pool shards must sustain at
+/// least this multiple of a lone client's throughput.
+const SERVICE_GATE_RATIO: f64 = 1.5;
+const SERVICE_GATE_MIN_CORES: usize = 4;
+
+/// The `--service` entry point: identity checks, 1-client and 4-client
+/// load phases, gate, write `BENCH_service.json`.
+fn run_service(opts: &Opts) {
+    use spmap_bench::service_load::{
+        assert_identical, build_requests, reference_results, run_phase, service_for_load, warm_up,
+        ServiceLoadConfig,
+    };
+    use spmap_core::{MapService, ServiceConfig};
+    use spmap_par::pool::Pool;
+    use spmap_par::with_pool;
+    use std::sync::Arc;
+
+    let engine_threads = opts.threads.unwrap_or(2).max(2);
+    let base = ServiceLoadConfig {
+        clients: 1,
+        requests_per_client: if opts.quick { 8 } else { 24 },
+        distinct_graphs: if opts.quick { 3 } else { 6 },
+        nodes: if opts.quick { 48 } else { 120 },
+        seed: opts.seed,
+        engine_threads,
+    };
+    let shards = spmap_par::num_shards();
+    println!(
+        "perf_report --service: MapService load ({} distinct {}-node graphs, \
+         {} engine threads/request, {} pool shards)\n",
+        base.distinct_graphs, base.nodes, engine_threads, shards
+    );
+
+    let requests = build_requests(&base);
+    let references = reference_results(&requests);
+
+    // ---- bit-identity across shard counts, cache temperature and
+    //      concurrency (asserted on every box, gated nowhere) ----
+    // Explicit 1- and 2-shard pools under the pool backend: the shard
+    // layout may move work between threads but never change a mapping.
+    for shard_count in [1usize, 2] {
+        let pool = Arc::new(Pool::with_shards(shard_count));
+        with_pool(&pool, || {
+            spmap_par::with_backend(spmap_par::ParBackend::Pool, || {
+                let service = service_for_load(1);
+                for (i, req) in requests.iter().enumerate() {
+                    let cold = service.submit(req).expect("identity run admitted");
+                    let warm = service.submit(req).expect("identity run admitted");
+                    assert!(!cold.cache_hit && warm.cache_hit);
+                    let label = format!("{shard_count}-shard pool, graph {i}");
+                    assert_identical(&format!("{label} (cold)"), &cold.result, &references[i]);
+                    assert_identical(&format!("{label} (warm)"), &warm.result, &references[i]);
+                }
+            })
+        });
+    }
+    println!("identity: cold/warm x {{1,2}}-shard pools bit-identical to the direct mapper");
+
+    // Eviction cannot change results either: a cache too small to hold
+    // even one artifact rebuilds every time and still matches.
+    {
+        let service = Arc::new(MapService::new(ServiceConfig {
+            max_inflight: 1,
+            max_queued: 0,
+            cache_budget_bytes: 1,
+        }));
+        for (i, req) in requests.iter().enumerate() {
+            let resp = service.submit(req).expect("eviction run admitted");
+            assert_identical(
+                &format!("1-byte-budget cache, graph {i}"),
+                &resp.result,
+                &references[i],
+            );
+        }
+        println!("identity: byte-starved (always-evicting) cache bit-identical as well");
+    }
+
+    // ---- load phases ----
+    let total_requests = 4 * base.requests_per_client;
+    let mut phases = Vec::new();
+    let mut cold_seconds = 0.0;
+    for clients in [1usize, 4] {
+        // Same total request count per phase so the comparison is
+        // work-for-work.
+        let cfg = ServiceLoadConfig {
+            clients,
+            requests_per_client: total_requests / clients,
+            ..base
+        };
+        let service = service_for_load(clients);
+        let cold = warm_up(&service, &requests, &references);
+        if clients == 1 {
+            cold_seconds = cold;
+        }
+        let report = run_phase(&service, &requests, &references, &cfg);
+        let svc = service.stats();
+        assert_eq!(svc.rejected, 0, "load phases are sized to be admitted");
+        assert!(
+            svc.peak_inflight <= service.max_inflight(),
+            "admission gate exceeded its bound: {} > {}",
+            svc.peak_inflight,
+            service.max_inflight()
+        );
+        println!(
+            "{:>2} clients: {:7.1} maps/s  p50 {:7.2} ms  p99 {:7.2} ms  \
+             cache hit {:5.1}%  shards used {}/{}  steals {}  lock waits {}",
+            report.clients,
+            report.throughput,
+            report.p50_ms,
+            report.p99_ms,
+            100.0 * report.cache_hit_rate(),
+            report.shards_used(),
+            shards,
+            report.steals,
+            report.submission_waits,
+        );
+        phases.push(report);
+    }
+
+    let ratio = phases[1].throughput / phases[0].throughput;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let gate_enforced = cores >= SERVICE_GATE_MIN_CORES;
+    println!(
+        "\nservice headline: 4 clients vs 1 = {ratio:.2}x throughput \
+         ({} cores; gate {} at {SERVICE_GATE_RATIO}x)",
+        cores,
+        if gate_enforced {
+            "enforced"
+        } else {
+            "reported only — needs >= 4 cores"
+        },
+    );
+    // The CI scaling gate: concurrent clients must actually run
+    // concurrently (distinct shards, no submission-lock convoy).  On a
+    // box without the cores to show it, the number is still reported
+    // honestly above but cannot gate.
+    if gate_enforced {
+        assert!(
+            ratio >= SERVICE_GATE_RATIO,
+            "4 concurrent clients only reached {ratio:.2}x of 1 client \
+             (gate {SERVICE_GATE_RATIO}x): the sharded pool is not \
+             delivering concurrent dispatch"
+        );
+    }
+
+    // ---- machine-readable report ----
+    let mut json = String::from("{\n  \"benchmark\": \"map_service\",\n");
+    let _ = writeln!(json, "  \"quick\": {},", opts.quick);
+    let _ = writeln!(json, "  \"seed\": {},", opts.seed);
+    let _ = writeln!(json, "  \"nodes\": {},", base.nodes);
+    let _ = writeln!(json, "  \"distinct_graphs\": {},", base.distinct_graphs);
+    let _ = writeln!(json, "  \"engine_threads\": {engine_threads},");
+    let _ = writeln!(json, "  \"shards\": {shards},");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"cold_build_seconds\": {cold_seconds:.6},");
+    json.push_str("  \"phases\": [\n");
+    for (i, p) in phases.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"clients\": {},", p.clients);
+        let _ = writeln!(json, "      \"requests\": {},", p.completed);
+        let _ = writeln!(json, "      \"seconds\": {:.6},", p.seconds);
+        let _ = writeln!(json, "      \"throughput_per_sec\": {:.3},", p.throughput);
+        let _ = writeln!(json, "      \"p50_ms\": {:.4},", p.p50_ms);
+        let _ = writeln!(json, "      \"p99_ms\": {:.4},", p.p99_ms);
+        let _ = writeln!(json, "      \"cache_hits\": {},", p.cache.hits);
+        let _ = writeln!(json, "      \"cache_misses\": {},", p.cache.misses);
+        let _ = writeln!(json, "      \"cache_hit_rate\": {:.4},", p.cache_hit_rate());
+        let _ = writeln!(json, "      \"shards_used\": {},", p.shards_used());
+        let used: Vec<String> = p
+            .shard_batches
+            .iter()
+            .take(shards)
+            .map(|b| b.to_string())
+            .collect();
+        let _ = writeln!(json, "      \"shard_batches\": [{}],", used.join(", "));
+        let _ = writeln!(json, "      \"steals\": {},", p.steals);
+        let _ = writeln!(json, "      \"submission_waits\": {}", p.submission_waits);
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < phases.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"throughput_ratio_4v1\": {ratio:.3},");
+    let _ = writeln!(json, "  \"gate_ratio\": {SERVICE_GATE_RATIO},");
+    let _ = writeln!(json, "  \"gate_enforced\": {gate_enforced}");
+    json.push_str("}\n");
+    write_report(opts, "BENCH_service.json", &json);
 }
 
 struct Measurement {
@@ -860,6 +1080,12 @@ fn print_row(m: &Measurement) {
 
 fn main() {
     let opts = Opts::parse();
+    if opts.service {
+        // The service tier is its own report: concurrent clients,
+        // cache/latency metrics, its own JSON schema and gate.
+        run_service(&opts);
+        return;
+    }
     if opts.xl {
         // The scale tier is its own report: different graph shape,
         // different gates, its own JSON schema.
@@ -1304,6 +1530,5 @@ fn main() {
         }
     }
     json.push_str("}\n");
-    std::fs::write("BENCH_mapper.json", &json).expect("write BENCH_mapper.json");
-    println!("\nwrote BENCH_mapper.json");
+    write_report(&opts, "BENCH_mapper.json", &json);
 }

@@ -20,7 +20,14 @@
 //!   checkpoints; combines with `--quick` for a 10k-only smoke),
 //! * `--sizes <a,b,..>` — comma-separated task-count override for
 //!   binaries that sweep graph sizes (`perf_report`: replaces the
-//!   built-in mapper/GA size lists, including the `--full` extension).
+//!   built-in mapper/GA size lists, including the `--full` extension),
+//! * `--service` — service-mode run (`perf_report`: many-client load
+//!   against the long-lived `MapService`, reporting throughput,
+//!   latency percentiles, cache hit rate and shard utilization),
+//! * `--out <path>` — output-file override for binaries that write a
+//!   JSON report (`perf_report`: defaults are `BENCH_mapper.json`,
+//!   `BENCH_mapper_xl.json` for `--xl`, `BENCH_service.json` for
+//!   `--service`).
 
 /// Parsed common options.
 #[derive(Clone, Debug)]
@@ -45,6 +52,11 @@ pub struct Opts {
     pub ga_only: bool,
     /// Scale-tier run (`perf_report`: 10k–100k-node rows).
     pub xl: bool,
+    /// Service-mode run (`perf_report`: concurrent-client load against
+    /// the long-lived `MapService`).
+    pub service: bool,
+    /// Output-file override for report-writing binaries.
+    pub out: Option<String>,
     /// Explicit task-count list (`None` = binary default sweep).
     pub sizes: Option<Vec<usize>>,
 }
@@ -67,6 +79,8 @@ impl Opts {
             report_schedules: None,
             ga_only: false,
             xl: false,
+            service: false,
+            out: None,
             sizes: None,
         };
         let mut it = args.into_iter();
@@ -106,10 +120,17 @@ impl Opts {
                         opts.sizes = None;
                     }
                 }
+                "--out" => {
+                    opts.out = it.next().filter(|v| !v.is_empty());
+                    if opts.out.is_none() {
+                        eprintln!("warning: --out requires a path; using the default");
+                    }
+                }
                 "--full" => opts.full = true,
                 "--quick" => opts.quick = true,
                 "--ga-only" => opts.ga_only = true,
                 "--xl" => opts.xl = true,
+                "--service" => opts.service = true,
                 other => eprintln!("warning: ignoring unknown flag {other}"),
             }
         }
@@ -183,6 +204,24 @@ mod tests {
         assert!(parse(&["--xl"]).xl);
         let o = parse(&["--xl", "--quick"]);
         assert!(o.xl && o.quick, "--xl combines with --quick");
+    }
+
+    #[test]
+    fn service_flag() {
+        assert!(!parse(&[]).service);
+        let o = parse(&["--service", "--quick"]);
+        assert!(o.service && o.quick, "--service combines with --quick");
+    }
+
+    #[test]
+    fn out_flag() {
+        assert_eq!(parse(&[]).out, None);
+        assert_eq!(
+            parse(&["--out", "reports/run.json"]).out,
+            Some("reports/run.json".to_string())
+        );
+        assert_eq!(parse(&["--out"]).out, None, "missing value ignored");
+        assert_eq!(parse(&["--out", ""]).out, None, "empty value ignored");
     }
 
     #[test]

@@ -23,6 +23,7 @@
 pub mod algos;
 pub mod cli;
 pub mod report;
+pub mod service_load;
 pub mod sweep;
 pub mod workload;
 

@@ -395,11 +395,39 @@ struct CandidateSim {
     aborted: u32,
 }
 
+/// Where a [`CandidateBatch`]'s evaluation tables come from: built for
+/// this run (the classic path) or borrowed from a shared, pre-built
+/// artifact (the service path, where repeat graphs skip table
+/// construction entirely).  `Deref` makes the two indistinguishable to
+/// the engine — every `self.tables.…` site reads through it.
+// One instance lives per engine (never in collections), so the size
+// spread between the owned tables and the borrow is irrelevant.
+#[allow(clippy::large_enum_variant)]
+pub enum TablesSource<'g> {
+    /// Tables built by and owned by this engine.
+    Owned(EvalTables<'g>),
+    /// Tables shared from a longer-lived owner (e.g. a cached
+    /// `EvalArtifact`).  Immutable, so sharing cannot perturb results.
+    Shared(&'g EvalTables<'g>),
+}
+
+impl<'g> std::ops::Deref for TablesSource<'g> {
+    type Target = EvalTables<'g>;
+
+    #[inline]
+    fn deref(&self) -> &EvalTables<'g> {
+        match self {
+            TablesSource::Owned(t) => t,
+            TablesSource::Shared(t) => t,
+        }
+    }
+}
+
 /// The candidate evaluation engine of one mapper run: shared immutable
 /// [`EvalTables`], the current mapping with its fingerprint and load
 /// aggregates, the makespan memo, and one worker state per thread.
 pub struct CandidateBatch<'g> {
-    tables: EvalTables<'g>,
+    tables: TablesSource<'g>,
     subgraphs: Vec<Vec<NodeId>>,
     devices: Vec<DeviceId>,
     cfg: EngineConfig,
@@ -486,6 +514,44 @@ impl<'g> CandidateBatch<'g> {
         cost: CostModel,
     ) -> Self {
         let tables = EvalTables::with_numbering(graph, platform, cfg.numbering);
+        Self::from_source(TablesSource::Owned(tables), subgraphs, devices, cfg, cost)
+    }
+
+    /// Build the engine on *pre-built* shared tables (e.g. from a cached
+    /// `EvalArtifact`), skipping table construction.  Because the tables
+    /// are immutable and every engine input beyond them is per-run, an
+    /// engine on shared tables is bit-identical to one that built its
+    /// own — cold and warm cache cannot diverge.
+    ///
+    /// # Panics
+    ///
+    /// If `cfg.numbering` disagrees with the numbering the tables were
+    /// laid out under (a mismatched artifact would silently evaluate a
+    /// different interior order).
+    pub fn with_shared_tables(
+        tables: &'g EvalTables<'g>,
+        subgraphs: Vec<Vec<NodeId>>,
+        devices: Vec<DeviceId>,
+        cfg: EngineConfig,
+        cost: CostModel,
+    ) -> Self {
+        assert_eq!(
+            cfg.numbering,
+            tables.numbering(),
+            "shared tables were built under a different numbering than the engine config"
+        );
+        Self::from_source(TablesSource::Shared(tables), subgraphs, devices, cfg, cost)
+    }
+
+    fn from_source(
+        tables: TablesSource<'g>,
+        subgraphs: Vec<Vec<NodeId>>,
+        devices: Vec<DeviceId>,
+        cfg: EngineConfig,
+        cost: CostModel,
+    ) -> Self {
+        let graph = tables.graph();
+        let platform = tables.platform();
         let schedules = match cost {
             CostModel::Bfs => ReportSchedules::bfs_only(graph),
             CostModel::Report { schedules, seed } => {

@@ -244,10 +244,44 @@ pub fn try_decomposition_map(
 ) -> Result<MapperResult, MapperError> {
     let subgraphs = build_subgraphs(graph, cfg.strategy);
     let devices: Vec<DeviceId> = platform.device_ids().collect();
-    let mut engine =
+    let engine =
         CandidateBatch::with_cost(graph, platform, subgraphs, devices, cfg.engine, cfg.cost);
+    drive_search(engine, cfg)
+}
+
+/// Run decomposition-based mapping on *pre-built* shared evaluation
+/// tables (e.g. from a service's artifact cache), skipping table
+/// construction.  Graph and platform are recovered from the tables; the
+/// run is bit-identical to [`try_decomposition_map`] on the same inputs
+/// — the tables are immutable and everything downstream of them is
+/// per-run state.
+///
+/// # Panics
+///
+/// If `cfg.engine.numbering` disagrees with the numbering the tables
+/// were built under (see [`CandidateBatch::with_shared_tables`]).
+pub fn try_decomposition_map_with_tables<'g>(
+    tables: &'g spmap_model::EvalTables<'g>,
+    cfg: &MapperConfig,
+) -> Result<MapperResult, MapperError> {
+    let graph = tables.graph();
+    let subgraphs = build_subgraphs(graph, cfg.strategy);
+    let devices: Vec<DeviceId> = tables.platform().device_ids().collect();
+    let engine =
+        CandidateBatch::with_shared_tables(tables, subgraphs, devices, cfg.engine, cfg.cost);
+    drive_search(engine, cfg)
+}
+
+/// The search loop shared by the owned-tables and shared-tables entry
+/// points: identical decisions regardless of where the tables came from.
+fn drive_search(
+    mut engine: CandidateBatch<'_>,
+    cfg: &MapperConfig,
+) -> Result<MapperResult, MapperError> {
     let cpu_only = engine.current_makespan();
-    let cap = cfg.iteration_cap.unwrap_or(graph.node_count().max(1));
+    let cap = cfg
+        .iteration_cap
+        .unwrap_or(engine.tables().graph().node_count().max(1));
 
     let (iterations, history) = match cfg.heuristic {
         SearchHeuristic::Exhaustive => exhaustive_search(&mut engine, cap, cfg.engine.prune)?,

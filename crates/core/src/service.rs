@@ -1,0 +1,432 @@
+//! Mapping-as-a-service: a long-lived front end over the decomposition
+//! mapper for concurrent callers.
+//!
+//! A [`MapService`] wraps two pieces of shared state:
+//!
+//! * an **admission gate** — a bounded request queue with
+//!   reject-over-buffer semantics: at most `max_inflight` requests run
+//!   concurrently, at most `max_queued` more wait for a slot, and
+//!   anything beyond that is rejected immediately with
+//!   [`ServiceError::Overloaded`] (unbounded buffering would trade an
+//!   honest error for silent latency collapse);
+//! * an **artifact cache** — a content-addressed, byte-budgeted LRU of
+//!   [`EvalArtifact`]s (`spmap_model::artifact`), so a repeat graph +
+//!   platform skips [`EvalTables`](spmap_model::EvalTables) construction
+//!   entirely and shares one immutable build across all concurrent
+//!   requests that need it.
+//!
+//! Requests execute *on the caller's thread* ([`MapService::submit`] is
+//! synchronous); the service adds no threads of its own.  Parallelism
+//! inside each request comes from the candidate engine exactly as in a
+//! direct [`decomposition_map`](crate::decomposition_map) call, so the
+//! sharded worker pool in `spmap-par` serves co-running requests from
+//! distinct shards.
+//!
+//! ## Determinism
+//!
+//! A response is a pure function of its request.  The cache can only
+//! substitute a *bit-identical* table build (the content key covers
+//! every table input — see `spmap_model::artifact` on key soundness),
+//! and admission control delays or rejects requests but never alters
+//! one.  Cold cache, warm cache, any shard count, any co-runner mix:
+//! same mapping, same makespan, bit for bit.  The service reads no
+//! clocks; latency measurement belongs to the benchmark harness.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use spmap_graph::TaskGraph;
+use spmap_model::{artifact_key, ArtifactCache, ArtifactCacheStats, EvalArtifact, Platform};
+
+use crate::mapper::{try_decomposition_map_with_tables, MapperConfig, MapperError, MapperResult};
+
+/// Sizing of a [`MapService`].  The all-zero default defers every
+/// bound to its runtime-derived value.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceConfig {
+    /// Maximum requests executing concurrently.  `0` selects the shard
+    /// count of the parallel runtime — one running request per pool
+    /// shard keeps engine batches from queuing on a shared shard.
+    pub max_inflight: usize,
+    /// Maximum requests waiting for an execution slot beyond
+    /// `max_inflight`; the next request is rejected, not buffered.
+    pub max_queued: usize,
+    /// Byte budget of the artifact cache (`0` selects
+    /// [`spmap_model::DEFAULT_ARTIFACT_BUDGET_BYTES`]).
+    pub cache_budget_bytes: usize,
+}
+
+/// A typed failure of one service request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Admission control rejected the request: the run slots and the
+    /// bounded wait queue were both full at arrival.
+    Overloaded {
+        /// Requests running when this one was rejected.
+        inflight: usize,
+        /// Requests already waiting when this one was rejected.
+        queued: usize,
+    },
+    /// The mapper itself failed (NaN improvement deltas).
+    Mapper(MapperError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Overloaded { inflight, queued } => write!(
+                f,
+                "service overloaded: {inflight} requests in flight and {queued} queued; \
+                 retry later or raise ServiceConfig::max_queued"
+            ),
+            ServiceError::Mapper(e) => write!(f, "mapper failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<MapperError> for ServiceError {
+    fn from(e: MapperError) -> Self {
+        ServiceError::Mapper(e)
+    }
+}
+
+/// One mapping request: the inputs of a
+/// [`decomposition_map`](crate::decomposition_map) call, with graph and
+/// platform behind `Arc` so the cache can keep them alive past the
+/// request.
+#[derive(Clone)]
+pub struct MapRequest {
+    /// The task graph to map.
+    pub graph: Arc<TaskGraph>,
+    /// The platform to map onto.
+    pub platform: Arc<Platform>,
+    /// Full mapper configuration (strategy, heuristic, engine tuning).
+    pub config: MapperConfig,
+}
+
+/// One successful service response.
+#[derive(Clone, Debug)]
+pub struct MapResponse {
+    /// The mapper's result, bit-identical to a direct
+    /// [`decomposition_map`](crate::decomposition_map) call with the
+    /// request's inputs (including the dispatch counters' shard lane).
+    pub result: MapperResult,
+    /// Whether the evaluation tables came from the artifact cache
+    /// (`true`) or were built — and cached — by this request (`false`).
+    /// Diagnostic only: both paths produce identical results.
+    pub cache_hit: bool,
+    /// The content key the tables are cached under.
+    pub artifact_key: u128,
+}
+
+/// Lifetime counters of a [`MapService`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests admitted (ran or started waiting for a slot).
+    pub admitted: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Requests completed (successfully or with a mapper error).
+    pub completed: u64,
+    /// High-water mark of concurrently running requests — never exceeds
+    /// `ServiceConfig::max_inflight` (the stress suite pins this).
+    pub peak_inflight: usize,
+    /// High-water mark of waiting requests — never exceeds
+    /// `ServiceConfig::max_queued`.
+    pub peak_queued: usize,
+    /// Artifact-cache counters (hits, misses, evictions, peaks).
+    pub cache: ArtifactCacheStats,
+}
+
+/// Admission state behind the gate mutex.
+struct Gate {
+    inflight: usize,
+    queued: usize,
+    admitted: u64,
+    rejected: u64,
+    completed: u64,
+    peak_inflight: usize,
+    peak_queued: usize,
+}
+
+/// A long-lived mapping service; see the module docs.  Cheap to share
+/// (`Arc<MapService>`) and safe to call from any number of threads.
+pub struct MapService {
+    max_inflight: usize,
+    max_queued: usize,
+    gate: Mutex<Gate>,
+    /// Signalled when a run slot frees up.
+    slot_cv: Condvar,
+    cache: Mutex<ArtifactCache>,
+}
+
+impl MapService {
+    /// A service sized by `cfg` (see [`ServiceConfig`] for the `0` =
+    /// auto conventions).
+    pub fn new(cfg: ServiceConfig) -> Self {
+        let max_inflight = if cfg.max_inflight == 0 {
+            spmap_par::num_shards()
+        } else {
+            cfg.max_inflight
+        };
+        Self {
+            max_inflight,
+            max_queued: cfg.max_queued,
+            gate: Mutex::new(Gate {
+                inflight: 0,
+                queued: 0,
+                admitted: 0,
+                rejected: 0,
+                completed: 0,
+                peak_inflight: 0,
+                peak_queued: 0,
+            }),
+            slot_cv: Condvar::new(),
+            cache: Mutex::new(ArtifactCache::new(cfg.cache_budget_bytes)),
+        }
+    }
+
+    /// The effective concurrent-execution bound.
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// Execute `request` on the calling thread, waiting for an
+    /// execution slot if all are busy and queue room remains.
+    ///
+    /// Returns [`ServiceError::Overloaded`] without blocking when both
+    /// the run slots and the bounded wait queue are full, and
+    /// [`ServiceError::Mapper`] if the mapper itself fails; either way
+    /// the slot accounting is restored.
+    pub fn submit(&self, request: &MapRequest) -> Result<MapResponse, ServiceError> {
+        self.admit()?;
+        let outcome = self.run(request);
+        self.release();
+        outcome
+    }
+
+    /// Lifetime counters (gate and cache), taken atomically per lock.
+    pub fn stats(&self) -> ServiceStats {
+        let g = self.gate.lock().expect("service gate poisoned");
+        let cache = self.cache.lock().expect("artifact cache poisoned").stats();
+        ServiceStats {
+            admitted: g.admitted,
+            rejected: g.rejected,
+            completed: g.completed,
+            peak_inflight: g.peak_inflight,
+            peak_queued: g.peak_queued,
+            cache,
+        }
+    }
+
+    /// Acquire a run slot or reject.
+    fn admit(&self) -> Result<(), ServiceError> {
+        let mut g = self.gate.lock().expect("service gate poisoned");
+        if g.inflight >= self.max_inflight {
+            if g.queued >= self.max_queued {
+                g.rejected += 1;
+                return Err(ServiceError::Overloaded {
+                    inflight: g.inflight,
+                    queued: g.queued,
+                });
+            }
+            g.admitted += 1;
+            g.queued += 1;
+            g.peak_queued = g.peak_queued.max(g.queued);
+            while g.inflight >= self.max_inflight {
+                g = self.slot_cv.wait(g).expect("service gate poisoned");
+            }
+            g.queued -= 1;
+        } else {
+            g.admitted += 1;
+        }
+        g.inflight += 1;
+        g.peak_inflight = g.peak_inflight.max(g.inflight);
+        Ok(())
+    }
+
+    /// Return a run slot and wake one waiter.
+    fn release(&self) {
+        let mut g = self.gate.lock().expect("service gate poisoned");
+        g.inflight -= 1;
+        g.completed += 1;
+        drop(g);
+        self.slot_cv.notify_one();
+    }
+
+    /// The cached-or-built artifact path plus the mapper run.
+    fn run(&self, request: &MapRequest) -> Result<MapResponse, ServiceError> {
+        let key = artifact_key(
+            &request.graph,
+            &request.platform,
+            request.config.engine.numbering,
+        );
+        let (artifact, cache_hit) = {
+            let hit = self
+                .cache
+                .lock()
+                .expect("artifact cache poisoned")
+                .lookup(key);
+            match hit {
+                Some(a) => (a, true),
+                None => {
+                    // Build outside the cache lock — table construction
+                    // is the expensive part, and a concurrent request
+                    // for a *different* graph must not wait behind it.
+                    // A racing builder of the same key is resolved by
+                    // `insert`: the first resident build wins and both
+                    // requests share it.
+                    let built = Arc::new(EvalArtifact::build(
+                        Arc::clone(&request.graph),
+                        Arc::clone(&request.platform),
+                        request.config.engine.numbering,
+                    ));
+                    let shared = self
+                        .cache
+                        .lock()
+                        .expect("artifact cache poisoned")
+                        .insert(built);
+                    (shared, false)
+                }
+            }
+        };
+        let result = try_decomposition_map_with_tables(artifact.tables(), &request.config)?;
+        Ok(MapResponse {
+            result,
+            cache_hit,
+            artifact_key: key,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::decomposition_map;
+    use spmap_graph::gen::{random_sp_graph, SpGenConfig};
+    use spmap_graph::{augment, AugmentConfig};
+
+    fn request(seed: u64) -> MapRequest {
+        let mut g = random_sp_graph(&SpGenConfig::new(24, seed));
+        augment(&mut g, &AugmentConfig::default(), seed);
+        MapRequest {
+            graph: Arc::new(g),
+            platform: Arc::new(Platform::reference()),
+            config: MapperConfig::sp_first_fit(),
+        }
+    }
+
+    #[test]
+    fn service_matches_direct_mapper_cold_and_warm() {
+        let svc = MapService::new(ServiceConfig::default());
+        let req = request(3);
+        let direct = decomposition_map(&req.graph, &req.platform, &req.config);
+        let cold = svc.submit(&req).expect("cold run");
+        let warm = svc.submit(&req).expect("warm run");
+        assert!(!cold.cache_hit);
+        assert!(warm.cache_hit, "second identical request must hit");
+        for r in [&cold, &warm] {
+            assert_eq!(r.result.mapping, direct.mapping);
+            assert_eq!(r.result.makespan, direct.makespan);
+            assert_eq!(r.result.history, direct.history);
+            assert_eq!(r.result.batch, direct.batch);
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 1);
+    }
+
+    #[test]
+    fn zero_queue_service_rejects_over_capacity() {
+        // max_inflight = 1, max_queued = 0: with a request holding the
+        // slot, a second submission is rejected, not buffered.  The
+        // holder is simulated through the internal gate so the test
+        // needs no timing.
+        let svc = MapService::new(ServiceConfig {
+            max_inflight: 1,
+            max_queued: 0,
+            cache_budget_bytes: 0,
+        });
+        svc.admit().expect("first slot");
+        let err = svc.submit(&request(1)).expect_err("must reject");
+        assert_eq!(
+            err,
+            ServiceError::Overloaded {
+                inflight: 1,
+                queued: 0
+            }
+        );
+        svc.release();
+        assert!(svc.submit(&request(1)).is_ok(), "slot freed");
+        let stats = svc.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.peak_inflight, 1);
+    }
+
+    #[test]
+    fn queued_submissions_wait_and_complete() {
+        // 4 threads through a 1-slot service with queue room for all:
+        // everything completes, nothing rejected, inflight never
+        // exceeds 1.
+        let svc = Arc::new(MapService::new(ServiceConfig {
+            max_inflight: 1,
+            max_queued: 3,
+            cache_budget_bytes: 0,
+        }));
+        let req = request(5);
+        let direct = decomposition_map(&req.graph, &req.platform, &req.config);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let svc = Arc::clone(&svc);
+                let req = req.clone();
+                std::thread::spawn(move || svc.submit(&req).expect("admitted"))
+            })
+            .collect();
+        for h in handles {
+            let resp = h.join().expect("no panic");
+            assert_eq!(resp.result.mapping, direct.mapping);
+            assert_eq!(resp.result.makespan, direct.makespan);
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.peak_inflight, 1, "gate must serialize");
+        assert!(stats.peak_queued <= 3);
+        assert_eq!(stats.cache.misses, 1, "one build, three hits");
+        assert_eq!(stats.cache.hits, 3);
+    }
+
+    #[test]
+    fn mapper_errors_release_the_slot() {
+        use spmap_graph::{GraphBuilder, Task};
+        let mut b = GraphBuilder::new();
+        b.add_task(Task {
+            complexity: f64::INFINITY,
+            data_points: 1e7,
+            parallelizability: 0.5,
+            streamability: 1.0,
+            area: 10.0,
+            ..Task::default()
+        });
+        let req = MapRequest {
+            graph: Arc::new(b.build().unwrap()),
+            platform: Arc::new(Platform::reference()),
+            config: MapperConfig::single_node(),
+        };
+        let svc = MapService::new(ServiceConfig {
+            max_inflight: 1,
+            max_queued: 0,
+            cache_budget_bytes: 0,
+        });
+        let err = svc.submit(&req).expect_err("NaN deltas must surface");
+        assert!(matches!(
+            err,
+            ServiceError::Mapper(MapperError::NanDelta { .. })
+        ));
+        // The slot was released despite the error.
+        assert!(svc.submit(&request(2)).is_ok());
+        assert_eq!(svc.stats().completed, 2);
+    }
+}

@@ -18,8 +18,9 @@
 //!   in a way the equivalence matrix can only catch probabilistically.
 //! * [`no-env-outside-config`] — `std::env::var`/`var_os` is confined
 //!   to the sanctioned parse helpers (`spmap_par::num_threads` /
-//!   `backend` and friends in `crates/par/src/lib.rs`), so ambient
-//!   configuration can never leak into a decision path unaudited.
+//!   `backend` / `num_shards` and friends in `crates/par/src/lib.rs`),
+//!   so ambient configuration can never leak into a decision path
+//!   unaudited.
 //! * [`no-wallclock-in-decisions`] — `Instant`/`SystemTime` are
 //!   confined to the bench harness, the criterion shim and examples;
 //!   crates whose outputs are Eq-compared must not read the clock.
@@ -451,7 +452,8 @@ fn wallclock_allowed(rel: &Path) -> bool {
 }
 
 /// The sanctioned home of `std::env::var`: the defensive parse helpers
-/// (`num_threads` / `backend` / `parse_threads` / `parse_pool`).
+/// (`num_threads` / `backend` / `num_shards` / `parse_threads` /
+/// `parse_pool` / `parse_shards`).
 fn env_sanctioned(rel: &Path) -> bool {
     rel == Path::new("crates/par/src/lib.rs")
 }

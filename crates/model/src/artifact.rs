@@ -1,0 +1,405 @@
+//! Owned, shareable evaluation artifacts and their content-addressed
+//! cache.
+//!
+//! [`EvalTables`] borrows its graph and platform (`EvalTables<'g>`),
+//! which is the right shape for one mapper run on one caller's data —
+//! but a long-lived mapping service wants to *share* the expensive
+//! table build across requests that submit the same graph.  An
+//! [`EvalArtifact`] owns graph, platform and tables together behind an
+//! `Arc`, so any number of concurrent requests can evaluate against one
+//! immutable build.
+//!
+//! ## Cache-key soundness
+//!
+//! Artifacts are addressed by [`artifact_key`], which chains
+//! [`graph_fingerprint`] and [`platform_fingerprint`] (both covering
+//! exactly the inputs `EvalTables` reads — task attributes, edge lists
+//! in semantic order, device specs, the link table) with the
+//! [`Numbering`] the tables were laid out under.  Everything that can
+//! change a table entry changes the key; names, which never reach the
+//! evaluator, do not.  A 128-bit collision (birthday bound ≈ `k²/2^129`
+//! over `k` distinct graphs) would reuse a wrong-but-deterministic
+//! table — the same trade the mapping memo already makes.
+//!
+//! ## Eviction
+//!
+//! [`ArtifactCache`] is a byte-budgeted LRU in the mold of the engine's
+//! `BoundedMemo`: entries carry a monotone use stamp and eviction drops
+//! the stalest entries until the budget holds (always keeping the entry
+//! just inserted, so a single oversized artifact still serves its
+//! request).  Storage is a plain `Vec` scanned linearly — the cache
+//! holds at most a few dozen distinct (graph, platform) builds, the
+//! `u128` key compare is trivial next to a table build, and a `Vec`
+//! keeps iteration deterministic without hash-order pragmas.
+
+use std::sync::Arc;
+
+use spmap_graph::TaskGraph;
+
+use crate::eval::{EvalTables, Numbering};
+use crate::fingerprint::{graph_fingerprint, platform_fingerprint};
+use crate::platform::Platform;
+
+/// Chain two content fingerprints and a numbering tag into one cache
+/// key.  Chained (not XORed) so swapping the graph and platform
+/// contributions can never collide.
+pub fn artifact_key(graph: &TaskGraph, platform: &Platform, numbering: Numbering) -> u128 {
+    let g = graph_fingerprint(graph);
+    let p = platform_fingerprint(platform);
+    let tag = match numbering {
+        Numbering::Identity => 0x1d_u128,
+        Numbering::PopOrder => 0x90_u128,
+    };
+    // 128-bit mixing via multiply-rotate chaining, seeded per lane.
+    let rot = |x: u128, k: u32| x.rotate_left(k);
+    rot(g, 17)
+        .wrapping_mul(0x2d35_8dcc_aa6c_78a5_f4a7_c159_9e37_79b9)
+        .wrapping_add(rot(p, 71))
+        .wrapping_mul(0x8bb8_4b93_962e_acc9_d192_ed03_d1b5_4a33)
+        .wrapping_add(tag)
+}
+
+/// An owned evaluation build: the graph, the platform and the
+/// [`EvalTables`] constructed from them, packaged so the borrowing
+/// tables can be shared across threads and outlive the request that
+/// built them.
+pub struct EvalArtifact {
+    /// Declared (and therefore dropped) before the `Arc`s below — the
+    /// tables' internal references must die first.
+    tables: EvalTables<'static>,
+    /// Keep-alive owners of the data `tables` borrows.  Never exposed
+    /// mutably and never replaced; the artifact's accessors reborrow
+    /// them at `&self` lifetime.
+    graph: Arc<TaskGraph>,
+    platform: Arc<Platform>,
+    key: u128,
+}
+
+impl EvalArtifact {
+    /// Build the tables for `(graph, platform, numbering)` and package
+    /// them as a shareable artifact.
+    pub fn build(graph: Arc<TaskGraph>, platform: Arc<Platform>, numbering: Numbering) -> Self {
+        let key = artifact_key(&graph, &platform, numbering);
+        // SAFETY: the `'static` here is a private loan, not a promise.
+        // The references point into `Arc` heap allocations whose
+        // addresses are stable for the `Arc`s' lifetime; both `Arc`s
+        // are stored in the same struct and never swapped or exposed
+        // mutably, so they outlive `tables` (declared first, dropped
+        // first).  No accessor leaks the `'static` lifetime: `tables()`
+        // reborrows at `&self`, shrinking it via covariance.
+        let (g, p) = unsafe {
+            (
+                &*(Arc::as_ptr(&graph)),
+                &*(Arc::as_ptr(&platform)) as &'static Platform,
+            )
+        };
+        let tables = EvalTables::with_numbering(g, p, numbering);
+        Self {
+            tables,
+            graph,
+            platform,
+            key,
+        }
+    }
+
+    /// The shared evaluation tables, reborrowed at the artifact's
+    /// lifetime (covariance shrinks the internal `'static` loan).
+    #[inline]
+    pub fn tables(&self) -> &EvalTables<'_> {
+        &self.tables
+    }
+
+    /// The owned graph.
+    #[inline]
+    pub fn graph(&self) -> &Arc<TaskGraph> {
+        &self.graph
+    }
+
+    /// The owned platform.
+    #[inline]
+    pub fn platform(&self) -> &Arc<Platform> {
+        &self.platform
+    }
+
+    /// The content key this artifact is cached under.
+    #[inline]
+    pub fn key(&self) -> u128 {
+        self.key
+    }
+
+    /// Approximate heap footprint (tables plus graph/platform payload),
+    /// the unit of the cache budget.
+    pub fn approx_bytes(&self) -> usize {
+        let graph_bytes = self.graph.node_count() * std::mem::size_of::<spmap_graph::Task>()
+            + self.graph.edge_count() * (std::mem::size_of::<spmap_graph::Edge>() + 8);
+        let platform_bytes = self.platform.device_count() * 160;
+        self.tables.table_bytes() + graph_bytes + platform_bytes
+    }
+}
+
+/// Counters of one [`ArtifactCache`]'s lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArtifactCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (the caller builds and inserts).
+    pub misses: u64,
+    /// Artifacts evicted to hold the byte budget.
+    pub evictions: u64,
+    /// High-water mark of resident bytes.
+    pub peak_bytes: usize,
+    /// High-water mark of resident artifacts.
+    pub peak_entries: usize,
+}
+
+struct CacheEntry {
+    key: u128,
+    artifact: Arc<EvalArtifact>,
+    /// Monotone last-use stamp (the LRU order).
+    stamp: u64,
+    bytes: usize,
+}
+
+/// A byte-budgeted, content-addressed LRU of [`EvalArtifact`]s.  Not
+/// internally synchronized — the service wraps it in a `Mutex` and
+/// drops the lock while building a missing artifact.
+pub struct ArtifactCache {
+    entries: Vec<CacheEntry>,
+    clock: u64,
+    budget_bytes: usize,
+    cur_bytes: usize,
+    stats: ArtifactCacheStats,
+}
+
+/// Default artifact-cache budget: enough for dozens of mid-size builds
+/// while bounding a service's steady-state footprint.
+pub const DEFAULT_ARTIFACT_BUDGET_BYTES: usize = 64 << 20;
+
+impl ArtifactCache {
+    /// An empty cache holding at most ~`budget_bytes` of artifacts
+    /// (`0` selects [`DEFAULT_ARTIFACT_BUDGET_BYTES`]).
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            entries: Vec::new(),
+            clock: 0,
+            budget_bytes: if budget_bytes == 0 {
+                DEFAULT_ARTIFACT_BUDGET_BYTES
+            } else {
+                budget_bytes
+            },
+            cur_bytes: 0,
+            stats: ArtifactCacheStats::default(),
+        }
+    }
+
+    /// The artifact cached under `key`, refreshing its LRU stamp.
+    pub fn lookup(&mut self, key: u128) -> Option<Arc<EvalArtifact>> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.iter_mut().find(|e| e.key == key) {
+            Some(e) => {
+                e.stamp = clock;
+                self.stats.hits += 1;
+                Some(Arc::clone(&e.artifact))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert `artifact` under its own key, evicting
+    /// least-recently-used entries until the budget holds (the new
+    /// entry itself is never evicted).  A concurrent builder may have
+    /// inserted the same key while this caller built without the lock;
+    /// the existing entry wins so every holder shares one build.
+    pub fn insert(&mut self, artifact: Arc<EvalArtifact>) -> Arc<EvalArtifact> {
+        self.clock += 1;
+        let key = artifact.key();
+        if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
+            e.stamp = self.clock;
+            return Arc::clone(&e.artifact);
+        }
+        let bytes = artifact.approx_bytes();
+        self.entries.push(CacheEntry {
+            key,
+            artifact: Arc::clone(&artifact),
+            stamp: self.clock,
+            bytes,
+        });
+        self.cur_bytes += bytes;
+        while self.cur_bytes > self.budget_bytes && self.entries.len() > 1 {
+            // Evict the stalest entry; stamps are unique, so the
+            // minimum is unambiguous and scan order cannot matter.
+            let oldest = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("entries is non-empty");
+            let evicted = self.entries.swap_remove(oldest);
+            self.cur_bytes -= evicted.bytes;
+            self.stats.evictions += 1;
+        }
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.cur_bytes);
+        self.stats.peak_entries = self.stats.peak_entries.max(self.entries.len());
+        artifact
+    }
+
+    /// Resident artifact count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resident bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.cur_bytes
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ArtifactCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmap_graph::{GraphBuilder, Task};
+
+    fn chain_graph(n: usize, area: f64) -> Arc<TaskGraph> {
+        let mut b = GraphBuilder::new();
+        let first = b.add_task(Task {
+            area,
+            ..Task::default()
+        });
+        let mut prev = first;
+        for _ in 1..n {
+            let v = b.add_task(Task {
+                area,
+                ..Task::default()
+            });
+            b.add_edge(prev, v, 64.0).unwrap();
+            prev = v;
+        }
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn artifact_tables_match_a_direct_build() {
+        let graph = chain_graph(12, 1.0);
+        let platform = Arc::new(Platform::reference());
+        let art = EvalArtifact::build(
+            Arc::clone(&graph),
+            Arc::clone(&platform),
+            Numbering::PopOrder,
+        );
+        let direct = EvalTables::with_numbering(&graph, &platform, Numbering::PopOrder);
+        assert_eq!(art.tables().exec_table(), direct.exec_table());
+        assert_eq!(art.tables().node_count(), 12);
+        assert_eq!(
+            art.key(),
+            artifact_key(&graph, &platform, Numbering::PopOrder)
+        );
+    }
+
+    #[test]
+    fn artifact_key_separates_numbering_and_content() {
+        let graph = chain_graph(8, 1.0);
+        let platform = Arc::new(Platform::reference());
+        let k1 = artifact_key(&graph, &platform, Numbering::PopOrder);
+        assert_ne!(
+            k1,
+            artifact_key(&graph, &platform, Numbering::Identity),
+            "numbering changes table layout, so it must change the key"
+        );
+        assert_ne!(
+            k1,
+            artifact_key(&chain_graph(8, 2.0), &platform, Numbering::PopOrder)
+        );
+        assert_ne!(
+            k1,
+            artifact_key(&graph, &Arc::new(Platform::cpu_only()), Numbering::PopOrder)
+        );
+    }
+
+    #[test]
+    fn cache_hits_and_refreshes_lru() {
+        let platform = Arc::new(Platform::reference());
+        let mut cache = ArtifactCache::new(usize::MAX);
+        let a = Arc::new(EvalArtifact::build(
+            chain_graph(6, 1.0),
+            Arc::clone(&platform),
+            Numbering::PopOrder,
+        ));
+        assert!(cache.lookup(a.key()).is_none());
+        cache.insert(Arc::clone(&a));
+        let got = cache.lookup(a.key()).expect("cached");
+        assert!(Arc::ptr_eq(&got, &a), "one shared build");
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn cache_evicts_stalest_under_budget_but_keeps_newest() {
+        let platform = Arc::new(Platform::reference());
+        let arts: Vec<Arc<EvalArtifact>> = (0..4)
+            .map(|i| {
+                Arc::new(EvalArtifact::build(
+                    chain_graph(6 + i, 1.0),
+                    Arc::clone(&platform),
+                    Numbering::PopOrder,
+                ))
+            })
+            .collect();
+        // Budget of one artifact: every insert evicts the previous one.
+        let mut cache = ArtifactCache::new(arts[0].approx_bytes());
+        for a in &arts {
+            cache.insert(Arc::clone(a));
+            assert_eq!(cache.len(), 1, "budget holds exactly the newest");
+            assert!(cache.lookup(a.key()).is_some());
+        }
+        assert_eq!(cache.stats().evictions, 3);
+        assert!(cache.lookup(arts[0].key()).is_none(), "stalest evicted");
+
+        // Roomier budget: the LRU victim is the *unused* entry.
+        let mut cache = ArtifactCache::new(3 * arts[3].approx_bytes());
+        for a in arts.iter().take(3) {
+            cache.insert(Arc::clone(a));
+        }
+        cache.lookup(arts[0].key());
+        cache.lookup(arts[1].key());
+        cache.insert(Arc::clone(&arts[3])); // evicts arts[2], the stalest
+        assert!(cache.lookup(arts[2].key()).is_none());
+        assert!(cache.lookup(arts[0].key()).is_some());
+        assert!(cache.lookup(arts[1].key()).is_some());
+        assert!(cache.lookup(arts[3].key()).is_some());
+    }
+
+    #[test]
+    fn insert_race_keeps_the_first_build() {
+        let platform = Arc::new(Platform::reference());
+        let graph = chain_graph(6, 1.0);
+        let a = Arc::new(EvalArtifact::build(
+            Arc::clone(&graph),
+            Arc::clone(&platform),
+            Numbering::PopOrder,
+        ));
+        let b = Arc::new(EvalArtifact::build(graph, platform, Numbering::PopOrder));
+        let mut cache = ArtifactCache::new(usize::MAX);
+        cache.insert(Arc::clone(&a));
+        let winner = cache.insert(Arc::clone(&b));
+        assert!(
+            Arc::ptr_eq(&winner, &a),
+            "the resident build wins a double insert"
+        );
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -20,9 +20,10 @@
 //! thousand distinct mappings of a mapper run is ≈ `k²/2^129` —
 //! negligible even for the equivalence guarantees the engine makes.
 
-use spmap_graph::NodeId;
+use spmap_graph::{NodeId, TaskGraph};
 
 use crate::mapping::Mapping;
+use crate::platform::{DeviceSpec, Platform};
 use crate::DeviceId;
 
 /// The fixed 128-bit code of assigning task `v` to device `d`.
@@ -44,6 +45,133 @@ fn mix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// An order-sensitive 128-bit content hash, built by absorbing one
+/// 64-bit word at a time.  Unlike the XOR-of-codes Zobrist scheme above
+/// (whose order-freeness is the point for *mappings*), structural
+/// content — task attributes, edge lists, link tables — is
+/// position-dependent, so each word is chained through both lanes.
+/// Not cryptographic; used as a cache key where a collision costs a
+/// wrong-but-deterministic table reuse, with the same ≈ `k²/2^129`
+/// birthday bound as the mapping memo.
+struct ContentHash {
+    lo: u64,
+    hi: u64,
+}
+
+impl ContentHash {
+    fn new(domain: u64) -> Self {
+        Self {
+            lo: mix64(domain ^ 0x9E37_79B9_7F4A_7C15),
+            hi: mix64(domain ^ 0xD1B5_4A32_D192_ED03),
+        }
+    }
+
+    #[inline]
+    fn absorb(&mut self, word: u64) {
+        self.lo = mix64(self.lo ^ word);
+        self.hi = mix64(self.hi.wrapping_add(mix64(word ^ 0xA076_1D64_78BD_642F)));
+    }
+
+    #[inline]
+    fn absorb_f64(&mut self, x: f64) {
+        // Bit pattern, not value: `-0.0` ≠ `0.0` and every NaN payload
+        // is distinct.  Conservative — distinct bits never collapse.
+        self.absorb(x.to_bits());
+    }
+
+    fn finish(self) -> u128 {
+        ((self.hi as u128) << 64) | self.lo as u128
+    }
+}
+
+/// A 128-bit content fingerprint of a task graph: node count plus every
+/// task's model attributes (in node-id order) and every edge's
+/// `(src, dst, bytes)` (in edge-id order).
+///
+/// This covers exactly the inputs [`crate::EvalTables`] reads from the
+/// graph.  Task *names* are deliberately excluded (they never reach the
+/// evaluator), and the edge order is included because it is semantic:
+/// the FPGA streaming grant goes to the first same-device out-edge.
+/// Two graphs with equal fingerprints are therefore interchangeable for
+/// table construction and makespan evaluation.
+pub fn graph_fingerprint(graph: &TaskGraph) -> u128 {
+    let mut h = ContentHash::new(0x0067_7261_7068_u64); // "graph"
+    h.absorb(graph.node_count() as u64);
+    h.absorb(graph.edge_count() as u64);
+    for v in graph.nodes() {
+        let t = graph.task(v);
+        h.absorb_f64(t.complexity);
+        h.absorb_f64(t.data_points);
+        h.absorb_f64(t.parallelizability);
+        h.absorb_f64(t.streamability);
+        h.absorb_f64(t.area);
+    }
+    for e in graph.edges() {
+        h.absorb(e.src.0 as u64);
+        h.absorb(e.dst.0 as u64);
+        h.absorb_f64(e.bytes);
+    }
+    h.finish()
+}
+
+/// A 128-bit content fingerprint of a platform: device count, every
+/// device's kind and spec parameters (in device-id order), the default
+/// device, and the full directed link table.
+///
+/// Like [`graph_fingerprint`], this covers exactly what the evaluator
+/// reads; device *names* are excluded.
+pub fn platform_fingerprint(platform: &Platform) -> u128 {
+    let mut h = ContentHash::new(0x706c_6174u64); // "plat"
+    h.absorb(platform.device_count() as u64);
+    h.absorb(platform.default_device().0 as u64);
+    for d in platform.device_ids() {
+        match &platform.device(d).spec {
+            DeviceSpec::Cpu {
+                cores,
+                core_throughput,
+            } => {
+                h.absorb(1);
+                h.absorb_f64(*cores);
+                h.absorb_f64(*core_throughput);
+            }
+            DeviceSpec::Gpu {
+                cores,
+                core_throughput,
+                dispatch_efficiency,
+                launch_latency,
+                serial_throughput,
+            } => {
+                h.absorb(2);
+                h.absorb_f64(*cores);
+                h.absorb_f64(*core_throughput);
+                h.absorb_f64(*dispatch_efficiency);
+                h.absorb_f64(*launch_latency);
+                h.absorb_f64(*serial_throughput);
+            }
+            DeviceSpec::Fpga {
+                base_throughput,
+                max_streamability,
+                area_capacity,
+                fill_fraction,
+            } => {
+                h.absorb(3);
+                h.absorb_f64(*base_throughput);
+                h.absorb_f64(*max_streamability);
+                h.absorb_f64(*area_capacity);
+                h.absorb_f64(*fill_fraction);
+            }
+        }
+    }
+    for from in platform.device_ids() {
+        for to in platform.device_ids() {
+            let link = platform.link(from, to);
+            h.absorb_f64(link.bandwidth);
+            h.absorb_f64(link.latency);
+        }
+    }
+    h.finish()
 }
 
 /// An incrementally maintained content fingerprint of a [`Mapping`].
@@ -139,6 +267,42 @@ mod tests {
                 assert!(seen.insert(fp.value()), "collision at {v}/{d}");
             }
         }
+    }
+
+    #[test]
+    fn graph_fingerprint_tracks_content_not_names() {
+        use spmap_graph::{GraphBuilder, Task};
+        let build = |area: f64, bytes: f64, name: &str| {
+            let mut b = GraphBuilder::new();
+            let a = b.add_task(Task {
+                name: name.into(),
+                area,
+                ..Task::default()
+            });
+            let c = b.add_task(Task::named("sink"));
+            b.add_edge(a, c, bytes).unwrap();
+            b.build().unwrap()
+        };
+        let base = graph_fingerprint(&build(1.0, 64.0, "x"));
+        assert_eq!(
+            base,
+            graph_fingerprint(&build(1.0, 64.0, "renamed")),
+            "names never reach the evaluator"
+        );
+        assert_ne!(base, graph_fingerprint(&build(2.0, 64.0, "x")));
+        assert_ne!(base, graph_fingerprint(&build(1.0, 65.0, "x")));
+    }
+
+    #[test]
+    fn platform_fingerprint_tracks_content() {
+        let reference = platform_fingerprint(&Platform::reference());
+        assert_eq!(
+            reference,
+            platform_fingerprint(&Platform::reference()),
+            "deterministic"
+        );
+        assert_ne!(reference, platform_fingerprint(&Platform::cpu_only()));
+        assert_ne!(reference, platform_fingerprint(&Platform::cpu_gpu()));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! subgraph move, the genetic algorithm uses it as its fitness function,
 //! and all reported numbers come from it.
 
+pub mod artifact;
 pub mod cost;
 pub mod eval;
 pub mod fingerprint;
@@ -32,11 +33,14 @@ mod multi;
 pub mod platform;
 pub mod schedule;
 
+pub use artifact::{
+    artifact_key, ArtifactCache, ArtifactCacheStats, EvalArtifact, DEFAULT_ARTIFACT_BUDGET_BYTES,
+};
 pub use eval::{
     relative_improvement, BfsCheckpoints, CheckpointSet, EvalScratch, EvalStats, EvalTables,
     Evaluator, Numbering, ScheduleCheckpoints, WindowSim, DEFAULT_CHECKPOINT_BUDGET_BYTES,
 };
-pub use fingerprint::MappingFingerprint;
+pub use fingerprint::{graph_fingerprint, platform_fingerprint, MappingFingerprint};
 pub use gantt::{render_gantt, write_gantt};
 pub use mapping::Mapping;
 pub use platform::{Device, DeviceId, DeviceKind, DeviceSpec, Link, Platform};

@@ -77,6 +77,60 @@ pub fn num_threads() -> usize {
     }
 }
 
+/// Upper bound on pool shards (and the length of the per-shard batch
+/// counters in [`DispatchStats`]).  Shards multiply *submission*
+/// concurrency, not per-batch parallelism, and more concurrent
+/// submitters than cores just contend on the same CPUs — a small fixed
+/// cap keeps the stats `Copy` and the shard scan cheap.
+pub const MAX_SHARDS: usize = 16;
+
+/// Interpret one `SPMAP_SHARDS` value:
+///
+/// * a positive integer (surrounding whitespace tolerated) is honored,
+///   capped at [`MAX_SHARDS`],
+/// * `0` and garbage (`banana`, `-3`, `1.5`, …) clamp to `Some(1)` — a
+///   single shard, i.e. the one-batch-at-a-time pool of PR 4; never a
+///   panic, never zero shards,
+/// * an empty / whitespace-only value is `None` — treated as unset
+///   (auto from core count).
+///
+/// The clamp direction mirrors [`parse_threads`]: an explicitly
+/// configured-but-broken override means the operator reached for the
+/// knob, and the conservative reading is *less* concurrency, not the
+/// machine-wide default.
+pub fn parse_shards(raw: &str) -> Option<usize> {
+    let t = raw.trim();
+    if t.is_empty() {
+        return None;
+    }
+    Some(match t.parse::<usize>() {
+        Ok(0) | Err(_) => 1,
+        Ok(n) => n.min(MAX_SHARDS),
+    })
+}
+
+/// Number of pool shards: `SPMAP_SHARDS` if set (see [`parse_shards`]),
+/// otherwise the machine's available parallelism, capped at
+/// [`MAX_SHARDS`].  Each shard accepts one batch at a time; N shards
+/// let N concurrent callers dispatch batches in parallel.
+pub fn num_shards() -> usize {
+    let machine = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(MAX_SHARDS)
+    };
+    match std::env::var_os("SPMAP_SHARDS") {
+        // Non-UTF-8 bytes are garbage, not "unset": clamp to one shard
+        // like any other unparseable override.
+        Some(v) => match v.to_str() {
+            Some(s) => parse_shards(s).unwrap_or_else(machine),
+            None => 1,
+        },
+        None => machine(),
+    }
+}
+
 /// Which execution backend [`par_map_with_threads`] uses for batches
 /// that actually go parallel.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -90,6 +144,8 @@ pub enum ParBackend {
 
 thread_local! {
     static BACKEND_OVERRIDE: Cell<Option<ParBackend>> = const { Cell::new(None) };
+    static POOL_OVERRIDE: std::cell::RefCell<Option<std::sync::Arc<Pool>>> =
+        const { std::cell::RefCell::new(None) };
     static DISPATCH: Cell<DispatchStats> = const { Cell::new(DispatchStats::new()) };
 }
 
@@ -146,6 +202,29 @@ pub fn with_backend<R>(backend: ParBackend, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Run `f` with the current thread's pool-backend batches routed to
+/// `pool` instead of the process-wide [`global_pool`]; restored
+/// afterwards (panic-safe).  Lets tests and benchmarks exercise several
+/// shard counts ([`Pool::with_shards`]) inside one process — the global
+/// pool reads `SPMAP_SHARDS` once and cannot be reconfigured.
+pub fn with_pool<R>(pool: &std::sync::Arc<Pool>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<std::sync::Arc<Pool>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            POOL_OVERRIDE.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let _restore = Restore(POOL_OVERRIDE.with(|c| c.replace(Some(std::sync::Arc::clone(pool)))));
+    f()
+}
+
+/// The pool the current thread's pool-backend batches run on: the
+/// [`with_pool`] override if one is active, otherwise `None` (the
+/// process-wide [`global_pool`]).
+fn pool_override() -> Option<std::sync::Arc<Pool>> {
+    POOL_OVERRIDE.with(|c| c.borrow().clone())
+}
+
 /// How this thread's `par_map` batches were dispatched, accumulated
 /// since thread start.  Callers snapshot before/after a run and diff
 /// with [`DispatchStats::since`]; the engines in `spmap-core` surface
@@ -176,6 +255,22 @@ pub struct DispatchStats {
     /// Pool worker threads created (amortized across the pool's whole
     /// lifetime — this is the count scoped dispatch would pay per call).
     pub pool_workers_spawned: u64,
+    /// Participant slots of this thread's pool batches claimed by a
+    /// worker *homed on another shard* (work stealing: idle workers
+    /// scan all shards, preferring their own).
+    pub pool_steals: u64,
+    /// Pool batches that found every shard's submission lock busy and
+    /// had to block for one — the contention signal the sharded pool
+    /// exists to drive to zero for up to [`num_shards`] concurrent
+    /// callers.
+    pub pool_submission_waits: u64,
+    /// Pool batches submitted per shard (index = shard; shard ids past
+    /// [`MAX_SHARDS`] − 1 — impossible via [`num_shards`] — fold into
+    /// the last bucket).  A single-threaded caller lands everything on
+    /// shard 0; concurrent callers spread out, which is exactly what
+    /// this histogram is for (shard utilization in `perf_report
+    /// --service`).
+    pub pool_shard_batches: [u64; MAX_SHARDS],
 }
 
 impl DispatchStats {
@@ -188,6 +283,9 @@ impl DispatchStats {
             pool_batches: 0,
             pool_dispatches: 0,
             pool_workers_spawned: 0,
+            pool_steals: 0,
+            pool_submission_waits: 0,
+            pool_shard_batches: [0; MAX_SHARDS],
         }
     }
 
@@ -197,6 +295,14 @@ impl DispatchStats {
     /// *different* thread (e.g. an engine constructed on one thread and
     /// driven on another) yields zeros instead of underflowing.
     pub fn since(&self, earlier: &DispatchStats) -> DispatchStats {
+        let mut pool_shard_batches = [0u64; MAX_SHARDS];
+        for (out, (now, then)) in pool_shard_batches.iter_mut().zip(
+            self.pool_shard_batches
+                .iter()
+                .zip(earlier.pool_shard_batches.iter()),
+        ) {
+            *out = now.saturating_sub(*then);
+        }
         DispatchStats {
             serial_batches: self.serial_batches.saturating_sub(earlier.serial_batches),
             nested_serial: self.nested_serial.saturating_sub(earlier.nested_serial),
@@ -207,6 +313,11 @@ impl DispatchStats {
             pool_workers_spawned: self
                 .pool_workers_spawned
                 .saturating_sub(earlier.pool_workers_spawned),
+            pool_steals: self.pool_steals.saturating_sub(earlier.pool_steals),
+            pool_submission_waits: self
+                .pool_submission_waits
+                .saturating_sub(earlier.pool_submission_waits),
+            pool_shard_batches,
         }
     }
 
@@ -348,7 +459,10 @@ where
         return serial_map(states, items, f);
     }
     match backend() {
-        ParBackend::Pool => pool::global().par_map_with_threads(threads, states, items, f),
+        ParBackend::Pool => match pool_override() {
+            Some(p) => p.par_map_with_threads(threads, states, items, f),
+            None => pool::global().par_map_with_threads(threads, states, items, f),
+        },
         ParBackend::Scoped => par_map_with_threads_scoped(threads, states, items, f),
     }
 }
@@ -415,8 +529,9 @@ where
     merge_parts(items.len(), parts)
 }
 
-/// [`par_map_with_threads`] forced onto the process-wide persistent
-/// pool, regardless of the thread's [`backend`] selection.
+/// [`par_map_with_threads`] forced onto the persistent pool, regardless
+/// of the thread's [`backend`] selection: the [`with_pool`] override if
+/// one is active, otherwise the process-wide pool.
 pub fn par_map_with_threads_pooled<S, T, R, F>(
     threads: usize,
     states: &mut WorkerStates<S>,
@@ -429,7 +544,10 @@ where
     R: Send,
     F: Fn(&mut S, usize, &T) -> R + Sync,
 {
-    pool::global().par_map_with_threads(threads, states, items, f)
+    match pool_override() {
+        Some(p) => p.par_map_with_threads(threads, states, items, f),
+        None => pool::global().par_map_with_threads(threads, states, items, f),
+    }
 }
 
 /// [`par_map_with_threads`] with the environment-configured thread count.
@@ -714,6 +832,85 @@ mod tests {
             pooled.pool_workers_spawned <= 2,
             "pool threads are created at most once, then reused"
         );
+    }
+
+    #[test]
+    fn parse_shards_accepts_positive_integers_and_caps() {
+        assert_eq!(parse_shards("1"), Some(1));
+        assert_eq!(parse_shards("8"), Some(8));
+        assert_eq!(parse_shards(" 4 "), Some(4), "whitespace tolerated");
+        assert_eq!(
+            parse_shards("999"),
+            Some(MAX_SHARDS),
+            "large counts cap at MAX_SHARDS"
+        );
+    }
+
+    #[test]
+    fn parse_shards_clamps_zero_and_garbage_to_one() {
+        // A broken override means the operator reached for the knob;
+        // one shard (the serialized PR 4 pool) is the conservative
+        // reading, mirroring parse_threads' clamp-to-serial.
+        assert_eq!(parse_shards("0"), Some(1));
+        assert_eq!(parse_shards("banana"), Some(1));
+        assert_eq!(parse_shards("-2"), Some(1));
+        assert_eq!(parse_shards("1.5"), Some(1));
+        assert_eq!(parse_shards(""), None);
+        assert_eq!(parse_shards("   "), None);
+    }
+
+    #[test]
+    fn num_shards_is_positive_and_capped() {
+        let n = num_shards();
+        assert!(n >= 1 && n <= MAX_SHARDS);
+    }
+
+    #[test]
+    fn with_pool_overrides_and_restores() {
+        // Batches inside the override must run on the given pool (its
+        // worker count grows), not the global one; outside, the
+        // override must be gone — including after a panic.
+        let pool = std::sync::Arc::new(Pool::with_shards(1));
+        let items: Vec<u32> = (0..64).collect();
+        let mut states = WorkerStates::new(3, |_| ());
+        with_backend(ParBackend::Pool, || {
+            with_pool(&pool, || {
+                let out = par_map_with_threads(3, &mut states, &items, |_, _, &x| x + 1);
+                assert_eq!(out[5], 6);
+            });
+        });
+        assert_eq!(pool.worker_count(), 2, "batch ran on the override pool");
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_pool(&pool, || panic!("interrupted"));
+        }));
+        assert!(caught.is_err());
+        assert!(
+            POOL_OVERRIDE.with(|c| c.borrow().is_none()),
+            "override must not leak past a panic"
+        );
+    }
+
+    #[test]
+    fn pool_dispatch_counts_shard_batches() {
+        let pool = std::sync::Arc::new(Pool::with_shards(2));
+        let items: Vec<u32> = (0..64).collect();
+        let mut states = WorkerStates::new(3, |_| ());
+        let base = dispatch_stats();
+        with_backend(ParBackend::Pool, || {
+            with_pool(&pool, || {
+                par_map_with_threads(3, &mut states, &items, |_, _, &x| x);
+                par_map_with_threads(3, &mut states, &items, |_, _, &x| x);
+            });
+        });
+        let d = dispatch_stats().since(&base);
+        assert_eq!(d.pool_batches, 2);
+        assert_eq!(
+            d.pool_shard_batches.iter().sum::<u64>(),
+            2,
+            "every pool batch lands in exactly one shard bucket"
+        );
+        assert_eq!(d.pool_shard_batches[0], 2, "a lone caller stays on shard 0");
+        assert_eq!(d.pool_submission_waits, 0);
     }
 
     #[test]

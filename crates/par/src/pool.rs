@@ -1,4 +1,4 @@
-//! Persistent deterministic worker pool.
+//! Persistent deterministic worker pool, sharded for concurrent callers.
 //!
 //! [`par_map_with_threads_scoped`](crate::par_map_with_threads_scoped)
 //! spawns its workers with `std::thread::scope` on **every** call.  That
@@ -10,6 +10,27 @@
 //! (lazily, growing to the largest batch ever requested), park on a
 //! condvar between batches, and are woken by batch submission.
 //!
+//! ## Sharding
+//!
+//! The pool is split into N independent **shards**
+//! ([`crate::num_shards`]; `SPMAP_SHARDS` overrides the auto count).
+//! Each shard has its own submission lock, job slot and worker set, so N
+//! concurrent callers can each drive a batch without serializing on one
+//! process-wide submission mutex — the bottleneck that made two
+//! simultaneous mapper runs take turns.  A submitting caller sweeps the
+//! shards' submission locks with `try_lock` (lowest index first — a lone
+//! caller always lands on shard 0, preserving the single-shard worker
+//! footprint) and only blocks, counted as a *submission wait*, when
+//! every shard is busy.
+//!
+//! Idle workers of **all** shards park on one shared condvar and scan
+//! every shard for unclaimed participant slots, preferring their home
+//! shard: a worker claiming from a foreign shard is a *steal*, which
+//! keeps a shard's batch moving even while its own workers are busy
+//! elsewhere.  Steals move only *which thread* executes a participant,
+//! never what it computes — the participant index, state slot and chunk
+//! claiming stay per-batch.
+//!
 //! ## Determinism
 //!
 //! A pooled batch reuses the *exact* work-distribution logic of the
@@ -20,10 +41,11 @@
 //! arena — the same slot-exclusivity contract as the scoped path — and
 //! the caller itself is participant 0, so the serial fast path and slot
 //! 0 semantics are unchanged.  Which OS thread executes which item can
-//! differ run to run (exactly as with scoped spawns); everything
-//! observable — results, their order, slot exclusivity — is identical,
-//! which is why the engines built on top stay bit-identical across
-//! {serial, scoped, pool} × thread counts (`tests/equivalence.rs`).
+//! differ run to run (exactly as with scoped spawns), and sharding only
+//! widens that freedom; everything observable — results, their order,
+//! slot exclusivity — is identical, which is why the engines built on
+//! top stay bit-identical across {serial, scoped, pool} × thread counts
+//! × shard counts (`tests/equivalence.rs`, `tests/service.rs`).
 //!
 //! ## Panic protocol
 //!
@@ -53,9 +75,9 @@ use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, TryLockError};
 
-use crate::{bump_dispatch, serial_map, WorkerStates};
+use crate::{bump_dispatch, serial_map, WorkerStates, MAX_SHARDS};
 
 thread_local! {
     /// Set for the whole lifetime of a pool worker thread.
@@ -98,21 +120,71 @@ struct Job {
 // participant index hands each worker a disjoint state slot.
 unsafe impl Send for Job {}
 
-struct PoolState {
+/// Per-shard batch state: the posted job plus the claim/drain counters
+/// of the shard's current batch.  One batch per shard at a time — the
+/// shard's submission lock serializes posts.
+struct ShardState {
     job: Option<Job>,
     /// Participant slots of the current job already claimed.
     claimed: usize,
     /// Participants still running (claimed or not yet claimed).
     active: usize,
-    shutdown: bool,
+    /// Participant slots of the current batch claimed by workers homed
+    /// on *other* shards; read by the submitter at drain.
+    steals: u64,
 }
 
-struct Shared {
-    state: Mutex<PoolState>,
-    /// Workers park here between batches.
-    work_cv: Condvar,
+/// One shard: a job slot with its drain condvar, a submission lock and
+/// a home worker set.
+struct Shard {
+    state: Mutex<ShardState>,
     /// The submitting caller parks here until `active == 0`.
     done_cv: Condvar,
+    /// Serializes batch submission *on this shard*: one batch in flight
+    /// per shard at a time; other shards proceed independently.
+    submission: Mutex<()>,
+    /// Workers homed on this shard (spawned lazily, growing to the
+    /// widest batch this shard ever saw).
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(ShardState {
+                job: None,
+                claimed: 0,
+                active: 0,
+                steals: 0,
+            }),
+            done_cv: Condvar::new(),
+            submission: Mutex::new(()),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// State shared by every worker and submitter of one pool.
+struct Shared {
+    shards: Vec<Shard>,
+    /// Guards the shutdown flag and orders job posts against workers
+    /// about to park — a worker holds this lock from its (empty) shard
+    /// scan through falling asleep on `work_cv`, so a submitter that
+    /// acquires it after posting is guaranteed to either be seen by the
+    /// scan or to wake the sleeper.  Lock order: `idle` → `Shard::state`
+    /// (never the reverse).
+    idle: Mutex<bool>,
+    /// Workers of all shards park here between batches.
+    work_cv: Condvar,
+}
+
+/// One claimed participant slot, carried from the claim (under locks)
+/// to the execution (outside them).
+struct Claim {
+    run: RunFn,
+    data: *const (),
+    part: usize,
+    shard: usize,
 }
 
 /// Survive mutex poisoning: the protected state is a counter protocol
@@ -127,14 +199,28 @@ fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
     cv.wait(g).unwrap_or_else(|e| e.into_inner())
 }
 
-/// A persistent worker pool.  Workers are spawned lazily on first use
-/// and grow to the widest batch ever submitted; between batches they
-/// park on a condvar.  Dropping the pool joins every worker.
+/// What one pooled batch reports back to the dispatch-stat plumbing.
+struct BatchOutcome {
+    /// Pool-side participants actually engaged (0 = degraded to serial).
+    engaged: usize,
+    /// Shard the batch ran on.
+    shard: usize,
+    /// Participant slots claimed by foreign-shard workers.
+    steals: u64,
+    /// Whether submission had to block for a busy shard.
+    waited: bool,
+}
+
+/// A persistent sharded worker pool.  Workers are spawned lazily on
+/// first use and grow per shard to the widest batch that shard ever
+/// submitted; between batches they park on a shared condvar and steal
+/// across shards.  Dropping the pool joins every worker.
 pub struct Pool {
     shared: Arc<Shared>,
-    /// Serializes batch submission: one batch in flight at a time.
-    submission: Mutex<()>,
-    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Rotates the blocking fallback across shards when every
+    /// submission lock is busy, so waiting callers spread out instead
+    /// of convoying on shard 0.
+    next_fallback: AtomicUsize,
 }
 
 impl Default for Pool {
@@ -144,40 +230,53 @@ impl Default for Pool {
 }
 
 impl Pool {
-    /// An empty pool; workers are spawned on demand by the first batch.
+    /// An empty pool with [`crate::num_shards`] shards; workers are
+    /// spawned on demand by the first batches.
     pub fn new() -> Self {
+        Self::with_shards(crate::num_shards())
+    }
+
+    /// An empty pool with an explicit shard count (clamped to
+    /// `1..=`[`MAX_SHARDS`]).  `1` reproduces the one-batch-at-a-time
+    /// pool exactly; tests and benchmarks combine this with
+    /// [`crate::with_pool`] to pin shard counts inside one process.
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.clamp(1, MAX_SHARDS);
         Self {
             shared: Arc::new(Shared {
-                state: Mutex::new(PoolState {
-                    job: None,
-                    claimed: 0,
-                    active: 0,
-                    shutdown: false,
-                }),
+                shards: (0..shards).map(|_| Shard::new()).collect(),
+                idle: Mutex::new(false),
                 work_cv: Condvar::new(),
-                done_cv: Condvar::new(),
             }),
-            submission: Mutex::new(()),
-            handles: Mutex::new(Vec::new()),
+            next_fallback: AtomicUsize::new(0),
         }
     }
 
-    /// Number of worker threads currently alive (grows on demand, never
-    /// shrinks before `Drop`).
-    pub fn worker_count(&self) -> usize {
-        lock(&self.handles).len()
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shared.shards.len()
     }
 
-    /// Grow the pool to at least `needed` workers; returns how many are
-    /// actually available (spawn failure degrades the batch width
-    /// instead of wedging it).
-    fn ensure_workers(&self, needed: usize) -> usize {
-        let mut handles = lock(&self.handles);
+    /// Number of worker threads currently alive across all shards
+    /// (grows on demand, never shrinks before `Drop`).
+    pub fn worker_count(&self) -> usize {
+        self.shared
+            .shards
+            .iter()
+            .map(|s| lock(&s.handles).len())
+            .sum()
+    }
+
+    /// Grow shard `shard`'s home worker set to at least `needed`
+    /// workers; returns how many are actually available (spawn failure
+    /// degrades the batch width instead of wedging it).
+    fn ensure_workers(&self, shard: usize, needed: usize) -> usize {
+        let mut handles = lock(&self.shared.shards[shard].handles);
         while handles.len() < needed {
             let shared = Arc::clone(&self.shared);
             let spawned = std::thread::Builder::new()
-                .name(format!("spmap-pool-{}", handles.len()))
-                .spawn(move || worker_loop(shared));
+                .name(format!("spmap-pool-s{shard}-{}", handles.len()))
+                .spawn(move || worker_loop(shared, shard));
             match spawned {
                 Ok(h) => {
                     handles.push(h);
@@ -189,26 +288,61 @@ impl Pool {
         handles.len().min(needed)
     }
 
-    /// Post one batch for `requested` pool-side participants, run
-    /// `caller_work` (participant 0) on this thread, and block until
-    /// every pool-side participant has finished.  Returns the number of
-    /// pool participants actually engaged.
+    /// Acquire a shard for submission: sweep the submission locks with
+    /// `try_lock` (lowest index first — a lone caller stays on shard
+    /// 0), falling back to a blocking acquire on a rotating shard when
+    /// every shard is busy.  Returns the shard index, the held guard
+    /// and whether the caller had to block.
+    fn acquire_shard(&self) -> (usize, MutexGuard<'_, ()>, bool) {
+        for (i, shard) in self.shared.shards.iter().enumerate() {
+            match shard.submission.try_lock() {
+                Ok(g) => return (i, g, false),
+                Err(TryLockError::Poisoned(g)) => return (i, g.into_inner(), false),
+                Err(TryLockError::WouldBlock) => {}
+            }
+        }
+        let i = self.next_fallback.fetch_add(1, Ordering::Relaxed) % self.shared.shards.len();
+        (i, lock(&self.shared.shards[i].submission), true)
+    }
+
+    /// Post one batch for `requested` pool-side participants on a free
+    /// shard, run `caller_work` (participant 0) on this thread, and
+    /// block until every pool-side participant has finished.
     fn run_batch(
         &self,
         requested: usize,
         run: RunFn,
         data: *const (),
         caller_work: impl FnOnce(),
-    ) -> usize {
-        let _submission = lock(&self.submission);
-        let participants = self.ensure_workers(requested);
+    ) -> BatchOutcome {
+        let (shard_idx, _submission, waited) = self.acquire_shard();
+        let shard = &self.shared.shards[shard_idx];
+        let participants = self.ensure_workers(shard_idx, requested);
         if participants == 0 {
             caller_work();
-            return 0;
+            return BatchOutcome {
+                engaged: 0,
+                shard: shard_idx,
+                steals: 0,
+                waited,
+            };
         }
         {
-            let mut st = lock(&self.shared.state);
-            debug_assert!(st.job.is_none() && st.active == 0, "batches are serialized");
+            let mut st = lock(&shard.state);
+            // Job-slot exclusivity per shard: the shard's submission
+            // lock serializes its batches, so a posted-or-draining job
+            // here means two batches share one slot.
+            debug_assert!(
+                st.job.is_none() && st.active == 0,
+                "batches are serialized per shard"
+            );
+            #[cfg(feature = "strict-invariants")]
+            assert!(
+                st.job.is_none() && st.active == 0,
+                "strict-invariants: shard {shard_idx} job slot not exclusive \
+                 (job posted or {} participants still active)",
+                st.active
+            );
             st.job = Some(Job {
                 run,
                 data,
@@ -216,12 +350,19 @@ impl Pool {
             });
             st.claimed = 0;
             st.active = participants;
+            st.steals = 0;
+        }
+        {
+            // Wake parked workers of every shard.  Holding `idle` here
+            // orders the post above against any worker that scanned
+            // before it and is about to park — see `Shared::idle`.
+            let _idle = lock(&self.shared.idle);
             self.shared.work_cv.notify_all();
         }
         caller_work();
-        let mut st = lock(&self.shared.state);
+        let mut st = lock(&shard.state);
         while st.active > 0 {
-            st = wait(&self.shared.done_cv, st);
+            st = wait(&shard.done_cv, st);
         }
         // The SAFETY arguments of this module all lean on the drain
         // protocol: once the caller wakes here, no participant can
@@ -237,7 +378,12 @@ impl Pool {
                 "strict-invariants: drained batch has unclaimed participants"
             );
         }
-        participants
+        BatchOutcome {
+            engaged: participants,
+            shard: shard_idx,
+            steals: st.steals,
+            waited,
+        }
     }
 
     /// [`crate::par_map_with_threads`] executed on this pool: identical
@@ -300,7 +446,7 @@ impl Pool {
             debug_assert!(!flag.get());
             flag.set(true);
         });
-        let engaged = self.run_batch(threads - 1, run, data, || {
+        let outcome = self.run_batch(threads - 1, run, data, || {
             // SAFETY: participant 0 is never handed to a pool worker,
             // so slot 0 is exclusively ours; `ctx` outlives `run_batch`.
             unsafe { run(data, 0) };
@@ -308,7 +454,10 @@ impl Pool {
         DRIVING_BATCH.with(|flag| flag.set(false));
         bump_dispatch(|d| {
             d.pool_batches += 1;
-            d.pool_dispatches += engaged as u64;
+            d.pool_dispatches += outcome.engaged as u64;
+            d.pool_steals += outcome.steals;
+            d.pool_submission_waits += outcome.waited as u64;
+            d.pool_shard_batches[outcome.shard.min(MAX_SHARDS - 1)] += 1;
         });
 
         // A panic anywhere in the batch (worker or caller) surfaces here,
@@ -327,19 +476,22 @@ impl Pool {
 impl Drop for Pool {
     fn drop(&mut self) {
         {
-            let mut st = lock(&self.shared.state);
-            st.shutdown = true;
+            let mut shutdown = lock(&self.shared.idle);
+            *shutdown = true;
             self.shared.work_cv.notify_all();
         }
-        for h in lock(&self.handles).drain(..) {
-            let _ = h.join();
+        for shard in &self.shared.shards {
+            for h in lock(&shard.handles).drain(..) {
+                let _ = h.join();
+            }
         }
     }
 }
 
 /// The process-wide pool used by [`crate::par_map_with_threads`] when
-/// the pool backend is selected.  Created on first use; its workers
-/// live for the rest of the process.
+/// the pool backend is selected (and no [`crate::with_pool`] override
+/// is active).  Created on first use with [`crate::num_shards`] shards;
+/// its workers live for the rest of the process.
 pub fn global() -> &'static Pool {
     static GLOBAL: OnceLock<Pool> = OnceLock::new();
     GLOBAL.get_or_init(Pool::new)
@@ -422,40 +574,66 @@ where
     }
 }
 
-/// The parked-worker loop: wait for a job, claim a participant slot,
-/// run it, signal completion, park again — until shutdown.
-fn worker_loop(shared: Arc<Shared>) {
+/// Scan every shard for an unclaimed participant slot, starting at the
+/// worker's home shard.  Claiming from a foreign shard counts a steal
+/// on that shard's current batch.
+fn try_claim(shared: &Shared, home: usize) -> Option<Claim> {
+    let n = shared.shards.len();
+    for k in 0..n {
+        let idx = (home + k) % n;
+        let mut st = lock(&shared.shards[idx].state);
+        if let Some(job) = st.job.as_ref() {
+            let (run, data, participants) = (job.run, job.data, job.participants);
+            let part = st.claimed + 1; // participant 0 is the caller
+            st.claimed += 1;
+            if st.claimed == participants {
+                // Fully claimed: clear the slot so late wakers (and
+                // this worker, once done) park again.
+                st.job = None;
+            }
+            if idx != home {
+                st.steals += 1;
+            }
+            return Some(Claim {
+                run,
+                data,
+                part,
+                shard: idx,
+            });
+        }
+    }
+    None
+}
+
+/// The parked-worker loop: scan all shards for a job (home shard
+/// first), claim a participant slot, run it, signal that shard's
+/// completion, park again — until shutdown.
+fn worker_loop(shared: Arc<Shared>, home: usize) {
     IN_POOL_WORKER.with(|flag| flag.set(true));
     loop {
-        let (run, data, part) = {
-            let mut st = lock(&shared.state);
+        let claim = {
+            let mut shutdown = lock(&shared.idle);
             loop {
-                if st.shutdown {
+                if *shutdown {
                     return;
                 }
-                if let Some(job) = st.job.as_ref() {
-                    let (run, data, participants) = (job.run, job.data, job.participants);
-                    let part = st.claimed + 1; // participant 0 is the caller
-                    st.claimed += 1;
-                    if st.claimed == participants {
-                        // Fully claimed: clear the slot so late wakers
-                        // (and this worker, once done) park again.
-                        st.job = None;
-                    }
-                    break (run, data, part);
+                if let Some(c) = try_claim(&shared, home) {
+                    break c;
                 }
-                st = wait(&shared.work_cv, st);
+                shutdown = wait(&shared.work_cv, shutdown);
             }
         };
-        // SAFETY: the submitting caller blocks until `active` drains, so
-        // `data` is alive; `part` was claimed exclusively above.  The
-        // participant fn catches panics internally, so `active` is
-        // always decremented and the protocol cannot wedge.
-        unsafe { run(data, part) };
-        let mut st = lock(&shared.state);
+        // SAFETY: the submitting caller blocks until its shard's
+        // `active` drains, so `data` is alive; `part` was claimed
+        // exclusively above.  The participant fn catches panics
+        // internally, so `active` is always decremented and the
+        // protocol cannot wedge.
+        unsafe { (claim.run)(claim.data, claim.part) };
+        let shard = &shared.shards[claim.shard];
+        let mut st = lock(&shard.state);
         st.active -= 1;
         if st.active == 0 {
-            shared.done_cv.notify_all();
+            shard.done_cv.notify_all();
         }
     }
 }
@@ -464,7 +642,7 @@ fn worker_loop(shared: Arc<Shared>) {
 mod tests {
     use super::*;
     use crate::{par_map_with_threads_scoped, ParBackend};
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicBool, AtomicU64};
 
     #[test]
     fn pooled_matches_scoped_bit_for_bit() {
@@ -489,6 +667,29 @@ mod tests {
     }
 
     #[test]
+    fn shard_counts_are_bit_identical() {
+        // Same batch on 1, 2 and 4 shards: results, order and state
+        // totals must not move — shard choice only picks threads.
+        let items: Vec<u64> = (0..300).collect();
+        let f = |s: &mut u64, i: usize, &x: &u64| {
+            *s += 1;
+            x.wrapping_mul(0x9E3779B9).wrapping_add(i as u64)
+        };
+        let mut reference = None;
+        for shards in [1usize, 2, 4] {
+            let pool = Pool::with_shards(shards);
+            assert_eq!(pool.shard_count(), shards);
+            let mut states = WorkerStates::new(4, |_| 0u64);
+            let out = pool.par_map_with_threads(4, &mut states, &items, f);
+            assert_eq!(states.iter().sum::<u64>(), 300, "s{shards}");
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(r, &out, "s{shards}"),
+            }
+        }
+    }
+
+    #[test]
     fn pool_reuses_workers_across_batches() {
         let pool = Pool::new();
         let items: Vec<u32> = (0..64).collect();
@@ -497,7 +698,123 @@ mod tests {
             let out = pool.par_map_with_threads(4, &mut states, &items, |_, _, &x| x + round);
             assert_eq!(out[10], 10 + round);
         }
-        assert_eq!(pool.worker_count(), 3, "threads-1 workers, created once");
+        assert_eq!(
+            pool.worker_count(),
+            3,
+            "threads-1 workers, created once — a lone caller stays on shard 0"
+        );
+    }
+
+    #[test]
+    fn concurrent_submitters_land_on_distinct_shards() {
+        // Thread A drives a batch whose items spin until released; the
+        // main thread then submits its own batch, whose items do the
+        // releasing.  With ≥ 2 shards the main thread's try_lock sweep
+        // must skip A's busy shard 0 and proceed on shard 1 — no
+        // deadlock, no submission wait, and the shard histogram shows
+        // both shards used.
+        let pool = Arc::new(Pool::with_shards(2));
+        let a_started = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let items: Vec<u32> = (0..8).collect();
+
+        let a = {
+            let pool = Arc::clone(&pool);
+            let a_started = Arc::clone(&a_started);
+            let release = Arc::clone(&release);
+            let items = items.clone();
+            std::thread::spawn(move || {
+                let mut states = WorkerStates::new(2, |_| ());
+                let base = crate::dispatch_stats();
+                let out = pool.par_map_with_threads(2, &mut states, &items, |_, _, &x| {
+                    a_started.store(true, Ordering::SeqCst);
+                    while !release.load(Ordering::SeqCst) {
+                        std::hint::spin_loop();
+                    }
+                    x * 2
+                });
+                (out, crate::dispatch_stats().since(&base))
+            })
+        };
+
+        while !a_started.load(Ordering::SeqCst) {
+            std::hint::spin_loop();
+        }
+        let mut states = WorkerStates::new(2, |_| ());
+        let base = crate::dispatch_stats();
+        let out = pool.par_map_with_threads(2, &mut states, &items, |_, _, &x| {
+            release.store(true, Ordering::SeqCst);
+            x + 1
+        });
+        let mine = crate::dispatch_stats().since(&base);
+        assert_eq!(out, (1..=8).collect::<Vec<u32>>());
+        assert_eq!(mine.pool_submission_waits, 0, "shard 1 was free");
+        assert_eq!(mine.pool_shard_batches[1], 1, "A held shard 0");
+
+        let (a_out, a_stats) = a.join().expect("thread A");
+        assert_eq!(a_out, (0..8).map(|x| x * 2).collect::<Vec<u32>>());
+        assert_eq!(a_stats.pool_shard_batches[0], 1);
+    }
+
+    #[test]
+    fn busy_single_shard_counts_a_submission_wait() {
+        // Same overlap as above, but with one shard the main thread's
+        // sweep finds every submission lock busy and must block —
+        // counted as a submission wait.  The release is delegated to a
+        // third thread because the blocked submitter cannot run items
+        // until A's batch drains.
+        let pool = Arc::new(Pool::with_shards(1));
+        let a_started = Arc::new(AtomicBool::new(false));
+        let b_submitting = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let items: Vec<u32> = (0..8).collect();
+
+        let a = {
+            let pool = Arc::clone(&pool);
+            let a_started = Arc::clone(&a_started);
+            let release = Arc::clone(&release);
+            let items = items.clone();
+            std::thread::spawn(move || {
+                let mut states = WorkerStates::new(2, |_| ());
+                pool.par_map_with_threads(2, &mut states, &items, |_, _, &x| {
+                    a_started.store(true, Ordering::SeqCst);
+                    while !release.load(Ordering::SeqCst) {
+                        std::hint::spin_loop();
+                    }
+                    x
+                })
+            })
+        };
+        while !a_started.load(Ordering::SeqCst) {
+            std::hint::spin_loop();
+        }
+        let releaser = {
+            let b_submitting = Arc::clone(&b_submitting);
+            let release = Arc::clone(&release);
+            std::thread::spawn(move || {
+                while !b_submitting.load(Ordering::SeqCst) {
+                    std::hint::spin_loop();
+                }
+                // Give the submitter a moment to reach (and fail) the
+                // try_lock sweep before releasing A's batch.  Worst
+                // case a pathological preemption makes the wait count
+                // 0 and the assertion below catches nothing false —
+                // the sweep-vs-release order is why this is 200ms and
+                // not a barrier (a blocked submitter can't signal).
+                std::thread::sleep(std::time::Duration::from_millis(200));
+                release.store(true, Ordering::SeqCst);
+            })
+        };
+        let mut states = WorkerStates::new(2, |_| ());
+        let base = crate::dispatch_stats();
+        b_submitting.store(true, Ordering::SeqCst);
+        let out = pool.par_map_with_threads(2, &mut states, &items, |_, _, &x| x + 1);
+        let mine = crate::dispatch_stats().since(&base);
+        assert_eq!(out, (1..=8).collect::<Vec<u32>>());
+        assert_eq!(mine.pool_submission_waits, 1, "single shard was busy");
+        assert_eq!(mine.pool_shard_batches[0], 1);
+        a.join().expect("thread A");
+        releaser.join().expect("releaser");
     }
 
     #[test]
@@ -533,6 +850,46 @@ mod tests {
         drop(pool);
         // Every worker held a strong reference to the shared state; a
         // dead weak pointer proves they all exited and were joined.
+        assert_eq!(weak.strong_count(), 0, "a worker outlived Drop");
+    }
+
+    #[test]
+    fn drop_joins_workers_of_every_shard() {
+        let pool = Pool::with_shards(4);
+        // Drive batches from two overlapping submitters so at least
+        // two shards spawn workers, then drop.
+        let items: Vec<u32> = (0..64).collect();
+        let a_started = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let pool = Arc::new(pool);
+        let a = {
+            let pool = Arc::clone(&pool);
+            let a_started = Arc::clone(&a_started);
+            let release = Arc::clone(&release);
+            let items = items.clone();
+            std::thread::spawn(move || {
+                let mut states = WorkerStates::new(2, |_| ());
+                pool.par_map_with_threads(2, &mut states, &items, |_, _, &x| {
+                    a_started.store(true, Ordering::SeqCst);
+                    while !release.load(Ordering::SeqCst) {
+                        std::hint::spin_loop();
+                    }
+                    x
+                })
+            })
+        };
+        while !a_started.load(Ordering::SeqCst) {
+            std::hint::spin_loop();
+        }
+        let mut states = WorkerStates::new(3, |_| ());
+        pool.par_map_with_threads(3, &mut states, &items, |_, _, &x| {
+            release.store(true, Ordering::SeqCst);
+            x
+        });
+        a.join().expect("thread A");
+        assert!(pool.worker_count() >= 2, "two shards spawned workers");
+        let weak = Arc::downgrade(&pool.shared);
+        drop(Arc::into_inner(pool).expect("sole owner"));
         assert_eq!(weak.strong_count(), 0, "a worker outlived Drop");
     }
 

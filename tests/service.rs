@@ -1,0 +1,319 @@
+//! Concurrency stress suite for the sharded pool and the mapping
+//! service.
+//!
+//! The tentpole guarantee of the sharded backend: shard choice affects
+//! only *which threads execute* a batch, never its result.  Here eight
+//! submitter threads interleave mapper and GA runs against shared
+//! pools of every shard count (explicit 1, explicit 2, and the
+//! `SPMAP_SHARDS` auto default) under both dispatch backends, and every
+//! result must be bit-identical to its serial reference.  The service
+//! half pins the artifact cache (cold vs warm vs evicting — identical
+//! results) and the admission gate's invariants (`peak_inflight` never
+//! exceeds the bound; zero-queue services reject instead of buffering).
+
+use std::sync::Arc;
+
+use spmap::par::{with_backend, with_pool, ParBackend, Pool};
+use spmap::prelude::*;
+use spmap_core::{
+    decomposition_map_reference, EngineConfig, MapRequest, MapService, MapperResult, ServiceConfig,
+    ServiceError,
+};
+use spmap_ga::{nsga2_map, nsga2_map_reference, GaConfig, GaResult};
+
+/// Deterministic graph zoo (mirrors `tests/equivalence.rs`): SP,
+/// almost-SP and layered non-SP shapes with the paper's augmentation.
+fn graph_case(case: u64) -> TaskGraph {
+    let nodes = 12 + (case * 7 % 24) as usize;
+    let seed = case * 131 + 17;
+    let mut g = match case % 3 {
+        0 => random_sp_graph(&SpGenConfig::new(nodes, seed)),
+        1 => almost_sp_graph(&SpGenConfig::new(nodes, seed), (case % 7) as usize),
+        _ => {
+            use spmap::graph::gen::{layered_random, LayeredConfig};
+            layered_random(&LayeredConfig {
+                layers: 3 + (case % 4) as usize,
+                width: 2 + (case % 3) as usize,
+                density: 0.5,
+                seed,
+                edge_bytes: 50e6,
+            })
+        }
+    };
+    augment(&mut g, &AugmentConfig::default(), seed);
+    g
+}
+
+fn mapper_cfg(threads: usize) -> MapperConfig {
+    MapperConfig {
+        engine: EngineConfig {
+            threads: Some(threads),
+            ..EngineConfig::default()
+        },
+        ..MapperConfig::sp_first_fit()
+    }
+}
+
+fn ga_cfg(threads: usize, seed: u64) -> GaConfig {
+    GaConfig {
+        population: 16,
+        generations: 12,
+        seed,
+        threads: Some(threads),
+        ..GaConfig::default()
+    }
+}
+
+/// Engine result vs the *serial reference* result: everything the
+/// reference produces must match bit for bit.  Decision counters are
+/// not compared here — the reference path reports zeros by design;
+/// the concurrent test below pins them against an engine baseline.
+fn assert_mapper_identical(tag: &str, got: &MapperResult, want: &MapperResult) {
+    assert_eq!(got.mapping, want.mapping, "{tag}: mapping diverged");
+    assert_eq!(got.makespan, want.makespan, "{tag}: makespan diverged");
+    assert_eq!(got.history, want.history, "{tag}: history diverged");
+    assert_eq!(
+        got.cpu_only_makespan, want.cpu_only_makespan,
+        "{tag}: baseline diverged"
+    );
+}
+
+fn assert_ga_identical(tag: &str, got: &GaResult, want: &GaResult) {
+    assert_eq!(got.mapping, want.mapping, "{tag}: mapping diverged");
+    assert_eq!(got.makespan, want.makespan, "{tag}: makespan diverged");
+    assert_eq!(
+        got.best_per_generation, want.best_per_generation,
+        "{tag}: per-generation history diverged"
+    );
+}
+
+/// Eight threads hammer one shared pool with interleaved mapper and GA
+/// runs; every result must match its serial reference bit for bit, for
+/// every shard count and both backends.  (`SPMAP_POOL` itself cannot be
+/// toggled from inside a test process — `with_backend` covers both
+/// values of that env knob, and `with_pool` covers `SPMAP_SHARDS`.)
+#[test]
+fn concurrent_mapper_and_ga_runs_are_bit_identical() {
+    const SUBMITTERS: usize = 8;
+    const ENGINE_THREADS: usize = 2;
+
+    // Serial references, computed once up front.
+    let graphs: Vec<TaskGraph> = (0..SUBMITTERS as u64).map(graph_case).collect();
+    let platform = Platform::reference();
+    let mapper_refs: Vec<MapperResult> = graphs
+        .iter()
+        .map(|g| decomposition_map_reference(g, &platform, &MapperConfig::sp_first_fit()))
+        .collect();
+    // Engine baselines, run serially: decision counters are
+    // thread-count-invariant, so concurrent runs must reproduce them
+    // exactly (the reference path reports zeros, so it cannot pin them).
+    let engine_refs: Vec<MapperResult> = graphs
+        .iter()
+        .map(|g| decomposition_map(g, &platform, &mapper_cfg(ENGINE_THREADS)))
+        .collect();
+    let ga_refs: Vec<GaResult> = graphs
+        .iter()
+        .enumerate()
+        .map(|(i, g)| nsga2_map_reference(g, &platform, &ga_cfg(1, 900 + i as u64)))
+        .collect();
+
+    for shards in [Some(1usize), Some(2), None] {
+        let pool = Arc::new(match shards {
+            Some(n) => Pool::with_shards(n),
+            None => Pool::new(), // the SPMAP_SHARDS / auto default
+        });
+        for backend in [ParBackend::Pool, ParBackend::Scoped] {
+            let tag = format!("shards {:?}, backend {backend:?}", shards);
+            std::thread::scope(|scope| {
+                for (i, g) in graphs.iter().enumerate() {
+                    let pool = Arc::clone(&pool);
+                    let platform = &platform;
+                    let mapper_want = &mapper_refs[i];
+                    let engine_want = &engine_refs[i];
+                    let ga_want = &ga_refs[i];
+                    let tag = &tag;
+                    scope.spawn(move || {
+                        // Thread-local knobs must be installed on the
+                        // submitter thread itself.
+                        with_pool(&pool, || {
+                            with_backend(backend, || {
+                                if i % 2 == 0 {
+                                    let r =
+                                        decomposition_map(g, platform, &mapper_cfg(ENGINE_THREADS));
+                                    assert_mapper_identical(
+                                        &format!("{tag}, mapper {i}"),
+                                        &r,
+                                        mapper_want,
+                                    );
+                                    assert_eq!(
+                                        r.batch, engine_want.batch,
+                                        "{tag}, mapper {i}: decision counters \
+                                         not concurrency-invariant"
+                                    );
+                                    let r2 = nsga2_map(
+                                        g,
+                                        platform,
+                                        &ga_cfg(ENGINE_THREADS, 900 + i as u64),
+                                    );
+                                    assert_ga_identical(&format!("{tag}, ga {i}"), &r2, ga_want);
+                                } else {
+                                    let r2 = nsga2_map(
+                                        g,
+                                        platform,
+                                        &ga_cfg(ENGINE_THREADS, 900 + i as u64),
+                                    );
+                                    assert_ga_identical(&format!("{tag}, ga {i}"), &r2, ga_want);
+                                    let r =
+                                        decomposition_map(g, platform, &mapper_cfg(ENGINE_THREADS));
+                                    assert_mapper_identical(
+                                        &format!("{tag}, mapper {i}"),
+                                        &r,
+                                        mapper_want,
+                                    );
+                                    assert_eq!(
+                                        r.batch, engine_want.batch,
+                                        "{tag}, mapper {i}: decision counters \
+                                         not concurrency-invariant"
+                                    );
+                                }
+                            })
+                        });
+                    });
+                }
+            });
+        }
+    }
+}
+
+/// Cold build, warm cache hit and a byte-starved always-evicting cache
+/// all return the same bits; the hit/miss accounting tells the paths
+/// apart.
+#[test]
+fn artifact_cache_temperature_cannot_change_results() {
+    let platform = Arc::new(Platform::reference());
+    let requests: Vec<MapRequest> = (0..4u64)
+        .map(|case| MapRequest {
+            graph: Arc::new(graph_case(case)),
+            platform: Arc::clone(&platform),
+            config: mapper_cfg(2),
+        })
+        .collect();
+    let references: Vec<MapperResult> = requests
+        .iter()
+        .map(|r| decomposition_map_reference(&r.graph, &r.platform, &MapperConfig::sp_first_fit()))
+        .collect();
+
+    let roomy = MapService::new(ServiceConfig::default());
+    let starved = MapService::new(ServiceConfig {
+        cache_budget_bytes: 1, // every insert immediately evicts
+        ..ServiceConfig::default()
+    });
+    for (i, req) in requests.iter().enumerate() {
+        let cold = roomy.submit(req).expect("admitted");
+        let warm = roomy.submit(req).expect("admitted");
+        let evicting = starved.submit(req).expect("admitted");
+        assert!(!cold.cache_hit, "first sight of graph {i} must build");
+        assert!(warm.cache_hit, "second sight of graph {i} must hit");
+        assert_eq!(cold.artifact_key, warm.artifact_key);
+        assert_mapper_identical(&format!("cold {i}"), &cold.result, &references[i]);
+        assert_mapper_identical(&format!("warm {i}"), &warm.result, &references[i]);
+        assert_mapper_identical(&format!("evicting {i}"), &evicting.result, &references[i]);
+    }
+    let stats = roomy.stats();
+    assert_eq!(stats.cache.hits as usize, requests.len());
+    assert_eq!(stats.cache.misses as usize, requests.len());
+    let starved_stats = starved.stats();
+    assert_eq!(
+        starved_stats.cache.hits, 0,
+        "a 1-byte budget can never serve a hit"
+    );
+    assert!(starved_stats.cache.evictions >= requests.len() as u64 - 1);
+}
+
+/// The admission gate under concurrent load: `peak_inflight` stays at
+/// or under the configured bound while queued submitters drain, and a
+/// zero-queue service rejects (with accurate occupancy) instead of
+/// buffering.
+#[test]
+fn admission_control_bounds_and_rejects() {
+    let platform = Arc::new(Platform::reference());
+    let req = MapRequest {
+        graph: Arc::new(graph_case(5)),
+        platform: Arc::clone(&platform),
+        config: mapper_cfg(2),
+    };
+    let reference =
+        decomposition_map_reference(&req.graph, &req.platform, &MapperConfig::sp_first_fit());
+
+    // 8 submitters through 2 slots + queue room for the rest.
+    let service = Arc::new(MapService::new(ServiceConfig {
+        max_inflight: 2,
+        max_queued: 6,
+        cache_budget_bytes: 0,
+    }));
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let service = Arc::clone(&service);
+            let req = req.clone();
+            let reference = &reference;
+            scope.spawn(move || {
+                let resp = service.submit(&req).expect("queue has room for all");
+                assert_mapper_identical("gated run", &resp.result, reference);
+            });
+        }
+    });
+    let stats = service.stats();
+    assert_eq!(stats.completed, 8);
+    assert_eq!(stats.rejected, 0);
+    assert!(
+        stats.peak_inflight <= 2,
+        "admission bound exceeded: {} concurrent runs",
+        stats.peak_inflight
+    );
+    assert!(stats.peak_queued <= 6);
+
+    // Zero queue, one slot, four racing submitters: losers must be
+    // rejected with accurate occupancy, never buffered, and every
+    // admitted run still returns the reference bits.  (Whether a given
+    // submit wins or loses is timing-dependent; the assertions hold
+    // either way, and the accounting below is checked exactly.)
+    let tight = MapService::new(ServiceConfig {
+        max_inflight: 1,
+        max_queued: 0,
+        cache_budget_bytes: 0,
+    });
+    const RACERS: usize = 4;
+    const TRIES: usize = 25;
+    std::thread::scope(|scope| {
+        for _ in 0..RACERS {
+            let tight = &tight;
+            let req = &req;
+            let reference = &reference;
+            scope.spawn(move || {
+                for _ in 0..TRIES {
+                    match tight.submit(req) {
+                        Ok(resp) => assert_mapper_identical("racer", &resp.result, reference),
+                        Err(err) => assert!(
+                            matches!(
+                                err,
+                                ServiceError::Overloaded {
+                                    inflight: 1,
+                                    queued: 0
+                                }
+                            ),
+                            "rejection must report accurate occupancy, got {err:?}"
+                        ),
+                    }
+                }
+            });
+        }
+    });
+    let stats = tight.stats();
+    assert_eq!(stats.peak_inflight, 1, "zero-queue bound is hard");
+    assert_eq!(
+        stats.admitted + stats.rejected,
+        (RACERS * TRIES) as u64,
+        "every submit is either admitted or rejected"
+    );
+    assert_eq!(stats.completed, stats.admitted, "admitted runs all finish");
+}
