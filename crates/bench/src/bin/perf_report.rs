@@ -86,13 +86,24 @@
 //! ≥ 1.5x 1 client) is enforced only when the box has ≥ 4 cores;
 //! identity is asserted unconditionally.
 //!
+//! `--remap` switches to the **remap tier**: warm-start remapping
+//! sessions against runtime perturbations (device loss/recovery, task
+//! arrival/completion, attribute drift) on 506/2048-node layered DAGs
+//! (`--full` adds 10k).  Each perturbation kind is timed through the
+//! warm neighborhood path and the from-scratch fallback on fresh
+//! sessions (min of two replays each, replay bit-identity asserted),
+//! and the binary **fails** if a single-device-loss warm remap is
+//! slower than the from-scratch re-map at any gated size — the remap
+//! CI latency gate.
+//!
 //! Each mode writes its own report file — `BENCH_mapper.json`
 //! (standard), `BENCH_mapper_xl.json` (`--xl`), `BENCH_service.json`
-//! (`--service`) — so CI cells can upload all of them without
-//! clobbering; `--out <path>` overrides the destination.
+//! (`--service`), `BENCH_remap.json` (`--remap`) — so CI cells can
+//! upload all of them without clobbering; `--out <path>` overrides the
+//! destination.
 //!
 //! Usage: `cargo run --release -p spmap-bench --bin perf_report
-//!         [--quick] [--full] [--ga-only] [--xl] [--service]
+//!         [--quick] [--full] [--ga-only] [--xl] [--service] [--remap]
 //!         [--threads 8] [--seed 2025] [--report-schedules 4]
 //!         [--sizes a,b,..] [--out <path>]`
 
@@ -540,8 +551,8 @@ fn run_service(opts: &Opts) {
             spmap_par::with_backend(spmap_par::ParBackend::Pool, || {
                 let service = service_for_load(1);
                 for (i, req) in requests.iter().enumerate() {
-                    let cold = service.submit(req).expect("identity run admitted");
-                    let warm = service.submit(req).expect("identity run admitted");
+                    let cold = service.map(req).expect("identity run admitted");
+                    let warm = service.map(req).expect("identity run admitted");
                     assert!(!cold.cache_hit && warm.cache_hit);
                     let label = format!("{shard_count}-shard pool, graph {i}");
                     assert_identical(&format!("{label} (cold)"), &cold.result, &references[i]);
@@ -559,9 +570,10 @@ fn run_service(opts: &Opts) {
             max_inflight: 1,
             max_queued: 0,
             cache_budget_bytes: 1,
+            ..ServiceConfig::default()
         }));
         for (i, req) in requests.iter().enumerate() {
-            let resp = service.submit(req).expect("eviction run admitted");
+            let resp = service.map(req).expect("eviction run admitted");
             assert_identical(
                 &format!("1-byte-budget cache, graph {i}"),
                 &resp.result,
@@ -683,6 +695,246 @@ fn run_service(opts: &Opts) {
     let _ = writeln!(json, "  \"gate_enforced\": {gate_enforced}");
     json.push_str("}\n");
     write_report(opts, "BENCH_service.json", &json);
+}
+
+// ---- the remap tier (`--remap`) ----
+
+/// Node-count inputs of the remap tier; realized counts are reported
+/// (`layered_dag(500)` realizes 506 nodes).  `--quick` keeps only the
+/// first size, `--full` adds the 10k row, `--sizes` overrides outright.
+const REMAP_SIZES: [usize; 2] = [500, 2048];
+const REMAP_SIZE_FULL: usize = 10_000;
+
+/// The remap CI gate: a single-device-loss warm remap must beat the
+/// from-scratch re-map of the same patched instance at every realized
+/// size of at least this many nodes.  Both sides run against prebuilt
+/// shared tables (device loss never invalidates them), so the
+/// comparison is pure search work: neighborhood sweep vs full sweep.
+const REMAP_GATE_MIN_NODES: usize = 506;
+
+/// The `--remap` entry point: per-perturbation-kind warm vs full
+/// latency with replay identity asserted, gate, write
+/// `BENCH_remap.json`.
+fn run_remap(opts: &Opts) {
+    use spmap_bench::remap_load::{measure_case, RemapCase, RemapMeasurement};
+    use spmap_core::{map_request, AttachEdge, MapRequest, Perturbation};
+    use spmap_graph::gen::{random_sp_graph, SpGenConfig};
+    use spmap_graph::NodeId;
+    use spmap_model::{ArtifactCache, DeviceId};
+    use std::sync::{Arc, Mutex};
+
+    let threads = opts.threads.unwrap_or(8);
+    let sizes: Vec<usize> = opts.sizes.clone().unwrap_or_else(|| {
+        let mut s = if opts.quick {
+            vec![REMAP_SIZES[0]]
+        } else {
+            REMAP_SIZES.to_vec()
+        };
+        if opts.full {
+            s.push(REMAP_SIZE_FULL);
+        }
+        s
+    });
+    println!(
+        "perf_report --remap: warm-start remap vs from-scratch re-map \
+         ({threads} engine threads/session)\n"
+    );
+
+    let platform = Arc::new(Platform::reference());
+    let mut rows: Vec<(usize, Vec<RemapMeasurement>)> = Vec::new();
+    for &size in &sizes {
+        let graph = Arc::new(layered_dag(size, opts.seed));
+        let n = graph.node_count();
+        let req = MapRequest::from_mapper_config(
+            Arc::clone(&graph),
+            Arc::clone(&platform),
+            &MapperConfig {
+                engine: EngineConfig {
+                    threads: Some(threads),
+                    ..EngineConfig::default()
+                },
+                ..MapperConfig::sp_first_fit()
+            },
+        );
+        // One shared artifact cache per size: every session open inside
+        // the measurement hits the same table build.
+        let cache = Arc::new(Mutex::new(ArtifactCache::new(0)));
+
+        // Probe the initial full map so the lost device is one that
+        // actually holds work (losing an idle device is a near-no-op).
+        let probe = map_request(&req).expect("probe maps");
+        let lost = probe
+            .mapping
+            .as_slice()
+            .iter()
+            .copied()
+            .find(|&d| d != platform.default_device())
+            .unwrap_or(DeviceId(1));
+
+        let arrival = random_sp_graph(&SpGenConfig::new((n / 100).max(5), opts.seed + 1));
+        let third = (n / 3) as u32;
+        let mut grown = graph.task(NodeId(third)).clone();
+        grown.area = grown.area * 2.0 + 100.0;
+        let cases = [
+            RemapCase {
+                kind: "device_lost",
+                setup: vec![],
+                batch: vec![Perturbation::DeviceLost(lost)],
+            },
+            RemapCase {
+                kind: "device_restored",
+                setup: vec![vec![Perturbation::DeviceLost(lost)]],
+                batch: vec![Perturbation::DeviceRestored(lost)],
+            },
+            RemapCase {
+                kind: "task_arrived",
+                setup: vec![],
+                batch: vec![Perturbation::TaskArrived {
+                    subgraph: arrival.clone(),
+                    attach: vec![AttachEdge::Into {
+                        from: NodeId((n - 1) as u32),
+                        to_new: 0,
+                        bytes: 1e6,
+                    }],
+                }],
+            },
+            RemapCase {
+                kind: "task_finished",
+                setup: vec![],
+                batch: vec![Perturbation::TaskFinished(vec![
+                    NodeId(0),
+                    NodeId(third),
+                    NodeId(2 * third),
+                ])],
+            },
+            RemapCase {
+                kind: "attributes_changed",
+                setup: vec![],
+                batch: vec![Perturbation::AttributesChanged {
+                    nodes: vec![(NodeId(third), grown.clone())],
+                }],
+            },
+        ];
+
+        println!(
+            "{n} nodes ({} edges):\n{:<20} {:>10} {:>10} {:>8} {:>14} {:>6}",
+            graph.edge_count(),
+            "perturbation",
+            "warm",
+            "full",
+            "speedup",
+            "neighborhood",
+            "iters"
+        );
+        let mut measured = Vec::new();
+        for case in &cases {
+            let m = measure_case(&req, &cache, case);
+            if case.kind == "device_lost" {
+                // Exactness: both paths vacate the lost device.
+                assert!(
+                    m.warm.mapping.as_slice().iter().all(|&d| d != lost),
+                    "warm remap left work on the lost device"
+                );
+                assert!(
+                    m.full.mapping.as_slice().iter().all(|&d| d != lost),
+                    "full re-map left work on the lost device"
+                );
+            }
+            println!(
+                "{:<20} {:>8.2}ms {:>8.2}ms {:>7.2}x {:>8}/{:<5} {:>6}",
+                m.kind,
+                m.warm_seconds * 1e3,
+                m.full_seconds * 1e3,
+                m.speedup(),
+                m.warm.neighborhood_ops,
+                m.warm.op_count,
+                m.warm.iterations,
+            );
+            measured.push(m);
+        }
+        println!();
+        rows.push((n, measured));
+    }
+
+    // The CI latency gate (see REMAP_GATE_MIN_NODES).
+    for (n, measured) in &rows {
+        if *n < REMAP_GATE_MIN_NODES {
+            continue;
+        }
+        let loss = measured
+            .iter()
+            .find(|m| m.kind == "device_lost")
+            .expect("device_lost is always measured");
+        assert!(
+            loss.warm_seconds < loss.full_seconds,
+            "warm single-device-loss remap at {n} nodes took {:.2} ms vs \
+             {:.2} ms from scratch: the warm neighborhood is not paying off",
+            loss.warm_seconds * 1e3,
+            loss.full_seconds * 1e3,
+        );
+    }
+    let gated: Vec<usize> = rows
+        .iter()
+        .map(|(n, _)| *n)
+        .filter(|n| *n >= REMAP_GATE_MIN_NODES)
+        .collect();
+    println!(
+        "remap headline: single-device-loss warm remap beat the from-scratch \
+         re-map at every gated size ({gated:?})"
+    );
+
+    // ---- machine-readable report ----
+    let mut json = String::from("{\n  \"benchmark\": \"remap_session\",\n");
+    let _ = writeln!(json, "  \"quick\": {},", opts.quick);
+    let _ = writeln!(json, "  \"seed\": {},", opts.seed);
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"gate_min_nodes\": {REMAP_GATE_MIN_NODES},");
+    json.push_str("  \"rows\": [\n");
+    for (i, (n, measured)) in rows.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"nodes\": {n},");
+        let _ = writeln!(
+            json,
+            "      \"gate_enforced\": {},",
+            *n >= REMAP_GATE_MIN_NODES
+        );
+        json.push_str("      \"cases\": [\n");
+        for (j, m) in measured.iter().enumerate() {
+            let _ = writeln!(json, "        {{");
+            let _ = writeln!(json, "          \"kind\": \"{}\",", m.kind);
+            let _ = writeln!(json, "          \"warm_ms\": {:.4},", m.warm_seconds * 1e3);
+            let _ = writeln!(json, "          \"full_ms\": {:.4},", m.full_seconds * 1e3);
+            let _ = writeln!(json, "          \"speedup\": {:.3},", m.speedup());
+            let _ = writeln!(
+                json,
+                "          \"quality_ratio\": {:.6},",
+                m.quality_ratio()
+            );
+            let _ = writeln!(
+                json,
+                "          \"neighborhood_ops\": {},",
+                m.warm.neighborhood_ops
+            );
+            let _ = writeln!(json, "          \"op_count\": {},", m.warm.op_count);
+            let _ = writeln!(json, "          \"iterations\": {},", m.warm.iterations);
+            let _ = writeln!(
+                json,
+                "          \"affected_nodes\": {},",
+                m.warm.affected_nodes
+            );
+            let _ = writeln!(json, "          \"warm_makespan\": {:.6},", m.warm.makespan);
+            let _ = writeln!(json, "          \"full_makespan\": {:.6}", m.full.makespan);
+            let _ = writeln!(
+                json,
+                "        }}{}",
+                if j + 1 < measured.len() { "," } else { "" }
+            );
+        }
+        json.push_str("      ]\n");
+        let _ = writeln!(json, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    json.push_str("  ]\n}\n");
+    write_report(opts, "BENCH_remap.json", &json);
 }
 
 struct Measurement {
@@ -1084,6 +1336,12 @@ fn main() {
         // The service tier is its own report: concurrent clients,
         // cache/latency metrics, its own JSON schema and gate.
         run_service(&opts);
+        return;
+    }
+    if opts.remap {
+        // The remap tier is its own report: session warm-start latency
+        // vs the from-scratch fallback, its own JSON schema and gate.
+        run_remap(&opts);
         return;
     }
     if opts.xl {

@@ -24,10 +24,14 @@
 //! * `--service` — service-mode run (`perf_report`: many-client load
 //!   against the long-lived `MapService`, reporting throughput,
 //!   latency percentiles, cache hit rate and shard utilization),
+//! * `--remap` — remapping-session run (`perf_report`: warm-start
+//!   remap latency vs a from-scratch re-map per perturbation kind,
+//!   with bit-identity replay checks; combines with `--quick` for a
+//!   506-node-only smoke and `--full` for the 10k tier),
 //! * `--out <path>` — output-file override for binaries that write a
 //!   JSON report (`perf_report`: defaults are `BENCH_mapper.json`,
 //!   `BENCH_mapper_xl.json` for `--xl`, `BENCH_service.json` for
-//!   `--service`).
+//!   `--service`, `BENCH_remap.json` for `--remap`).
 
 /// Parsed common options.
 #[derive(Clone, Debug)]
@@ -55,6 +59,9 @@ pub struct Opts {
     /// Service-mode run (`perf_report`: concurrent-client load against
     /// the long-lived `MapService`).
     pub service: bool,
+    /// Remapping-session run (`perf_report`: warm-start remap latency
+    /// vs from-scratch re-map across perturbation kinds and sizes).
+    pub remap: bool,
     /// Output-file override for report-writing binaries.
     pub out: Option<String>,
     /// Explicit task-count list (`None` = binary default sweep).
@@ -80,6 +87,7 @@ impl Opts {
             ga_only: false,
             xl: false,
             service: false,
+            remap: false,
             out: None,
             sizes: None,
         };
@@ -131,6 +139,7 @@ impl Opts {
                 "--ga-only" => opts.ga_only = true,
                 "--xl" => opts.xl = true,
                 "--service" => opts.service = true,
+                "--remap" => opts.remap = true,
                 other => eprintln!("warning: ignoring unknown flag {other}"),
             }
         }
@@ -211,6 +220,13 @@ mod tests {
         assert!(!parse(&[]).service);
         let o = parse(&["--service", "--quick"]);
         assert!(o.service && o.quick, "--service combines with --quick");
+    }
+
+    #[test]
+    fn remap_flag() {
+        assert!(!parse(&[]).remap);
+        let o = parse(&["--remap", "--quick"]);
+        assert!(o.remap && o.quick, "--remap combines with --quick");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 pub mod algos;
 pub mod cli;
+pub mod remap_load;
 pub mod report;
 pub mod service_load;
 pub mod sweep;

@@ -99,17 +99,17 @@ pub fn build_requests(cfg: &ServiceLoadConfig) -> Vec<MapRequest> {
             let seed = cfg.seed.wrapping_add(i as u64);
             let mut g = random_sp_graph(&SpGenConfig::new(cfg.nodes, seed));
             augment(&mut g, &AugmentConfig::default(), seed);
-            MapRequest {
-                graph: Arc::new(g),
-                platform: Arc::clone(&platform),
-                config: MapperConfig {
+            MapRequest::from_mapper_config(
+                Arc::new(g),
+                Arc::clone(&platform),
+                &MapperConfig {
                     engine: EngineConfig {
                         threads: Some(cfg.engine_threads),
                         ..EngineConfig::default()
                     },
                     ..MapperConfig::sp_first_fit()
                 },
-            }
+            )
         })
         .collect()
 }
@@ -119,7 +119,10 @@ pub fn build_requests(cfg: &ServiceLoadConfig) -> Vec<MapRequest> {
 pub fn reference_results(requests: &[MapRequest]) -> Vec<MapperResult> {
     requests
         .iter()
-        .map(|r| decomposition_map(&r.graph, &r.platform, &r.config))
+        .map(|r| {
+            let cfg = r.mapper_config().expect("zoo requests are decomposition");
+            decomposition_map(&r.graph, &r.platform, &cfg)
+        })
         .collect()
 }
 
@@ -159,7 +162,7 @@ pub fn run_phase(
                         let idx = (client + i) % requests.len();
                         let t0 = Instant::now();
                         let resp = service
-                            .submit(&requests[idx])
+                            .map(&requests[idx])
                             .expect("load phase sized to be admitted");
                         latencies.push(t0.elapsed().as_secs_f64() * 1e3);
                         assert_identical(
@@ -232,7 +235,7 @@ pub fn warm_up(
 ) -> f64 {
     let start = Instant::now();
     for (i, req) in requests.iter().enumerate() {
-        let resp = service.submit(req).expect("warm-up admitted");
+        let resp = service.map(req).expect("warm-up admitted");
         assert_identical(&format!("warm-up graph {i}"), &resp.result, &references[i]);
     }
     start.elapsed().as_secs_f64()
@@ -244,7 +247,7 @@ pub fn service_for_load(clients: usize) -> Arc<MapService> {
     Arc::new(MapService::new(ServiceConfig {
         max_inflight: clients.max(1),
         max_queued: clients.max(1),
-        cache_budget_bytes: 0,
+        ..ServiceConfig::default()
     }))
 }
 

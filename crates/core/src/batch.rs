@@ -514,7 +514,14 @@ impl<'g> CandidateBatch<'g> {
         cost: CostModel,
     ) -> Self {
         let tables = EvalTables::with_numbering(graph, platform, cfg.numbering);
-        Self::from_source(TablesSource::Owned(tables), subgraphs, devices, cfg, cost)
+        Self::from_source(
+            TablesSource::Owned(tables),
+            subgraphs,
+            devices,
+            cfg,
+            cost,
+            None,
+        )
     }
 
     /// Build the engine on *pre-built* shared tables (e.g. from a cached
@@ -540,7 +547,54 @@ impl<'g> CandidateBatch<'g> {
             tables.numbering(),
             "shared tables were built under a different numbering than the engine config"
         );
-        Self::from_source(TablesSource::Shared(tables), subgraphs, devices, cfg, cost)
+        Self::from_source(
+            TablesSource::Shared(tables),
+            subgraphs,
+            devices,
+            cfg,
+            cost,
+            None,
+        )
+    }
+
+    /// [`Self::with_shared_tables`], warm-started from an explicit base
+    /// mapping instead of the all-default one.  The engine's incremental
+    /// machinery is base-agnostic — aggregates, memo seeds and
+    /// checkpoint trails are all rebuilt from whatever base it starts
+    /// on — so a remapping session can resume search from an incumbent
+    /// mapping with every exactness guarantee intact.
+    ///
+    /// # Panics
+    ///
+    /// If the numberings disagree (as in [`Self::with_shared_tables`]),
+    /// if `base.len()` differs from the graph's node count, or if the
+    /// base mapping is infeasible under the tables' platform.
+    pub fn with_shared_tables_warm(
+        tables: &'g EvalTables<'g>,
+        subgraphs: Vec<Vec<NodeId>>,
+        devices: Vec<DeviceId>,
+        cfg: EngineConfig,
+        cost: CostModel,
+        base: Mapping,
+    ) -> Self {
+        assert_eq!(
+            cfg.numbering,
+            tables.numbering(),
+            "shared tables were built under a different numbering than the engine config"
+        );
+        assert_eq!(
+            base.len(),
+            tables.graph().node_count(),
+            "warm-start base mapping does not match the graph's node count"
+        );
+        Self::from_source(
+            TablesSource::Shared(tables),
+            subgraphs,
+            devices,
+            cfg,
+            cost,
+            Some(base),
+        )
     }
 
     fn from_source(
@@ -549,6 +603,7 @@ impl<'g> CandidateBatch<'g> {
         devices: Vec<DeviceId>,
         cfg: EngineConfig,
         cost: CostModel,
+        base: Option<Mapping>,
     ) -> Self {
         let graph = tables.graph();
         let platform = tables.platform();
@@ -565,7 +620,7 @@ impl<'g> CandidateBatch<'g> {
             }
         };
         let threads = cfg.effective_threads();
-        let mapping = Mapping::all_default(graph, platform);
+        let mapping = base.unwrap_or_else(|| Mapping::all_default(graph, platform));
         let workers = WorkerStates::new(threads, |_| Worker {
             scratch: EvalScratch::for_tables(&tables),
             mapping: mapping.clone(),
@@ -612,7 +667,7 @@ impl<'g> CandidateBatch<'g> {
             mapping,
         };
         engine.rebuild_aggregates();
-        engine.cur = engine.simulate_base().expect("default mapping is feasible");
+        engine.cur = engine.simulate_base().expect("base mapping is feasible");
         engine.memoize_base();
         engine
     }

@@ -42,23 +42,34 @@
 pub mod batch;
 pub mod mapper;
 pub mod population;
+pub mod request;
+pub mod runtime;
 pub mod service;
+pub mod session;
 pub mod threshold;
 
 pub use batch::{
     BatchStats, CandidateBatch, DeltaOp, EngineConfig, TablesSource, DEFAULT_MEMO_CAPACITY,
     MAX_SCHEDULES,
 };
+#[allow(deprecated)]
+pub use mapper::try_decomposition_map_with_tables;
 pub use mapper::{
     decomposition_map, decomposition_map_reference, try_decomposition_map,
-    try_decomposition_map_reference, try_decomposition_map_with_tables, CostModel, MapperConfig,
-    MapperError, MapperResult, OpId, SearchHeuristic, SubgraphStrategy,
+    try_decomposition_map_reference, CostModel, MapperConfig, MapperError, MapperResult, OpId,
+    SearchHeuristic, SubgraphStrategy,
 };
 pub use population::{
     trie_order, DeltaCandidate, EvalOrder, PopBase, PopulationConfig, PopulationEval,
     PopulationStats,
 };
-pub use service::{MapRequest, MapResponse, MapService, ServiceConfig, ServiceError, ServiceStats};
+pub use request::{map_request, Algo, GaParams, Limits, MapRequest};
+pub use runtime::RuntimeConfig;
+pub use service::{
+    MapResponse, MapService, ServiceConfig, ServiceError, ServiceStats, SessionClose, SessionId,
+    SessionResponse,
+};
+pub use session::{AttachEdge, Perturbation, RemapError, RemapOutcome, RemapSession};
 // Dispatch-counter surface of the parallel runtime, re-exported so
 // downstream crates (e.g. `spmap-ga`) can carry the counters on their
 // results without a direct `spmap-par` dependency.

@@ -46,11 +46,19 @@ pub enum CostModel {
 /// error (infinite makespans are fine: `±∞` deltas order correctly and
 /// are handled as "no improvement" / "always an improvement").
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum MapperError {
     /// Candidate `op` evaluated to a NaN improvement delta.
     NanDelta {
         /// The offending operation id (`subgraph * device_count + device`).
         op: OpId,
+    },
+    /// The request names an algorithm family this entry point cannot
+    /// execute — e.g. a [`crate::Algo::Ga`] request handed to the
+    /// decomposition mapper instead of `spmap_ga::nsga2_map_request`.
+    UnsupportedAlgo {
+        /// The requested algorithm family.
+        algo: &'static str,
     },
 }
 
@@ -62,6 +70,11 @@ impl fmt::Display for MapperError {
                 "candidate operation {op} evaluated to a NaN makespan improvement \
                  (non-finite task attributes or an ∞ − ∞ makespan delta); \
                  the search order would be meaningless"
+            ),
+            MapperError::UnsupportedAlgo { algo } => write!(
+                f,
+                "algorithm family '{algo}' is not executable by this entry point \
+                 (route Algo::Ga requests through spmap_ga::nsga2_map_request)"
             ),
         }
     }
@@ -223,7 +236,7 @@ pub(crate) const REL_EPS: f64 = 1e-9;
 pub type OpId = usize;
 
 /// The candidate subgraph set of `strategy` on `graph`.
-fn build_subgraphs(graph: &TaskGraph, strategy: SubgraphStrategy) -> Vec<Vec<NodeId>> {
+pub(crate) fn build_subgraphs(graph: &TaskGraph, strategy: SubgraphStrategy) -> Vec<Vec<NodeId>> {
     match strategy {
         SubgraphStrategy::SingleNode => single_node_subgraphs(graph).subgraphs().to_vec(),
         SubgraphStrategy::SeriesParallel { cut_policy } => {
@@ -242,8 +255,26 @@ pub fn try_decomposition_map(
     platform: &Platform,
     cfg: &MapperConfig,
 ) -> Result<MapperResult, MapperError> {
+    try_decomposition_map_on(graph, platform, cfg, None)
+}
+
+/// The shared owned-tables driver behind [`try_decomposition_map`] and
+/// [`crate::map_request`]: optionally restricts the candidate device
+/// list (a `None` restriction means every platform device).  Restricting
+/// devices is exact — an avoided device contributes no exec, link or
+/// area term — and is how availability-limited requests (device loss)
+/// are executed without platform surgery.
+pub(crate) fn try_decomposition_map_on(
+    graph: &TaskGraph,
+    platform: &Platform,
+    cfg: &MapperConfig,
+    devices: Option<&[DeviceId]>,
+) -> Result<MapperResult, MapperError> {
     let subgraphs = build_subgraphs(graph, cfg.strategy);
-    let devices: Vec<DeviceId> = platform.device_ids().collect();
+    let devices: Vec<DeviceId> = match devices {
+        Some(ds) => ds.to_vec(),
+        None => platform.device_ids().collect(),
+    };
     let engine =
         CandidateBatch::with_cost(graph, platform, subgraphs, devices, cfg.engine, cfg.cost);
     drive_search(engine, cfg)
@@ -260,13 +291,32 @@ pub fn try_decomposition_map(
 ///
 /// If `cfg.engine.numbering` disagrees with the numbering the tables
 /// were built under (see [`CandidateBatch::with_shared_tables`]).
+#[deprecated(
+    note = "route requests through spmap_core::map_request / MapService::map; \
+            this free function bypasses the unified request surface"
+)]
 pub fn try_decomposition_map_with_tables<'g>(
     tables: &'g spmap_model::EvalTables<'g>,
     cfg: &MapperConfig,
 ) -> Result<MapperResult, MapperError> {
+    try_decomposition_map_with_tables_on(tables, cfg, None)
+}
+
+/// The shared pre-built-tables driver behind the service and session
+/// paths: [`try_decomposition_map_with_tables`] with an optional
+/// candidate-device restriction (see [`try_decomposition_map_on`] for
+/// the exactness argument).
+pub(crate) fn try_decomposition_map_with_tables_on<'g>(
+    tables: &'g spmap_model::EvalTables<'g>,
+    cfg: &MapperConfig,
+    devices: Option<&[DeviceId]>,
+) -> Result<MapperResult, MapperError> {
     let graph = tables.graph();
     let subgraphs = build_subgraphs(graph, cfg.strategy);
-    let devices: Vec<DeviceId> = tables.platform().device_ids().collect();
+    let devices: Vec<DeviceId> = match devices {
+        Some(ds) => ds.to_vec(),
+        None => tables.platform().device_ids().collect(),
+    };
     let engine =
         CandidateBatch::with_shared_tables(tables, subgraphs, devices, cfg.engine, cfg.cost);
     drive_search(engine, cfg)

@@ -1,43 +1,57 @@
 //! Mapping-as-a-service: a long-lived front end over the decomposition
-//! mapper for concurrent callers.
+//! mapper for concurrent callers — one-shot requests and stateful
+//! remapping sessions behind one admission discipline.
 //!
-//! A [`MapService`] wraps two pieces of shared state:
+//! A [`MapService`] wraps three pieces of shared state:
 //!
 //! * an **admission gate** — a bounded request queue with
 //!   reject-over-buffer semantics: at most `max_inflight` requests run
 //!   concurrently, at most `max_queued` more wait for a slot, and
 //!   anything beyond that is rejected immediately with
 //!   [`ServiceError::Overloaded`] (unbounded buffering would trade an
-//!   honest error for silent latency collapse);
+//!   honest error for silent latency collapse).  Rejections carry a
+//!   clock-free `retry_hint`: how many completions the service must
+//!   record before a retry could reach an execution slot.
 //! * an **artifact cache** — a content-addressed, byte-budgeted LRU of
 //!   [`EvalArtifact`]s (`spmap_model::artifact`), so a repeat graph +
 //!   platform skips [`EvalTables`](spmap_model::EvalTables) construction
 //!   entirely and shares one immutable build across all concurrent
-//!   requests that need it.
+//!   requests *and sessions* that need it;
+//! * a **session registry** — live [`RemapSession`]s opened through
+//!   [`MapService::open_session`], each serialized by its own lock so
+//!   remaps on *distinct* sessions run concurrently while remaps on the
+//!   same session queue behind each other.
 //!
-//! Requests execute *on the caller's thread* ([`MapService::submit`] is
+//! Requests execute *on the caller's thread* ([`MapService::map`] is
 //! synchronous); the service adds no threads of its own.  Parallelism
 //! inside each request comes from the candidate engine exactly as in a
 //! direct [`decomposition_map`](crate::decomposition_map) call, so the
 //! sharded worker pool in `spmap-par` serves co-running requests from
-//! distinct shards.
+//! distinct shards.  A [`RuntimeConfig`] in [`ServiceConfig`] lets
+//! embeddings pin threads/backend/shards programmatically; `None`
+//! fields defer to the ambient environment (precedence: explicit >
+//! environment > default — docs/PERF.md).
 //!
 //! ## Determinism
 //!
-//! A response is a pure function of its request.  The cache can only
-//! substitute a *bit-identical* table build (the content key covers
-//! every table input — see `spmap_model::artifact` on key soundness),
-//! and admission control delays or rejects requests but never alters
-//! one.  Cold cache, warm cache, any shard count, any co-runner mix:
-//! same mapping, same makespan, bit for bit.  The service reads no
-//! clocks; latency measurement belongs to the benchmark harness.
+//! A response is a pure function of its request (and, for remaps, the
+//! session's perturbation history).  The cache can only substitute a
+//! *bit-identical* table build (the content key covers every table
+//! input — see `spmap_model::artifact` on key soundness), and admission
+//! control delays or rejects requests but never alters one.  Cold
+//! cache, warm cache, any shard count, any co-runner mix: same mapping,
+//! same makespan, bit for bit.  The service reads no clocks — even the
+//! overload `retry_hint` is denominated in completions, not time;
+//! latency measurement belongs to the benchmark harness.
 
 use std::sync::{Arc, Condvar, Mutex};
 
-use spmap_graph::TaskGraph;
-use spmap_model::{artifact_key, ArtifactCache, ArtifactCacheStats, EvalArtifact, Platform};
+use spmap_model::{artifact_key, ArtifactCache, ArtifactCacheStats, EvalArtifact, Mapping};
 
-use crate::mapper::{try_decomposition_map_with_tables, MapperConfig, MapperError, MapperResult};
+use crate::mapper::{try_decomposition_map_with_tables_on, MapperError, MapperResult};
+use crate::request::MapRequest;
+use crate::runtime::RuntimeConfig;
+use crate::session::{Perturbation, RemapError, RemapOutcome, RemapSession};
 
 /// Sizing of a [`MapService`].  The all-zero default defers every
 /// bound to its runtime-derived value.
@@ -53,10 +67,25 @@ pub struct ServiceConfig {
     /// Byte budget of the artifact cache (`0` selects
     /// [`spmap_model::DEFAULT_ARTIFACT_BUDGET_BYTES`]).
     pub cache_budget_bytes: usize,
+    /// Typed runtime knobs (threads, backend, shards).  The default
+    /// defers every field to the ambient `SPMAP_*` environment;
+    /// explicit fields override it for every request this service runs.
+    pub runtime: RuntimeConfig,
+}
+
+/// Handle of one open remapping session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session#{}", self.0)
+    }
 }
 
 /// A typed failure of one service request.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ServiceError {
     /// Admission control rejected the request: the run slots and the
     /// bounded wait queue were both full at arrival.
@@ -65,20 +94,36 @@ pub enum ServiceError {
         inflight: usize,
         /// Requests already waiting when this one was rejected.
         queued: usize,
+        /// Completions the service must record before a retry could
+        /// drain the current queue and reach an execution slot — a
+        /// clock-free backoff hint (the service never reads time).
+        retry_hint: u64,
     },
-    /// The mapper itself failed (NaN improvement deltas).
+    /// The mapper itself failed (NaN improvement deltas, or an
+    /// algorithm family this service cannot execute).
     Mapper(MapperError),
+    /// A session operation failed (invalid perturbation, graph patch
+    /// error); the session survives and stays usable.
+    Session(RemapError),
+    /// No open session has this id (never opened, or already closed).
+    UnknownSession(SessionId),
 }
 
 impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ServiceError::Overloaded { inflight, queued } => write!(
+            ServiceError::Overloaded {
+                inflight,
+                queued,
+                retry_hint,
+            } => write!(
                 f,
                 "service overloaded: {inflight} requests in flight and {queued} queued; \
-                 retry later or raise ServiceConfig::max_queued"
+                 retry after {retry_hint} completions or raise ServiceConfig::max_queued"
             ),
             ServiceError::Mapper(e) => write!(f, "mapper failed: {e}"),
+            ServiceError::Session(e) => write!(f, "session operation failed: {e}"),
+            ServiceError::UnknownSession(id) => write!(f, "unknown {id}"),
         }
     }
 }
@@ -91,21 +136,16 @@ impl From<MapperError> for ServiceError {
     }
 }
 
-/// One mapping request: the inputs of a
-/// [`decomposition_map`](crate::decomposition_map) call, with graph and
-/// platform behind `Arc` so the cache can keep them alive past the
-/// request.
-#[derive(Clone)]
-pub struct MapRequest {
-    /// The task graph to map.
-    pub graph: Arc<TaskGraph>,
-    /// The platform to map onto.
-    pub platform: Arc<Platform>,
-    /// Full mapper configuration (strategy, heuristic, engine tuning).
-    pub config: MapperConfig,
+impl From<RemapError> for ServiceError {
+    fn from(e: RemapError) -> Self {
+        match e {
+            RemapError::Mapper(m) => ServiceError::Mapper(m),
+            other => ServiceError::Session(other),
+        }
+    }
 }
 
-/// One successful service response.
+/// One successful one-shot response.
 #[derive(Clone, Debug)]
 pub struct MapResponse {
     /// The mapper's result, bit-identical to a direct
@@ -118,6 +158,34 @@ pub struct MapResponse {
     pub cache_hit: bool,
     /// The content key the tables are cached under.
     pub artifact_key: u128,
+}
+
+/// The response of [`MapService::open_session`]: the session handle and
+/// its opening full-map result.
+#[derive(Clone, Debug)]
+pub struct SessionResponse {
+    /// Handle for [`MapService::remap`] / [`MapService::close_session`].
+    pub id: SessionId,
+    /// The initial full map the session's incumbent starts from.
+    pub result: MapperResult,
+    /// Whether the opening artifact came from the shared cache.
+    pub cache_hit: bool,
+    /// The session's identity key (the artifact key, re-keyed under the
+    /// availability mask when the opening request restricted devices).
+    pub session_key: u128,
+}
+
+/// The final state a closed session handed back.
+#[derive(Clone, Debug)]
+pub struct SessionClose {
+    /// The closed handle.
+    pub id: SessionId,
+    /// The session's final incumbent mapping.
+    pub mapping: Mapping,
+    /// Its makespan under the session's cost model.
+    pub makespan: f64,
+    /// Remaps the session executed over its lifetime.
+    pub remaps: u64,
 }
 
 /// Lifetime counters of a [`MapService`].
@@ -135,6 +203,17 @@ pub struct ServiceStats {
     /// High-water mark of waiting requests — never exceeds
     /// `ServiceConfig::max_queued`.
     pub peak_queued: usize,
+    /// Sessions opened over the service lifetime.
+    pub sessions_opened: u64,
+    /// Sessions closed over the service lifetime.
+    pub sessions_closed: u64,
+    /// Warm remaps executed (including empty-neighborhood commits,
+    /// excluding pure no-ops).
+    pub remaps: u64,
+    /// Empty-perturbation remaps (incumbent returned untouched).
+    pub remaps_noop: u64,
+    /// From-scratch fallback remaps ([`MapService::remap_full`]).
+    pub remaps_full: u64,
     /// Artifact-cache counters (hits, misses, evictions, peaks).
     pub cache: ArtifactCacheStats,
 }
@@ -148,6 +227,19 @@ struct Gate {
     completed: u64,
     peak_inflight: usize,
     peak_queued: usize,
+    sessions_opened: u64,
+    sessions_closed: u64,
+    remaps: u64,
+    remaps_noop: u64,
+    remaps_full: u64,
+}
+
+/// The session registry: a plain `Vec` keyed by monotone ids (a map
+/// would need hash-order pragmas; the registry holds few live entries
+/// and the scan is trivial next to any mapping work).
+struct Sessions {
+    next: u64,
+    live: Vec<(u64, Arc<Mutex<RemapSession>>)>,
 }
 
 /// A long-lived mapping service; see the module docs.  Cheap to share
@@ -155,10 +247,12 @@ struct Gate {
 pub struct MapService {
     max_inflight: usize,
     max_queued: usize,
+    runtime: RuntimeConfig,
     gate: Mutex<Gate>,
     /// Signalled when a run slot frees up.
     slot_cv: Condvar,
-    cache: Mutex<ArtifactCache>,
+    cache: Arc<Mutex<ArtifactCache>>,
+    sessions: Mutex<Sessions>,
 }
 
 impl MapService {
@@ -166,13 +260,14 @@ impl MapService {
     /// auto conventions).
     pub fn new(cfg: ServiceConfig) -> Self {
         let max_inflight = if cfg.max_inflight == 0 {
-            spmap_par::num_shards()
+            cfg.runtime.shards()
         } else {
             cfg.max_inflight
         };
         Self {
             max_inflight,
             max_queued: cfg.max_queued,
+            runtime: cfg.runtime,
             gate: Mutex::new(Gate {
                 inflight: 0,
                 queued: 0,
@@ -181,9 +276,18 @@ impl MapService {
                 completed: 0,
                 peak_inflight: 0,
                 peak_queued: 0,
+                sessions_opened: 0,
+                sessions_closed: 0,
+                remaps: 0,
+                remaps_noop: 0,
+                remaps_full: 0,
             }),
             slot_cv: Condvar::new(),
-            cache: Mutex::new(ArtifactCache::new(cfg.cache_budget_bytes)),
+            cache: Arc::new(Mutex::new(ArtifactCache::new(cfg.cache_budget_bytes))),
+            sessions: Mutex::new(Sessions {
+                next: 0,
+                live: Vec::new(),
+            }),
         }
     }
 
@@ -192,18 +296,149 @@ impl MapService {
         self.max_inflight
     }
 
-    /// Execute `request` on the calling thread, waiting for an
-    /// execution slot if all are busy and queue room remains.
+    /// Execute the one-shot `request` on the calling thread, waiting
+    /// for an execution slot if all are busy and queue room remains.
     ///
     /// Returns [`ServiceError::Overloaded`] without blocking when both
     /// the run slots and the bounded wait queue are full, and
-    /// [`ServiceError::Mapper`] if the mapper itself fails; either way
-    /// the slot accounting is restored.
-    pub fn submit(&self, request: &MapRequest) -> Result<MapResponse, ServiceError> {
+    /// [`ServiceError::Mapper`] if the mapper itself fails (or the
+    /// request names an algorithm family this service cannot run —
+    /// [`Algo::Ga`](crate::Algo::Ga) routes through
+    /// `spmap_ga::nsga2_map_request`); either way the slot accounting
+    /// is restored.
+    pub fn map(&self, request: &MapRequest) -> Result<MapResponse, ServiceError> {
         self.admit()?;
-        let outcome = self.run(request);
+        let outcome = self.with_runtime_backend(|| self.run(request));
         self.release();
         outcome
+    }
+
+    /// The pre-PR-9 name of [`MapService::map`].
+    #[deprecated(note = "renamed to MapService::map — the unified MapRequest surface")]
+    pub fn submit(&self, request: &MapRequest) -> Result<MapResponse, ServiceError> {
+        self.map(request)
+    }
+
+    /// Open a remapping session: run `request`'s initial full map under
+    /// admission control and register the session that owns its result.
+    /// The session shares this service's artifact cache, so sessions
+    /// over the same graph reuse one table build — and a later one-shot
+    /// [`MapService::map`] of that graph hits too.
+    pub fn open_session(&self, request: &MapRequest) -> Result<SessionResponse, ServiceError> {
+        self.admit()?;
+        let opened = self
+            .with_runtime_backend(|| RemapSession::open(request, Some(Arc::clone(&self.cache))));
+        let outcome = match opened {
+            Err(e) => Err(ServiceError::from(e)),
+            Ok(session) => {
+                let result = session.initial().clone();
+                let cache_hit = session.initial_cache_hit();
+                let session_key = session.session_key();
+                let id = {
+                    let mut s = self.sessions.lock().expect("session registry poisoned");
+                    let id = s.next;
+                    s.next += 1;
+                    s.live.push((id, Arc::new(Mutex::new(session))));
+                    SessionId(id)
+                };
+                self.gate
+                    .lock()
+                    .expect("service gate poisoned")
+                    .sessions_opened += 1;
+                Ok(SessionResponse {
+                    id,
+                    result,
+                    cache_hit,
+                    session_key,
+                })
+            }
+        };
+        self.release();
+        outcome
+    }
+
+    /// Warm-start remap session `id` against `perturbations` (see
+    /// [`RemapSession::remap`]), under the same admission discipline as
+    /// one-shot requests.  Remaps on distinct sessions run concurrently;
+    /// remaps on the same session serialize on its lock.
+    pub fn remap(
+        &self,
+        id: SessionId,
+        perturbations: &[Perturbation],
+    ) -> Result<RemapOutcome, ServiceError> {
+        self.admit()?;
+        let outcome = self.run_on_session(id, |s| s.remap(perturbations));
+        if let Ok(out) = &outcome {
+            let mut g = self.gate.lock().expect("service gate poisoned");
+            if out.noop {
+                g.remaps_noop += 1;
+            } else {
+                g.remaps += 1;
+            }
+        }
+        self.release();
+        outcome
+    }
+
+    /// The from-scratch fallback on session `id`'s patched state (see
+    /// [`RemapSession::remap_full`]): same compiled perturbations, no
+    /// warm start.  The benchmark harness races this against
+    /// [`MapService::remap`]; production callers want it when a
+    /// perturbation invalidates most of the incumbent.
+    pub fn remap_full(
+        &self,
+        id: SessionId,
+        perturbations: &[Perturbation],
+    ) -> Result<RemapOutcome, ServiceError> {
+        self.admit()?;
+        let outcome = self.run_on_session(id, |s| s.remap_full(perturbations));
+        if let Ok(out) = &outcome {
+            let mut g = self.gate.lock().expect("service gate poisoned");
+            if out.noop {
+                g.remaps_noop += 1;
+            } else {
+                g.remaps_full += 1;
+            }
+        }
+        self.release();
+        outcome
+    }
+
+    /// Close session `id`, returning its final incumbent.  Cheap (no
+    /// mapping work), so it bypasses admission control; a remap already
+    /// running on the session finishes on its own handle but the
+    /// registry entry is gone either way.
+    pub fn close_session(&self, id: SessionId) -> Result<SessionClose, ServiceError> {
+        let entry = {
+            let mut s = self.sessions.lock().expect("session registry poisoned");
+            match s.live.iter().position(|(sid, _)| *sid == id.0) {
+                None => return Err(ServiceError::UnknownSession(id)),
+                Some(i) => s.live.remove(i).1,
+            }
+        };
+        let closed = {
+            let sess = entry.lock().expect("session poisoned");
+            SessionClose {
+                id,
+                mapping: sess.incumbent().clone(),
+                makespan: sess.incumbent_makespan(),
+                remaps: sess.remaps(),
+            }
+        };
+        self.gate
+            .lock()
+            .expect("service gate poisoned")
+            .sessions_closed += 1;
+        Ok(closed)
+    }
+
+    /// Live session count (diagnostic).
+    pub fn open_sessions(&self) -> usize {
+        self.sessions
+            .lock()
+            .expect("session registry poisoned")
+            .live
+            .len()
     }
 
     /// Lifetime counters (gate and cache), taken atomically per lock.
@@ -216,8 +451,43 @@ impl MapService {
             completed: g.completed,
             peak_inflight: g.peak_inflight,
             peak_queued: g.peak_queued,
+            sessions_opened: g.sessions_opened,
+            sessions_closed: g.sessions_closed,
+            remaps: g.remaps,
+            remaps_noop: g.remaps_noop,
+            remaps_full: g.remaps_full,
             cache,
         }
+    }
+
+    /// Run `f` under this service's configured dispatch backend.  A
+    /// `None` backend preserves the caller's ambient parallel context
+    /// (explicit > environment precedence lives in `spmap-par`);
+    /// backend choice cannot change results, only dispatch counters.
+    fn with_runtime_backend<R>(&self, f: impl FnOnce() -> R) -> R {
+        match self.runtime.backend {
+            Some(b) => spmap_par::with_backend(b, f),
+            None => f(),
+        }
+    }
+
+    /// Find session `id` and run `f` on it under its lock and the
+    /// configured backend.
+    fn run_on_session<R>(
+        &self,
+        id: SessionId,
+        f: impl FnOnce(&mut RemapSession) -> Result<R, RemapError>,
+    ) -> Result<R, ServiceError> {
+        let entry = {
+            let s = self.sessions.lock().expect("session registry poisoned");
+            match s.live.iter().find(|(sid, _)| *sid == id.0) {
+                None => return Err(ServiceError::UnknownSession(id)),
+                Some((_, sess)) => Arc::clone(sess),
+            }
+        };
+        let mut sess = entry.lock().expect("session poisoned");
+        let out = self.with_runtime_backend(|| f(&mut sess));
+        out.map_err(ServiceError::from)
     }
 
     /// Acquire a run slot or reject.
@@ -229,6 +499,9 @@ impl MapService {
                 return Err(ServiceError::Overloaded {
                     inflight: g.inflight,
                     queued: g.queued,
+                    // The whole queue plus this request must drain
+                    // through execution slots before a retry runs.
+                    retry_hint: g.queued as u64 + 1,
                 });
             }
             g.admitted += 1;
@@ -257,11 +530,15 @@ impl MapService {
 
     /// The cached-or-built artifact path plus the mapper run.
     fn run(&self, request: &MapRequest) -> Result<MapResponse, ServiceError> {
-        let key = artifact_key(
-            &request.graph,
-            &request.platform,
-            request.config.engine.numbering,
-        );
+        let mut cfg = request.mapper_config()?;
+        // Precedence: explicit request > service runtime > environment.
+        if cfg.engine.threads.is_none() {
+            cfg.engine.threads = self.runtime.threads;
+        }
+        if cfg.engine.checkpoint_budget_bytes == 0 {
+            cfg.engine.checkpoint_budget_bytes = self.runtime.checkpoint_budget_bytes;
+        }
+        let key = artifact_key(&request.graph, &request.platform, cfg.engine.numbering);
         let (artifact, cache_hit) = {
             let hit = self
                 .cache
@@ -280,7 +557,7 @@ impl MapService {
                     let built = Arc::new(EvalArtifact::build(
                         Arc::clone(&request.graph),
                         Arc::clone(&request.platform),
-                        request.config.engine.numbering,
+                        cfg.engine.numbering,
                     ));
                     let shared = self
                         .cache
@@ -291,7 +568,11 @@ impl MapService {
                 }
             }
         };
-        let result = try_decomposition_map_with_tables(artifact.tables(), &request.config)?;
+        let result = try_decomposition_map_with_tables_on(
+            artifact.tables(),
+            &cfg,
+            request.limits.devices.as_deref(),
+        )?;
         Ok(MapResponse {
             result,
             cache_hit,
@@ -303,27 +584,29 @@ impl MapService {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mapper::decomposition_map;
+    use crate::mapper::{decomposition_map, MapperConfig};
     use spmap_graph::gen::{random_sp_graph, SpGenConfig};
     use spmap_graph::{augment, AugmentConfig};
+    use spmap_model::Platform;
 
     fn request(seed: u64) -> MapRequest {
         let mut g = random_sp_graph(&SpGenConfig::new(24, seed));
         augment(&mut g, &AugmentConfig::default(), seed);
-        MapRequest {
-            graph: Arc::new(g),
-            platform: Arc::new(Platform::reference()),
-            config: MapperConfig::sp_first_fit(),
-        }
+        MapRequest::from_mapper_config(
+            Arc::new(g),
+            Arc::new(Platform::reference()),
+            &MapperConfig::sp_first_fit(),
+        )
     }
 
     #[test]
     fn service_matches_direct_mapper_cold_and_warm() {
         let svc = MapService::new(ServiceConfig::default());
         let req = request(3);
-        let direct = decomposition_map(&req.graph, &req.platform, &req.config);
-        let cold = svc.submit(&req).expect("cold run");
-        let warm = svc.submit(&req).expect("warm run");
+        let cfg = req.mapper_config().expect("decomposition family");
+        let direct = decomposition_map(&req.graph, &req.platform, &cfg);
+        let cold = svc.map(&req).expect("cold run");
+        let warm = svc.map(&req).expect("warm run");
         assert!(!cold.cache_hit);
         assert!(warm.cache_hit, "second identical request must hit");
         for r in [&cold, &warm] {
@@ -347,19 +630,20 @@ mod tests {
         let svc = MapService::new(ServiceConfig {
             max_inflight: 1,
             max_queued: 0,
-            cache_budget_bytes: 0,
+            ..ServiceConfig::default()
         });
         svc.admit().expect("first slot");
-        let err = svc.submit(&request(1)).expect_err("must reject");
+        let err = svc.map(&request(1)).expect_err("must reject");
         assert_eq!(
             err,
             ServiceError::Overloaded {
                 inflight: 1,
-                queued: 0
+                queued: 0,
+                retry_hint: 1,
             }
         );
         svc.release();
-        assert!(svc.submit(&request(1)).is_ok(), "slot freed");
+        assert!(svc.map(&request(1)).is_ok(), "slot freed");
         let stats = svc.stats();
         assert_eq!(stats.rejected, 1);
         assert_eq!(stats.peak_inflight, 1);
@@ -373,15 +657,16 @@ mod tests {
         let svc = Arc::new(MapService::new(ServiceConfig {
             max_inflight: 1,
             max_queued: 3,
-            cache_budget_bytes: 0,
+            ..ServiceConfig::default()
         }));
         let req = request(5);
-        let direct = decomposition_map(&req.graph, &req.platform, &req.config);
+        let cfg = req.mapper_config().expect("decomposition family");
+        let direct = decomposition_map(&req.graph, &req.platform, &cfg);
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let svc = Arc::clone(&svc);
                 let req = req.clone();
-                std::thread::spawn(move || svc.submit(&req).expect("admitted"))
+                std::thread::spawn(move || svc.map(&req).expect("admitted"))
             })
             .collect();
         for h in handles {
@@ -410,23 +695,65 @@ mod tests {
             area: 10.0,
             ..Task::default()
         });
-        let req = MapRequest {
-            graph: Arc::new(b.build().unwrap()),
-            platform: Arc::new(Platform::reference()),
-            config: MapperConfig::single_node(),
-        };
+        let req = MapRequest::from_mapper_config(
+            Arc::new(b.build().unwrap()),
+            Arc::new(Platform::reference()),
+            &MapperConfig::single_node(),
+        );
         let svc = MapService::new(ServiceConfig {
             max_inflight: 1,
             max_queued: 0,
-            cache_budget_bytes: 0,
+            ..ServiceConfig::default()
         });
-        let err = svc.submit(&req).expect_err("NaN deltas must surface");
+        let err = svc.map(&req).expect_err("NaN deltas must surface");
         assert!(matches!(
             err,
             ServiceError::Mapper(MapperError::NanDelta { .. })
         ));
         // The slot was released despite the error.
-        assert!(svc.submit(&request(2)).is_ok());
+        assert!(svc.map(&request(2)).is_ok());
         assert_eq!(svc.stats().completed, 2);
+    }
+
+    #[test]
+    fn session_lifecycle_counts_and_shares_the_cache() {
+        let svc = MapService::new(ServiceConfig::default());
+        let req = request(7);
+        let opened = svc.open_session(&req).expect("open");
+        assert!(!opened.cache_hit, "first build is a miss");
+        assert_eq!(svc.open_sessions(), 1);
+        // A one-shot map of the same graph hits the session's build.
+        let shot = svc.map(&req).expect("one-shot");
+        assert!(shot.cache_hit);
+        assert_eq!(shot.result.mapping, opened.result.mapping);
+        // Empty remap: incumbent bits, counted as a no-op.
+        let noop = svc.remap(opened.id, &[]).expect("noop");
+        assert!(noop.noop);
+        assert_eq!(noop.mapping, opened.result.mapping);
+        let closed = svc.close_session(opened.id).expect("close");
+        assert_eq!(closed.mapping, opened.result.mapping);
+        assert_eq!(svc.open_sessions(), 0);
+        assert!(matches!(
+            svc.remap(opened.id, &[]),
+            Err(ServiceError::UnknownSession(_))
+        ));
+        let stats = svc.stats();
+        assert_eq!(stats.sessions_opened, 1);
+        assert_eq!(stats.sessions_closed, 1);
+        assert_eq!(stats.remaps_noop, 1);
+        assert_eq!(stats.remaps, 0);
+    }
+
+    #[test]
+    fn ga_requests_are_refused_with_a_typed_error() {
+        use crate::request::{Algo, GaParams};
+        let svc = MapService::new(ServiceConfig::default());
+        let req = request(4).with_algo(Algo::Ga(GaParams::default()));
+        assert!(matches!(
+            svc.map(&req),
+            Err(ServiceError::Mapper(MapperError::UnsupportedAlgo { .. }))
+        ));
+        // The slot was released despite the refusal.
+        assert!(svc.map(&request(4)).is_ok());
     }
 }

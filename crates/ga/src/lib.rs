@@ -266,6 +266,48 @@ struct EngineIndividual {
     fp: MappingFingerprint,
 }
 
+/// Run an [`Algo::Ga`](spmap_core::Algo::Ga) [`MapRequest`] through the
+/// engine-backed NSGA-II mapper — the GA half of the unified request
+/// surface (`spmap_core::map_request` handles the decomposition
+/// families and refuses this one, pointing here).
+///
+/// The request's [`GaParams`](spmap_core::GaParams) name the algorithm;
+/// engine-side knobs (threads, numbering, checkpoint layout/budget)
+/// come from `limits.engine`, and the remaining `GaConfig` fields keep
+/// their defaults.  Bit-identical to [`nsga2_map`] with the equivalent
+/// `GaConfig`.
+///
+/// `limits.devices` restrictions are not supported by the genome
+/// encoding (it spans every platform device) and are refused with
+/// [`MapperError::UnsupportedAlgo`](spmap_core::MapperError).
+pub fn nsga2_map_request(
+    req: &spmap_core::MapRequest,
+) -> Result<GaResult, spmap_core::MapperError> {
+    let spmap_core::Algo::Ga(p) = req.algo else {
+        return Err(spmap_core::MapperError::UnsupportedAlgo {
+            algo: "decomposition (route through spmap_core::map_request)",
+        });
+    };
+    if req.limits.devices.is_some() {
+        return Err(spmap_core::MapperError::UnsupportedAlgo {
+            algo: "nsga2 with a device restriction",
+        });
+    }
+    let cfg = GaConfig {
+        population: p.population,
+        generations: p.generations,
+        crossover_rate: p.crossover_rate,
+        mutation_rate: p.mutation_rate,
+        seed: p.seed,
+        threads: req.limits.engine.threads,
+        numbering: req.limits.engine.numbering,
+        dense_checkpoints: req.limits.engine.dense_checkpoints,
+        checkpoint_budget_bytes: req.limits.engine.checkpoint_budget_bytes,
+        ..GaConfig::default()
+    };
+    Ok(nsga2_map(&req.graph, &req.platform, &cfg))
+}
+
 /// Run the single-objective NSGA-II mapper through the population
 /// evaluation engine.
 ///
@@ -787,6 +829,45 @@ mod tests {
             e.evaluations
         );
         assert_eq!(e.makespan, r.makespan);
+    }
+
+    #[test]
+    fn request_entry_matches_direct_ga_and_refuses_decomposition() {
+        use std::sync::Arc;
+
+        use spmap_core::{Algo, GaParams, MapRequest, MapperError};
+
+        let p = Platform::reference();
+        let mut g = random_sp_graph(&SpGenConfig::new(22, 6));
+        augment(&mut g, &AugmentConfig::default(), 6);
+        let cfg = small_cfg(6);
+        let direct = nsga2_map(&g, &p, &cfg);
+        let req = MapRequest::new(Arc::new(g.clone()), Arc::new(p.clone())).with_algo(Algo::Ga(
+            GaParams {
+                population: cfg.population,
+                generations: cfg.generations,
+                crossover_rate: cfg.crossover_rate,
+                mutation_rate: cfg.mutation_rate,
+                seed: cfg.seed,
+            },
+        ));
+        let via = nsga2_map_request(&req).expect("GA requests route here");
+        assert_eq!(via.mapping, direct.mapping);
+        assert_eq!(via.makespan, direct.makespan);
+        assert_eq!(via.best_per_generation, direct.best_per_generation);
+
+        let decomp = MapRequest::new(Arc::new(g.clone()), Arc::new(p.clone()));
+        assert!(matches!(
+            nsga2_map_request(&decomp),
+            Err(MapperError::UnsupportedAlgo { .. })
+        ));
+
+        let mut restricted = req.clone();
+        restricted.limits.devices = Some(vec![p.default_device()]);
+        assert!(matches!(
+            nsga2_map_request(&restricted),
+            Err(MapperError::UnsupportedAlgo { .. })
+        ));
     }
 
     #[test]

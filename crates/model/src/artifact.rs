@@ -59,6 +59,31 @@ pub fn artifact_key(graph: &TaskGraph, platform: &Platform, numbering: Numbering
         .wrapping_add(tag)
 }
 
+/// Re-key an artifact key under a device-availability mask (bit `i` set
+/// = device `i` usable).  A remapping session that loses or regains a
+/// device keeps its [`EvalTables`] bit-for-bit — an avoided device
+/// contributes no exec, link or area term, so restricting the candidate
+/// device list is exact without any platform surgery — but the *session
+/// identity* changes: two sessions over the same platform with
+/// different availability must never be confused by observers keying on
+/// the artifact.  The full mask (all `device_count` low bits set)
+/// returns `base` unchanged, so an untouched session keeps the plain
+/// [`artifact_key`].
+pub fn masked_artifact_key(base: u128, available_mask: u64, device_count: usize) -> u128 {
+    let full = if device_count >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << device_count) - 1
+    };
+    if available_mask & full == full {
+        return base;
+    }
+    base.rotate_left(29)
+        .wrapping_mul(0x2d35_8dcc_aa6c_78a5_f4a7_c159_9e37_79b9)
+        .wrapping_add((available_mask & full) as u128)
+        .wrapping_mul(0x8bb8_4b93_962e_acc9_d192_ed03_d1b5_4a33)
+}
+
 /// An owned evaluation build: the graph, the platform and the
 /// [`EvalTables`] constructed from them, packaged so the borrowing
 /// tables can be shared across threads and outlive the request that
@@ -381,6 +406,27 @@ mod tests {
         assert!(cache.lookup(arts[0].key()).is_some());
         assert!(cache.lookup(arts[1].key()).is_some());
         assert!(cache.lookup(arts[3].key()).is_some());
+    }
+
+    #[test]
+    fn masked_key_is_identity_on_full_mask_and_injective_per_mask() {
+        let base = artifact_key(
+            &chain_graph(6, 1.0),
+            &Platform::reference(),
+            Numbering::PopOrder,
+        );
+        let m = Platform::reference().device_count();
+        let full = (1u64 << m) - 1;
+        assert_eq!(masked_artifact_key(base, full, m), base);
+        // High bits beyond the device count are ignored.
+        assert_eq!(masked_artifact_key(base, u64::MAX, m), base);
+        // Distinct availability masks get distinct keys, all != base.
+        let mut seen = vec![base];
+        for mask in 0..full {
+            let k = masked_artifact_key(base, mask, m);
+            assert!(!seen.contains(&k), "mask {mask:#b} collided");
+            seen.push(k);
+        }
     }
 
     #[test]

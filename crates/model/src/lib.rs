@@ -34,7 +34,8 @@ pub mod platform;
 pub mod schedule;
 
 pub use artifact::{
-    artifact_key, ArtifactCache, ArtifactCacheStats, EvalArtifact, DEFAULT_ARTIFACT_BUDGET_BYTES,
+    artifact_key, masked_artifact_key, ArtifactCache, ArtifactCacheStats, EvalArtifact,
+    DEFAULT_ARTIFACT_BUDGET_BYTES,
 };
 pub use eval::{
     relative_improvement, BfsCheckpoints, CheckpointSet, EvalScratch, EvalStats, EvalTables,

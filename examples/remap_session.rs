@@ -1,0 +1,136 @@
+//! Online remapping: open a session on the mapping service, perturb the
+//! system (device loss, task arrival/departure, device recovery), and
+//! warm-start each re-map from the surviving incumbent instead of
+//! mapping from scratch.
+//!
+//! ```sh
+//! cargo run --release --example remap_session
+//! ```
+
+use std::sync::Arc;
+
+use spmap::prelude::*;
+
+fn main() {
+    // The steady-state workload: a 40-task augmented SP graph on the
+    // paper's reference platform (CPU + GPU + FPGA).
+    let mut graph = random_sp_graph(&SpGenConfig::new(40, 7));
+    augment(&mut graph, &AugmentConfig::default(), 7);
+    let platform = Arc::new(Platform::reference());
+    let request = MapRequest::new(Arc::new(graph), Arc::clone(&platform));
+
+    let service = MapService::new(ServiceConfig::default());
+    let opened = service.open_session(&request).expect("open session");
+    println!(
+        "opened {}: {} tasks mapped, makespan {:.3} s (cpu-only {:.3} s)\n",
+        opened.id,
+        opened.result.mapping.len(),
+        opened.result.makespan,
+        opened.result.cpu_only_makespan,
+    );
+    println!(
+        "{:<28} {:>12} {:>14} {:>12}",
+        "perturbation", "makespan", "neighborhood", "iterations"
+    );
+    let show = |name: &str, out: &RemapOutcome| {
+        println!(
+            "{:<28} {:>10.3} s {:>9}/{:<4} {:>12}",
+            name, out.makespan, out.neighborhood_ops, out.op_count, out.iterations
+        );
+    };
+
+    // The GPU dies: every task mapped there is repaired onto the CPU and
+    // the search warm-starts around the repaired neighborhood only.
+    let gpu = DeviceId(1);
+    let lost = service
+        .remap(opened.id, &[Perturbation::DeviceLost(gpu)])
+        .expect("remap after device loss");
+    show("GPU lost", &lost);
+
+    // Five new tasks arrive as a small chain attached to task 0.
+    let mut b = GraphBuilder::new();
+    for i in 0..5 {
+        b.add_task(Task {
+            name: format!("arrival{i}"),
+            complexity: 8.0,
+            data_points: 2e7,
+            parallelizability: 1.0,
+            streamability: 4.0,
+            area: 120.0,
+        });
+        if i > 0 {
+            b.add_edge(NodeId(i - 1), NodeId(i), 1e8)
+                .expect("chain edge");
+        }
+    }
+    let arrivals = b.build().expect("arrival subgraph");
+    let arrived = service
+        .remap(
+            opened.id,
+            &[Perturbation::TaskArrived {
+                subgraph: arrivals,
+                attach: vec![AttachEdge::Into {
+                    from: NodeId(0),
+                    to_new: 0,
+                    bytes: 5e7,
+                }],
+            }],
+        )
+        .expect("remap after arrival");
+    show("5 tasks arrived", &arrived);
+
+    // The GPU comes back; only its candidate columns need revisiting.
+    let restored = service
+        .remap(opened.id, &[Perturbation::DeviceRestored(gpu)])
+        .expect("remap after recovery");
+    show("GPU restored", &restored);
+
+    // The first three tasks complete and leave the graph.
+    let finished = service
+        .remap(
+            opened.id,
+            &[Perturbation::TaskFinished(vec![
+                NodeId(0),
+                NodeId(1),
+                NodeId(2),
+            ])],
+        )
+        .expect("remap after completion");
+    show("3 tasks finished", &finished);
+
+    // One task's profile shifts drastically — a case where most of the
+    // incumbent is suspect, so the caller picks the from-scratch
+    // fallback instead of the warm path.
+    let full = service
+        .remap_full(
+            opened.id,
+            &[Perturbation::AttributesChanged {
+                nodes: vec![(
+                    NodeId(5),
+                    Task {
+                        name: "reprofiled".into(),
+                        complexity: 40.0,
+                        data_points: 1e8,
+                        parallelizability: 1.0,
+                        streamability: 16.0,
+                        area: 400.0,
+                    },
+                )],
+            }],
+        )
+        .expect("full re-map");
+    show("1 task reprofiled (full)", &full);
+
+    let closed = service.close_session(opened.id).expect("close session");
+    let stats = service.stats();
+    println!(
+        "\nclosed {}: final makespan {:.3} s after {} remaps \
+         (service: {} warm, {} full, {} no-op)",
+        closed.id,
+        closed.makespan,
+        closed.remaps,
+        stats.remaps,
+        stats.remaps_full,
+        stats.remaps_noop
+    );
+}

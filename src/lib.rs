@@ -51,11 +51,15 @@ pub use spmap_workflows as workflows;
 /// The most common imports in one place.
 pub mod prelude {
     pub use spmap_baselines::{heft, peft};
-    pub use spmap_core::{decomposition_map, MapperConfig, SearchHeuristic, SubgraphStrategy};
+    pub use spmap_core::{
+        decomposition_map, map_request, Algo, AttachEdge, GaParams, Limits, MapRequest, MapService,
+        MapperConfig, Perturbation, RemapError, RemapOutcome, RemapSession, RuntimeConfig,
+        SearchHeuristic, ServiceConfig, ServiceError, SessionId, SubgraphStrategy,
+    };
     pub use spmap_decomp::{
         decompose_forest, series_parallel_subgraphs, single_node_subgraphs, CutPolicy,
     };
-    pub use spmap_ga::{nsga2_map, nsga2_map_reference, GaConfig};
+    pub use spmap_ga::{nsga2_map, nsga2_map_reference, nsga2_map_request, GaConfig};
     pub use spmap_graph::{
         almost_sp_graph, augment,
         gen::{chain, diamond, fig1_graph, fig2_graph, fork_join},

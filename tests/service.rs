@@ -192,10 +192,12 @@ fn concurrent_mapper_and_ga_runs_are_bit_identical() {
 fn artifact_cache_temperature_cannot_change_results() {
     let platform = Arc::new(Platform::reference());
     let requests: Vec<MapRequest> = (0..4u64)
-        .map(|case| MapRequest {
-            graph: Arc::new(graph_case(case)),
-            platform: Arc::clone(&platform),
-            config: mapper_cfg(2),
+        .map(|case| {
+            MapRequest::from_mapper_config(
+                Arc::new(graph_case(case)),
+                Arc::clone(&platform),
+                &mapper_cfg(2),
+            )
         })
         .collect();
     let references: Vec<MapperResult> = requests
@@ -209,9 +211,9 @@ fn artifact_cache_temperature_cannot_change_results() {
         ..ServiceConfig::default()
     });
     for (i, req) in requests.iter().enumerate() {
-        let cold = roomy.submit(req).expect("admitted");
-        let warm = roomy.submit(req).expect("admitted");
-        let evicting = starved.submit(req).expect("admitted");
+        let cold = roomy.map(req).expect("admitted");
+        let warm = roomy.map(req).expect("admitted");
+        let evicting = starved.map(req).expect("admitted");
         assert!(!cold.cache_hit, "first sight of graph {i} must build");
         assert!(warm.cache_hit, "second sight of graph {i} must hit");
         assert_eq!(cold.artifact_key, warm.artifact_key);
@@ -237,11 +239,11 @@ fn artifact_cache_temperature_cannot_change_results() {
 #[test]
 fn admission_control_bounds_and_rejects() {
     let platform = Arc::new(Platform::reference());
-    let req = MapRequest {
-        graph: Arc::new(graph_case(5)),
-        platform: Arc::clone(&platform),
-        config: mapper_cfg(2),
-    };
+    let req = MapRequest::from_mapper_config(
+        Arc::new(graph_case(5)),
+        Arc::clone(&platform),
+        &mapper_cfg(2),
+    );
     let reference =
         decomposition_map_reference(&req.graph, &req.platform, &MapperConfig::sp_first_fit());
 
@@ -249,7 +251,7 @@ fn admission_control_bounds_and_rejects() {
     let service = Arc::new(MapService::new(ServiceConfig {
         max_inflight: 2,
         max_queued: 6,
-        cache_budget_bytes: 0,
+        ..ServiceConfig::default()
     }));
     std::thread::scope(|scope| {
         for _ in 0..8 {
@@ -257,7 +259,7 @@ fn admission_control_bounds_and_rejects() {
             let req = req.clone();
             let reference = &reference;
             scope.spawn(move || {
-                let resp = service.submit(&req).expect("queue has room for all");
+                let resp = service.map(&req).expect("queue has room for all");
                 assert_mapper_identical("gated run", &resp.result, reference);
             });
         }
@@ -280,7 +282,7 @@ fn admission_control_bounds_and_rejects() {
     let tight = MapService::new(ServiceConfig {
         max_inflight: 1,
         max_queued: 0,
-        cache_budget_bytes: 0,
+        ..ServiceConfig::default()
     });
     const RACERS: usize = 4;
     const TRIES: usize = 25;
@@ -291,14 +293,15 @@ fn admission_control_bounds_and_rejects() {
             let reference = &reference;
             scope.spawn(move || {
                 for _ in 0..TRIES {
-                    match tight.submit(req) {
+                    match tight.map(req) {
                         Ok(resp) => assert_mapper_identical("racer", &resp.result, reference),
                         Err(err) => assert!(
                             matches!(
                                 err,
                                 ServiceError::Overloaded {
                                     inflight: 1,
-                                    queued: 0
+                                    queued: 0,
+                                    retry_hint: 1,
                                 }
                             ),
                             "rejection must report accurate occupancy, got {err:?}"
@@ -316,4 +319,155 @@ fn admission_control_bounds_and_rejects() {
         "every submit is either admitted or rejected"
     );
     assert_eq!(stats.completed, stats.admitted, "admitted runs all finish");
+}
+
+/// Each session's perturbation life: lose the GPU, take an arrival wired
+/// to the sink, get the GPU back, retire one task.  Deterministic per
+/// session index.
+fn perturbation_sequence(i: usize, g: &TaskGraph) -> Vec<Vec<Perturbation>> {
+    let n = g.node_count() as u32;
+    let sub = random_sp_graph(&SpGenConfig::new(5, 400 + i as u64));
+    vec![
+        vec![Perturbation::DeviceLost(DeviceId(1))],
+        vec![Perturbation::TaskArrived {
+            subgraph: sub,
+            attach: vec![AttachEdge::Into {
+                from: NodeId(n - 1),
+                to_new: 0,
+                bytes: 1e6,
+            }],
+        }],
+        vec![Perturbation::DeviceRestored(DeviceId(1))],
+        vec![Perturbation::TaskFinished(vec![NodeId(i as u32 % n)])],
+    ]
+}
+
+fn assert_outcomes_identical(tag: &str, got: &RemapOutcome, want: &RemapOutcome) {
+    assert_eq!(got.mapping, want.mapping, "{tag}: mapping diverged");
+    assert_eq!(got.makespan, want.makespan, "{tag}: makespan diverged");
+    assert_eq!(got.history, want.history, "{tag}: history diverged");
+    assert_eq!(
+        got.iterations, want.iterations,
+        "{tag}: iterations diverged"
+    );
+    assert_eq!(
+        got.neighborhood_ops, want.neighborhood_ops,
+        "{tag}: neighborhood diverged"
+    );
+    assert_eq!(
+        got.session_key, want.session_key,
+        "{tag}: session key diverged"
+    );
+    assert_eq!(got.warm, want.warm, "{tag}: path flag diverged");
+    assert_eq!(got.noop, want.noop, "{tag}: noop flag diverged");
+}
+
+/// Session lifecycle under concurrency: one thread per session drives
+/// its perturbation sequence through a shared service, across explicit
+/// shard counts and both dispatch backends, and every remap outcome is
+/// bit-identical to serially replaying the same sequence through a
+/// fresh standalone [`RemapSession`].  Empty-perturbation remaps return
+/// the incumbent bits at every point of the life cycle.
+#[test]
+fn concurrent_session_remaps_replay_bit_identically() {
+    const SESSIONS: usize = 6;
+
+    let platform = Arc::new(Platform::reference());
+    let requests: Vec<MapRequest> = (0..SESSIONS as u64)
+        .map(|case| {
+            MapRequest::from_mapper_config(
+                Arc::new(graph_case(case)),
+                Arc::clone(&platform),
+                &mapper_cfg(2),
+            )
+        })
+        .collect();
+    let sequences: Vec<Vec<Vec<Perturbation>>> = requests
+        .iter()
+        .enumerate()
+        .map(|(i, r)| perturbation_sequence(i, &r.graph))
+        .collect();
+
+    // The serial replay references: a fresh standalone session per
+    // request, stepped through the same sequence on this thread.
+    let references: Vec<Vec<RemapOutcome>> = requests
+        .iter()
+        .zip(&sequences)
+        .map(|(req, seq)| {
+            let mut s = spmap::core::RemapSession::open(req, None).expect("reference session");
+            seq.iter()
+                .map(|batch| s.remap(batch).expect("reference remap"))
+                .collect()
+        })
+        .collect();
+
+    for shards in [1usize, 2] {
+        let pool = Arc::new(Pool::with_shards(shards));
+        for backend in [ParBackend::Pool, ParBackend::Scoped] {
+            let tag = format!("shards {shards}, backend {backend:?}");
+            let service = Arc::new(MapService::new(ServiceConfig {
+                max_inflight: SESSIONS,
+                max_queued: SESSIONS,
+                ..ServiceConfig::default()
+            }));
+            std::thread::scope(|scope| {
+                for (i, req) in requests.iter().enumerate() {
+                    let pool = Arc::clone(&pool);
+                    let service = Arc::clone(&service);
+                    let seq = &sequences[i];
+                    let want = &references[i];
+                    let tag = &tag;
+                    scope.spawn(move || {
+                        with_pool(&pool, || {
+                            with_backend(backend, || {
+                                let opened = service.open_session(req).expect("open");
+                                assert_eq!(
+                                    opened.result.mapping,
+                                    want_initial(req),
+                                    "{tag}, session {i}: opening map diverged"
+                                );
+                                for (step, batch) in seq.iter().enumerate() {
+                                    // An empty batch between real steps
+                                    // must hand back the incumbent bits.
+                                    let noop = service.remap(opened.id, &[]).expect("noop");
+                                    assert!(noop.noop, "{tag}, session {i}: empty batch ran");
+                                    let out = service.remap(opened.id, batch).expect("remap");
+                                    assert_eq!(
+                                        noop.mapping,
+                                        if step == 0 {
+                                            opened.result.mapping.clone()
+                                        } else {
+                                            want[step - 1].mapping.clone()
+                                        },
+                                        "{tag}, session {i}: noop changed bits"
+                                    );
+                                    assert_outcomes_identical(
+                                        &format!("{tag}, session {i}, step {step}"),
+                                        &out,
+                                        &want[step],
+                                    );
+                                }
+                                let closed = service.close_session(opened.id).expect("close");
+                                let last = want.last().expect("non-empty sequence");
+                                assert_eq!(closed.mapping, last.mapping);
+                                assert_eq!(closed.makespan, last.makespan);
+                            })
+                        });
+                    });
+                }
+            });
+            let stats = service.stats();
+            assert_eq!(stats.sessions_opened, SESSIONS as u64, "{tag}");
+            assert_eq!(stats.sessions_closed, SESSIONS as u64, "{tag}");
+            assert_eq!(stats.remaps, (SESSIONS * 4) as u64, "{tag}");
+            assert_eq!(stats.remaps_noop, (SESSIONS * 4) as u64, "{tag}");
+            assert_eq!(service.open_sessions(), 0, "{tag}");
+        }
+    }
+}
+
+/// The opening full map a session must reproduce — computed directly.
+fn want_initial(req: &MapRequest) -> Mapping {
+    let cfg = req.mapper_config().expect("decomposition family");
+    decomposition_map(&req.graph, &req.platform, &cfg).mapping
 }
