@@ -96,15 +96,26 @@
 //! slower than the from-scratch re-map at any gated size — the remap
 //! CI latency gate.
 //!
+//! `--chaos` switches to the **chaos tier** (requires building with
+//! `--features fault-injection`): seeded fault rounds against a live
+//! `MapService` — each round arms one `(site, hit, kind)` plan from the
+//! deterministic `FaultSchedule` and drives concurrent retrying clients
+//! through it.  The harness asserts the containment contract (typed
+//! error to the faulted caller, bit-identical untouched responses,
+//! balanced admission accounting, fault-free clean pass afterwards —
+//! see docs/ROBUSTNESS.md) and reports goodput under chaos plus retry
+//! and per-site fired-fault counters.  `--chaos --quick` is the CI
+//! smoke.
+//!
 //! Each mode writes its own report file — `BENCH_mapper.json`
 //! (standard), `BENCH_mapper_xl.json` (`--xl`), `BENCH_service.json`
-//! (`--service`), `BENCH_remap.json` (`--remap`) — so CI cells can
-//! upload all of them without clobbering; `--out <path>` overrides the
-//! destination.
+//! (`--service`), `BENCH_remap.json` (`--remap`), `BENCH_chaos.json`
+//! (`--chaos`) — so CI cells can upload all of them without
+//! clobbering; `--out <path>` overrides the destination.
 //!
 //! Usage: `cargo run --release -p spmap-bench --bin perf_report
 //!         [--quick] [--full] [--ga-only] [--xl] [--service] [--remap]
-//!         [--threads 8] [--seed 2025] [--report-schedules 4]
+//!         [--chaos] [--threads 8] [--seed 2025] [--report-schedules 4]
 //!         [--sizes a,b,..] [--out <path>]`
 
 use std::fmt::Write as _;
@@ -515,7 +526,7 @@ const SERVICE_GATE_MIN_CORES: usize = 4;
 fn run_service(opts: &Opts) {
     use spmap_bench::service_load::{
         assert_identical, build_requests, reference_results, run_phase, service_for_load, warm_up,
-        ServiceLoadConfig,
+        RetryPolicy, ServiceLoadConfig,
     };
     use spmap_core::{MapService, ServiceConfig};
     use spmap_par::pool::Pool;
@@ -530,6 +541,7 @@ fn run_service(opts: &Opts) {
         nodes: if opts.quick { 48 } else { 120 },
         seed: opts.seed,
         engine_threads,
+        retry: None,
     };
     let shards = spmap_par::num_shards();
     println!(
@@ -625,6 +637,43 @@ fn run_service(opts: &Opts) {
         phases.push(report);
     }
 
+    // ---- contended phase: clients outnumber the admission gate and
+    //      survive on the bounded RetryPolicy (completion-denominated
+    //      backoff on `Overloaded::retry_hint`) ----
+    {
+        let cfg = ServiceLoadConfig {
+            clients: 4,
+            requests_per_client: total_requests / 4,
+            retry: Some(RetryPolicy {
+                max_retries: 10_000,
+            }),
+            ..base
+        };
+        let service = Arc::new(MapService::new(ServiceConfig {
+            max_inflight: 2,
+            max_queued: 0,
+            ..ServiceConfig::default()
+        }));
+        let _ = warm_up(&service, &requests, &references);
+        let report = run_phase(&service, &requests, &references, &cfg);
+        let svc = service.stats();
+        assert_eq!(
+            svc.admitted,
+            svc.completed + svc.failed,
+            "admission accounting must balance at quiescence"
+        );
+        assert_eq!(
+            svc.rejected, report.retries,
+            "every overload rejection is one client retry"
+        );
+        println!(
+            "contended (4 clients, 2 slots, 0 queue): {:7.1} maps/s, \
+             {} rejections absorbed by retry",
+            report.throughput, report.retries
+        );
+        phases.push(report);
+    }
+
     let ratio = phases[1].throughput / phases[0].throughput;
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let gate_enforced = cores >= SERVICE_GATE_MIN_CORES;
@@ -682,7 +731,8 @@ fn run_service(opts: &Opts) {
             .collect();
         let _ = writeln!(json, "      \"shard_batches\": [{}],", used.join(", "));
         let _ = writeln!(json, "      \"steals\": {},", p.steals);
-        let _ = writeln!(json, "      \"submission_waits\": {}", p.submission_waits);
+        let _ = writeln!(json, "      \"submission_waits\": {},", p.submission_waits);
+        let _ = writeln!(json, "      \"retries\": {}", p.retries);
         let _ = writeln!(
             json,
             "    }}{}",
@@ -695,6 +745,111 @@ fn run_service(opts: &Opts) {
     let _ = writeln!(json, "  \"gate_enforced\": {gate_enforced}");
     json.push_str("}\n");
     write_report(opts, "BENCH_service.json", &json);
+}
+
+// ---- the chaos tier (`--chaos`) ----
+
+/// The `--chaos` entry point: seeded fault rounds against a live
+/// service with retrying clients, containment + bit-identity + balance
+/// asserted by the harness, goodput reported, write `BENCH_chaos.json`.
+/// Requires the `fault-injection` feature (the harness fails loudly
+/// with the rebuild command otherwise).
+fn run_chaos(opts: &Opts) {
+    use spmap_bench::chaos_load::{run_chaos, ChaosLoadConfig};
+
+    let engine_threads = opts.threads.unwrap_or(2).max(2);
+    let cfg = ChaosLoadConfig {
+        clients: 4,
+        rounds: if opts.quick { 6 } else { 24 },
+        requests_per_client: if opts.quick { 3 } else { 6 },
+        distinct_graphs: if opts.quick { 3 } else { 6 },
+        nodes: if opts.quick { 48 } else { 96 },
+        seed: opts.seed,
+        engine_threads,
+    };
+    let shards = spmap_par::num_shards();
+    println!(
+        "perf_report --chaos: {} fault rounds x {} clients x {} requests \
+         ({} distinct {}-node graphs, {} engine threads/request, {} pool \
+         shards, seed {})\n",
+        cfg.rounds,
+        cfg.clients,
+        cfg.requests_per_client,
+        cfg.distinct_graphs,
+        cfg.nodes,
+        engine_threads,
+        shards,
+        cfg.seed,
+    );
+
+    let report = run_chaos(&cfg);
+
+    println!(
+        "chaos: {}/{} ok ({} contained panics, {} typed mapper errors, \
+         {} retry give-ups), {} of {} armed faults fired, {} overload \
+         retries absorbed",
+        report.ok,
+        report.submitted,
+        report.internal_faults,
+        report.mapper_errors,
+        report.overload_give_ups,
+        report.faults_fired,
+        report.rounds,
+        report.retries,
+    );
+    for (site, fired) in &report.per_site {
+        if *fired > 0 {
+            println!("  {site}: {fired} fired");
+        }
+    }
+    println!(
+        "goodput under chaos: {:7.1} maps/s over {:.2} s; clean pass {}",
+        report.goodput,
+        report.seconds,
+        if report.clean_pass_ok { "ok" } else { "FAILED" },
+    );
+
+    // The containment gates proper (typed errors, bit-identity of
+    // untouched responses, balanced accounting, clean pass) are
+    // asserted inside `run_chaos` — reaching this point *is* the gate.
+    let mut json = String::from("{\n  \"benchmark\": \"map_service_chaos\",\n");
+    let _ = writeln!(json, "  \"quick\": {},", opts.quick);
+    let _ = writeln!(json, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(json, "  \"nodes\": {},", cfg.nodes);
+    let _ = writeln!(json, "  \"distinct_graphs\": {},", cfg.distinct_graphs);
+    let _ = writeln!(json, "  \"engine_threads\": {engine_threads},");
+    let _ = writeln!(json, "  \"shards\": {shards},");
+    let _ = writeln!(json, "  \"clients\": {},", cfg.clients);
+    let _ = writeln!(json, "  \"rounds\": {},", report.rounds);
+    let _ = writeln!(json, "  \"submitted\": {},", report.submitted);
+    let _ = writeln!(json, "  \"ok\": {},", report.ok);
+    let _ = writeln!(json, "  \"internal_faults\": {},", report.internal_faults);
+    let _ = writeln!(json, "  \"mapper_errors\": {},", report.mapper_errors);
+    let _ = writeln!(
+        json,
+        "  \"overload_give_ups\": {},",
+        report.overload_give_ups
+    );
+    let _ = writeln!(json, "  \"retries\": {},", report.retries);
+    let _ = writeln!(json, "  \"seconds\": {:.6},", report.seconds);
+    let _ = writeln!(json, "  \"goodput_per_sec\": {:.3},", report.goodput);
+    let _ = writeln!(json, "  \"faults_fired\": {},", report.faults_fired);
+    json.push_str("  \"fired_per_site\": {\n");
+    for (i, (site, fired)) in report.per_site.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{site}\": {fired}{}",
+            if i + 1 < report.per_site.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"clean_pass_ok\": {}", report.clean_pass_ok);
+    json.push_str("}\n");
+    write_report(opts, "BENCH_chaos.json", &json);
 }
 
 // ---- the remap tier (`--remap`) ----
@@ -1332,6 +1487,12 @@ fn print_row(m: &Measurement) {
 
 fn main() {
     let opts = Opts::parse();
+    if opts.chaos {
+        // The chaos tier is its own report: seeded fault injection,
+        // containment checks, goodput under retry, its own JSON schema.
+        run_chaos(&opts);
+        return;
+    }
     if opts.service {
         // The service tier is its own report: concurrent clients,
         // cache/latency metrics, its own JSON schema and gate.

@@ -28,6 +28,11 @@
 //!   remap latency vs a from-scratch re-map per perturbation kind,
 //!   with bit-identity replay checks; combines with `--quick` for a
 //!   506-node-only smoke and `--full` for the 10k tier),
+//! * `--chaos` — fault-injection run (`perf_report`, requires the
+//!   `fault-injection` feature: concurrent clients with seeded panics
+//!   injected mid-flight, measuring goodput under a retrying client
+//!   and asserting containment + bit-identity of untouched responses;
+//!   combines with `--quick` for fewer rounds),
 //! * `--out <path>` — output-file override for binaries that write a
 //!   JSON report (`perf_report`: defaults are `BENCH_mapper.json`,
 //!   `BENCH_mapper_xl.json` for `--xl`, `BENCH_service.json` for
@@ -62,6 +67,10 @@ pub struct Opts {
     /// Remapping-session run (`perf_report`: warm-start remap latency
     /// vs from-scratch re-map across perturbation kinds and sizes).
     pub remap: bool,
+    /// Fault-injection run (`perf_report`: seeded chaos against the
+    /// `MapService`; requires building with `--features
+    /// fault-injection`).
+    pub chaos: bool,
     /// Output-file override for report-writing binaries.
     pub out: Option<String>,
     /// Explicit task-count list (`None` = binary default sweep).
@@ -88,6 +97,7 @@ impl Opts {
             xl: false,
             service: false,
             remap: false,
+            chaos: false,
             out: None,
             sizes: None,
         };
@@ -140,6 +150,7 @@ impl Opts {
                 "--xl" => opts.xl = true,
                 "--service" => opts.service = true,
                 "--remap" => opts.remap = true,
+                "--chaos" => opts.chaos = true,
                 other => eprintln!("warning: ignoring unknown flag {other}"),
             }
         }
@@ -227,6 +238,13 @@ mod tests {
         assert!(!parse(&[]).remap);
         let o = parse(&["--remap", "--quick"]);
         assert!(o.remap && o.quick, "--remap combines with --quick");
+    }
+
+    #[test]
+    fn chaos_flag() {
+        assert!(!parse(&[]).chaos);
+        let o = parse(&["--chaos", "--quick"]);
+        assert!(o.chaos && o.quick, "--chaos combines with --quick");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! decomposition, sub-10µs HEFT/PEFT, and the mapper/GA end-to-end costs.
 
 pub mod algos;
+pub mod chaos_load;
 pub mod cli;
 pub mod remap_load;
 pub mod report;

@@ -18,8 +18,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use spmap_core::{
-    decomposition_map, EngineConfig, MapRequest, MapService, MapperConfig, MapperResult,
-    ServiceConfig,
+    decomposition_map, EngineConfig, MapRequest, MapResponse, MapService, MapperConfig,
+    MapperResult, ServiceConfig, ServiceError, ServiceStats,
 };
 use spmap_graph::gen::{random_sp_graph, SpGenConfig};
 use spmap_graph::{augment, AugmentConfig};
@@ -44,6 +44,64 @@ pub struct ServiceLoadConfig {
     /// Engine threads per request (the per-request parallelism the
     /// sharded pool serves).
     pub engine_threads: usize,
+    /// Retry policy for overload rejections.  `None` requires the
+    /// service to be sized so no request is ever rejected (every
+    /// rejection panics the client); `Some` lets clients outnumber
+    /// the admission gate and back off on [`ServiceError::Overloaded`].
+    pub retry: Option<RetryPolicy>,
+}
+
+/// Bounded-retry policy for overload rejections.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Give up on a request after this many retries.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_retries: 64 }
+    }
+}
+
+/// Submit `req`, retrying a bounded number of times on
+/// [`ServiceError::Overloaded`].  Returns the final outcome and the
+/// retries spent on it.
+///
+/// Backoff is completion-denominated, not clock-denominated: the
+/// rejection's `retry_hint` says how many requests must drain before
+/// admission can succeed, so the client yields until the service's
+/// drained counter (`completed + failed`) advances by that much.  A
+/// bounded yield budget keeps the wait live even if no other client is
+/// draining the service.  No clocks are read on the decision path.
+pub fn map_with_retry(
+    service: &MapService,
+    req: &MapRequest,
+    policy: RetryPolicy,
+) -> (Result<MapResponse, ServiceError>, u64) {
+    /// Liveness cap: stop waiting on the drained counter after this
+    /// many yields and just retry.
+    const MAX_YIELDS: u64 = 10_000;
+    fn drained(stats: &ServiceStats) -> u64 {
+        stats.completed + stats.failed
+    }
+    let mut retries = 0u64;
+    loop {
+        match service.map(req) {
+            Err(ServiceError::Overloaded { retry_hint, .. })
+                if retries < u64::from(policy.max_retries) =>
+            {
+                retries += 1;
+                let target = drained(&service.stats()) + retry_hint.max(1);
+                let mut yields = 0u64;
+                while drained(&service.stats()) < target && yields < MAX_YIELDS {
+                    std::thread::yield_now();
+                    yields += 1;
+                }
+            }
+            outcome => return (outcome, retries),
+        }
+    }
 }
 
 /// Aggregated outcome of one load phase.
@@ -69,6 +127,9 @@ pub struct ServiceLoadReport {
     pub steals: u64,
     /// Submission-lock waits, summed over all clients.
     pub submission_waits: u64,
+    /// Overload retries spent, summed over all clients (0 when the
+    /// phase ran without a [`RetryPolicy`]).
+    pub retries: u64,
 }
 
 impl ServiceLoadReport {
@@ -151,19 +212,28 @@ pub fn run_phase(
 ) -> ServiceLoadReport {
     let cache_base = service.stats().cache;
     let start = Instant::now();
-    let outcomes: Vec<(Vec<f64>, DispatchStats)> = std::thread::scope(|scope| {
+    let outcomes: Vec<(Vec<f64>, u64, DispatchStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.clients)
             .map(|client| {
                 let service = Arc::clone(service);
                 scope.spawn(move || {
                     let base = dispatch_stats();
                     let mut latencies = Vec::with_capacity(cfg.requests_per_client);
+                    let mut retries = 0u64;
                     for i in 0..cfg.requests_per_client {
                         let idx = (client + i) % requests.len();
                         let t0 = Instant::now();
-                        let resp = service
-                            .map(&requests[idx])
-                            .expect("load phase sized to be admitted");
+                        let resp = match cfg.retry {
+                            Some(policy) => {
+                                let (outcome, spent) =
+                                    map_with_retry(&service, &requests[idx], policy);
+                                retries += spent;
+                                outcome.expect("retry budget exhausted")
+                            }
+                            None => service
+                                .map(&requests[idx])
+                                .expect("load phase sized to be admitted"),
+                        };
                         latencies.push(t0.elapsed().as_secs_f64() * 1e3);
                         assert_identical(
                             &format!("client {client} request {i} (graph {idx})"),
@@ -171,7 +241,7 @@ pub fn run_phase(
                             &references[idx],
                         );
                     }
-                    (latencies, dispatch_stats().since(&base))
+                    (latencies, retries, dispatch_stats().since(&base))
                 })
             })
             .collect();
@@ -186,13 +256,15 @@ pub fn run_phase(
     let mut shard_batches = vec![0u64; MAX_SHARDS];
     let mut steals = 0u64;
     let mut submission_waits = 0u64;
-    for (lat, d) in &outcomes {
+    let mut retries = 0u64;
+    for (lat, r, d) in &outcomes {
         latencies.extend_from_slice(lat);
         for (agg, &b) in shard_batches.iter_mut().zip(d.pool_shard_batches.iter()) {
             *agg += b;
         }
         steals += d.pool_steals;
         submission_waits += d.pool_submission_waits;
+        retries += r;
     }
     latencies.sort_by(|a, b| a.total_cmp(b));
     let completed = latencies.len() as u64;
@@ -222,6 +294,7 @@ pub fn run_phase(
         shard_batches,
         steals,
         submission_waits,
+        retries,
     }
 }
 
@@ -265,6 +338,7 @@ mod tests {
             nodes: 24,
             seed: 77,
             engine_threads: 2,
+            retry: None,
         }
     }
 
@@ -288,6 +362,45 @@ mod tests {
         let svc = service.stats();
         assert_eq!(svc.rejected, 0, "load service must be sized to admit");
         assert!(svc.peak_inflight <= service.max_inflight());
+    }
+
+    #[test]
+    fn retry_returns_immediately_when_admitted() {
+        let cfg = tiny();
+        let requests = build_requests(&cfg);
+        let service = service_for_load(cfg.clients);
+        let (outcome, retries) = map_with_retry(&service, &requests[0], RetryPolicy::default());
+        assert!(outcome.is_ok());
+        assert_eq!(retries, 0, "an admitted request must not be retried");
+    }
+
+    #[test]
+    fn retrying_clients_survive_a_tight_admission_gate() {
+        // Four closed-loop clients against a single run slot with no
+        // queue: without retries this would panic on the first
+        // rejection, with the policy every request eventually lands
+        // and results stay bit-identical.
+        let cfg = ServiceLoadConfig {
+            clients: 4,
+            retry: Some(RetryPolicy { max_retries: 1_000 }),
+            ..tiny()
+        };
+        let requests = build_requests(&cfg);
+        let references = reference_results(&requests);
+        let service = Arc::new(spmap_core::MapService::new(spmap_core::ServiceConfig {
+            max_inflight: 1,
+            max_queued: 0,
+            ..spmap_core::ServiceConfig::default()
+        }));
+        let _ = warm_up(&service, &requests, &references);
+        let report = run_phase(&service, &requests, &references, &cfg);
+        assert_eq!(report.completed, 12);
+        let stats = service.stats();
+        assert_eq!(stats.admitted, stats.completed + stats.failed);
+        assert_eq!(
+            stats.rejected, report.retries,
+            "every overload rejection is one client retry"
+        );
     }
 
     #[test]

@@ -781,6 +781,13 @@ impl<'g> CandidateBatch<'g> {
     /// The returned deltas are bit-identical to serial re-simulation of
     /// every op; only the amount of work spent differs.
     pub fn evaluate_ops(&mut self, ops: &[OpId], prune: bool) -> Vec<f64> {
+        // An Error-kind injected fault degrades the sweep into NaN
+        // deltas, which every driver (full search, threshold search,
+        // session warm remap) converts to a typed
+        // `MapperError::NanDelta` — the engine's one typed error path.
+        if crate::faults::fault_point(crate::faults::FaultSite::CandidateSweep) {
+            return vec![f64::NAN; ops.len()];
+        }
         let threshold = self.cur * REL_EPS;
         let mut deltas = vec![f64::NEG_INFINITY; ops.len()];
         let mut pending: Vec<Pending> = Vec::with_capacity(ops.len());
@@ -1384,6 +1391,11 @@ impl<'g> CandidateBatch<'g> {
         let devices = &self.devices;
         let bank = self.cfg.memo && self.schedules.len() > 1;
         par_map_with_threads(self.threads, &mut self.workers, chunk, |w, _, p| {
+            // Fires *inside* a pool worker when threads ≥ 2, so an
+            // injected panic exercises the pool's panic protocol
+            // (first payload wins, batch drains, caller re-raises)
+            // before the service boundary contains it.
+            crate::faults::fault_point(crate::faults::FaultSite::PoolBatch);
             if w.generation != generation {
                 w.mapping.copy_from(base);
                 w.generation = generation;

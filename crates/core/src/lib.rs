@@ -40,6 +40,7 @@
 //! `tests/equivalence.rs` plus `docs/PERF.md` carry the proof burden.
 
 pub mod batch;
+pub mod faults;
 pub mod mapper;
 pub mod population;
 pub mod request;
@@ -52,6 +53,7 @@ pub use batch::{
     BatchStats, CandidateBatch, DeltaOp, EngineConfig, TablesSource, DEFAULT_MEMO_CAPACITY,
     MAX_SCHEDULES,
 };
+pub use faults::{FaultKind, FaultSchedule, FaultSite, INJECTED_PANIC_PREFIX};
 #[allow(deprecated)]
 pub use mapper::try_decomposition_map_with_tables;
 pub use mapper::{

@@ -43,8 +43,37 @@
 //! same makespan, bit for bit.  The service reads no clocks — even the
 //! overload `retry_hint` is denominated in completions, not time;
 //! latency measurement belongs to the benchmark harness.
+//!
+//! ## Fault containment
+//!
+//! Every fault inside an admitted request is **caller-local** (the full
+//! model and proof obligations live in docs/ROBUSTNESS.md):
+//!
+//! * the request boundary is a `catch_unwind`; an escaping panic comes
+//!   back as [`ServiceError::Internal`] to *that* caller only,
+//! * admission slots are RAII drop-guards, so a panicking request can
+//!   never strand `inflight`/`queued` accounting or a condvar waiter —
+//!   `admitted == completed + failed` holds at quiescence no matter how
+//!   requests die,
+//! * the gate / registry / cache mutexes **recover and continue** on
+//!   poison: every critical section over them is straight-line
+//!   arithmetic or a content-addressed cache op whose invariants hold
+//!   at every statement, so the state a panicking thread left behind is
+//!   always consistent,
+//! * a *session* mutex poisoned mid-operation is different — the
+//!   operation may have died between compile and commit — so the
+//!   session degrades to a typed [`ServiceError::SessionPoisoned`]
+//!   state.  [`MapService::remap_full`] is the designated recovery
+//!   path: it rebuilds the session's derived state from scratch
+//!   ([`RemapSession::rebuild`]) and clears the poison on success;
+//!   [`MapService::close_session`] still works (disposal needs no
+//!   derived state) and reports the flag.
+//!
+//! The chaos suite (`tests/chaos.rs`, `fault-injection` feature) proves
+//! all of this under deterministic fault injection.
 
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use spmap_model::{artifact_key, ArtifactCache, ArtifactCacheStats, EvalArtifact, Mapping};
 
@@ -107,6 +136,23 @@ pub enum ServiceError {
     Session(RemapError),
     /// No open session has this id (never opened, or already closed).
     UnknownSession(SessionId),
+    /// A panic escaped the mapping engine while this request ran.  The
+    /// fault is contained: the admission slot was released by its drop
+    /// guard, shared mutexes recover on their next lock, and concurrent
+    /// requests are unaffected (docs/ROBUSTNESS.md).
+    Internal {
+        /// The service entry point that contained the panic
+        /// (`"map"`, `"open_session"`, `"remap"`, `"remap_full"`).
+        site: &'static str,
+        /// The stringified panic payload.
+        payload: String,
+    },
+    /// The session's lock was poisoned by a panic during a previous
+    /// operation on it.  Warm remaps refuse the state;
+    /// [`MapService::remap_full`] is the designated recovery path (it
+    /// rebuilds the session's derived state from scratch and clears the
+    /// poison), and [`MapService::close_session`] disposes of it.
+    SessionPoisoned(SessionId),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -124,6 +170,14 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Mapper(e) => write!(f, "mapper failed: {e}"),
             ServiceError::Session(e) => write!(f, "session operation failed: {e}"),
             ServiceError::UnknownSession(id) => write!(f, "unknown {id}"),
+            ServiceError::Internal { site, payload } => {
+                write!(f, "internal fault contained at service {site}: {payload}")
+            }
+            ServiceError::SessionPoisoned(id) => write!(
+                f,
+                "{id} is poisoned by a panic in a previous operation; \
+                 recover it with remap_full or dispose of it with close_session"
+            ),
         }
     }
 }
@@ -186,6 +240,11 @@ pub struct SessionClose {
     pub makespan: f64,
     /// Remaps the session executed over its lifetime.
     pub remaps: u64,
+    /// Whether the session's lock was poisoned (a previous operation on
+    /// it panicked) when it was closed.  The returned incumbent is
+    /// still the last *committed* one — sessions mutate only at their
+    /// commit boundary, never mid-search (docs/ROBUSTNESS.md).
+    pub poisoned: bool,
 }
 
 /// Lifetime counters of a [`MapService`].
@@ -195,8 +254,13 @@ pub struct ServiceStats {
     pub admitted: u64,
     /// Requests rejected by admission control.
     pub rejected: u64,
-    /// Requests completed (successfully or with a mapper error).
+    /// Requests completed (successfully or with a typed mapper/session
+    /// error — a typed refusal is still a completed request).
     pub completed: u64,
+    /// Requests that died with a contained panic
+    /// ([`ServiceError::Internal`]).  At quiescence,
+    /// `admitted == completed + failed` — the chaos suite pins it.
+    pub failed: u64,
     /// High-water mark of concurrently running requests — never exceeds
     /// `ServiceConfig::max_inflight` (the stress suite pins this).
     pub peak_inflight: usize,
@@ -225,6 +289,7 @@ struct Gate {
     admitted: u64,
     rejected: u64,
     completed: u64,
+    failed: u64,
     peak_inflight: usize,
     peak_queued: usize,
     sessions_opened: u64,
@@ -240,6 +305,95 @@ struct Gate {
 struct Sessions {
     next: u64,
     live: Vec<(u64, Arc<Mutex<RemapSession>>)>,
+}
+
+/// Recover-and-continue lock discipline for the service's shared
+/// mutexes (gate, session registry, artifact cache): every critical
+/// section over them keeps its invariants at every statement
+/// (straight-line counter arithmetic, content-addressed cache ops), so
+/// a poison flag left by a panicking thread carries no information and
+/// the state is safe to keep using (docs/ROBUSTNESS.md).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Stringify a panic payload (the `&str` / `String` cases cover every
+/// `panic!` in this workspace; anything else is labeled opaquely).
+fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The service's containment boundary: convert an escaping panic into a
+/// caller-local [`ServiceError::Internal`].
+fn contain<R>(
+    site: &'static str,
+    f: impl FnOnce() -> Result<R, ServiceError>,
+) -> Result<R, ServiceError> {
+    // CONTAINMENT: panics unwind into `ServiceError::Internal { site }`
+    // for this caller only.  Recovery: the admission slot is released
+    // by its `SlotGuard` drop during the unwind; gate/registry/cache
+    // mutexes recover-and-continue on their next `lock()`; a session
+    // mutex caught mid-operation surfaces as `SessionPoisoned` and is
+    // recovered by `remap_full` (rebuild-from-scratch) or disposed by
+    // `close_session`.  `AssertUnwindSafe` is sound under exactly that
+    // policy: no state observed after the catch can be mid-mutation
+    // (docs/ROBUSTNESS.md).
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(outcome) => outcome,
+        Err(payload) => Err(ServiceError::Internal {
+            site,
+            payload: panic_payload(payload.as_ref()),
+        }),
+    }
+}
+
+/// One held admission slot.  Dropping it releases the slot, records the
+/// outcome (`completed` by default, `failed` after
+/// [`SlotGuard::mark_failed`]) and wakes one queued waiter — on *every*
+/// exit path, including an unwind, which is what makes the admission
+/// accounting panic-proof.
+struct SlotGuard<'a> {
+    svc: &'a MapService,
+    failed: bool,
+}
+
+impl SlotGuard<'_> {
+    /// Record this request as `failed` (contained panic) instead of
+    /// `completed` when the slot is released.
+    fn mark_failed(&mut self) {
+        self.failed = true;
+    }
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        let mut g = lock(&self.svc.gate);
+        g.inflight -= 1;
+        if self.failed {
+            g.failed += 1;
+        } else {
+            g.completed += 1;
+        }
+        drop(g);
+        self.svc.slot_cv.notify_one();
+    }
+}
+
+/// What a session operation does when it finds the session's mutex
+/// poisoned by a previous panic.
+enum PoisonPolicy {
+    /// Return [`ServiceError::SessionPoisoned`]; the caller must route
+    /// through [`MapService::remap_full`] (or close the session).
+    Refuse,
+    /// Rebuild the session's derived state from scratch
+    /// ([`RemapSession::rebuild`]) and clear the poison on success.
+    Recover,
 }
 
 /// A long-lived mapping service; see the module docs.  Cheap to share
@@ -274,6 +428,7 @@ impl MapService {
                 admitted: 0,
                 rejected: 0,
                 completed: 0,
+                failed: 0,
                 peak_inflight: 0,
                 peak_queued: 0,
                 sessions_opened: 0,
@@ -305,11 +460,15 @@ impl MapService {
     /// request names an algorithm family this service cannot run —
     /// [`Algo::Ga`](crate::Algo::Ga) routes through
     /// `spmap_ga::nsga2_map_request`); either way the slot accounting
-    /// is restored.
+    /// is restored.  A panic inside the engine is contained to this
+    /// caller as [`ServiceError::Internal`] — the slot guard releases
+    /// during the unwind, so concurrent requests are unaffected.
     pub fn map(&self, request: &MapRequest) -> Result<MapResponse, ServiceError> {
-        self.admit()?;
-        let outcome = self.with_runtime_backend(|| self.run(request));
-        self.release();
+        let mut slot = self.admit()?;
+        let outcome = contain("map", || self.with_runtime_backend(|| self.run(request)));
+        if matches!(outcome, Err(ServiceError::Internal { .. })) {
+            slot.mark_failed();
+        }
         outcome
     }
 
@@ -325,35 +484,32 @@ impl MapService {
     /// over the same graph reuse one table build — and a later one-shot
     /// [`MapService::map`] of that graph hits too.
     pub fn open_session(&self, request: &MapRequest) -> Result<SessionResponse, ServiceError> {
-        self.admit()?;
-        let opened = self
-            .with_runtime_backend(|| RemapSession::open(request, Some(Arc::clone(&self.cache))));
-        let outcome = match opened {
-            Err(e) => Err(ServiceError::from(e)),
-            Ok(session) => {
-                let result = session.initial().clone();
-                let cache_hit = session.initial_cache_hit();
-                let session_key = session.session_key();
-                let id = {
-                    let mut s = self.sessions.lock().expect("session registry poisoned");
-                    let id = s.next;
-                    s.next += 1;
-                    s.live.push((id, Arc::new(Mutex::new(session))));
-                    SessionId(id)
-                };
-                self.gate
-                    .lock()
-                    .expect("service gate poisoned")
-                    .sessions_opened += 1;
-                Ok(SessionResponse {
-                    id,
-                    result,
-                    cache_hit,
-                    session_key,
-                })
-            }
-        };
-        self.release();
+        let mut slot = self.admit()?;
+        let outcome = contain("open_session", || {
+            let session = self
+                .with_runtime_backend(|| RemapSession::open(request, Some(Arc::clone(&self.cache))))
+                .map_err(ServiceError::from)?;
+            let result = session.initial().clone();
+            let cache_hit = session.initial_cache_hit();
+            let session_key = session.session_key();
+            let id = {
+                let mut s = lock(&self.sessions);
+                let id = s.next;
+                s.next += 1;
+                s.live.push((id, Arc::new(Mutex::new(session))));
+                SessionId(id)
+            };
+            lock(&self.gate).sessions_opened += 1;
+            Ok(SessionResponse {
+                id,
+                result,
+                cache_hit,
+                session_key,
+            })
+        });
+        if matches!(outcome, Err(ServiceError::Internal { .. })) {
+            slot.mark_failed();
+        }
         outcome
     }
 
@@ -361,22 +517,31 @@ impl MapService {
     /// [`RemapSession::remap`]), under the same admission discipline as
     /// one-shot requests.  Remaps on distinct sessions run concurrently;
     /// remaps on the same session serialize on its lock.
+    ///
+    /// A session whose lock a previous panic poisoned is refused with
+    /// [`ServiceError::SessionPoisoned`] — recover it through
+    /// [`MapService::remap_full`].
     pub fn remap(
         &self,
         id: SessionId,
         perturbations: &[Perturbation],
     ) -> Result<RemapOutcome, ServiceError> {
-        self.admit()?;
-        let outcome = self.run_on_session(id, |s| s.remap(perturbations));
-        if let Ok(out) = &outcome {
-            let mut g = self.gate.lock().expect("service gate poisoned");
-            if out.noop {
-                g.remaps_noop += 1;
-            } else {
-                g.remaps += 1;
+        let mut slot = self.admit()?;
+        let outcome = contain("remap", || {
+            self.run_on_session(id, PoisonPolicy::Refuse, |s| s.remap(perturbations))
+        });
+        match &outcome {
+            Ok(out) => {
+                let mut g = lock(&self.gate);
+                if out.noop {
+                    g.remaps_noop += 1;
+                } else {
+                    g.remaps += 1;
+                }
             }
+            Err(ServiceError::Internal { .. }) => slot.mark_failed(),
+            Err(_) => {}
         }
-        self.release();
         outcome
     }
 
@@ -385,22 +550,32 @@ impl MapService {
     /// warm start.  The benchmark harness races this against
     /// [`MapService::remap`]; production callers want it when a
     /// perturbation invalidates most of the incumbent.
+    ///
+    /// This is also the designated recovery path for a session whose
+    /// lock a previous panic poisoned: the session's derived state is
+    /// rebuilt from scratch ([`RemapSession::rebuild`]) and the poison
+    /// cleared before the remap runs (docs/ROBUSTNESS.md).
     pub fn remap_full(
         &self,
         id: SessionId,
         perturbations: &[Perturbation],
     ) -> Result<RemapOutcome, ServiceError> {
-        self.admit()?;
-        let outcome = self.run_on_session(id, |s| s.remap_full(perturbations));
-        if let Ok(out) = &outcome {
-            let mut g = self.gate.lock().expect("service gate poisoned");
-            if out.noop {
-                g.remaps_noop += 1;
-            } else {
-                g.remaps_full += 1;
+        let mut slot = self.admit()?;
+        let outcome = contain("remap_full", || {
+            self.run_on_session(id, PoisonPolicy::Recover, |s| s.remap_full(perturbations))
+        });
+        match &outcome {
+            Ok(out) => {
+                let mut g = lock(&self.gate);
+                if out.noop {
+                    g.remaps_noop += 1;
+                } else {
+                    g.remaps_full += 1;
+                }
             }
+            Err(ServiceError::Internal { .. }) => slot.mark_failed(),
+            Err(_) => {}
         }
-        self.release();
         outcome
     }
 
@@ -410,45 +585,48 @@ impl MapService {
     /// registry entry is gone either way.
     pub fn close_session(&self, id: SessionId) -> Result<SessionClose, ServiceError> {
         let entry = {
-            let mut s = self.sessions.lock().expect("session registry poisoned");
+            let mut s = lock(&self.sessions);
             match s.live.iter().position(|(sid, _)| *sid == id.0) {
                 None => return Err(ServiceError::UnknownSession(id)),
                 Some(i) => s.live.remove(i).1,
             }
         };
         let closed = {
-            let sess = entry.lock().expect("session poisoned");
+            // Disposal needs no derived state, so a poisoned session is
+            // still closeable: the session mutates only at its commit
+            // boundary, so the incumbent read here is the last
+            // committed one even after a mid-operation panic.  The flag
+            // is reported, not hidden.
+            let (sess, poisoned) = match entry.lock() {
+                Ok(g) => (g, false),
+                Err(p) => (p.into_inner(), true),
+            };
             SessionClose {
                 id,
                 mapping: sess.incumbent().clone(),
                 makespan: sess.incumbent_makespan(),
                 remaps: sess.remaps(),
+                poisoned,
             }
         };
-        self.gate
-            .lock()
-            .expect("service gate poisoned")
-            .sessions_closed += 1;
+        lock(&self.gate).sessions_closed += 1;
         Ok(closed)
     }
 
     /// Live session count (diagnostic).
     pub fn open_sessions(&self) -> usize {
-        self.sessions
-            .lock()
-            .expect("session registry poisoned")
-            .live
-            .len()
+        lock(&self.sessions).live.len()
     }
 
     /// Lifetime counters (gate and cache), taken atomically per lock.
     pub fn stats(&self) -> ServiceStats {
-        let g = self.gate.lock().expect("service gate poisoned");
-        let cache = self.cache.lock().expect("artifact cache poisoned").stats();
+        let g = lock(&self.gate);
+        let cache = lock(&self.cache).stats();
         ServiceStats {
             admitted: g.admitted,
             rejected: g.rejected,
             completed: g.completed,
+            failed: g.failed,
             peak_inflight: g.peak_inflight,
             peak_queued: g.peak_queued,
             sessions_opened: g.sessions_opened,
@@ -472,27 +650,48 @@ impl MapService {
     }
 
     /// Find session `id` and run `f` on it under its lock and the
-    /// configured backend.
+    /// configured backend.  `poison` picks what to do when a previous
+    /// panic poisoned the session's lock: refuse with
+    /// [`ServiceError::SessionPoisoned`], or rebuild-and-recover.
     fn run_on_session<R>(
         &self,
         id: SessionId,
+        poison: PoisonPolicy,
         f: impl FnOnce(&mut RemapSession) -> Result<R, RemapError>,
     ) -> Result<R, ServiceError> {
         let entry = {
-            let s = self.sessions.lock().expect("session registry poisoned");
+            let s = lock(&self.sessions);
             match s.live.iter().find(|(sid, _)| *sid == id.0) {
                 None => return Err(ServiceError::UnknownSession(id)),
                 Some((_, sess)) => Arc::clone(sess),
             }
         };
-        let mut sess = entry.lock().expect("session poisoned");
+        let mut sess = match entry.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => match poison {
+                PoisonPolicy::Refuse => return Err(ServiceError::SessionPoisoned(id)),
+                PoisonPolicy::Recover => {
+                    // Rebuild the session's derived state from scratch
+                    // before trusting it; the poison is cleared only on
+                    // a successful rebuild, so a failed recovery leaves
+                    // the session refusable (and retryable) rather than
+                    // silently half-recovered.
+                    let mut guard = poisoned.into_inner();
+                    self.with_runtime_backend(|| guard.rebuild())
+                        .map_err(ServiceError::from)?;
+                    entry.clear_poison();
+                    guard
+                }
+            },
+        };
         let out = self.with_runtime_backend(|| f(&mut sess));
         out.map_err(ServiceError::from)
     }
 
-    /// Acquire a run slot or reject.
-    fn admit(&self) -> Result<(), ServiceError> {
-        let mut g = self.gate.lock().expect("service gate poisoned");
+    /// Acquire a run slot or reject; the returned guard releases the
+    /// slot on drop (on every exit path, including unwinds).
+    fn admit(&self) -> Result<SlotGuard<'_>, ServiceError> {
+        let mut g = lock(&self.gate);
         if g.inflight >= self.max_inflight {
             if g.queued >= self.max_queued {
                 g.rejected += 1;
@@ -508,7 +707,7 @@ impl MapService {
             g.queued += 1;
             g.peak_queued = g.peak_queued.max(g.queued);
             while g.inflight >= self.max_inflight {
-                g = self.slot_cv.wait(g).expect("service gate poisoned");
+                g = self.slot_cv.wait(g).unwrap_or_else(|e| e.into_inner());
             }
             g.queued -= 1;
         } else {
@@ -516,16 +715,10 @@ impl MapService {
         }
         g.inflight += 1;
         g.peak_inflight = g.peak_inflight.max(g.inflight);
-        Ok(())
-    }
-
-    /// Return a run slot and wake one waiter.
-    fn release(&self) {
-        let mut g = self.gate.lock().expect("service gate poisoned");
-        g.inflight -= 1;
-        g.completed += 1;
-        drop(g);
-        self.slot_cv.notify_one();
+        Ok(SlotGuard {
+            svc: self,
+            failed: false,
+        })
     }
 
     /// The cached-or-built artifact path plus the mapper run.
@@ -540,11 +733,7 @@ impl MapService {
         }
         let key = artifact_key(&request.graph, &request.platform, cfg.engine.numbering);
         let (artifact, cache_hit) = {
-            let hit = self
-                .cache
-                .lock()
-                .expect("artifact cache poisoned")
-                .lookup(key);
+            let hit = lock(&self.cache).lookup(key);
             match hit {
                 Some(a) => (a, true),
                 None => {
@@ -554,16 +743,13 @@ impl MapService {
                     // A racing builder of the same key is resolved by
                     // `insert`: the first resident build wins and both
                     // requests share it.
+                    crate::faults::fault_point(crate::faults::FaultSite::ArtifactBuild);
                     let built = Arc::new(EvalArtifact::build(
                         Arc::clone(&request.graph),
                         Arc::clone(&request.platform),
                         cfg.engine.numbering,
                     ));
-                    let shared = self
-                        .cache
-                        .lock()
-                        .expect("artifact cache poisoned")
-                        .insert(built);
+                    let shared = lock(&self.cache).insert(built);
                     (shared, false)
                 }
             }
@@ -632,7 +818,7 @@ mod tests {
             max_queued: 0,
             ..ServiceConfig::default()
         });
-        svc.admit().expect("first slot");
+        let slot = svc.admit().expect("first slot");
         let err = svc.map(&request(1)).expect_err("must reject");
         assert_eq!(
             err,
@@ -642,11 +828,13 @@ mod tests {
                 retry_hint: 1,
             }
         );
-        svc.release();
+        drop(slot);
         assert!(svc.map(&request(1)).is_ok(), "slot freed");
         let stats = svc.stats();
         assert_eq!(stats.rejected, 1);
         assert_eq!(stats.peak_inflight, 1);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.admitted, stats.completed + stats.failed);
     }
 
     #[test]

@@ -554,15 +554,44 @@ impl RemapSession {
         subgraphs: Vec<Vec<NodeId>>,
         mut outcome: RemapOutcome,
     ) -> RemapOutcome {
+        crate::faults::fault_point(crate::faults::FaultSite::SessionCommit);
+        // The one allocation (cloning the new incumbent) happens before
+        // any field is assigned: the assignments below are plain moves
+        // and stores that cannot unwind, so the session can never be
+        // observed half-committed — the basis of the poison-recovery
+        // policy in docs/ROBUSTNESS.md.
+        let incumbent = outcome.mapping.clone();
         self.graph = c.graph;
         self.available = c.available;
         self.subgraphs = subgraphs;
         self.artifact = artifact;
-        self.incumbent = outcome.mapping.clone();
+        self.incumbent = incumbent;
         self.incumbent_makespan = outcome.makespan;
         self.remaps += 1;
         outcome.session_key = self.session_key();
         outcome
+    }
+
+    /// Re-derive every piece of session state a mid-operation panic
+    /// could conceivably have been computing — subgraphs, incumbent,
+    /// makespan — as a pure function of the committed inputs (graph,
+    /// platform, artifact, availability).  The service's poison
+    /// recovery ([`MapService::remap_full`](crate::MapService) on a
+    /// poisoned session) calls this before clearing the poison; because
+    /// sessions mutate only at their panic-free commit boundary, the
+    /// committed inputs are always intact and the recovered session is
+    /// bit-identical to a fresh one opened on the same patched state.
+    pub fn rebuild(&mut self) -> Result<(), RemapError> {
+        self.subgraphs = build_subgraphs(&self.graph, self.cfg.strategy);
+        let devices = device_list(&self.available);
+        let result = try_decomposition_map_with_tables_on(
+            self.artifact.tables(),
+            &self.cfg,
+            Some(&devices),
+        )?;
+        self.incumbent = result.mapping;
+        self.incumbent_makespan = result.makespan;
+        Ok(())
     }
 
     /// The artifact serving `c`: the session's own while the graph is
@@ -582,6 +611,7 @@ impl RemapSession {
     /// Compile a perturbation batch against the current session state.
     /// Pure: the session is untouched until [`Self::commit_outcome`].
     fn compile(&self, perturbations: &[Perturbation]) -> Result<Compiled, RemapError> {
+        crate::faults::fault_point(crate::faults::FaultSite::SessionCompile);
         let m = self.platform.device_count();
         let default = self.platform.default_device();
         let mut c = Compiled {
@@ -779,22 +809,32 @@ fn fetch_artifact(
     cfg: &MapperConfig,
 ) -> (Arc<EvalArtifact>, bool) {
     let numbering = cfg.engine.numbering;
+    // Recover-and-continue on cache poison: builds happen outside the
+    // lock, so no panic can leave a half-mutated cache behind
+    // (docs/ROBUSTNESS.md).
+    fn lock_cache(c: &Mutex<ArtifactCache>) -> std::sync::MutexGuard<'_, ArtifactCache> {
+        c.lock().unwrap_or_else(|e| e.into_inner())
+    }
     match cache {
-        None => (
-            Arc::new(EvalArtifact::build(graph, platform, numbering)),
-            false,
-        ),
+        None => {
+            crate::faults::fault_point(crate::faults::FaultSite::ArtifactBuild);
+            (
+                Arc::new(EvalArtifact::build(graph, platform, numbering)),
+                false,
+            )
+        }
         Some(cache) => {
             let key = artifact_key(&graph, &platform, numbering);
-            let hit = cache.lock().expect("artifact cache poisoned").lookup(key);
+            let hit = lock_cache(cache).lookup(key);
             match hit {
                 Some(a) => (a, true),
                 None => {
                     // Build outside the cache lock, exactly like the
                     // service path: a racing builder of the same key is
                     // resolved by `insert` (first resident build wins).
+                    crate::faults::fault_point(crate::faults::FaultSite::ArtifactBuild);
                     let built = Arc::new(EvalArtifact::build(graph, platform, numbering));
-                    let shared = cache.lock().expect("artifact cache poisoned").insert(built);
+                    let shared = lock_cache(cache).insert(built);
                     (shared, false)
                 }
             }

@@ -24,6 +24,11 @@
 //! * [`no-wallclock-in-decisions`] — `Instant`/`SystemTime` are
 //!   confined to the bench harness, the criterion shim and examples;
 //!   crates whose outputs are Eq-compared must not read the clock.
+//! * [`catch-unwind-needs-containment-comment`] — every production
+//!   `catch_unwind` must be preceded by a `// CONTAINMENT:` comment
+//!   naming the recovery policy: what state the caught unwind leaves
+//!   behind and who restores it (docs/ROBUSTNESS.md).  Test code is
+//!   exempt — tests use `catch_unwind` to *observe* panics.
 //!
 //! Exceptions are written down where they live: an inline pragma
 //!
@@ -51,11 +56,12 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// The enforced rules, in reporting order.
-pub const RULE_NAMES: [&str; 4] = [
+pub const RULE_NAMES: [&str; 5] = [
     "unsafe-needs-safety-comment",
     "no-unordered-iteration",
     "no-env-outside-config",
     "no-wallclock-in-decisions",
+    "catch-unwind-needs-containment-comment",
 ];
 
 /// One finding: `file:line: rule: message`, the grep-able CI currency.
@@ -672,6 +678,51 @@ pub fn lint_source(rel: &Path, source: &str) -> Vec<Violation> {
                     ),
                 );
             }
+        }
+    }
+
+    // Rule 5: catch-unwind-needs-containment-comment.  A production
+    // `catch_unwind` is a policy decision — what state does the caught
+    // unwind leave behind, and who recovers it?  That policy must be
+    // written down where it lives.  Test code is exempt (tests use
+    // catch_unwind to *observe* panics), and so are `use` declarations
+    // (importing the symbol is not catching anything).
+    let has_containment = |line: usize| s.comments[line].contains("CONTAINMENT:");
+    let mut in_use = false;
+    for t in &s.toks {
+        match t.text.as_str() {
+            "use" => in_use = true,
+            ";" => in_use = false,
+            _ => {}
+        }
+        if t.text != "catch_unwind" || in_use || exempt(t.line) {
+            continue;
+        }
+        let mut ok = has_containment(t.line);
+        // Walk up through the contiguous comment/attribute block,
+        // exactly like the SAFETY rule.
+        let mut l = t.line;
+        while !ok && l > 1 {
+            l -= 1;
+            let comment_only = !s.code_on_line[l] && !s.comments[l].trim().is_empty();
+            let attr_line = s.code_on_line[l]
+                && s.toks
+                    .iter()
+                    .find(|tk| tk.line == l)
+                    .is_some_and(|tk| tk.text == "#");
+            if !(comment_only || attr_line) {
+                break;
+            }
+            ok = has_containment(l);
+        }
+        if !ok {
+            push(
+                t.line,
+                "catch-unwind-needs-containment-comment",
+                "`catch_unwind` without a preceding `// CONTAINMENT:` comment naming the \
+                 recovery policy (what state the unwind leaves, who restores it)"
+                    .into(),
+            );
         }
     }
 

@@ -1,0 +1,8 @@
+use std::panic::catch_unwind;
+
+/// Convert a panic into `false` at a documented boundary.
+pub fn run(f: impl FnOnce() + std::panic::UnwindSafe) -> bool {
+    // CONTAINMENT: the closure owns all state it touches; a caught
+    // unwind leaves nothing behind and the caller sees `false`.
+    catch_unwind(f).is_ok()
+}

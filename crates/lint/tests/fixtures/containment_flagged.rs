@@ -1,0 +1,4 @@
+/// Swallow panics with no written recovery policy.
+pub fn run(f: impl FnOnce() + std::panic::UnwindSafe) -> bool {
+    std::panic::catch_unwind(f).is_ok()
+}

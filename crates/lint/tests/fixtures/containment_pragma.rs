@@ -1,0 +1,4 @@
+pub fn run(f: impl FnOnce() + std::panic::UnwindSafe) -> bool {
+    // lint:allow(catch-unwind-needs-containment-comment): fixture exercising the pragma path.
+    std::panic::catch_unwind(f).is_ok()
+}

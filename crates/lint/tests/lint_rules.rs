@@ -110,6 +110,46 @@ fn wallclock_pragma_suppresses_with_reason() {
 }
 
 #[test]
+fn catch_unwind_without_containment_comment_is_flagged() {
+    let vs = lint_fixture("containment_flagged.rs");
+    assert_eq!(
+        rules(&vs),
+        ["catch-unwind-needs-containment-comment"],
+        "{vs:#?}"
+    );
+    assert_eq!(vs[0].line, 3);
+}
+
+#[test]
+fn catch_unwind_with_containment_comment_is_clean() {
+    // Also proves the `use std::panic::catch_unwind;` import line is
+    // not treated as a catch site.
+    let vs = lint_fixture("containment_clean.rs");
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn catch_unwind_pragma_suppresses_with_reason() {
+    let vs = lint_fixture("containment_pragma.rs");
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn catch_unwind_in_test_code_is_exempt() {
+    let source = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/containment_flagged.rs"),
+    )
+    .unwrap();
+    // Test paths observe panics freely.
+    let vs = lint_source(Path::new("tests/chaos.rs"), &source);
+    assert!(vs.is_empty(), "{vs:#?}");
+    // So do `#[cfg(test)]` items in production files.
+    let wrapped = format!("#[cfg(test)]\nmod tests {{\n{source}\n}}\n");
+    let vs = lint_source(Path::new("crates/fixture/src/lib.rs"), &wrapped);
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
 fn sanctioned_env_file_is_exempt_by_path() {
     let source = std::fs::read_to_string(
         Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/env_flagged.rs"),

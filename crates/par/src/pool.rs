@@ -94,6 +94,31 @@ pub fn in_pool_worker() -> bool {
     IN_POOL_WORKER.get() || DRIVING_BATCH.get()
 }
 
+/// Clears this thread's `DRIVING_BATCH` flag on drop, so the flag
+/// cannot stay latched if the guarded batch submission unwinds (a
+/// latched flag would silently demote every later batch on the thread
+/// to serial dispatch).
+struct DrivingBatchGuard;
+
+impl Drop for DrivingBatchGuard {
+    fn drop(&mut self) {
+        DRIVING_BATCH.with(|flag| flag.set(false));
+    }
+}
+
+/// Clears a strict-invariants slot-exclusivity flag on drop — every
+/// exit path from a participant frame, including an unwind, releases
+/// the slot it claimed.
+#[cfg(feature = "strict-invariants")]
+struct SlotFlagGuard<'a>(&'a std::sync::atomic::AtomicBool);
+
+#[cfg(feature = "strict-invariants")]
+impl Drop for SlotFlagGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::SeqCst);
+    }
+}
+
 /// A type-erased batch runner: `run(data, participant_index)`.
 ///
 /// `data` points at a stack-allocated, fully concrete `MapCtx` in the
@@ -446,12 +471,17 @@ impl Pool {
             debug_assert!(!flag.get());
             flag.set(true);
         });
+        // Reset via drop-guard, not a trailing store: if `run_batch`
+        // unwinds (e.g. a strict-invariants assert on the submission
+        // path), a latched flag would silently demote every later batch
+        // on this thread to serial.
+        let driving = DrivingBatchGuard;
         let outcome = self.run_batch(threads - 1, run, data, || {
             // SAFETY: participant 0 is never handed to a pool worker,
             // so slot 0 is exclusively ours; `ctx` outlives `run_batch`.
             unsafe { run(data, 0) };
         });
-        DRIVING_BATCH.with(|flag| flag.set(false));
+        drop(driving);
         bump_dispatch(|d| {
             d.pool_batches += 1;
             d.pool_dispatches += outcome.engaged as u64;
@@ -541,15 +571,25 @@ where
     let state = unsafe { &mut *ctx.states.add(part) };
     // Runtime proof of that uniqueness claim: entering a participant
     // index that is already live means two threads share one `&mut`
-    // slot — abort loudly before any user code runs on it.
+    // slot — abort loudly before any user code runs on it.  The flag
+    // clears via drop-guard so it cannot stay latched on *any* exit
+    // path from this frame and fail the next batch's assert for a
+    // panic that already surfaced elsewhere.
     #[cfg(feature = "strict-invariants")]
-    {
+    let _slot_flag = {
         let was = ctx.slot_live[part].swap(true, Ordering::SeqCst);
         assert!(
             !was,
             "strict-invariants: state slot {part} claimed twice within one batch"
         );
-    }
+        SlotFlagGuard(&ctx.slot_live[part])
+    };
+    // CONTAINMENT: a panic in `f` is caught per participant; the first
+    // payload wins the batch's panic slot, every other participant
+    // drains the item counter normally, and the submitting caller
+    // re-raises the payload after the batch fully quiesces — batch
+    // poisoned, pool workers and every other batch intact
+    // (docs/PERF.md, docs/ROBUSTNESS.md).
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let mut local: Vec<(usize, R)> = Vec::new();
         loop {
@@ -561,8 +601,6 @@ where
         }
         local
     }));
-    #[cfg(feature = "strict-invariants")]
-    ctx.slot_live[part].store(false, Ordering::SeqCst);
     match outcome {
         Ok(local) => *lock(&ctx.parts[part]) = local,
         Err(payload) => {

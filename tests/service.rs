@@ -471,3 +471,110 @@ fn want_initial(req: &MapRequest) -> Mapping {
     let cfg = req.mapper_config().expect("decomposition family");
     decomposition_map(&req.graph, &req.platform, &cfg).mapping
 }
+
+/// `close_session` racing an inflight `remap`: the close removes the
+/// registry entry first and then waits out the session lock, so the
+/// race has exactly two legal outcomes — pinned here over repeated
+/// barrier-synchronized rounds.
+///
+/// * The remap fetched the session before the close removed it: both
+///   proceed, serialized by the session lock.  If the remap locked
+///   first, the close reads the post-remap state (`remaps == 1`, final
+///   mapping == the remap's); if the close locked first, it reads the
+///   initial state and the remap still completes on its own handle,
+///   bit-identical to the reference.
+/// * The close removed the entry first: the remap gets a typed
+///   `UnknownSession` refusal, never a panic or a torn state.
+#[test]
+fn close_session_racing_inflight_remap_has_exactly_two_outcomes() {
+    const ROUNDS: usize = 20;
+
+    let platform = Arc::new(Platform::reference());
+    let req = MapRequest::from_mapper_config(
+        Arc::new(graph_case(3)),
+        Arc::clone(&platform),
+        &mapper_cfg(2),
+    );
+    let batch = vec![Perturbation::DeviceLost(DeviceId(1))];
+    // The remap's reference outcome: a fresh standalone session stepped
+    // once (the racing remap, when it runs, always starts from the
+    // session's initial state — it is the only remap the session sees).
+    let reference = {
+        let mut s = spmap::core::RemapSession::open(&req, None).expect("reference session");
+        s.remap(&batch).expect("reference remap")
+    };
+
+    let service = Arc::new(MapService::new(ServiceConfig {
+        max_inflight: 2,
+        max_queued: 2,
+        ..ServiceConfig::default()
+    }));
+    let mut remaps_ok = 0u64;
+    let mut unknown = 0u64;
+    for round in 0..ROUNDS {
+        let opened = service.open_session(&req).expect("open");
+        let initial = opened.result.mapping.clone();
+        let barrier = std::sync::Barrier::new(2);
+        let (remap_outcome, closed) = std::thread::scope(|scope| {
+            let remapper = {
+                let service = Arc::clone(&service);
+                let barrier = &barrier;
+                let batch = &batch;
+                scope.spawn(move || {
+                    barrier.wait();
+                    service.remap(opened.id, batch)
+                })
+            };
+            let closer = {
+                let service = Arc::clone(&service);
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    service.close_session(opened.id).expect("single close")
+                })
+            };
+            (
+                remapper.join().expect("remap thread"),
+                closer.join().expect("close thread"),
+            )
+        });
+
+        assert!(!closed.poisoned, "round {round}: nothing panicked here");
+        match remap_outcome {
+            Ok(out) => {
+                remaps_ok += 1;
+                assert_outcomes_identical(&format!("round {round}"), &out, &reference);
+                if closed.remaps == 1 {
+                    // The remap locked first: the close read its commit.
+                    assert_eq!(closed.mapping, out.mapping, "round {round}");
+                    assert_eq!(closed.makespan, out.makespan, "round {round}");
+                } else {
+                    // The close locked first: it read the initial state
+                    // and the remap finished on its own handle.
+                    assert_eq!(closed.remaps, 0, "round {round}");
+                    assert_eq!(closed.mapping, initial, "round {round}");
+                }
+            }
+            Err(ServiceError::UnknownSession(id)) => {
+                unknown += 1;
+                assert_eq!(id, opened.id, "round {round}");
+                assert_eq!(closed.remaps, 0, "round {round}");
+                assert_eq!(closed.mapping, initial, "round {round}");
+            }
+            Err(other) => panic!("round {round}: unexpected remap outcome {other:?}"),
+        }
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.sessions_opened, ROUNDS as u64);
+    assert_eq!(stats.sessions_closed, ROUNDS as u64);
+    assert_eq!(stats.remaps, remaps_ok, "only Ok remaps are counted");
+    assert_eq!(remaps_ok + unknown, ROUNDS as u64);
+    assert_eq!(service.open_sessions(), 0);
+    assert_eq!(
+        stats.admitted,
+        stats.completed + stats.failed,
+        "accounting balances: a typed UnknownSession refusal is still a \
+         completed request"
+    );
+}
